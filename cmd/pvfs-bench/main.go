@@ -1,0 +1,235 @@
+// Command pvfs-bench runs the paper's benchmarks for real against an
+// in-process PVFS deployment (TCP loopback, actual data movement) at a
+// configurable scale, reporting wall time and request accounting. It
+// is the real-mode counterpart of cmd/paper-figures (which regenerates
+// the figures at full Chiba City scale with the performance model).
+//
+// Usage:
+//
+//	pvfs-bench -pattern cyclic -clients 4 -accesses 2000 -total 67108864 -write
+//	pvfs-bench -pattern flash -clients 4 -blocks 8
+//	pvfs-bench -pattern tiled
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pvfs/internal/client"
+	"pvfs/internal/cluster"
+	"pvfs/internal/patterns"
+	"pvfs/internal/striping"
+)
+
+func main() {
+	pattern := flag.String("pattern", "cyclic", "cyclic | blockblock | flash | tiled")
+	clients := flag.Int("clients", 4, "number of client processes")
+	accesses := flag.Int("accesses", 2000, "noncontiguous regions per client (cyclic/blockblock)")
+	total := flag.Int64("total", 64<<20, "aggregate bytes (cyclic/blockblock)")
+	blocks := flag.Int("blocks", 8, "FLASH blocks per process (paper: 80)")
+	iods := flag.Int("iods", 8, "number of I/O daemons")
+	ssize := flag.Int64("ssize", striping.DefaultStripeSize, "stripe size")
+	write := flag.Bool("write", false, "benchmark writes instead of reads")
+	gran := flag.String("granularity", "file", "list entry granularity: file | intersect")
+	methodsFlag := flag.String("methods", "", "comma list of multiple,datasieve,list (default: paper's set)")
+	flag.Parse()
+
+	pat, err := buildPattern(*pattern, *clients, *accesses, *total, *blocks)
+	if err != nil {
+		fatal(err)
+	}
+	g := client.GranularityFileRegions
+	if *gran == "intersect" {
+		g = client.GranularityIntersect
+	}
+
+	methods := defaultMethods(*write)
+	if *methodsFlag != "" {
+		methods, err = parseMethods(*methodsFlag)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	c, err := cluster.Start(cluster.Options{NumIOD: *iods})
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+
+	dir := "read"
+	if *write {
+		dir = "write"
+	}
+	fmt.Printf("# pattern=%s clients=%d iods=%d ssize=%d direction=%s granularity=%v\n",
+		pat.Name(), pat.Ranks(), *iods, *ssize, dir, g)
+	fmt.Printf("%-12s %12s %12s %12s %14s\n", "method", "seconds", "requests", "regions", "bytes")
+
+	for _, m := range methods {
+		secs, stats, err := runMethod(c, pat, m, *write, *ssize, g)
+		if err != nil {
+			fatal(fmt.Errorf("%v: %w", m, err))
+		}
+		fmt.Printf("%-12s %12.4f %12d %12d %14d\n",
+			m, secs, stats.Requests, stats.Regions, stats.BytesRead+stats.BytesWritten)
+	}
+}
+
+func buildPattern(name string, clients, accesses int, total int64, blocks int) (patterns.Pattern, error) {
+	switch name {
+	case "cyclic":
+		return patterns.NewCyclic1D(clients, accesses, total)
+	case "blockblock":
+		return patterns.NewBlockBlock(clients, accesses, total)
+	case "flash":
+		f := patterns.DefaultFlash(clients)
+		f.Blocks = blocks
+		return f, nil
+	case "tiled":
+		return patterns.DefaultTiled(), nil
+	default:
+		return nil, fmt.Errorf("unknown pattern %q", name)
+	}
+}
+
+func defaultMethods(write bool) []client.Method {
+	if write {
+		// The paper omits data sieving from the artificial parallel
+		// writes (it needs serialization); include it only for reads.
+		return []client.Method{client.MethodMultiple, client.MethodList}
+	}
+	return []client.Method{client.MethodMultiple, client.MethodSieve, client.MethodList}
+}
+
+func parseMethods(s string) ([]client.Method, error) {
+	var out []client.Method
+	for _, name := range splitComma(s) {
+		switch name {
+		case "multiple":
+			out = append(out, client.MethodMultiple)
+		case "datasieve":
+			out = append(out, client.MethodSieve)
+		case "list":
+			out = append(out, client.MethodList)
+		default:
+			return nil, fmt.Errorf("unknown method %q", name)
+		}
+	}
+	return out, nil
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// runMethod executes one method across all ranks (own connection per
+// rank, as in MPI) against a fresh file, returning wall seconds and
+// the server-side accounting delta.
+func runMethod(c *cluster.Cluster, pat patterns.Pattern, m client.Method, write bool, ssize int64, g client.Granularity) (float64, statsDelta, error) {
+	fs0, err := c.Connect()
+	if err != nil {
+		return 0, statsDelta{}, err
+	}
+	defer fs0.Close()
+	name := fmt.Sprintf("bench-%s-%v-%d", pat.Name(), m, time.Now().UnixNano())
+	cfg := striping.Config{PCount: len(c.IODs), StripeSize: ssize}
+	if _, err := fs0.Create(name, cfg); err != nil {
+		return 0, statsDelta{}, err
+	}
+
+	// Reads need data on disk first: seed with contiguous writes.
+	if !write {
+		f, err := fs0.Open(name)
+		if err != nil {
+			return 0, statsDelta{}, err
+		}
+		var max int64
+		for r := 0; r < pat.Ranks(); r++ {
+			l := patterns.FileList(pat, r)
+			if span, ok := l.Span(); ok && span.End() > max {
+				max = span.End()
+			}
+		}
+		const chunk = 4 << 20
+		buf := make([]byte, chunk)
+		for off := int64(0); off < max; off += chunk {
+			n := int64(chunk)
+			if off+n > max {
+				n = max - off
+			}
+			if _, err := f.WriteAt(buf[:n], off); err != nil {
+				return 0, statsDelta{}, err
+			}
+		}
+	}
+
+	before := c.TotalStats()
+	barrier := cluster.NewBarrier(pat.Ranks())
+	start := time.Now()
+	err = cluster.RunRanks(pat.Ranks(), func(rank int) error {
+		fs, err := c.Connect()
+		if err != nil {
+			return err
+		}
+		defer fs.Close()
+		f, err := fs.Open(name)
+		if err != nil {
+			return err
+		}
+		mem := patterns.MemList(pat, rank)
+		file := patterns.FileList(pat, rank)
+		arena := make([]byte, patterns.ArenaSize(pat, rank))
+		for i := range arena {
+			arena[i] = byte(rank)
+		}
+		opts := client.Options{List: client.ListOptions{Granularity: g}}
+		if write {
+			if m == client.MethodSieve {
+				// Serialized as in §4.2.1: one writer at a time.
+				for k := 0; k < pat.Ranks(); k++ {
+					if k == rank {
+						if _, err := f.WriteSieve(arena, mem, file, opts.Sieve); err != nil {
+							return err
+						}
+					}
+					barrier.Wait()
+				}
+				return nil
+			}
+			return f.WriteNoncontig(m, arena, mem, file, opts)
+		}
+		return f.ReadNoncontig(m, arena, mem, file, opts)
+	})
+	secs := time.Since(start).Seconds()
+	if err != nil {
+		return 0, statsDelta{}, err
+	}
+	after := c.TotalStats()
+	return secs, statsDelta{
+		Requests:     after.Requests - before.Requests,
+		Regions:      after.Regions - before.Regions,
+		BytesRead:    after.BytesRead - before.BytesRead,
+		BytesWritten: after.BytesWritten - before.BytesWritten,
+	}, nil
+}
+
+type statsDelta struct {
+	Requests, Regions, BytesRead, BytesWritten int64
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "pvfs-bench: %v\n", err)
+	os.Exit(1)
+}

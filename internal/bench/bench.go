@@ -1,0 +1,400 @@
+// Package bench defines the paper's experiments (DESIGN.md §4): for
+// every figure in the evaluation it builds the workload, runs the
+// cluster model, and emits the series the figure plots. The real-mode
+// (TCP) counterpart for small scales lives in cmd/pvfs-bench.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pvfs/internal/patterns"
+	"pvfs/internal/simcluster"
+)
+
+// Point is one (x, seconds) sample of a series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is a regenerated paper figure.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// Config scales the experiments. The zero value is full paper scale.
+type Config struct {
+	// Params of the modeled cluster; zero selects ChibaCity.
+	Params simcluster.Params
+	// Accesses are the x-axis sample points (per-client noncontiguous
+	// regions); zero selects the paper's 100k..1M range.
+	Accesses []int
+	// TotalBytes is the aggregate artificial-benchmark size; zero
+	// selects the paper's 1 GiB.
+	TotalBytes int64
+	// FlashClients are the FLASH client counts; zero selects 2..32.
+	FlashClients []int
+	// Granularity used for FLASH list I/O; the paper's measured
+	// behaviour corresponds to GranIntersect (DESIGN.md §3).
+	FlashGranularity simcluster.Granularity
+}
+
+func (c Config) params() simcluster.Params {
+	if c.Params.Servers == 0 {
+		return simcluster.ChibaCity()
+	}
+	return c.Params
+}
+
+func (c Config) accesses() []int {
+	if len(c.Accesses) == 0 {
+		return []int{100000, 250000, 500000, 750000, 1000000}
+	}
+	return c.Accesses
+}
+
+func (c Config) totalBytes() int64 {
+	if c.TotalBytes == 0 {
+		return 1 << 30
+	}
+	return c.TotalBytes
+}
+
+func (c Config) flashClients() []int {
+	if len(c.FlashClients) == 0 {
+		return []int{2, 4, 8, 16, 32}
+	}
+	return c.FlashClients
+}
+
+// runPattern simulates one (pattern, method, direction) and returns
+// seconds.
+func runPattern(p simcluster.Params, pat patterns.Pattern, write bool, m simcluster.Method, opts simcluster.MethodOptions) float64 {
+	res := simcluster.Run(simcluster.BuildWorkload(p, pat, write, m, opts))
+	return res.Duration.Seconds()
+}
+
+// artificialSeries sweeps accesses for one client count and method set.
+func (c Config) artificialSeries(mkPattern func(accesses int) (patterns.Pattern, error), write bool, methods []simcluster.Method) ([]Series, error) {
+	p := c.params()
+	series := make([]Series, len(methods))
+	for i, m := range methods {
+		series[i].Label = methodLabel(m)
+	}
+	for _, a := range c.accesses() {
+		pat, err := mkPattern(a)
+		if err != nil {
+			return nil, err
+		}
+		for i, m := range methods {
+			y := runPattern(p, pat, write, m, simcluster.MethodOptions{})
+			series[i].Points = append(series[i].Points, Point{X: float64(a), Y: y})
+		}
+	}
+	return series, nil
+}
+
+func methodLabel(m simcluster.Method) string {
+	switch m {
+	case simcluster.MethodMultiple:
+		return "Multiple I/O"
+	case simcluster.MethodSieve:
+		return "Data Sieving I/O"
+	case simcluster.MethodList:
+		return "List I/O"
+	case simcluster.MethodStrided:
+		return "Strided (datatype) I/O"
+	}
+	return m.String()
+}
+
+// Figure9 regenerates the one-dimensional cyclic read plots for
+// 8/16/32 clients.
+func Figure9(c Config) ([]Figure, error) {
+	return c.cyclicFigures("fig9", "One-Dimensional Cyclic Read", false,
+		[]simcluster.Method{simcluster.MethodMultiple, simcluster.MethodSieve, simcluster.MethodList},
+		[]int{8, 16, 32})
+}
+
+// Figure10 regenerates the one-dimensional cyclic write plots (the
+// paper omits data sieving for parallel writes, §4.2.1).
+func Figure10(c Config) ([]Figure, error) {
+	return c.cyclicFigures("fig10", "One-Dimensional Cyclic Write", true,
+		[]simcluster.Method{simcluster.MethodMultiple, simcluster.MethodList},
+		[]int{8, 16, 32})
+}
+
+func (c Config) cyclicFigures(id, title string, write bool, methods []simcluster.Method, clients []int) ([]Figure, error) {
+	var out []Figure
+	for _, nc := range clients {
+		nc := nc
+		series, err := c.artificialSeries(func(a int) (patterns.Pattern, error) {
+			return patterns.NewCyclic1D(nc, a, c.totalBytes())
+		}, write, methods)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Figure{
+			ID:     fmt.Sprintf("%s-%dclients", id, nc),
+			Title:  fmt.Sprintf("%s - %d clients", title, nc),
+			XLabel: "Number of Accesses (per client)",
+			YLabel: "Time (seconds)",
+			Series: series,
+		})
+	}
+	return out, nil
+}
+
+// Figure11 regenerates the block-block read plots for 4/9/16 clients.
+func Figure11(c Config) ([]Figure, error) {
+	return c.blockFigures("fig11", "Block-Block Read", false,
+		[]simcluster.Method{simcluster.MethodMultiple, simcluster.MethodSieve, simcluster.MethodList})
+}
+
+// Figure12 regenerates the block-block write plots for 4/9/16 clients.
+func Figure12(c Config) ([]Figure, error) {
+	return c.blockFigures("fig12", "Block-Block Write", true,
+		[]simcluster.Method{simcluster.MethodMultiple, simcluster.MethodList})
+}
+
+func (c Config) blockFigures(id, title string, write bool, methods []simcluster.Method) ([]Figure, error) {
+	var out []Figure
+	for _, nc := range []int{4, 9, 16} {
+		nc := nc
+		series, err := c.artificialSeries(func(a int) (patterns.Pattern, error) {
+			return patterns.NewBlockBlock(nc, a, c.totalBytes())
+		}, write, methods)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Figure{
+			ID:     fmt.Sprintf("%s-%dclients", id, nc),
+			Title:  fmt.Sprintf("%s - %d clients", title, nc),
+			XLabel: "Number of Accesses (per client)",
+			YLabel: "Time (seconds)",
+			Series: series,
+		})
+	}
+	return out, nil
+}
+
+// Figure15 regenerates the FLASH I/O bar chart: checkpoint write time
+// per method and client count.
+func Figure15(c Config) (Figure, error) {
+	p := c.params()
+	methods := []simcluster.Method{simcluster.MethodMultiple, simcluster.MethodSieve, simcluster.MethodList}
+	fig := Figure{
+		ID:     "fig15",
+		Title:  "FLASH I/O Benchmark (checkpoint write)",
+		XLabel: "Clients",
+		YLabel: "Time (seconds)",
+		Notes: []string{
+			"list I/O uses " + granName(c.FlashGranularity) + " entries (see DESIGN.md §3 and EXPERIMENTS.md)",
+			"data sieving writes serialized by barrier as in §4.3.1",
+		},
+	}
+	for _, m := range methods {
+		s := Series{Label: methodLabel(m)}
+		for _, nc := range c.flashClients() {
+			flash := patterns.DefaultFlash(nc)
+			opts := simcluster.MethodOptions{}
+			if m == simcluster.MethodList {
+				opts.Granularity = c.FlashGranularity
+			}
+			y := runPattern(p, flash, true, m, opts)
+			s.Points = append(s.Points, Point{X: float64(nc), Y: y})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+func granName(g simcluster.Granularity) string {
+	if g == simcluster.GranIntersect {
+		return "intersect-granularity"
+	}
+	return "file-region-granularity"
+}
+
+// Figure17 regenerates the tiled visualization bar chart: open, read,
+// and close time per method for 6 clients.
+func Figure17(c Config) (Figure, error) {
+	p := c.params()
+	tiled := patterns.DefaultTiled()
+	methods := []simcluster.Method{simcluster.MethodMultiple, simcluster.MethodSieve, simcluster.MethodList}
+	fig := Figure{
+		ID:     "fig17",
+		Title:  "Tiled Visualization I/O - 6 clients",
+		XLabel: "Phase (1=open, 2=read, 3=close)",
+		YLabel: "Time (seconds)",
+	}
+	// Open/close: one manager round trip per rank, concurrently.
+	mgrOnly := func() float64 {
+		w := simcluster.WithOpenClose(simcluster.Workload{
+			Name:       "tiled-openclose",
+			Params:     p,
+			RankStages: make([][]simcluster.Stage, tiled.Ranks()),
+		})
+		// The wrapper added open+close; halve for one phase.
+		return simcluster.Run(w).Duration.Seconds() / 2
+	}
+	oc := mgrOnly()
+	for _, m := range methods {
+		read := runPattern(p, tiled, false, m, simcluster.MethodOptions{})
+		fig.Series = append(fig.Series, Series{
+			Label: methodLabel(m),
+			Points: []Point{
+				{X: 1, Y: oc},
+				{X: 2, Y: read},
+				{X: 3, Y: oc},
+			},
+		})
+	}
+	return fig, nil
+}
+
+// RequestCountRow is one line of the request-arithmetic table
+// (§4.3.1 / §4.4.1), the paper's derived numbers.
+type RequestCountRow struct {
+	Workload string
+	Method   string
+	PerProc  int64
+}
+
+// RequestCounts reproduces the paper's request arithmetic exactly.
+func RequestCounts() []RequestCountRow {
+	p := simcluster.ChibaCity()
+	flash := patterns.DefaultFlash(4)
+	tiled := patterns.DefaultTiled()
+	rows := []RequestCountRow{}
+	add := func(workload string, pat patterns.Pattern, m simcluster.Method, opts simcluster.MethodOptions, ranks int) {
+		c := simcluster.CountWorkload(simcluster.BuildWorkload(p, pat, workload == "flash", m, opts))
+		rows = append(rows, RequestCountRow{
+			Workload: workload,
+			Method:   m.String() + optsSuffix(opts),
+			PerProc:  c.Batches / int64(ranks),
+		})
+	}
+	add("flash", flash, simcluster.MethodMultiple, simcluster.MethodOptions{}, 4)
+	add("flash", flash, simcluster.MethodList, simcluster.MethodOptions{Granularity: simcluster.GranFileRegions}, 4)
+	add("flash", flash, simcluster.MethodList, simcluster.MethodOptions{Granularity: simcluster.GranIntersect}, 4)
+	add("flash", flash, simcluster.MethodSieve, simcluster.MethodOptions{}, 4)
+	add("tiled", tiled, simcluster.MethodMultiple, simcluster.MethodOptions{}, 6)
+	add("tiled", tiled, simcluster.MethodList, simcluster.MethodOptions{}, 6)
+	add("tiled", tiled, simcluster.MethodSieve, simcluster.MethodOptions{}, 6)
+	return rows
+}
+
+func optsSuffix(opts simcluster.MethodOptions) string {
+	if opts.Granularity == simcluster.GranIntersect {
+		return "(intersect)"
+	}
+	return ""
+}
+
+// Table renders a figure as an aligned text table: one row per x
+// value, one column per series.
+func (f Figure) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s [%s]\n", f.Title, f.ID)
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "# note: %s\n", n)
+	}
+	// Collect x values.
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, pt := range s.Points {
+			xs[pt.X] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	fmt.Fprintf(&b, "%-14s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %22s", s.Label)
+	}
+	b.WriteString("\n")
+	for _, x := range sorted {
+		fmt.Fprintf(&b, "%-14.0f", x)
+		for _, s := range f.Series {
+			y := lookup(s, x)
+			if y < 0 {
+				fmt.Fprintf(&b, " %22s", "-")
+			} else {
+				fmt.Fprintf(&b, " %22.3f", y)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// CSV renders a figure as comma-separated values.
+func (f Figure) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "x")
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, ",%s", s.Label)
+	}
+	b.WriteString("\n")
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, pt := range s.Points {
+			xs[pt.X] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+	for _, x := range sorted {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range f.Series {
+			y := lookup(s, x)
+			if y < 0 {
+				b.WriteString(",")
+			} else {
+				fmt.Fprintf(&b, ",%.4f", y)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func lookup(s Series, x float64) float64 {
+	for _, pt := range s.Points {
+		if pt.X == x {
+			return pt.Y
+		}
+	}
+	return -1
+}
+
+// SeriesByLabel finds a series in a figure.
+func (f Figure) SeriesByLabel(label string) (Series, bool) {
+	for _, s := range f.Series {
+		if s.Label == label {
+			return s, true
+		}
+	}
+	return Series{}, false
+}

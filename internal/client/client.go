@@ -1,0 +1,468 @@
+// Package client implements the PVFS client library: the code an
+// application links against to open files and perform contiguous and
+// noncontiguous I/O against the manager and I/O daemons.
+//
+// Three noncontiguous access methods are provided, matching §3 of the
+// paper:
+//
+//   - Multiple I/O (§3.1): one contiguous PVFS request per file region.
+//   - Data sieving I/O (§3.2): a client-side buffer covers many regions
+//     per contiguous request; writes are read-modify-write.
+//   - List I/O (§3.3): up to 64 file regions per request in trailing
+//     data (ReadList/WriteList, the pvfs_read_list interface).
+//
+// A fourth, strided descriptors (ReadStrided/WriteStrided), implements
+// the paper's §5 future work: datatype-style descriptions that remove
+// the linear region-to-request relationship.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"pvfs/internal/ioseg"
+	"pvfs/internal/pvfsnet"
+	"pvfs/internal/striping"
+	"pvfs/internal/wire"
+)
+
+// Counters tracks client-side request accounting, used by benchmarks
+// and tests to verify the request arithmetic of the paper (§4.3.1:
+// 983,040 vs 30 vs 1 requests per process).
+type Counters struct {
+	Requests     atomic.Int64 // I/O requests sent to I/O daemons
+	ListRequests atomic.Int64 // list I/O requests among Requests
+	MgrRequests  atomic.Int64 // metadata requests to the manager
+	BytesOut     atomic.Int64 // payload bytes sent (writes)
+	BytesIn      atomic.Int64 // payload bytes received (reads)
+	Retries      atomic.Int64 // transport-level retries (SetRetries)
+}
+
+// Snapshot returns a plain-value copy of the counters.
+func (c *Counters) Snapshot() CounterValues {
+	return CounterValues{
+		Requests:     c.Requests.Load(),
+		ListRequests: c.ListRequests.Load(),
+		MgrRequests:  c.MgrRequests.Load(),
+		BytesOut:     c.BytesOut.Load(),
+		BytesIn:      c.BytesIn.Load(),
+		Retries:      c.Retries.Load(),
+	}
+}
+
+// CounterValues is a point-in-time copy of Counters.
+type CounterValues struct {
+	Requests     int64
+	ListRequests int64
+	MgrRequests  int64
+	BytesOut     int64
+	BytesIn      int64
+	Retries      int64
+}
+
+// FS is a connection to a PVFS deployment (one manager, N I/O daemons).
+type FS struct {
+	mgrAddr string
+	mgr     *pvfsnet.Conn
+	pool    *pvfsnet.Pool
+	stats   Counters
+	retries atomic.Int32
+}
+
+// Connect dials the manager.
+func Connect(mgrAddr string) (*FS, error) {
+	c, err := pvfsnet.Dial(mgrAddr)
+	if err != nil {
+		return nil, err
+	}
+	return &FS{mgrAddr: mgrAddr, mgr: c, pool: pvfsnet.NewPool()}, nil
+}
+
+// Counters exposes the client request accounting.
+func (fs *FS) Counters() *Counters { return &fs.stats }
+
+// SetRetries enables transparent retry of I/O daemon calls that fail
+// at the transport level (broken or unreachable connection): each call
+// is attempted up to 1+n times, redialing through the pool between
+// attempts. Server-reported errors (bad request, missing handle) are
+// never retried. The original PVFS client had no retry — a died daemon
+// failed the job — so the default is 0; deployments that restart
+// daemons in place (see internal/fsck and the recovery tests) turn it
+// on. All PVFS data operations are idempotent (absolute offsets), so
+// retrying a possibly-applied write is safe.
+func (fs *FS) SetRetries(n int) {
+	if n < 0 {
+		n = 0
+	}
+	fs.retries.Store(int32(n))
+}
+
+// iodCall issues one request on the pooled connection for addr,
+// redialing and retrying on transport failures when retries are
+// enabled.
+func (fs *FS) iodCall(addr string, msg wire.Message) (wire.Message, error) {
+	attempts := 1 + int(fs.retries.Load())
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			fs.stats.Retries.Add(1)
+		}
+		conn, err := fs.pool.Get(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, err := conn.Call(msg)
+		if err == nil {
+			return resp, nil
+		}
+		var se *wire.StatusError
+		if errors.As(err, &se) {
+			return resp, err // the server answered; retrying cannot help
+		}
+		fs.pool.Discard(addr)
+		lastErr = err
+	}
+	return wire.Message{}, lastErr
+}
+
+// Close releases all connections.
+func (fs *FS) Close() error {
+	err := fs.mgr.Close()
+	if perr := fs.pool.Close(); err == nil {
+		err = perr
+	}
+	return err
+}
+
+func (fs *FS) mgrCall(t wire.MsgType, handle uint64, body []byte) (wire.Message, error) {
+	fs.stats.MgrRequests.Add(1)
+	return fs.mgr.Call(wire.Message{Header: wire.Header{Type: t, Handle: handle}, Body: body})
+}
+
+// Create creates a file with the given striping (zero values select
+// manager defaults) and opens it.
+func (fs *FS) Create(name string, cfg striping.Config) (*File, error) {
+	req := wire.CreateReq{Name: name, Striping: cfg}
+	resp, err := fs.mgrCall(wire.TCreate, 0, req.Marshal())
+	if err != nil {
+		return nil, fmt.Errorf("create %q: %w", name, err)
+	}
+	return fs.fileFromInfo(name, resp.Body)
+}
+
+// Open opens an existing file.
+func (fs *FS) Open(name string) (*File, error) {
+	req := wire.NameReq{Name: name}
+	resp, err := fs.mgrCall(wire.TOpen, 0, req.Marshal())
+	if err != nil {
+		return nil, fmt.Errorf("open %q: %w", name, err)
+	}
+	return fs.fileFromInfo(name, resp.Body)
+}
+
+func (fs *FS) fileFromInfo(name string, body []byte) (*File, error) {
+	var info wire.FileInfo
+	if err := info.Unmarshal(body); err != nil {
+		return nil, err
+	}
+	if err := info.Striping.Validate(); err != nil {
+		return nil, err
+	}
+	if len(info.IODAddrs) != info.Striping.PCount {
+		return nil, fmt.Errorf("pvfs: manager returned %d iods for pcount %d",
+			len(info.IODAddrs), info.Striping.PCount)
+	}
+	return &File{fs: fs, name: name, info: info}, nil
+}
+
+// Remove deletes a file: stripe data at every I/O daemon, then the
+// manager metadata.
+func (fs *FS) Remove(name string) error {
+	f, err := fs.Open(name)
+	if err != nil {
+		return err
+	}
+	for _, addr := range f.info.IODAddrs {
+		conn, err := fs.pool.Get(addr)
+		if err != nil {
+			return err
+		}
+		if _, err := conn.Call(wire.Message{Header: wire.Header{Type: wire.TRemove, Handle: f.info.Handle}}); err != nil {
+			return fmt.Errorf("remove %q at %s: %w", name, addr, err)
+		}
+	}
+	req := wire.NameReq{Name: name}
+	_, err = fs.mgrCall(wire.TRemove, 0, req.Marshal())
+	return err
+}
+
+// List returns all file names known to the manager.
+func (fs *FS) List() ([]string, error) {
+	resp, err := fs.mgrCall(wire.TListDir, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	var ld wire.ListDirResp
+	if err := ld.Unmarshal(resp.Body); err != nil {
+		return nil, err
+	}
+	return ld.Names, nil
+}
+
+// ServerStats fetches request accounting from every I/O daemon serving
+// file f, summed, plus the per-server breakdown.
+func (fs *FS) ServerStats(f *File) (wire.ServerStats, []wire.ServerStats, error) {
+	per := make([]wire.ServerStats, len(f.info.IODAddrs))
+	var total wire.ServerStats
+	for i, addr := range f.info.IODAddrs {
+		conn, err := fs.pool.Get(addr)
+		if err != nil {
+			return total, per, err
+		}
+		resp, err := conn.Call(wire.Message{Header: wire.Header{Type: wire.TServerStats}})
+		if err != nil {
+			return total, per, err
+		}
+		if err := per[i].Unmarshal(resp.Body); err != nil {
+			return total, per, err
+		}
+		total.Add(per[i])
+	}
+	return total, per, nil
+}
+
+// File is an open PVFS file.
+type File struct {
+	fs   *FS
+	name string
+	info wire.FileInfo
+
+	mu         sync.Mutex
+	maxWritten int64
+}
+
+// Name returns the file's name.
+func (f *File) Name() string { return f.name }
+
+// Handle returns the manager-assigned handle.
+func (f *File) Handle() uint64 { return f.info.Handle }
+
+// Striping returns the file's striping configuration.
+func (f *File) Striping() striping.Config { return f.info.Striping }
+
+// Servers returns the addresses of the I/O daemons holding the file's
+// stripes, in stripe order.
+func (f *File) Servers() []string { return append([]string(nil), f.info.IODAddrs...) }
+
+// RecordedSize returns the logical size the manager recorded at the
+// last Close. The authoritative size comes from Size(), which asks the
+// I/O daemons; the two can disagree when a writer crashed before
+// closing (see internal/fsck).
+func (f *File) RecordedSize() int64 { return f.info.Size }
+
+// call issues one request to relative server rel, honoring the FS
+// retry policy.
+func (f *File) call(rel int, msg wire.Message) (wire.Message, error) {
+	return f.fs.iodCall(f.info.IODAddrs[rel], msg)
+}
+
+// Size queries every I/O daemon for its stripe size and derives the
+// logical file size, as PVFS does (the manager does not see I/O).
+func (f *File) Size() (int64, error) {
+	phys := make([]int64, f.info.Striping.PCount)
+	for rel := range phys {
+		resp, err := f.call(rel, wire.Message{Header: wire.Header{Type: wire.TStat, Handle: f.info.Handle}})
+		if err != nil {
+			return 0, err
+		}
+		var sr wire.SizeResp
+		if err := sr.Unmarshal(resp.Body); err != nil {
+			return 0, err
+		}
+		phys[rel] = sr.Size
+	}
+	return f.info.Striping.FileSizeFromStripes(phys), nil
+}
+
+// Close reports the logical high-water mark to the manager and
+// releases the handle. Pooled connections stay open for other files.
+func (f *File) Close() error {
+	f.mu.Lock()
+	hw := f.maxWritten
+	f.mu.Unlock()
+	if hw > 0 {
+		req := wire.SetSizeReq{Handle: f.info.Handle, Size: hw}
+		if _, err := f.fs.mgrCall(wire.TSetSize, f.info.Handle, req.Marshal()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *File) noteWritten(end int64) {
+	f.mu.Lock()
+	if end > f.maxWritten {
+		f.maxWritten = end
+	}
+	f.mu.Unlock()
+}
+
+// serverJob is the per-server slice of one logical operation: physical
+// regions in logical order plus the stream positions their bytes map to.
+type serverJob struct {
+	rel        int
+	phys       ioseg.List
+	streamPos  []int64 // stream offset of each region's first byte
+	totalBytes int64
+}
+
+// buildJobs splits logical file regions across servers, tracking each
+// piece's position in the packed stream (file-list order).
+func (f *File) buildJobs(file ioseg.List) []*serverJob {
+	cfg := f.info.Striping
+	jobs := make(map[int]*serverJob)
+	var stream int64
+	for _, s := range file {
+		for _, p := range cfg.Split(s) {
+			j := jobs[p.Server]
+			if j == nil {
+				j = &serverJob{rel: p.Server}
+				jobs[p.Server] = j
+			}
+			j.phys = append(j.phys, p.Phys)
+			j.streamPos = append(j.streamPos, stream+(p.Logical.Offset-s.Offset))
+			j.totalBytes += p.Phys.Length
+		}
+		stream += s.Length
+	}
+	out := make([]*serverJob, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].rel < out[k].rel })
+	return out
+}
+
+// parallel runs fn for every job in its own goroutine (one per server,
+// as the PVFS library fans out) and returns the first error.
+func parallel(jobs []*serverJob, fn func(*serverJob) error) error {
+	if len(jobs) == 1 {
+		return fn(jobs[0])
+	}
+	errs := make(chan error, len(jobs))
+	for _, j := range jobs {
+		go func(j *serverJob) { errs <- fn(j) }(j)
+	}
+	var first error
+	for range jobs {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// readContig reads one contiguous logical extent into p (a single PVFS
+// read: one request per touched server, issued in parallel).
+func (f *File) readContig(p []byte, off int64) error {
+	if len(p) == 0 {
+		return nil
+	}
+	jobs := f.buildJobs(ioseg.List{{Offset: off, Length: int64(len(p))}})
+	return parallel(jobs, func(j *serverJob) error {
+		// A contiguous logical extent is a contiguous physical extent
+		// on each server; issue one read and scatter the pieces.
+		span, _ := j.phys.Span()
+		req := wire.ReadReq{Offset: span.Offset, Length: span.Length}
+		f.fs.stats.Requests.Add(1)
+		resp, err := f.call(j.rel, wire.Message{
+			Header: wire.Header{Type: wire.TRead, Handle: f.info.Handle},
+			Body:   req.Marshal(),
+		})
+		if err != nil {
+			return err
+		}
+		if int64(len(resp.Body)) != span.Length {
+			return fmt.Errorf("pvfs: short read from server %d: %d of %d", j.rel, len(resp.Body), span.Length)
+		}
+		f.fs.stats.BytesIn.Add(span.Length)
+		for i, ph := range j.phys {
+			copy(p[j.streamPos[i]:j.streamPos[i]+ph.Length], resp.Body[ph.Offset-span.Offset:])
+		}
+		return nil
+	})
+}
+
+// writeContig writes one contiguous logical extent from p.
+func (f *File) writeContig(p []byte, off int64) error {
+	if len(p) == 0 {
+		return nil
+	}
+	jobs := f.buildJobs(ioseg.List{{Offset: off, Length: int64(len(p))}})
+	err := parallel(jobs, func(j *serverJob) error {
+		span, _ := j.phys.Span()
+		data := make([]byte, span.Length)
+		for i, ph := range j.phys {
+			copy(data[ph.Offset-span.Offset:], p[j.streamPos[i]:j.streamPos[i]+ph.Length])
+		}
+		req := wire.WriteReq{Offset: span.Offset, Data: data}
+		f.fs.stats.Requests.Add(1)
+		f.fs.stats.BytesOut.Add(span.Length)
+		_, err := f.call(j.rel, wire.Message{
+			Header: wire.Header{Type: wire.TWrite, Handle: f.info.Handle},
+			Body:   req.Marshal(),
+		})
+		return err
+	})
+	if err == nil {
+		f.noteWritten(off + int64(len(p)))
+	}
+	return err
+}
+
+// ReadAt implements contiguous reads (io.ReaderAt semantics against
+// the logical file; holes read as zeros).
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, errors.New("pvfs: negative offset")
+	}
+	if err := f.readContig(p, off); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// WriteAt implements contiguous writes.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, errors.New("pvfs: negative offset")
+	}
+	if err := f.writeContig(p, off); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Truncate sets the logical file size: each stripe file is cut to the
+// physical size implied by the logical size.
+func (f *File) Truncate(size int64) error {
+	cfg := f.info.Striping
+	for rel := 0; rel < cfg.PCount; rel++ {
+		phys := cfg.PhysPrefix(rel, size)
+		req := wire.TruncateReq{Size: phys}
+		if _, err := f.call(rel, wire.Message{
+			Header: wire.Header{Type: wire.TTruncate, Handle: f.info.Handle},
+			Body:   req.Marshal(),
+		}); err != nil {
+			return err
+		}
+	}
+	f.mu.Lock()
+	f.maxWritten = size
+	f.mu.Unlock()
+	return nil
+}

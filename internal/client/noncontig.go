@@ -1,0 +1,354 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+
+	"pvfs/internal/ioseg"
+	"pvfs/internal/memio"
+	"pvfs/internal/wire"
+)
+
+// Granularity selects how list I/O entries are built from the memory
+// and file region lists (DESIGN.md §3).
+type Granularity int
+
+const (
+	// GranularityFileRegions builds one entry per contiguous file
+	// region, the minimal entry count (§4.3.1's "list I/O can reduce
+	// the amount of I/O requests to 30 per processor").
+	GranularityFileRegions Granularity = iota
+	// GranularityIntersect builds one entry per (memory ∩ file) piece,
+	// the max-fragmentation behaviour consistent with the paper's
+	// measured FLASH results (983,040 entries per processor).
+	GranularityIntersect
+)
+
+func (g Granularity) String() string {
+	switch g {
+	case GranularityFileRegions:
+		return "file-regions"
+	case GranularityIntersect:
+		return "intersect"
+	default:
+		return fmt.Sprintf("granularity(%d)", int(g))
+	}
+}
+
+// ListOptions tunes list I/O.
+type ListOptions struct {
+	// Granularity of entry construction; default GranularityFileRegions.
+	Granularity Granularity
+	// MaxRegions per request; 0 selects wire.MaxRegionsPerRequest (64).
+	// Values above the wire limit are rejected by the protocol layer.
+	MaxRegions int
+}
+
+func (o ListOptions) maxRegions() int {
+	if o.MaxRegions <= 0 {
+		return wire.MaxRegionsPerRequest
+	}
+	return o.MaxRegions
+}
+
+// checkLists validates a mem/file pair.
+func checkLists(arena []byte, mem, file ioseg.List) error {
+	if err := mem.Validate(); err != nil {
+		return fmt.Errorf("pvfs: memory list: %w", err)
+	}
+	if err := file.Validate(); err != nil {
+		return fmt.Errorf("pvfs: file list: %w", err)
+	}
+	if mem.TotalLength() != file.TotalLength() {
+		return fmt.Errorf("pvfs: memory list covers %d bytes, file list %d",
+			mem.TotalLength(), file.TotalLength())
+	}
+	for i, s := range mem {
+		if s.End() > int64(len(arena)) {
+			return fmt.Errorf("pvfs: memory region %d (%v) outside buffer of %d bytes", i, s, len(arena))
+		}
+	}
+	return nil
+}
+
+// listEntries builds the file-space entry list in stream order for the
+// chosen granularity.
+func listEntries(mem, file ioseg.List, g Granularity) (ioseg.List, error) {
+	if g == GranularityFileRegions {
+		return file, nil
+	}
+	pairs, err := memio.Match(mem, file)
+	if err != nil {
+		return nil, err
+	}
+	entries := make(ioseg.List, len(pairs))
+	for i, p := range pairs {
+		entries[i] = p.File
+	}
+	return entries, nil
+}
+
+// --- multiple I/O (§3.1) ---
+
+// ReadMultiple performs the noncontiguous read the traditional way:
+// one contiguous PVFS request per piece that is contiguous in both
+// memory and file, since the classic read interface takes one buffer
+// pointer and one file offset per call. For FLASH-like patterns with
+// 8-byte memory pieces this is the paper's 983,040 requests per
+// process (§4.3.1).
+func (f *File) ReadMultiple(arena []byte, mem, file ioseg.List) error {
+	if err := checkLists(arena, mem, file); err != nil {
+		return err
+	}
+	pairs, err := memio.Match(mem, file)
+	if err != nil {
+		return err
+	}
+	for _, pr := range pairs {
+		if err := f.readContig(arena[pr.Mem.Offset:pr.Mem.End()], pr.File.Offset); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteMultiple performs the noncontiguous write with one contiguous
+// PVFS request per doubly-contiguous piece.
+func (f *File) WriteMultiple(arena []byte, mem, file ioseg.List) error {
+	if err := checkLists(arena, mem, file); err != nil {
+		return err
+	}
+	pairs, err := memio.Match(mem, file)
+	if err != nil {
+		return err
+	}
+	for _, pr := range pairs {
+		if err := f.writeContig(arena[pr.Mem.Offset:pr.Mem.End()], pr.File.Offset); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- list I/O (§3.3) ---
+
+// ReadList performs the noncontiguous read via list I/O. As in the
+// paper (§3.3), a logical request describing more than 64 file regions
+// is broken into several list requests of at most 64 entries; each
+// list request fans out to the I/O servers holding its pieces in
+// parallel, and successive list requests are issued in sequence.
+func (f *File) ReadList(arena []byte, mem, file ioseg.List, opts ListOptions) error {
+	if err := checkLists(arena, mem, file); err != nil {
+		return err
+	}
+	entries, err := listEntries(mem, file, opts.Granularity)
+	if err != nil {
+		return err
+	}
+	stream := make([]byte, file.TotalLength())
+	var base int64
+	for _, batch := range entries.SplitCount(opts.maxRegions()) {
+		jobs := f.buildJobs(batch)
+		batchBase := base
+		err := parallel(jobs, func(j *serverJob) error {
+			// A server's share of one 64-entry request stays within
+			// the wire limit unless entries straddle many stripes;
+			// sub-batch defensively.
+			for start := 0; start < len(j.phys); start += wire.MaxRegionsPerRequest {
+				end := start + wire.MaxRegionsPerRequest
+				if end > len(j.phys) {
+					end = len(j.phys)
+				}
+				sub := j.phys[start:end]
+				body, err := (&wire.ListReq{Regions: sub}).Marshal()
+				if err != nil {
+					return err
+				}
+				f.fs.stats.Requests.Add(1)
+				f.fs.stats.ListRequests.Add(1)
+				resp, err := f.call(j.rel, wire.Message{
+					Header: wire.Header{Type: wire.TReadList, Handle: f.info.Handle},
+					Body:   body,
+				})
+				if err != nil {
+					return err
+				}
+				want := ioseg.List(sub).TotalLength()
+				if int64(len(resp.Body)) != want {
+					return fmt.Errorf("pvfs: list read returned %d bytes, want %d", len(resp.Body), want)
+				}
+				f.fs.stats.BytesIn.Add(want)
+				var rpos int64
+				for i, ph := range sub {
+					sp := batchBase + j.streamPos[start+i]
+					copy(stream[sp:sp+ph.Length], resp.Body[rpos:rpos+ph.Length])
+					rpos += ph.Length
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		base += ioseg.List(batch).TotalLength()
+	}
+	return memio.Scatter(arena, mem, stream)
+}
+
+// WriteList performs the noncontiguous write via list I/O, with the
+// same global 64-entry batching as ReadList.
+func (f *File) WriteList(arena []byte, mem, file ioseg.List, opts ListOptions) error {
+	if err := checkLists(arena, mem, file); err != nil {
+		return err
+	}
+	entries, err := listEntries(mem, file, opts.Granularity)
+	if err != nil {
+		return err
+	}
+	stream, err := memio.Gather(arena, mem)
+	if err != nil {
+		return err
+	}
+	var base int64
+	for _, batch := range entries.SplitCount(opts.maxRegions()) {
+		jobs := f.buildJobs(batch)
+		batchBase := base
+		err := parallel(jobs, func(j *serverJob) error {
+			for start := 0; start < len(j.phys); start += wire.MaxRegionsPerRequest {
+				end := start + wire.MaxRegionsPerRequest
+				if end > len(j.phys) {
+					end = len(j.phys)
+				}
+				sub := j.phys[start:end]
+				data := make([]byte, 0, ioseg.List(sub).TotalLength())
+				for i, ph := range sub {
+					sp := batchBase + j.streamPos[start+i]
+					data = append(data, stream[sp:sp+ph.Length]...)
+				}
+				body, err := (&wire.ListReq{Regions: sub, Data: data}).Marshal()
+				if err != nil {
+					return err
+				}
+				f.fs.stats.Requests.Add(1)
+				f.fs.stats.ListRequests.Add(1)
+				f.fs.stats.BytesOut.Add(int64(len(data)))
+				if _, err := f.call(j.rel, wire.Message{
+					Header: wire.Header{Type: wire.TWriteList, Handle: f.info.Handle},
+					Body:   body,
+				}); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		base += ioseg.List(batch).TotalLength()
+	}
+	if span, ok := file.Span(); ok {
+		f.noteWritten(span.End())
+	}
+	return nil
+}
+
+// --- strided descriptors (§5 future work) ---
+
+// stridedServerLayout computes, per relative server, the order and
+// stream positions of the pieces the server will produce for a strided
+// pattern. Stream order is logical order (block 0 first).
+func (f *File) stridedServerLayout(start, stride, blockLen, count int64) ([]*serverJob, error) {
+	if blockLen < 0 || count < 0 || stride < 0 {
+		return nil, errors.New("pvfs: negative strided parameter")
+	}
+	file := make(ioseg.List, 0, count)
+	for i := int64(0); i < count; i++ {
+		file = append(file, ioseg.Segment{Offset: start + i*stride, Length: blockLen})
+	}
+	return f.buildJobs(file), nil
+}
+
+// ReadStrided reads a vector pattern (count blocks of blockLen every
+// stride bytes from start) using one descriptor request per touched
+// server, independent of count — the paper's proposed fix for list
+// I/O's linear request growth.
+func (f *File) ReadStrided(arena []byte, mem ioseg.List, start, stride, blockLen, count int64) error {
+	if mem.TotalLength() != blockLen*count {
+		return fmt.Errorf("pvfs: memory list covers %d bytes, pattern %d", mem.TotalLength(), blockLen*count)
+	}
+	jobs, err := f.stridedServerLayout(start, stride, blockLen, count)
+	if err != nil {
+		return err
+	}
+	stream := make([]byte, blockLen*count)
+	err = parallel(jobs, func(j *serverJob) error {
+		req := wire.StridedReq{
+			Start: start, Stride: stride, BlockLen: blockLen, Count: count,
+			Striping: f.info.Striping, RelIndex: j.rel,
+		}
+		f.fs.stats.Requests.Add(1)
+		f.fs.stats.ListRequests.Add(1)
+		resp, err := f.call(j.rel, wire.Message{
+			Header: wire.Header{Type: wire.TReadStrided, Handle: f.info.Handle},
+			Body:   req.Marshal(),
+		})
+		if err != nil {
+			return err
+		}
+		if int64(len(resp.Body)) != j.totalBytes {
+			return fmt.Errorf("pvfs: strided read returned %d bytes, want %d", len(resp.Body), j.totalBytes)
+		}
+		f.fs.stats.BytesIn.Add(j.totalBytes)
+		var rpos int64
+		for i, ph := range j.phys {
+			sp := j.streamPos[i]
+			copy(stream[sp:sp+ph.Length], resp.Body[rpos:rpos+ph.Length])
+			rpos += ph.Length
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return memio.Scatter(arena, mem, stream)
+}
+
+// WriteStrided writes a vector pattern using one descriptor request
+// per touched server.
+func (f *File) WriteStrided(arena []byte, mem ioseg.List, start, stride, blockLen, count int64) error {
+	if mem.TotalLength() != blockLen*count {
+		return fmt.Errorf("pvfs: memory list covers %d bytes, pattern %d", mem.TotalLength(), blockLen*count)
+	}
+	jobs, err := f.stridedServerLayout(start, stride, blockLen, count)
+	if err != nil {
+		return err
+	}
+	stream, err := memio.Gather(arena, mem)
+	if err != nil {
+		return err
+	}
+	err = parallel(jobs, func(j *serverJob) error {
+		data := make([]byte, 0, j.totalBytes)
+		for i, ph := range j.phys {
+			sp := j.streamPos[i]
+			data = append(data, stream[sp:sp+ph.Length]...)
+		}
+		req := wire.StridedReq{
+			Start: start, Stride: stride, BlockLen: blockLen, Count: count,
+			Striping: f.info.Striping, RelIndex: j.rel, Data: data,
+		}
+		f.fs.stats.Requests.Add(1)
+		f.fs.stats.ListRequests.Add(1)
+		f.fs.stats.BytesOut.Add(int64(len(data)))
+		_, err := f.call(j.rel, wire.Message{
+			Header: wire.Header{Type: wire.TWriteStrided, Handle: f.info.Handle},
+			Body:   req.Marshal(),
+		})
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	f.noteWritten(start + (count-1)*stride + blockLen)
+	return nil
+}

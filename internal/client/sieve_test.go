@@ -1,0 +1,87 @@
+package client_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pvfs/internal/client"
+	"pvfs/internal/ioseg"
+)
+
+func seg(off, n int64) ioseg.Segment { return ioseg.Segment{Offset: off, Length: n} }
+
+func TestSieveWindowsSingleWindow(t *testing.T) {
+	file := ioseg.List{seg(100, 10), seg(200, 10), seg(300, 10)}
+	w := client.SieveWindows(file, 1<<20)
+	if len(w) != 1 || w[0] != seg(100, 210) {
+		t.Fatalf("windows = %v", w)
+	}
+}
+
+func TestSieveWindowsSplitsAtBuffer(t *testing.T) {
+	file := ioseg.List{seg(0, 50), seg(60, 50)}
+	w := client.SieveWindows(file, 64)
+	// First window covers [0, 64) (cuts the second region), second
+	// covers the remainder [64, 110).
+	if len(w) != 2 {
+		t.Fatalf("windows = %v", w)
+	}
+	if w[0] != seg(0, 64) || w[1] != seg(64, 46) {
+		t.Fatalf("windows = %v", w)
+	}
+}
+
+func TestSieveWindowsSkipEmptyRuns(t *testing.T) {
+	// Two distant clusters: no window may cover the dead middle.
+	file := ioseg.List{seg(0, 10), seg(5, 10), seg(1<<30, 10)}
+	w := client.SieveWindows(file, 1024)
+	if len(w) != 2 {
+		t.Fatalf("windows = %v", w)
+	}
+	if w[0] != seg(0, 15) {
+		t.Fatalf("first window = %v", w[0])
+	}
+	if w[1] != seg(1<<30, 10) {
+		t.Fatalf("second window = %v", w[1])
+	}
+}
+
+func TestSieveWindowsEmpty(t *testing.T) {
+	if w := client.SieveWindows(nil, 1024); len(w) != 0 {
+		t.Fatalf("windows of nothing = %v", w)
+	}
+}
+
+// Property: windows are sorted, non-overlapping, each at most bufSize,
+// and every region byte is covered by exactly one window.
+func TestSieveWindowsProperty(t *testing.T) {
+	f := func(seed int64, bufRaw uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		buf := int64(bufRaw%2000) + 16
+		var file ioseg.List
+		pos := int64(r.Intn(100))
+		for i := 0; i < 30; i++ {
+			n := int64(1 + r.Intn(300))
+			file = append(file, seg(pos, n))
+			pos += n + int64(r.Intn(3000))
+		}
+		windows := client.SieveWindows(file, buf)
+		var prevEnd int64 = -1
+		var covered int64
+		for _, w := range windows {
+			if w.Length <= 0 || w.Length > buf {
+				return false
+			}
+			if w.Offset < prevEnd {
+				return false
+			}
+			prevEnd = w.End()
+			covered += file.Clip(w).TotalLength()
+		}
+		return covered == file.TotalLength()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

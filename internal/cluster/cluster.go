@@ -1,0 +1,181 @@
+// Package cluster provides an in-process PVFS deployment: one manager
+// daemon and N I/O daemons on loopback TCP, plus an MPI-style barrier
+// for coordinating client "processes".
+//
+// Tests, examples, and the real-mode benchmarks use this harness the
+// way the paper used Chiba City: start the daemons, connect clients,
+// run the workload, read back the server request accounting.
+package cluster
+
+import (
+	"fmt"
+	"log"
+	"path/filepath"
+	"sync"
+
+	"pvfs/internal/client"
+	"pvfs/internal/iod"
+	"pvfs/internal/mgr"
+	"pvfs/internal/store"
+	"pvfs/internal/wire"
+)
+
+// Options configures a cluster.
+type Options struct {
+	// NumIOD is the number of I/O daemons (the paper uses 8).
+	NumIOD int
+	// DataDir, when non-empty, backs each daemon with a directory
+	// store under DataDir/iodN; empty selects in-memory stores.
+	DataDir string
+	// Logger receives daemon diagnostics; nil silences them.
+	Logger *log.Logger
+}
+
+// Cluster is a running in-process deployment.
+type Cluster struct {
+	Mgr  *mgr.Server
+	IODs []*iod.Server
+}
+
+// Start launches the daemons on ephemeral loopback ports.
+func Start(opts Options) (*Cluster, error) {
+	if opts.NumIOD <= 0 {
+		opts.NumIOD = 8
+	}
+	c := &Cluster{}
+	addrs := make([]string, 0, opts.NumIOD)
+	for i := 0; i < opts.NumIOD; i++ {
+		var st store.Store
+		if opts.DataDir != "" {
+			ds, err := store.NewDir(filepath.Join(opts.DataDir, fmt.Sprintf("iod%d", i)))
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			st = ds
+		} else {
+			st = store.NewMem()
+		}
+		srv, err := iod.Listen("127.0.0.1:0", st, opts.Logger)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.IODs = append(c.IODs, srv)
+		addrs = append(addrs, srv.Addr())
+	}
+	m, err := mgr.Listen("127.0.0.1:0", addrs, opts.Logger)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.Mgr = m
+	return c, nil
+}
+
+// MgrAddr returns the manager's address.
+func (c *Cluster) MgrAddr() string { return c.Mgr.Addr() }
+
+// IODAddrs returns the I/O daemon addresses in stripe order.
+func (c *Cluster) IODAddrs() []string {
+	out := make([]string, len(c.IODs))
+	for i, s := range c.IODs {
+		out[i] = s.Addr()
+	}
+	return out
+}
+
+// Connect opens a client session against the cluster. Each simulated
+// compute process should use its own session, as each PVFS client
+// process owns its connections.
+func (c *Cluster) Connect() (*client.FS, error) {
+	return client.Connect(c.MgrAddr())
+}
+
+// Stats snapshots each I/O daemon's request accounting.
+func (c *Cluster) Stats() []wire.ServerStats {
+	out := make([]wire.ServerStats, len(c.IODs))
+	for i, s := range c.IODs {
+		out[i] = s.Stats()
+	}
+	return out
+}
+
+// TotalStats sums the daemon accounting.
+func (c *Cluster) TotalStats() wire.ServerStats {
+	var total wire.ServerStats
+	for _, s := range c.Stats() {
+		total.Add(s)
+	}
+	return total
+}
+
+// Close stops every daemon.
+func (c *Cluster) Close() error {
+	var first error
+	if c.Mgr != nil {
+		first = c.Mgr.Close()
+	}
+	for _, s := range c.IODs {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Barrier is a reusable N-party synchronization barrier, the
+// equivalent of MPI_Barrier the paper uses to serialize data sieving
+// writes (§4.2.1, §4.3.1).
+type Barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	round uint64
+}
+
+// NewBarrier creates a barrier for n parties.
+func NewBarrier(n int) *Barrier {
+	if n <= 0 {
+		panic("cluster: barrier size must be positive")
+	}
+	b := &Barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks until n parties have called Wait, then releases them
+// all. The barrier is reusable across rounds.
+func (b *Barrier) Wait() {
+	b.mu.Lock()
+	round := b.round
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.round++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for round == b.round {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// RunRanks runs fn(rank) on nranks goroutines (one per simulated
+// compute process) and returns the first error.
+func RunRanks(nranks int, fn func(rank int) error) error {
+	errs := make(chan error, nranks)
+	for r := 0; r < nranks; r++ {
+		go func(rank int) { errs <- fn(rank) }(r)
+	}
+	var first error
+	for i := 0; i < nranks; i++ {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

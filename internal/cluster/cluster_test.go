@@ -1,0 +1,121 @@
+package cluster_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pvfs/internal/cluster"
+	"pvfs/internal/striping"
+)
+
+func TestStartDefaultsToEightIODs(t *testing.T) {
+	c, err := cluster.Start(cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if len(c.IODs) != 8 {
+		t.Fatalf("iods = %d, want 8 (the paper's configuration)", len(c.IODs))
+	}
+	if len(c.IODAddrs()) != 8 {
+		t.Fatalf("addrs = %v", c.IODAddrs())
+	}
+}
+
+func TestDirBackedCluster(t *testing.T) {
+	dir := t.TempDir()
+	c, err := cluster.Start(cluster.Options{NumIOD: 2, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fs, err := c.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	f, err := fs.Create("persist.dat", striping.Config{PCount: 2, StripeSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough data to reach both servers' stripe files.
+	if _, err := f.WriteAt(make([]byte, 200), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Stripe files must exist on disk under iod directories.
+	for _, sub := range []string{"iod0", "iod1"} {
+		matches, err := filepath.Glob(filepath.Join(dir, sub, "*.stripe"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(matches) == 0 {
+			t.Fatalf("no stripe files in %s", sub)
+		}
+	}
+}
+
+func TestTotalStatsAggregates(t *testing.T) {
+	c, err := cluster.Start(cluster.Options{NumIOD: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fs, err := c.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	f, err := fs.Create("agg.dat", striping.Config{PCount: 3, StripeSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(make([]byte, 160), 0); err != nil {
+		t.Fatal(err)
+	}
+	total := c.TotalStats()
+	if total.BytesWritten != 160 {
+		t.Fatalf("bytes written = %d, want 160", total.BytesWritten)
+	}
+	per := c.Stats()
+	var sum int64
+	for _, s := range per {
+		sum += s.BytesWritten
+	}
+	if sum != total.BytesWritten {
+		t.Fatalf("per-server sum %d != total %d", sum, total.BytesWritten)
+	}
+	// 160 bytes over 3 servers with 16-byte stripes: no server holds
+	// everything.
+	for i, s := range per {
+		if s.BytesWritten == 0 || s.BytesWritten == 160 {
+			t.Fatalf("server %d wrote %d bytes; striping broken", i, s.BytesWritten)
+		}
+	}
+}
+
+func TestRunRanksPropagatesError(t *testing.T) {
+	err := cluster.RunRanks(4, func(rank int) error {
+		if rank == 2 {
+			return errRank2
+		}
+		return nil
+	})
+	if err != errRank2 {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+var errRank2 = &rankError{}
+
+type rankError struct{}
+
+func (*rankError) Error() string { return "rank 2 failed" }
+
+func TestBarrierPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBarrier(0) did not panic")
+		}
+	}()
+	cluster.NewBarrier(0)
+}

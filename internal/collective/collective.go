@@ -1,0 +1,360 @@
+// Package collective implements two-phase collective I/O, the
+// companion optimization to data sieving in ROMIO (the paper's
+// reference [11], Thakur et al., "Data Sieving and Collective I/O in
+// ROMIO"). Where list I/O attacks noncontiguity per process, two-phase
+// I/O attacks it across processes: ranks exchange data so that each
+// aggregator performs one large contiguous file access over its "file
+// domain".
+//
+// The paper's workloads interleave ranks' data at fine grain (FLASH:
+// each 4 KiB file chunk belongs to one rank, neighbours to others), so
+// per-process accesses are noncontiguous while the union is perfectly
+// contiguous — the best case for two-phase I/O and the natural
+// extension of the paper's §5 outlook.
+//
+// The exchange phase substitutes Go channels/shared memory for MPI
+// all-to-all (the paper's runs used MPI on Chiba City); the I/O phase
+// uses the PVFS client library, falling back to list I/O when a file
+// domain's collected pieces do not tile contiguously.
+package collective
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"pvfs/internal/client"
+	"pvfs/internal/cluster"
+	"pvfs/internal/ioseg"
+	"pvfs/internal/memio"
+)
+
+// Group coordinates a fixed set of ranks performing collective
+// operations. All ranks must call each collective in the same order
+// (MPI semantics).
+type Group struct {
+	n       int
+	barrier *cluster.Barrier
+
+	mu    sync.Mutex
+	calls map[uint64]*callState
+	seq   []uint64 // per-rank next call sequence
+}
+
+// NewGroup creates a collective group of n ranks.
+func NewGroup(n int) *Group {
+	if n <= 0 {
+		panic("collective: group size must be positive")
+	}
+	return &Group{
+		n:       n,
+		barrier: cluster.NewBarrier(n),
+		calls:   make(map[uint64]*callState),
+		seq:     make([]uint64, n),
+	}
+}
+
+// piece is one unit of exchanged data.
+type piece struct {
+	file ioseg.Segment
+	data []byte // nil for read requests
+	rank int
+}
+
+type callState struct {
+	mu        sync.Mutex
+	spans     []ioseg.Segment // per-rank local spans
+	collected [][]piece       // per-aggregator inbound pieces
+	responses [][]piece       // per-rank read responses
+	errs      []error
+}
+
+// state fetches (or creates) the shared state for a rank's next call.
+func (g *Group) state(rank int) (*callState, uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	seq := g.seq[rank]
+	g.seq[rank]++
+	st, ok := g.calls[seq]
+	if !ok {
+		st = &callState{
+			spans:     make([]ioseg.Segment, g.n),
+			collected: make([][]piece, g.n),
+			responses: make([][]piece, g.n),
+			errs:      make([]error, g.n),
+		}
+		g.calls[seq] = st
+	}
+	return st, seq
+}
+
+func (g *Group) release(seq uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.calls, seq)
+}
+
+// domains partitions the global span into n near-equal contiguous
+// file domains (ROMIO's default partitioning).
+func domains(span ioseg.Segment, n int) []ioseg.Segment {
+	out := make([]ioseg.Segment, n)
+	chunk := span.Length / int64(n)
+	rem := span.Length % int64(n)
+	off := span.Offset
+	for i := 0; i < n; i++ {
+		l := chunk
+		if int64(i) < rem {
+			l++
+		}
+		out[i] = ioseg.Segment{Offset: off, Length: l}
+		off += l
+	}
+	return out
+}
+
+// domainFor locates the aggregator owning a file offset.
+func domainFor(ds []ioseg.Segment, off int64) int {
+	// Binary search over domain starts.
+	i := sort.Search(len(ds), func(i int) bool { return ds[i].End() > off })
+	if i == len(ds) {
+		return len(ds) - 1
+	}
+	return i
+}
+
+// globalSpan merges the per-rank spans (after the first barrier).
+func globalSpan(spans []ioseg.Segment) ioseg.Segment {
+	var out ioseg.Segment
+	first := true
+	for _, s := range spans {
+		if s.Empty() {
+			continue
+		}
+		if first {
+			out = s
+			first = false
+			continue
+		}
+		lo, hi := out.Offset, out.End()
+		if s.Offset < lo {
+			lo = s.Offset
+		}
+		if s.End() > hi {
+			hi = s.End()
+		}
+		out = ioseg.Segment{Offset: lo, Length: hi - lo}
+	}
+	return out
+}
+
+// WriteAll performs a collective noncontiguous write: every rank of
+// the group must call it concurrently with its own buffer and region
+// lists (MPI_File_write_all). Rank r acts as the aggregator for file
+// domain r.
+func (g *Group) WriteAll(rank int, f *client.File, arena []byte, mem, file ioseg.List) error {
+	st, seq := g.state(rank)
+
+	// Pair memory with file pieces and note the local span.
+	pairs, err := memio.Match(mem, file)
+	if err != nil {
+		return fmt.Errorf("collective: rank %d: %w", rank, err)
+	}
+	span, _ := file.Span()
+	st.spans[rank] = span
+	g.barrier.Wait()
+
+	gs := globalSpan(st.spans)
+	ds := domains(gs, g.n)
+
+	// Exchange phase: route each piece (splitting at domain
+	// boundaries) to its aggregator.
+	for _, pr := range pairs {
+		fileSeg, memOff := pr.File, pr.Mem.Offset
+		for !fileSeg.Empty() {
+			d := domainFor(ds, fileSeg.Offset)
+			take := fileSeg.Length
+			if end := ds[d].End(); fileSeg.Offset+take > end {
+				take = end - fileSeg.Offset
+			}
+			p := piece{
+				file: ioseg.Segment{Offset: fileSeg.Offset, Length: take},
+				data: arena[memOff : memOff+take],
+				rank: rank,
+			}
+			st.mu.Lock()
+			st.collected[d] = append(st.collected[d], p)
+			st.mu.Unlock()
+			fileSeg.Offset += take
+			fileSeg.Length -= take
+			memOff += take
+		}
+	}
+	g.barrier.Wait()
+
+	// I/O phase: this rank aggregates its domain.
+	st.errs[rank] = g.flushDomain(f, st.collected[rank])
+	g.barrier.Wait()
+
+	err = firstError(st.errs)
+	g.barrier.Wait() // everyone has read errs; safe to release
+	if rank == 0 {
+		g.release(seq)
+	}
+	return err
+}
+
+// flushDomain writes the collected pieces of one file domain: a single
+// contiguous write when they tile exactly, list I/O otherwise.
+func (g *Group) flushDomain(f *client.File, pieces []piece) error {
+	if len(pieces) == 0 {
+		return nil
+	}
+	sort.Slice(pieces, func(i, j int) bool { return pieces[i].file.Offset < pieces[j].file.Offset })
+	// Detect exact tiling (no holes, no overlaps).
+	contiguous := true
+	for i := 1; i < len(pieces); i++ {
+		if pieces[i].file.Offset != pieces[i-1].file.End() {
+			contiguous = false
+			break
+		}
+	}
+	if contiguous {
+		buf := make([]byte, 0, totalBytes(pieces))
+		for _, p := range pieces {
+			buf = append(buf, p.data...)
+		}
+		_, err := f.WriteAt(buf, pieces[0].file.Offset)
+		return err
+	}
+	// Holes: fall back to list I/O over the merged pieces.
+	var fileList ioseg.List
+	buf := make([]byte, 0, totalBytes(pieces))
+	for _, p := range pieces {
+		fileList = append(fileList, p.file)
+		buf = append(buf, p.data...)
+	}
+	memList := ioseg.List{{Offset: 0, Length: int64(len(buf))}}
+	return f.WriteList(buf, memList, fileList, client.ListOptions{})
+}
+
+// ReadAll performs a collective noncontiguous read
+// (MPI_File_read_all): aggregators read their domains contiguously
+// and distribute the pieces back to their owners.
+func (g *Group) ReadAll(rank int, f *client.File, arena []byte, mem, file ioseg.List) error {
+	st, seq := g.state(rank)
+
+	pairs, err := memio.Match(mem, file)
+	if err != nil {
+		return fmt.Errorf("collective: rank %d: %w", rank, err)
+	}
+	span, _ := file.Span()
+	st.spans[rank] = span
+	g.barrier.Wait()
+
+	gs := globalSpan(st.spans)
+	ds := domains(gs, g.n)
+
+	// Request phase: register the pieces this rank needs, split at
+	// domain boundaries (data nil marks a request).
+	type slot struct {
+		file   ioseg.Segment
+		memOff int64
+	}
+	var slots []slot
+	for _, pr := range pairs {
+		fileSeg, memOff := pr.File, pr.Mem.Offset
+		for !fileSeg.Empty() {
+			d := domainFor(ds, fileSeg.Offset)
+			take := fileSeg.Length
+			if end := ds[d].End(); fileSeg.Offset+take > end {
+				take = end - fileSeg.Offset
+			}
+			sl := slot{file: ioseg.Segment{Offset: fileSeg.Offset, Length: take}, memOff: memOff}
+			slots = append(slots, sl)
+			st.mu.Lock()
+			st.collected[d] = append(st.collected[d], piece{file: sl.file, rank: rank})
+			st.mu.Unlock()
+			fileSeg.Offset += take
+			fileSeg.Length -= take
+			memOff += take
+		}
+	}
+	g.barrier.Wait()
+
+	// I/O phase: aggregate this rank's domain with one contiguous
+	// read covering the requested union, then route responses.
+	st.errs[rank] = g.serveDomain(f, st, st.collected[rank])
+	g.barrier.Wait()
+
+	if err := firstError(st.errs); err != nil {
+		g.barrier.Wait()
+		if rank == 0 {
+			g.release(seq)
+		}
+		return err
+	}
+
+	// Scatter phase: place received pieces into the local arena.
+	byOffset := make(map[int64]slot, len(slots))
+	for _, sl := range slots {
+		byOffset[sl.file.Offset] = sl
+	}
+	for _, p := range st.responses[rank] {
+		sl, ok := byOffset[p.file.Offset]
+		if !ok || sl.file.Length != p.file.Length {
+			g.barrier.Wait()
+			return fmt.Errorf("collective: rank %d: unexpected response piece %v", rank, p.file)
+		}
+		copy(arena[sl.memOff:sl.memOff+p.file.Length], p.data)
+	}
+	g.barrier.Wait()
+	if rank == 0 {
+		g.release(seq)
+	}
+	return nil
+}
+
+// serveDomain reads the union of requested pieces in one contiguous
+// access (plus extraction) and queues responses to the owners.
+func (g *Group) serveDomain(f *client.File, st *callState, requests []piece) error {
+	if len(requests) == 0 {
+		return nil
+	}
+	sort.Slice(requests, func(i, j int) bool { return requests[i].file.Offset < requests[j].file.Offset })
+	lo := requests[0].file.Offset
+	hi := lo
+	for _, r := range requests {
+		if e := r.file.End(); e > hi {
+			hi = e
+		}
+	}
+	buf := make([]byte, hi-lo)
+	if _, err := f.ReadAt(buf, lo); err != nil {
+		return err
+	}
+	for _, r := range requests {
+		data := make([]byte, r.file.Length)
+		copy(data, buf[r.file.Offset-lo:r.file.End()-lo])
+		st.mu.Lock()
+		st.responses[r.rank] = append(st.responses[r.rank], piece{file: r.file, data: data})
+		st.mu.Unlock()
+	}
+	return nil
+}
+
+func totalBytes(ps []piece) int64 {
+	var n int64
+	for _, p := range ps {
+		n += p.file.Length
+	}
+	return n
+}
+
+func firstError(errs []error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

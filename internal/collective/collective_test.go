@@ -1,0 +1,309 @@
+package collective_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"pvfs/internal/client"
+	"pvfs/internal/cluster"
+	"pvfs/internal/collective"
+	"pvfs/internal/ioseg"
+	"pvfs/internal/patterns"
+	"pvfs/internal/striping"
+)
+
+func startCluster(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.Start(cluster.Options{NumIOD: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// runCollective drives a collective op with one goroutine per rank,
+// each with its own FS session.
+func runCollective(t *testing.T, c *cluster.Cluster, name string, ranks int,
+	fn func(rank int, g *collective.Group, f *client.File) error) {
+	t.Helper()
+	g := collective.NewGroup(ranks)
+	err := cluster.RunRanks(ranks, func(rank int) error {
+		fs, err := c.Connect()
+		if err != nil {
+			return err
+		}
+		defer fs.Close()
+		f, err := fs.Open(name)
+		if err != nil {
+			return err
+		}
+		return fn(rank, g, f)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectiveWriteInterleaved(t *testing.T) {
+	// 1-D cyclic interleave: per-rank accesses are noncontiguous but
+	// the union is contiguous — the two-phase best case. The file
+	// image must equal the interleave.
+	c := startCluster(t)
+	fs, err := c.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if _, err := fs.Create("coll.dat", striping.Config{PCount: 4, StripeSize: 128}); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		ranks     = 4
+		blockSize = 64
+		blocks    = 16
+	)
+	before := c.TotalStats()
+	runCollective(t, c, "coll.dat", ranks, func(rank int, g *collective.Group, f *client.File) error {
+		arena := bytes.Repeat([]byte{byte('A' + rank)}, blockSize*blocks)
+		var mem, file ioseg.List
+		for b := int64(0); b < blocks; b++ {
+			mem = append(mem, ioseg.Segment{Offset: b * blockSize, Length: blockSize})
+			file = append(file, ioseg.Segment{Offset: (b*ranks + int64(rank)) * blockSize, Length: blockSize})
+		}
+		return g.WriteAll(rank, f, arena, mem, file)
+	})
+	after := c.TotalStats()
+
+	// Two-phase: each aggregator issues ~1 contiguous write; with 4
+	// servers that is at most ranks * servers contiguous requests —
+	// far below the 64 list entries the same pattern needs.
+	if reqs := after.Requests - before.Requests; reqs > int64(ranks*4) {
+		t.Fatalf("collective write used %d requests, want <= %d", reqs, ranks*4)
+	}
+	if after.ListRequests != before.ListRequests {
+		t.Fatalf("contiguous union should not need list I/O")
+	}
+
+	fsv, err := c.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fsv.Close()
+	f, err := fsv.Open("coll.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, ranks*blocks*blockSize)
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		want := byte('A' + (i/blockSize)%ranks)
+		if b != want {
+			t.Fatalf("byte %d = %c, want %c", i, b, want)
+		}
+	}
+}
+
+func TestCollectiveWriteWithHolesFallsBackToList(t *testing.T) {
+	// Ranks cover only half the stripe cells: domains have holes, so
+	// aggregators must use list I/O and preserve unwritten bytes.
+	c := startCluster(t)
+	fs, err := c.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	f0, err := fs.Create("holes.dat", striping.Config{PCount: 4, StripeSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := bytes.Repeat([]byte{0x11}, 4096)
+	if _, err := f0.WriteAt(base, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	const ranks = 2
+	before := c.TotalStats()
+	runCollective(t, c, "holes.dat", ranks, func(rank int, g *collective.Group, f *client.File) error {
+		var mem, file ioseg.List
+		var pos int64
+		for b := int64(0); b < 8; b++ {
+			// Every other 32-byte cell, offset by rank: holes remain.
+			off := (b*ranks + int64(rank)) * 128
+			file = append(file, ioseg.Segment{Offset: off, Length: 32})
+			mem = append(mem, ioseg.Segment{Offset: pos, Length: 32})
+			pos += 32
+		}
+		arena := bytes.Repeat([]byte{0xEE}, int(pos))
+		return g.WriteAll(rank, f, arena, mem, file)
+	})
+	after := c.TotalStats()
+	if after.ListRequests == before.ListRequests {
+		t.Fatal("holey domains should fall back to list I/O")
+	}
+
+	got := make([]byte, 4096)
+	if _, err := f0.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4096; i++ {
+		want := byte(0x11)
+		if i%128 < 32 && i < 2048 {
+			want = 0xEE
+		}
+		if got[i] != want {
+			t.Fatalf("byte %d = %#x, want %#x", i, got[i], want)
+		}
+	}
+}
+
+func TestCollectiveReadRoundTrip(t *testing.T) {
+	c := startCluster(t)
+	fs, err := c.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	f0, err := fs.Create("cread.dat", striping.Config{PCount: 4, StripeSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	image := make([]byte, 8192)
+	for i := range image {
+		image[i] = byte(i * 7)
+	}
+	if _, err := f0.WriteAt(image, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	const ranks = 4
+	results := make([][]byte, ranks)
+	runCollective(t, c, "cread.dat", ranks, func(rank int, g *collective.Group, f *client.File) error {
+		var mem, file ioseg.List
+		var pos int64
+		for b := int64(0); b < 16; b++ {
+			off := (b*ranks + int64(rank)) * 128
+			file = append(file, ioseg.Segment{Offset: off, Length: 128})
+			mem = append(mem, ioseg.Segment{Offset: pos, Length: 128})
+			pos += 128
+		}
+		arena := make([]byte, pos)
+		if err := g.ReadAll(rank, f, arena, mem, file); err != nil {
+			return err
+		}
+		results[rank] = arena
+		return nil
+	})
+
+	for rank := 0; rank < ranks; rank++ {
+		for b := int64(0); b < 16; b++ {
+			off := (b*int64(ranks) + int64(rank)) * 128
+			got := results[rank][b*128 : (b+1)*128]
+			if !bytes.Equal(got, image[off:off+128]) {
+				t.Fatalf("rank %d block %d mismatch", rank, b)
+			}
+		}
+	}
+}
+
+func TestCollectiveFlashPattern(t *testing.T) {
+	// The FLASH checkpoint through two-phase I/O: per-rank 8-byte
+	// memory fragmentation, contiguous union in file — the pattern
+	// collective I/O ultimately won on in ROMIO.
+	c := startCluster(t)
+	fs, err := c.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if _, err := fs.Create("cflash.dat", striping.Config{}); err != nil {
+		t.Fatal(err)
+	}
+
+	const ranks = 2
+	flash := &patterns.Flash{NumRanks: ranks, Blocks: 4, Elems: 4, Guard: 1, Vars: 6}
+	runCollective(t, c, "cflash.dat", ranks, func(rank int, g *collective.Group, f *client.File) error {
+		mem := patterns.MemList(flash, rank)
+		file := patterns.FileList(flash, rank)
+		arena := make([]byte, patterns.ArenaSize(flash, rank))
+		for i := range arena {
+			arena[i] = byte(rank + 1)
+		}
+		return g.WriteAll(rank, f, arena, mem, file)
+	})
+
+	// Every file byte must carry its owner's tag.
+	f, err := fs.Open("cflash.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, flash.FileBytes())
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	chunk := flash.TotalBytes(0) / int64(flash.FileRegions(0))
+	for i := int64(0); i < int64(len(got)); i++ {
+		owner := byte((i/chunk)%ranks) + 1
+		if got[i] != owner {
+			t.Fatalf("byte %d = %d, want %d", i, got[i], owner)
+		}
+	}
+}
+
+func TestGroupSequentialCollectives(t *testing.T) {
+	// Multiple collectives through the same group must not leak state
+	// across calls.
+	c := startCluster(t)
+	fs, err := c.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if _, err := fs.Create("seq.dat", striping.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	const ranks = 3
+	g := collective.NewGroup(ranks)
+	for round := 0; round < 3; round++ {
+		round := round
+		err := cluster.RunRanks(ranks, func(rank int) error {
+			fsr, err := c.Connect()
+			if err != nil {
+				return err
+			}
+			defer fsr.Close()
+			f, err := fsr.Open("seq.dat")
+			if err != nil {
+				return err
+			}
+			data := []byte(fmt.Sprintf("r%dc%d", rank, round))
+			mem := ioseg.List{{Offset: 0, Length: int64(len(data))}}
+			file := ioseg.List{{Offset: int64(round*ranks+rank) * 4, Length: int64(len(data))}}
+			return g.WriteAll(rank, f, data, mem, file)
+		})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	f, err := fs.Open("seq.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 9*4)
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		for rank := 0; rank < ranks; rank++ {
+			off := (round*ranks + rank) * 4
+			want := fmt.Sprintf("r%dc%d", rank, round)
+			if string(got[off:off+4]) != want {
+				t.Fatalf("slot %d = %q, want %q", off, got[off:off+4], want)
+			}
+		}
+	}
+}

@@ -1,0 +1,334 @@
+// Package fsck checks a PVFS deployment for consistency between the
+// manager's metadata and the stripe data held by the I/O daemons.
+//
+// PVFS splits a file's truth across daemons: the manager knows names,
+// handles, striping and a cached logical size; each I/O daemon holds
+// one stripe file per handle (§2). Crashes leave the two views
+// disagreeing: stripe files without metadata (orphans, from a remove
+// that died halfway), metadata without stripe bytes (short or missing
+// stripes), stale manager sizes (a writer that never closed), or
+// stripes on daemons a file was never striped over (misplaced, from a
+// daemon serving the wrong store). This package enumerates every such
+// divergence, and can delete orphan stripes.
+//
+// Caveat: PVFS stripe stores are sparse and carry no checksums, so a
+// legal hole (a region never written below the recorded size) is
+// indistinguishable from lost data; fsck reports both as missing or
+// short stripes. Densely written files — the norm for the checkpoint
+// and visualization workloads the system targets — report cleanly.
+package fsck
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"pvfs/internal/client"
+	"pvfs/internal/pvfsnet"
+	"pvfs/internal/wire"
+)
+
+// Kind classifies a consistency problem.
+type Kind int
+
+const (
+	// KindUnreachableServer: an I/O daemon did not answer; its checks
+	// were skipped.
+	KindUnreachableServer Kind = iota
+	// KindOrphanHandle: a daemon stores a handle no manager file
+	// references.
+	KindOrphanHandle
+	// KindMissingStripe: the manager size implies data on a daemon
+	// that has no stripe file for the handle.
+	KindMissingStripe
+	// KindShortStripe: a stripe file is shorter than the manager size
+	// implies.
+	KindShortStripe
+	// KindSizeMismatch: the manager records more bytes than the
+	// daemons hold (data loss).
+	KindSizeMismatch
+	// KindStaleSize: the daemons hold more bytes than the manager
+	// records (a writer died before Close; benign but worth knowing).
+	KindStaleSize
+	// KindMisplacedStripe: a daemon outside the file's stripe set
+	// stores its handle.
+	KindMisplacedStripe
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindUnreachableServer:
+		return "unreachable-server"
+	case KindOrphanHandle:
+		return "orphan-handle"
+	case KindMissingStripe:
+		return "missing-stripe"
+	case KindShortStripe:
+		return "short-stripe"
+	case KindSizeMismatch:
+		return "size-mismatch"
+	case KindStaleSize:
+		return "stale-size"
+	case KindMisplacedStripe:
+		return "misplaced-stripe"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Problem is one consistency finding.
+type Problem struct {
+	Kind   Kind
+	File   string // empty for problems not tied to a file
+	Handle uint64
+	Server string // daemon address; empty for file-level problems
+	Detail string
+}
+
+func (p Problem) String() string {
+	s := p.Kind.String()
+	if p.File != "" {
+		s += " file=" + p.File
+	}
+	if p.Handle != 0 {
+		s += fmt.Sprintf(" handle=%d", p.Handle)
+	}
+	if p.Server != "" {
+		s += " server=" + p.Server
+	}
+	if p.Detail != "" {
+		s += ": " + p.Detail
+	}
+	return s
+}
+
+// Report is the result of a Check.
+type Report struct {
+	Files       int // manager files examined
+	Servers     int // daemons contacted
+	StripeFiles int // stripe files seen across all daemons
+	// Orphans maps daemon address to the orphan handles it stores
+	// (input to RemoveOrphans).
+	Orphans map[string][]uint64
+	// OrphanBytes is the space held by orphan stripes.
+	OrphanBytes int64
+	Problems    []Problem
+}
+
+// OK reports whether the deployment is fully consistent.
+func (r *Report) OK() bool { return len(r.Problems) == 0 }
+
+// add appends a problem.
+func (r *Report) add(p Problem) { r.Problems = append(r.Problems, p) }
+
+// Format renders the report.
+func (r *Report) Format(w io.Writer) {
+	fmt.Fprintf(w, "fsck: %d files, %d servers, %d stripe files\n",
+		r.Files, r.Servers, r.StripeFiles)
+	if r.OK() {
+		fmt.Fprintln(w, "fsck: clean")
+		return
+	}
+	for _, p := range r.Problems {
+		fmt.Fprintln(w, "fsck:", p.String())
+	}
+	if r.OrphanBytes > 0 {
+		fmt.Fprintf(w, "fsck: %d orphan bytes reclaimable (run with repair)\n", r.OrphanBytes)
+	}
+}
+
+// serverView is one daemon's stripe inventory.
+type serverView struct {
+	addr    string
+	handles map[uint64]int64 // handle -> physical size
+}
+
+// listHandles fetches a daemon's inventory.
+func listHandles(addr string) (map[uint64]int64, error) {
+	conn, err := pvfsnet.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	resp, err := conn.Call(wire.Message{Header: wire.Header{Type: wire.TListHandles}})
+	if err != nil {
+		return nil, err
+	}
+	var hl wire.HandleListResp
+	if err := hl.Unmarshal(resp.Body); err != nil {
+		return nil, err
+	}
+	m := make(map[uint64]int64, len(hl.Handles))
+	for i, h := range hl.Handles {
+		m[h] = hl.Sizes[i]
+	}
+	return m, nil
+}
+
+// Check connects to the manager at mgrAddr and audits the deployment.
+// iodAddrs lists every I/O daemon; when empty, the union of the
+// daemons referenced by the manager's files is used (which cannot see
+// orphans on daemons no current file is striped over).
+func Check(mgrAddr string, iodAddrs []string) (*Report, error) {
+	fs, err := client.Connect(mgrAddr)
+	if err != nil {
+		return nil, fmt.Errorf("fsck: manager %s: %w", mgrAddr, err)
+	}
+	defer fs.Close()
+
+	names, err := fs.List()
+	if err != nil {
+		return nil, fmt.Errorf("fsck: listing files: %w", err)
+	}
+	sort.Strings(names)
+
+	r := &Report{Orphans: make(map[string][]uint64)}
+	type fileMeta struct {
+		name string
+		f    *client.File
+	}
+	var files []fileMeta
+	serverSet := make(map[string]bool)
+	for _, a := range iodAddrs {
+		serverSet[a] = true
+	}
+	referenced := make(map[uint64]bool)
+	for _, name := range names {
+		f, err := fs.Open(name)
+		if err != nil {
+			return nil, fmt.Errorf("fsck: opening %q: %w", name, err)
+		}
+		files = append(files, fileMeta{name, f})
+		referenced[f.Handle()] = true
+		if len(iodAddrs) == 0 {
+			for _, a := range f.Servers() {
+				serverSet[a] = true
+			}
+		}
+	}
+	r.Files = len(files)
+
+	// Inventory every daemon.
+	views := make(map[string]*serverView)
+	addrs := make([]string, 0, len(serverSet))
+	for a := range serverSet {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	for _, a := range addrs {
+		handles, err := listHandles(a)
+		if err != nil {
+			r.add(Problem{Kind: KindUnreachableServer, Server: a, Detail: err.Error()})
+			continue
+		}
+		views[a] = &serverView{addr: a, handles: handles}
+		r.Servers++
+		r.StripeFiles += len(handles)
+	}
+
+	// Per-file checks.
+	for _, fm := range files {
+		checkFile(r, fm.name, fm.f, views)
+	}
+
+	// Orphans: inventoried handles never referenced by the manager.
+	for _, a := range addrs {
+		v := views[a]
+		if v == nil {
+			continue
+		}
+		var orphans []uint64
+		for h, sz := range v.handles {
+			if !referenced[h] {
+				orphans = append(orphans, h)
+				r.OrphanBytes += sz
+			}
+		}
+		sort.Slice(orphans, func(i, j int) bool { return orphans[i] < orphans[j] })
+		for _, h := range orphans {
+			r.add(Problem{Kind: KindOrphanHandle, Handle: h, Server: a,
+				Detail: fmt.Sprintf("%d bytes", v.handles[h])})
+		}
+		if len(orphans) > 0 {
+			r.Orphans[a] = orphans
+		}
+	}
+	return r, nil
+}
+
+// checkFile audits one file against the daemon inventories.
+func checkFile(r *Report, name string, f *client.File, views map[string]*serverView) {
+	cfg := f.Striping()
+	servers := f.Servers()
+	recorded := f.RecordedSize()
+	handle := f.Handle()
+
+	phys := make([]int64, len(servers))
+	complete := true
+	for rel, addr := range servers {
+		v := views[addr]
+		if v == nil {
+			complete = false // daemon unreachable; already reported
+			continue
+		}
+		sz, present := v.handles[handle]
+		phys[rel] = sz
+		expected := cfg.PhysPrefix(rel, recorded)
+		switch {
+		case !present && expected > 0:
+			r.add(Problem{Kind: KindMissingStripe, File: name, Handle: handle, Server: addr,
+				Detail: fmt.Sprintf("expected %d bytes, stripe file absent", expected)})
+		case present && sz < expected:
+			r.add(Problem{Kind: KindShortStripe, File: name, Handle: handle, Server: addr,
+				Detail: fmt.Sprintf("expected %d bytes, stripe holds %d", expected, sz)})
+		}
+	}
+	if complete {
+		derived := cfg.FileSizeFromStripes(phys)
+		switch {
+		case recorded > derived:
+			r.add(Problem{Kind: KindSizeMismatch, File: name, Handle: handle,
+				Detail: fmt.Sprintf("manager records %d bytes, daemons hold %d", recorded, derived)})
+		case recorded < derived:
+			r.add(Problem{Kind: KindStaleSize, File: name, Handle: handle,
+				Detail: fmt.Sprintf("manager records %d bytes, daemons hold %d", recorded, derived)})
+		}
+	}
+
+	// Misplaced stripes: the handle on daemons outside the stripe set.
+	member := make(map[string]bool, len(servers))
+	for _, a := range servers {
+		member[a] = true
+	}
+	for addr, v := range views {
+		if member[addr] {
+			continue
+		}
+		if sz, ok := v.handles[handle]; ok {
+			r.add(Problem{Kind: KindMisplacedStripe, File: name, Handle: handle, Server: addr,
+				Detail: fmt.Sprintf("%d bytes on a daemon outside the stripe set", sz)})
+		}
+	}
+}
+
+// RemoveOrphans deletes the orphan stripes named in a report (the
+// repair path). It returns the number of stripe files removed.
+func RemoveOrphans(orphans map[string][]uint64) (int, error) {
+	removed := 0
+	for addr, handles := range orphans {
+		conn, err := pvfsnet.Dial(addr)
+		if err != nil {
+			return removed, fmt.Errorf("fsck: repair %s: %w", addr, err)
+		}
+		for _, h := range handles {
+			_, err := conn.Call(wire.Message{Header: wire.Header{Type: wire.TRemove, Handle: h}})
+			if err != nil {
+				conn.Close()
+				return removed, fmt.Errorf("fsck: removing handle %d at %s: %w", h, addr, err)
+			}
+			removed++
+		}
+		conn.Close()
+	}
+	return removed, nil
+}

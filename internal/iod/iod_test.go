@@ -1,0 +1,205 @@
+package iod_test
+
+import (
+	"bytes"
+	"testing"
+
+	"pvfs/internal/iod"
+	"pvfs/internal/ioseg"
+	"pvfs/internal/pvfsnet"
+	"pvfs/internal/store"
+	"pvfs/internal/striping"
+	"pvfs/internal/wire"
+)
+
+// startIOD returns a daemon on a memory store and a raw connection.
+func startIOD(t *testing.T) (*iod.Server, *pvfsnet.Conn) {
+	t.Helper()
+	srv, err := iod.Listen("127.0.0.1:0", store.NewMem(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := pvfsnet.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return srv, c
+}
+
+func call(t *testing.T, c *pvfsnet.Conn, typ wire.MsgType, handle uint64, body []byte) wire.Message {
+	t.Helper()
+	resp, err := c.Call(wire.Message{Header: wire.Header{Type: typ, Handle: handle}, Body: body})
+	if err != nil {
+		t.Fatalf("%v: %v", typ, err)
+	}
+	return resp
+}
+
+func TestContigReadWrite(t *testing.T) {
+	_, c := startIOD(t)
+	w := wire.WriteReq{Offset: 100, Data: []byte("stripe data")}
+	resp := call(t, c, wire.TWrite, 7, w.Marshal())
+	var wr wire.WrittenResp
+	if err := wr.Unmarshal(resp.Body); err != nil || wr.N != 11 {
+		t.Fatalf("written = %+v (%v)", wr, err)
+	}
+	r := wire.ReadReq{Offset: 100, Length: 11}
+	resp = call(t, c, wire.TRead, 7, r.Marshal())
+	if string(resp.Body) != "stripe data" {
+		t.Fatalf("read back %q", resp.Body)
+	}
+}
+
+func TestListRoundTrip(t *testing.T) {
+	srv, c := startIOD(t)
+	regions := ioseg.List{{Offset: 0, Length: 3}, {Offset: 10, Length: 4}}
+	body, err := (&wire.ListReq{Regions: regions, Data: []byte("abcdefg")}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	call(t, c, wire.TWriteList, 9, body)
+
+	rbody, err := (&wire.ListReq{Regions: regions}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := call(t, c, wire.TReadList, 9, rbody)
+	if string(resp.Body) != "abcdefg" {
+		t.Fatalf("list read = %q", resp.Body)
+	}
+	st := srv.Stats()
+	if st.Requests != 2 || st.ListRequests != 2 || st.Regions != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.TrailingBytes != 2*int64(wire.TrailingDataSize(2)) {
+		t.Fatalf("trailing bytes = %d", st.TrailingBytes)
+	}
+}
+
+func TestWriteListLengthMismatchRejected(t *testing.T) {
+	_, c := startIOD(t)
+	regions := ioseg.List{{Offset: 0, Length: 10}}
+	body, err := (&wire.ListReq{Regions: regions, Data: []byte("short")}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Call(wire.Message{Header: wire.Header{Type: wire.TWriteList, Handle: 1}, Body: body})
+	if err == nil {
+		t.Fatal("mismatched list write accepted")
+	}
+	if resp.Status != wire.StatusInvalid {
+		t.Fatalf("status = %v", resp.Status)
+	}
+}
+
+func TestStridedRoundTrip(t *testing.T) {
+	_, c := startIOD(t)
+	cfg := striping.Config{PCount: 1, StripeSize: 1 << 20}
+	// Write 4 blocks of 8 bytes every 100 via descriptor.
+	data := bytes.Repeat([]byte{0xAB}, 32)
+	req := wire.StridedReq{Start: 50, Stride: 100, BlockLen: 8, Count: 4,
+		Striping: cfg, RelIndex: 0, Data: data}
+	call(t, c, wire.TWriteStrided, 3, req.Marshal())
+
+	rreq := wire.StridedReq{Start: 50, Stride: 100, BlockLen: 8, Count: 4,
+		Striping: cfg, RelIndex: 0}
+	resp := call(t, c, wire.TReadStrided, 3, rreq.Marshal())
+	if !bytes.Equal(resp.Body, data) {
+		t.Fatalf("strided read = % x", resp.Body)
+	}
+	// Spot-check placement with a contiguous read.
+	r := wire.ReadReq{Offset: 150, Length: 8}
+	resp = call(t, c, wire.TRead, 3, r.Marshal())
+	if !bytes.Equal(resp.Body, data[8:16]) {
+		t.Fatalf("block 1 at wrong offset: % x", resp.Body)
+	}
+}
+
+func TestStridedRejectsBadDescriptor(t *testing.T) {
+	_, c := startIOD(t)
+	bad := wire.StridedReq{Start: 0, Stride: 8, BlockLen: 8, Count: 4,
+		Striping: striping.Config{PCount: 2, StripeSize: 64}, RelIndex: 5}
+	resp, err := c.Call(wire.Message{Header: wire.Header{Type: wire.TReadStrided}, Body: bad.Marshal()})
+	if err == nil {
+		t.Fatal("descriptor with out-of-range RelIndex accepted")
+	}
+	if resp.Status != wire.StatusInvalid {
+		t.Fatalf("status = %v", resp.Status)
+	}
+	bad2 := wire.StridedReq{Start: 0, Stride: 8, BlockLen: 8, Count: 4,
+		Striping: striping.Config{PCount: 0, StripeSize: 64}}
+	if _, err := c.Call(wire.Message{Header: wire.Header{Type: wire.TReadStrided}, Body: bad2.Marshal()}); err == nil {
+		t.Fatal("descriptor with zero pcount accepted")
+	}
+}
+
+func TestStatTruncateRemove(t *testing.T) {
+	_, c := startIOD(t)
+	call(t, c, wire.TWrite, 5, (&wire.WriteReq{Offset: 0, Data: make([]byte, 500)}).Marshal())
+	resp := call(t, c, wire.TStat, 5, nil)
+	var sz wire.SizeResp
+	if err := sz.Unmarshal(resp.Body); err != nil || sz.Size != 500 {
+		t.Fatalf("size = %+v", sz)
+	}
+	call(t, c, wire.TTruncate, 5, (&wire.TruncateReq{Size: 100}).Marshal())
+	resp = call(t, c, wire.TStat, 5, nil)
+	if err := sz.Unmarshal(resp.Body); err != nil || sz.Size != 100 {
+		t.Fatalf("size after truncate = %+v", sz)
+	}
+	call(t, c, wire.TRemove, 5, nil)
+	resp = call(t, c, wire.TStat, 5, nil)
+	if err := sz.Unmarshal(resp.Body); err != nil || sz.Size != 0 {
+		t.Fatalf("size after remove = %+v", sz)
+	}
+}
+
+func TestServerStatsEndpoint(t *testing.T) {
+	_, c := startIOD(t)
+	call(t, c, wire.TWrite, 1, (&wire.WriteReq{Offset: 0, Data: []byte{1, 2, 3}}).Marshal())
+	resp := call(t, c, wire.TServerStats, 0, nil)
+	var st wire.ServerStats
+	if err := st.Unmarshal(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 1 || st.BytesWritten != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestUnknownTypeRejected(t *testing.T) {
+	_, c := startIOD(t)
+	resp, err := c.Call(wire.Message{Header: wire.Header{Type: wire.TCreate}})
+	if err == nil {
+		t.Fatal("iod accepted a manager request type")
+	}
+	if resp.Status != wire.StatusInvalid {
+		t.Fatalf("status = %v", resp.Status)
+	}
+}
+
+func TestMalformedBodiesRejected(t *testing.T) {
+	_, c := startIOD(t)
+	for _, typ := range []wire.MsgType{wire.TRead, wire.TWrite, wire.TReadList, wire.TWriteList, wire.TReadStrided, wire.TTruncate} {
+		resp, err := c.Call(wire.Message{Header: wire.Header{Type: typ}, Body: []byte{1, 2}})
+		if err == nil {
+			t.Errorf("%v: malformed body accepted", typ)
+		}
+		if resp.Status == wire.StatusOK {
+			t.Errorf("%v: status OK for malformed body", typ)
+		}
+	}
+}
+
+func TestNegativeReadLengthRejected(t *testing.T) {
+	_, c := startIOD(t)
+	r := wire.ReadReq{Offset: 0, Length: -5}
+	resp, err := c.Call(wire.Message{Header: wire.Header{Type: wire.TRead}, Body: r.Marshal()})
+	if err == nil {
+		t.Fatal("negative read length accepted")
+	}
+	if resp.Status != wire.StatusInvalid {
+		t.Fatalf("status = %v", resp.Status)
+	}
+}

@@ -1,0 +1,378 @@
+package memio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pvfs/internal/ioseg"
+)
+
+func seg(off, n int64) ioseg.Segment { return ioseg.Segment{Offset: off, Length: n} }
+
+func TestMatchEqualLists(t *testing.T) {
+	mem := ioseg.List{seg(0, 10), seg(20, 10)}
+	file := ioseg.List{seg(100, 10), seg(200, 10)}
+	pairs, err := Match(mem, file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %d, want 2", len(pairs))
+	}
+	if pairs[0].Mem != seg(0, 10) || pairs[0].File != seg(100, 10) {
+		t.Fatalf("pair 0 = %+v", pairs[0])
+	}
+}
+
+func TestMatchFinerMemory(t *testing.T) {
+	// The FLASH situation: 8-byte memory pieces against one 4-KiB-style
+	// file region → pieces at memory granularity.
+	mem := ioseg.List{seg(0, 8), seg(16, 8), seg(32, 8), seg(48, 8)}
+	file := ioseg.List{seg(1000, 32)}
+	pairs, err := Match(mem, file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 4 {
+		t.Fatalf("pairs = %d, want 4", len(pairs))
+	}
+	wantFileOff := []int64{1000, 1008, 1016, 1024}
+	for i, p := range pairs {
+		if p.File.Offset != wantFileOff[i] || p.File.Length != 8 {
+			t.Errorf("pair %d file = %v", i, p.File)
+		}
+		if p.Mem.Length != p.File.Length {
+			t.Errorf("pair %d lengths differ", i)
+		}
+	}
+}
+
+func TestMatchFinerFile(t *testing.T) {
+	mem := ioseg.List{seg(0, 100)}
+	file := ioseg.List{seg(0, 30), seg(50, 30), seg(100, 40)}
+	pairs, err := Match(mem, file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 3 {
+		t.Fatalf("pairs = %d, want 3", len(pairs))
+	}
+	if pairs[1].Mem != seg(30, 30) {
+		t.Fatalf("pair 1 mem = %v", pairs[1].Mem)
+	}
+}
+
+func TestMatchMisaligned(t *testing.T) {
+	mem := ioseg.List{seg(0, 7), seg(10, 13)}
+	file := ioseg.List{seg(0, 5), seg(8, 15)}
+	pairs, err := Match(mem, file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cuts at stream positions 5 (file), 7 (mem), 20 (both): pieces
+	// [0,5) [5,7) [7,20).
+	if len(pairs) != 3 {
+		t.Fatalf("pairs = %d, want 3: %+v", len(pairs), pairs)
+	}
+	var total int64
+	for _, p := range pairs {
+		if p.Mem.Length != p.File.Length {
+			t.Fatalf("pair lengths differ: %+v", p)
+		}
+		total += p.Mem.Length
+	}
+	if total != 20 {
+		t.Fatalf("total = %d, want 20", total)
+	}
+}
+
+func TestMatchLengthMismatch(t *testing.T) {
+	_, err := Match(ioseg.List{seg(0, 5)}, ioseg.List{seg(0, 6)})
+	if err == nil {
+		t.Fatal("mismatched totals accepted")
+	}
+}
+
+func TestMatchEmptyRegions(t *testing.T) {
+	mem := ioseg.List{seg(0, 0), seg(0, 10), seg(99, 0)}
+	file := ioseg.List{seg(5, 10)}
+	pairs, err := Match(mem, file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 || pairs[0].Mem != seg(0, 10) {
+		t.Fatalf("pairs = %+v", pairs)
+	}
+}
+
+func TestMatchCountAgrees(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		mem, file := randomMatchedLists(r)
+		pairs, err := Match(mem, file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := MatchCount(mem, file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(pairs) {
+			t.Fatalf("MatchCount = %d, Match produced %d", n, len(pairs))
+		}
+	}
+}
+
+// randomMatchedLists builds two random lists covering the same total.
+func randomMatchedLists(r *rand.Rand) (mem, file ioseg.List) {
+	total := int64(1 + r.Intn(2000))
+	cut := func() ioseg.List {
+		var l ioseg.List
+		var pos, left int64 = 0, total
+		for left > 0 {
+			n := int64(1 + r.Intn(int(left)))
+			l = append(l, seg(pos, n))
+			pos += n + int64(r.Intn(20)) // random gaps
+			left -= n
+		}
+		return l
+	}
+	return cut(), cut()
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	arena := make([]byte, 256)
+	for i := range arena {
+		arena[i] = byte(i)
+	}
+	mem := ioseg.List{seg(10, 5), seg(100, 20), seg(200, 3)}
+	stream, err := Gather(arena, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(stream)) != mem.TotalLength() {
+		t.Fatalf("stream len = %d", len(stream))
+	}
+	if stream[0] != 10 || stream[5] != 100 {
+		t.Fatalf("gather order wrong: % x", stream[:8])
+	}
+	dst := make([]byte, 256)
+	if err := Scatter(dst, mem, stream); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range mem {
+		if !bytes.Equal(dst[s.Offset:s.End()], arena[s.Offset:s.End()]) {
+			t.Fatalf("scatter mismatch in %v", s)
+		}
+	}
+}
+
+func TestGatherOutOfArena(t *testing.T) {
+	if _, err := Gather(make([]byte, 10), ioseg.List{seg(5, 10)}); err == nil {
+		t.Fatal("out-of-arena gather accepted")
+	}
+}
+
+func TestScatterLengthCheck(t *testing.T) {
+	err := Scatter(make([]byte, 10), ioseg.List{seg(0, 4)}, []byte{1, 2, 3})
+	if err == nil {
+		t.Fatal("short stream accepted")
+	}
+}
+
+func TestStreamIndex(t *testing.T) {
+	l := ioseg.List{seg(100, 10), seg(300, 5)}
+	cases := []struct {
+		pos    int64
+		region int
+		off    int64
+		ok     bool
+	}{
+		{0, 0, 100, true},
+		{9, 0, 109, true},
+		{10, 1, 300, true},
+		{14, 1, 304, true},
+		{15, 0, 0, false},
+		{-1, 0, 0, false},
+	}
+	for _, c := range cases {
+		region, off, ok := StreamIndex(l, c.pos)
+		if region != c.region || off != c.off || ok != c.ok {
+			t.Errorf("StreamIndex(%d) = %d,%d,%v want %d,%d,%v",
+				c.pos, region, off, ok, c.region, c.off, c.ok)
+		}
+	}
+}
+
+func TestExtractInjectWindow(t *testing.T) {
+	// File image 0..99 with regions [10,+5) and [40,+10); window [0,50).
+	fileImage := make([]byte, 100)
+	for i := range fileImage {
+		fileImage[i] = byte(i)
+	}
+	regions := ioseg.List{seg(10, 5), seg(40, 10)}
+	window := seg(0, 50)
+	dst := make([]byte, regions.TotalLength())
+	n, err := ExtractWindow(dst, regions, fileImage[:50], window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 15 {
+		t.Fatalf("extracted %d, want 15", n)
+	}
+	want := append(append([]byte{}, fileImage[10:15]...), fileImage[40:50]...)
+	if !bytes.Equal(dst, want) {
+		t.Fatalf("extract = % x, want % x", dst, want)
+	}
+
+	// Inject modified stream back.
+	stream := bytes.Repeat([]byte{0xAA}, 15)
+	buf := append([]byte{}, fileImage[:50]...)
+	n, err = InjectWindow(buf, stream, regions, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 15 {
+		t.Fatalf("injected %d, want 15", n)
+	}
+	for i := 10; i < 15; i++ {
+		if buf[i] != 0xAA {
+			t.Fatalf("byte %d not injected", i)
+		}
+	}
+	if buf[9] != 9 || buf[15] != 15 {
+		t.Fatal("inject touched bytes outside regions")
+	}
+}
+
+func TestExtractPartialWindow(t *testing.T) {
+	// Window covering only part of a region extracts the overlap into
+	// the right stream slot.
+	regions := ioseg.List{seg(0, 10), seg(20, 10)}
+	window := seg(25, 10)
+	src := bytes.Repeat([]byte{7}, 10)
+	dst := make([]byte, 20)
+	n, err := ExtractWindow(dst, regions, src, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("extracted %d, want 5", n)
+	}
+	for i := 15; i < 20; i++ {
+		if dst[i] != 7 {
+			t.Fatalf("stream byte %d = %d", i, dst[i])
+		}
+	}
+}
+
+// Property: Gather then Scatter into a fresh arena reproduces exactly
+// the listed regions and touches nothing else.
+func TestGatherScatterProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		arena := make([]byte, 4096)
+		r.Read(arena)
+		var mem ioseg.List
+		pos := int64(0)
+		for pos < 4000 && len(mem) < 40 {
+			n := int64(1 + r.Intn(50))
+			if pos+n > 4096 {
+				break
+			}
+			mem = append(mem, seg(pos, n))
+			pos += n + int64(r.Intn(30))
+		}
+		stream, err := Gather(arena, mem)
+		if err != nil {
+			return false
+		}
+		dst := make([]byte, 4096)
+		if err := Scatter(dst, mem, stream); err != nil {
+			return false
+		}
+		for _, s := range mem {
+			if !bytes.Equal(dst[s.Offset:s.End()], arena[s.Offset:s.End()]) {
+				return false
+			}
+		}
+		// Bytes outside regions must stay zero.
+		covered := make([]bool, 4096)
+		for _, s := range mem {
+			for i := s.Offset; i < s.End(); i++ {
+				covered[i] = true
+			}
+		}
+		for i, b := range dst {
+			if !covered[i] && b != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Match pieces tile both lists exactly in stream order.
+func TestMatchProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mem, file := randomMatchedLists(r)
+		pairs, err := Match(mem, file)
+		if err != nil {
+			return false
+		}
+		var rebuiltMem, rebuiltFile ioseg.List
+		for _, p := range pairs {
+			if p.Mem.Length != p.File.Length || p.Mem.Length <= 0 {
+				return false
+			}
+			rebuiltMem = append(rebuiltMem, p.Mem)
+			rebuiltFile = append(rebuiltFile, p.File)
+		}
+		return rebuiltMem.Normalize().Equal(mem.Normalize()) &&
+			rebuiltFile.Normalize().Equal(file.Normalize())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMatchFlashLike(b *testing.B) {
+	// 983,040-piece FLASH-style match: 8-byte memory against 4-KiB file
+	// regions (scaled down 16x to keep the benchmark brisk).
+	var mem, file ioseg.List
+	const pieces = 61440
+	for i := int64(0); i < pieces; i++ {
+		mem = append(mem, seg(i*24, 8))
+	}
+	for i := int64(0); i < pieces/512; i++ {
+		file = append(file, seg(i*8192, 4096))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Match(mem, file); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGather(b *testing.B) {
+	arena := make([]byte, 1<<20)
+	var mem ioseg.List
+	for i := int64(0); i < 1024; i++ {
+		mem = append(mem, seg(i*1024, 512))
+	}
+	b.SetBytes(mem.TotalLength())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Gather(arena, mem); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package mgr implements the PVFS manager daemon: the metadata server
+// that handles file creation, lookup, permissions-style metadata, and
+// striping parameters (§2 of the paper).
+//
+// As in PVFS, the manager does not participate in read/write traffic:
+// when a client opens a file, the manager returns the file handle,
+// striping configuration, and the addresses of the I/O daemons; all
+// data traffic then flows directly between client and I/O daemons.
+package mgr
+
+import (
+	"log"
+	"net"
+	"sort"
+	"sync"
+
+	"pvfs/internal/pvfsnet"
+	"pvfs/internal/striping"
+	"pvfs/internal/wire"
+)
+
+// meta is the manager's record for one file.
+type meta struct {
+	handle   uint64
+	size     int64
+	striping striping.Config
+}
+
+// Server is a running manager daemon.
+type Server struct {
+	iodAddrs []string
+	srv      *pvfsnet.Server
+
+	mu         sync.Mutex
+	files      map[string]*meta
+	nextHandle uint64
+}
+
+// New starts a manager on ln that hands out the given I/O daemon
+// addresses (stripe order).
+func New(ln net.Listener, iodAddrs []string, logger *log.Logger) *Server {
+	s := &Server{
+		iodAddrs:   append([]string(nil), iodAddrs...),
+		files:      make(map[string]*meta),
+		nextHandle: 1,
+	}
+	s.srv = pvfsnet.NewServer(ln, s.handle, logger)
+	return s
+}
+
+// Listen starts a manager on addr.
+func Listen(addr string, iodAddrs []string, logger *log.Logger) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return New(ln, iodAddrs, logger), nil
+}
+
+// Addr returns the manager's listen address.
+func (s *Server) Addr() string { return s.srv.Addr() }
+
+// Net exposes the transport server, e.g. to install fault injection
+// (pvfsnet.Faults) in recovery tests.
+func (s *Server) Net() *pvfsnet.Server { return s.srv }
+
+// Close stops the manager.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func fail(st wire.Status) wire.Message {
+	return wire.Message{Header: wire.Header{Status: st}}
+}
+
+func (s *Server) handle(req wire.Message) wire.Message {
+	switch req.Type {
+	case wire.TCreate:
+		return s.create(req)
+	case wire.TOpen, wire.TStat:
+		return s.open(req)
+	case wire.TRemove:
+		return s.remove(req)
+	case wire.TListDir:
+		return s.listDir(req)
+	case wire.TSetSize:
+		return s.setSize(req)
+	case wire.TPing:
+		return wire.Message{Header: wire.Header{Handle: req.Handle}}
+	default:
+		return fail(wire.StatusInvalid)
+	}
+}
+
+// rotatedAddrs returns the I/O daemon addresses in relative stripe
+// order for cfg: index i of the result serves relative server i.
+func (s *Server) rotatedAddrs(cfg striping.Config) []string {
+	n := len(s.iodAddrs)
+	out := make([]string, cfg.PCount)
+	for i := 0; i < cfg.PCount; i++ {
+		out[i] = s.iodAddrs[(cfg.Base+i)%n]
+	}
+	return out
+}
+
+func (s *Server) create(req wire.Message) wire.Message {
+	var body wire.CreateReq
+	if err := body.Unmarshal(req.Body); err != nil {
+		return fail(wire.StatusProtocol)
+	}
+	if body.Name == "" {
+		return fail(wire.StatusInvalid)
+	}
+	cfg := body.Striping
+	if cfg.PCount == 0 {
+		cfg.PCount = len(s.iodAddrs)
+	}
+	if cfg.StripeSize == 0 {
+		cfg.StripeSize = striping.DefaultStripeSize
+	}
+	if cfg.PCount > len(s.iodAddrs) || cfg.Base >= len(s.iodAddrs) {
+		return fail(wire.StatusInvalid)
+	}
+	if err := cfg.Validate(); err != nil {
+		return fail(wire.StatusInvalid)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.files[body.Name]; exists {
+		return fail(wire.StatusExists)
+	}
+	m := &meta{handle: s.nextHandle, striping: cfg}
+	s.nextHandle++
+	s.files[body.Name] = m
+	info := wire.FileInfo{
+		Handle:   m.handle,
+		Size:     0,
+		Striping: cfg,
+		IODAddrs: s.rotatedAddrs(cfg),
+	}
+	return wire.Message{Header: wire.Header{Handle: m.handle}, Body: info.Marshal()}
+}
+
+func (s *Server) open(req wire.Message) wire.Message {
+	var body wire.NameReq
+	if err := body.Unmarshal(req.Body); err != nil {
+		return fail(wire.StatusProtocol)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.files[body.Name]
+	if !ok {
+		return fail(wire.StatusNotFound)
+	}
+	info := wire.FileInfo{
+		Handle:   m.handle,
+		Size:     m.size,
+		Striping: m.striping,
+		IODAddrs: s.rotatedAddrs(m.striping),
+	}
+	return wire.Message{Header: wire.Header{Handle: m.handle}, Body: info.Marshal()}
+}
+
+func (s *Server) remove(req wire.Message) wire.Message {
+	var body wire.NameReq
+	if err := body.Unmarshal(req.Body); err != nil {
+		return fail(wire.StatusProtocol)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.files[body.Name]
+	if !ok {
+		return fail(wire.StatusNotFound)
+	}
+	delete(s.files, body.Name)
+	return wire.Message{Header: wire.Header{Handle: m.handle}}
+}
+
+func (s *Server) listDir(req wire.Message) wire.Message {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.files))
+	for n := range s.files {
+		names = append(names, n)
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+	resp := wire.ListDirResp{Names: names}
+	return wire.Message{Body: resp.Marshal()}
+}
+
+// setSize records a logical size reported by a client. Sizes only grow
+// unless the file is truncated via remove/create; concurrent writers
+// race benignly to the max.
+func (s *Server) setSize(req wire.Message) wire.Message {
+	var body wire.SetSizeReq
+	if err := body.Unmarshal(req.Body); err != nil {
+		return fail(wire.StatusProtocol)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, m := range s.files {
+		if m.handle == body.Handle {
+			if body.Size > m.size {
+				m.size = body.Size
+			}
+			return wire.Message{Header: wire.Header{Handle: body.Handle}}
+		}
+	}
+	return fail(wire.StatusNotFound)
+}

@@ -1,0 +1,220 @@
+package mgr_test
+
+import (
+	"testing"
+
+	"pvfs/internal/mgr"
+	"pvfs/internal/pvfsnet"
+	"pvfs/internal/striping"
+	"pvfs/internal/wire"
+)
+
+func startMgr(t *testing.T, iods []string) (*mgr.Server, *pvfsnet.Conn) {
+	t.Helper()
+	srv, err := mgr.Listen("127.0.0.1:0", iods, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := pvfsnet.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return srv, c
+}
+
+func fourIODs() []string {
+	return []string{"10.0.0.1:7001", "10.0.0.2:7001", "10.0.0.3:7001", "10.0.0.4:7001"}
+}
+
+func create(t *testing.T, c *pvfsnet.Conn, name string, cfg striping.Config) wire.FileInfo {
+	t.Helper()
+	req := wire.CreateReq{Name: name, Striping: cfg}
+	resp, err := c.Call(wire.Message{Header: wire.Header{Type: wire.TCreate}, Body: req.Marshal()})
+	if err != nil {
+		t.Fatalf("create %s: %v", name, err)
+	}
+	var info wire.FileInfo
+	if err := info.Unmarshal(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func TestCreateDefaults(t *testing.T) {
+	_, c := startMgr(t, fourIODs())
+	info := create(t, c, "a", striping.Config{})
+	if info.Striping.PCount != 4 {
+		t.Fatalf("pcount = %d, want all 4", info.Striping.PCount)
+	}
+	if info.Striping.StripeSize != striping.DefaultStripeSize {
+		t.Fatalf("ssize = %d", info.Striping.StripeSize)
+	}
+	if len(info.IODAddrs) != 4 || info.IODAddrs[0] != "10.0.0.1:7001" {
+		t.Fatalf("iods = %v", info.IODAddrs)
+	}
+	if info.Handle == 0 {
+		t.Fatal("zero handle")
+	}
+}
+
+func TestCreateWithBaseRotatesAddrs(t *testing.T) {
+	_, c := startMgr(t, fourIODs())
+	info := create(t, c, "rot", striping.Config{Base: 2, PCount: 3, StripeSize: 4096})
+	want := []string{"10.0.0.3:7001", "10.0.0.4:7001", "10.0.0.1:7001"}
+	if len(info.IODAddrs) != 3 {
+		t.Fatalf("iods = %v", info.IODAddrs)
+	}
+	for i, a := range want {
+		if info.IODAddrs[i] != a {
+			t.Fatalf("iods = %v, want %v", info.IODAddrs, want)
+		}
+	}
+}
+
+func TestCreateDuplicateAndInvalid(t *testing.T) {
+	_, c := startMgr(t, fourIODs())
+	create(t, c, "dup", striping.Config{})
+	req := wire.CreateReq{Name: "dup"}
+	resp, err := c.Call(wire.Message{Header: wire.Header{Type: wire.TCreate}, Body: req.Marshal()})
+	if err == nil {
+		t.Fatal("duplicate create accepted")
+	}
+	if resp.Status != wire.StatusExists {
+		t.Fatalf("status = %v", resp.Status)
+	}
+	// Empty name.
+	req = wire.CreateReq{Name: ""}
+	if _, err := c.Call(wire.Message{Header: wire.Header{Type: wire.TCreate}, Body: req.Marshal()}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	// More servers than exist.
+	req = wire.CreateReq{Name: "big", Striping: striping.Config{PCount: 9}}
+	if _, err := c.Call(wire.Message{Header: wire.Header{Type: wire.TCreate}, Body: req.Marshal()}); err == nil {
+		t.Fatal("pcount 9 of 4 accepted")
+	}
+	// Base beyond server table.
+	req = wire.CreateReq{Name: "base", Striping: striping.Config{Base: 7, PCount: 2}}
+	if _, err := c.Call(wire.Message{Header: wire.Header{Type: wire.TCreate}, Body: req.Marshal()}); err == nil {
+		t.Fatal("base 7 of 4 accepted")
+	}
+}
+
+func TestOpenStatRemove(t *testing.T) {
+	_, c := startMgr(t, fourIODs())
+	created := create(t, c, "f", striping.Config{})
+	nameReq := wire.NameReq{Name: "f"}
+	resp, err := c.Call(wire.Message{Header: wire.Header{Type: wire.TOpen}, Body: nameReq.Marshal()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info wire.FileInfo
+	if err := info.Unmarshal(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if info.Handle != created.Handle {
+		t.Fatalf("open handle %d != create handle %d", info.Handle, created.Handle)
+	}
+	// Stat behaves like open.
+	if _, err := c.Call(wire.Message{Header: wire.Header{Type: wire.TStat}, Body: nameReq.Marshal()}); err != nil {
+		t.Fatal(err)
+	}
+	// Remove, then open must fail.
+	if _, err := c.Call(wire.Message{Header: wire.Header{Type: wire.TRemove}, Body: nameReq.Marshal()}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = c.Call(wire.Message{Header: wire.Header{Type: wire.TOpen}, Body: nameReq.Marshal()})
+	if err == nil {
+		t.Fatal("open after remove succeeded")
+	}
+	if resp.Status != wire.StatusNotFound {
+		t.Fatalf("status = %v", resp.Status)
+	}
+	// Removing again fails with not-found.
+	if _, err := c.Call(wire.Message{Header: wire.Header{Type: wire.TRemove}, Body: nameReq.Marshal()}); err == nil {
+		t.Fatal("double remove succeeded")
+	}
+}
+
+func TestListDirSorted(t *testing.T) {
+	_, c := startMgr(t, fourIODs())
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		create(t, c, n, striping.Config{})
+	}
+	resp, err := c.Call(wire.Message{Header: wire.Header{Type: wire.TListDir}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ld wire.ListDirResp
+	if err := ld.Unmarshal(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"alpha", "mid", "zeta"}
+	if len(ld.Names) != 3 {
+		t.Fatalf("names = %v", ld.Names)
+	}
+	for i := range want {
+		if ld.Names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", ld.Names, want)
+		}
+	}
+}
+
+func TestSetSizeMonotonic(t *testing.T) {
+	_, c := startMgr(t, fourIODs())
+	info := create(t, c, "sz", striping.Config{})
+	set := func(size int64) {
+		req := wire.SetSizeReq{Handle: info.Handle, Size: size}
+		if _, err := c.Call(wire.Message{Header: wire.Header{Type: wire.TSetSize}, Body: req.Marshal()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	set(1000)
+	set(500) // shrink attempts are ignored (size is a high-water mark)
+	resp, err := c.Call(wire.Message{Header: wire.Header{Type: wire.TOpen}, Body: (&wire.NameReq{Name: "sz"}).Marshal()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got wire.FileInfo
+	if err := got.Unmarshal(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if got.Size != 1000 {
+		t.Fatalf("size = %d, want 1000", got.Size)
+	}
+	// Unknown handle.
+	req := wire.SetSizeReq{Handle: 9999, Size: 1}
+	if _, err := c.Call(wire.Message{Header: wire.Header{Type: wire.TSetSize}, Body: req.Marshal()}); err == nil {
+		t.Fatal("setsize on unknown handle succeeded")
+	}
+}
+
+func TestUniqueHandles(t *testing.T) {
+	_, c := startMgr(t, fourIODs())
+	seen := map[uint64]bool{}
+	for i := 0; i < 50; i++ {
+		info := create(t, c, string(rune('a'+i%26))+string(rune('0'+i/26)), striping.Config{})
+		if seen[info.Handle] {
+			t.Fatalf("handle %d reused", info.Handle)
+		}
+		seen[info.Handle] = true
+	}
+}
+
+func TestMalformedBodies(t *testing.T) {
+	_, c := startMgr(t, fourIODs())
+	for _, typ := range []wire.MsgType{wire.TCreate, wire.TOpen, wire.TRemove, wire.TSetSize} {
+		resp, err := c.Call(wire.Message{Header: wire.Header{Type: typ}, Body: []byte{0xFF}})
+		if err == nil {
+			t.Errorf("%v: malformed body accepted", typ)
+		}
+		if resp.Status == wire.StatusOK {
+			t.Errorf("%v: OK status for malformed body", typ)
+		}
+	}
+	// I/O request types are invalid at the manager.
+	if _, err := c.Call(wire.Message{Header: wire.Header{Type: wire.TRead}}); err == nil {
+		t.Error("manager accepted an I/O request")
+	}
+}

@@ -1,0 +1,235 @@
+// Package mpiio provides an MPI-IO (ROMIO)-style layer over the PVFS
+// client: file views described by derived datatypes, with hints
+// selecting how noncontiguous accesses reach the file system.
+//
+// The paper positions list I/O exactly here (§1, §3): "MPI-IO allows
+// users to describe noncontiguous data access patterns but is limited
+// in its ability to improve application performance if support for
+// noncontiguous access is not present at the file system level." This
+// package is that upper layer: applications set a view (displacement,
+// etype, filetype) and read/write linear buffers; the layer converts
+// view offsets into file region lists and dispatches them via list
+// I/O, data sieving, or one-request-per-piece multiple I/O according
+// to hints — the ROMIO knobs the paper's evaluation compares.
+package mpiio
+
+import (
+	"errors"
+	"fmt"
+
+	"pvfs/internal/client"
+	"pvfs/internal/datatype"
+	"pvfs/internal/ioseg"
+)
+
+// Hints mirrors the ROMIO info keys relevant to the paper.
+type Hints struct {
+	// Method selects the noncontiguous strategy: list I/O (default),
+	// data sieving (romio_ds_read/write enable), or multiple I/O
+	// (both disabled).
+	Method client.Method
+	// SieveBufferBytes is ROMIO's ind_rd_buffer_size analog
+	// (0 = the paper's 32 MB).
+	SieveBufferBytes int64
+	// CoalesceGapBytes, when positive, applies the hybrid list+sieve
+	// coalescing before dispatch (§5 future work).
+	CoalesceGapBytes int64
+}
+
+// File is an open file with an MPI-IO view.
+type File struct {
+	f     *client.File
+	hints Hints
+
+	disp     int64
+	etype    datatype.Type
+	filetype datatype.Type
+
+	// template is the flattened filetype at offset 0; tileData and
+	// tileExtent are its data size and extent.
+	template   ioseg.List
+	tileData   int64
+	tileExtent int64
+
+	cursor int64 // sequential position, in bytes of view data space
+}
+
+// Open wraps an already-open PVFS file with the default view
+// (etype = filetype = bytes: the file is a linear byte stream).
+func Open(f *client.File, hints Hints) *File {
+	m := &File{f: f, hints: hints}
+	// Default view: contiguous bytes.
+	m.mustSetView(0, datatype.Bytes(1), datatype.Bytes(1))
+	return m
+}
+
+func (m *File) mustSetView(disp int64, etype, filetype datatype.Type) {
+	if err := m.SetView(disp, etype, filetype); err != nil {
+		panic(err)
+	}
+}
+
+// SetView installs a view: file data visible to this process starts
+// at byte disp and is tiled by filetype repeated end to end; etype is
+// the element unit (offsets are expressed in etypes, as in MPI).
+func (m *File) SetView(disp int64, etype, filetype datatype.Type) error {
+	if disp < 0 {
+		return errors.New("mpiio: negative displacement")
+	}
+	if etype == nil || filetype == nil {
+		return errors.New("mpiio: nil type")
+	}
+	es, fs := etype.Size(), filetype.Size()
+	if es <= 0 || fs <= 0 {
+		return errors.New("mpiio: zero-size type in view")
+	}
+	if fs%es != 0 {
+		return fmt.Errorf("mpiio: filetype size %d not a multiple of etype size %d", fs, es)
+	}
+	m.disp = disp
+	m.etype = etype
+	m.filetype = filetype
+	m.template = datatype.Flatten(filetype, 0)
+	m.tileData = fs
+	m.tileExtent = filetype.Extent()
+	m.cursor = 0
+	return nil
+}
+
+// View returns the current (disp, etype, filetype).
+func (m *File) View() (int64, datatype.Type, datatype.Type) {
+	return m.disp, m.etype, m.filetype
+}
+
+// regionsFor maps [dataOff, dataOff+n) bytes of view data space to
+// absolute file regions, in stream order.
+func (m *File) regionsFor(dataOff, n int64) (ioseg.List, error) {
+	if dataOff < 0 || n < 0 {
+		return nil, errors.New("mpiio: negative view range")
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	var out ioseg.List
+	tile := dataOff / m.tileData
+	remaining := n
+	pos := dataOff
+	for remaining > 0 {
+		tileStart := tile * m.tileData
+		base := m.disp + tile*m.tileExtent
+		stream := tileStart
+		for _, r := range m.template {
+			if remaining == 0 {
+				break
+			}
+			// r covers data space [stream, stream+r.Length).
+			lo, hi := stream, stream+r.Length
+			if hi <= pos {
+				stream = hi
+				continue
+			}
+			start := pos - lo
+			take := r.Length - start
+			if take > remaining {
+				take = remaining
+			}
+			out = append(out, ioseg.Segment{Offset: base + r.Offset + start, Length: take})
+			pos += take
+			remaining -= take
+			stream = hi
+		}
+		tile++
+	}
+	// Merge regions that happen to touch (dense filetypes).
+	merged := out[:0]
+	for _, s := range out {
+		if k := len(merged); k > 0 && merged[k-1].End() == s.Offset {
+			merged[k-1].Length += s.Length
+			continue
+		}
+		merged = append(merged, s)
+	}
+	return merged, nil
+}
+
+// dispatch runs one noncontiguous transfer per the hints.
+func (m *File) dispatch(buf []byte, file ioseg.List, write bool) error {
+	mem := ioseg.List{{Offset: 0, Length: int64(len(buf))}}
+	if m.hints.CoalesceGapBytes > 0 {
+		if write {
+			_, err := m.f.WriteHybrid(buf, mem, file, m.hints.CoalesceGapBytes, client.ListOptions{})
+			return err
+		}
+		_, err := m.f.ReadHybrid(buf, mem, file, m.hints.CoalesceGapBytes, client.ListOptions{})
+		return err
+	}
+	opts := client.Options{Sieve: client.SieveOptions{BufferSize: m.hints.SieveBufferBytes}}
+	if write {
+		return m.f.WriteNoncontig(m.hints.Method, buf, mem, file, opts)
+	}
+	return m.f.ReadNoncontig(m.hints.Method, buf, mem, file, opts)
+}
+
+// ReadAtEtype reads len(buf) bytes at an offset given in etypes of
+// view data space (MPI_File_read_at).
+func (m *File) ReadAtEtype(buf []byte, etypeOff int64) error {
+	if int64(len(buf))%m.etype.Size() != 0 {
+		return fmt.Errorf("mpiio: buffer %d bytes is not whole etypes of %d", len(buf), m.etype.Size())
+	}
+	file, err := m.regionsFor(etypeOff*m.etype.Size(), int64(len(buf)))
+	if err != nil {
+		return err
+	}
+	return m.dispatch(buf, file, false)
+}
+
+// WriteAtEtype writes len(buf) bytes at an etype offset
+// (MPI_File_write_at).
+func (m *File) WriteAtEtype(buf []byte, etypeOff int64) error {
+	if int64(len(buf))%m.etype.Size() != 0 {
+		return fmt.Errorf("mpiio: buffer %d bytes is not whole etypes of %d", len(buf), m.etype.Size())
+	}
+	file, err := m.regionsFor(etypeOff*m.etype.Size(), int64(len(buf)))
+	if err != nil {
+		return err
+	}
+	return m.dispatch(buf, file, true)
+}
+
+// Read reads sequentially at the view cursor (MPI_File_read).
+func (m *File) Read(buf []byte) error {
+	file, err := m.regionsFor(m.cursor, int64(len(buf)))
+	if err != nil {
+		return err
+	}
+	if err := m.dispatch(buf, file, false); err != nil {
+		return err
+	}
+	m.cursor += int64(len(buf))
+	return nil
+}
+
+// Write writes sequentially at the view cursor (MPI_File_write).
+func (m *File) Write(buf []byte) error {
+	file, err := m.regionsFor(m.cursor, int64(len(buf)))
+	if err != nil {
+		return err
+	}
+	if err := m.dispatch(buf, file, true); err != nil {
+		return err
+	}
+	m.cursor += int64(len(buf))
+	return nil
+}
+
+// SeekEtype positions the cursor at an etype offset in view space.
+func (m *File) SeekEtype(etypeOff int64) error {
+	if etypeOff < 0 {
+		return errors.New("mpiio: negative seek")
+	}
+	m.cursor = etypeOff * m.etype.Size()
+	return nil
+}
+
+// Underlying exposes the wrapped PVFS file.
+func (m *File) Underlying() *client.File { return m.f }

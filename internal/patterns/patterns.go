@@ -1,0 +1,416 @@
+// Package patterns generates the noncontiguous access patterns of the
+// paper's three benchmarks (§4.2–§4.4):
+//
+//   - Cyclic1D: the one-dimensional cyclic artificial pattern, a
+//     variable-grained interleave of all clients through one file.
+//   - BlockBlock: the two-dimensional block-block artificial pattern,
+//     a g×g tiling of a square byte array.
+//   - Flash: the FLASH I/O checkpoint write (80 blocks of 8³ elements
+//     with guard cells, 24 variables; memory fragments at 8 bytes,
+//     file fragments at 4 KiB).
+//   - Tiled: the tiled-visualization reader (3×2 displays at
+//     1024×768×24bpp with 270/128-pixel overlaps).
+//
+// Every pattern provides both lazy per-region access (Region(rank, i))
+// for the paper-scale simulator and materialized memory/file lists for
+// the real PVFS client at test scale.
+package patterns
+
+import (
+	"fmt"
+	"math"
+
+	"pvfs/internal/ioseg"
+)
+
+// Pattern describes a per-rank noncontiguous file access with a
+// matching memory layout.
+type Pattern interface {
+	// Name identifies the pattern in reports.
+	Name() string
+	// Ranks is the number of compute processes.
+	Ranks() int
+	// FileRegions is the number of contiguous file regions per rank.
+	FileRegions(rank int) int
+	// FileRegion returns the i-th contiguous file region of a rank, in
+	// stream order.
+	FileRegion(rank, i int) ioseg.Segment
+	// MemPieces is the number of contiguous memory pieces per rank
+	// (the (mem ∩ file) intersect-granularity entry count when memory
+	// is finer than file, as in FLASH).
+	MemPieces(rank int) int
+	// TotalBytes is the bytes accessed by one rank.
+	TotalBytes(rank int) int64
+}
+
+// FileList materializes a rank's file region list.
+func FileList(p Pattern, rank int) ioseg.List {
+	n := p.FileRegions(rank)
+	l := make(ioseg.List, 0, n)
+	for i := 0; i < n; i++ {
+		l = append(l, p.FileRegion(rank, i))
+	}
+	return l
+}
+
+// MemPattern is implemented by patterns whose memory side is
+// noncontiguous (FLASH); others use a single contiguous buffer.
+type MemPattern interface {
+	Pattern
+	// MemRegion returns the i-th contiguous memory piece of a rank, in
+	// stream order, as offsets into the rank's buffer arena.
+	MemRegion(rank, i int) ioseg.Segment
+	// ArenaBytes is the rank's buffer size including any padding
+	// (guard cells) between pieces.
+	ArenaBytes(rank int) int64
+}
+
+// MemList materializes a rank's memory region list: contiguous for
+// plain patterns, piecewise for MemPatterns.
+func MemList(p Pattern, rank int) ioseg.List {
+	if mp, ok := p.(MemPattern); ok {
+		n := mp.MemPieces(rank)
+		l := make(ioseg.List, 0, n)
+		for i := 0; i < n; i++ {
+			l = append(l, mp.MemRegion(rank, i))
+		}
+		return l
+	}
+	return ioseg.List{{Offset: 0, Length: p.TotalBytes(rank)}}
+}
+
+// ArenaSize returns the buffer size a rank needs.
+func ArenaSize(p Pattern, rank int) int64 {
+	if mp, ok := p.(MemPattern); ok {
+		return mp.ArenaBytes(rank)
+	}
+	return p.TotalBytes(rank)
+}
+
+// --- one-dimensional cyclic (§4.2.1, Figure 7) ---
+
+// Cyclic1D interleaves equal blocks of every rank cyclically through
+// the file: rank r's i-th region sits at (i*Ranks + r) * BlockSize.
+// Memory per rank is one contiguous buffer.
+type Cyclic1D struct {
+	NumRanks int
+	Accesses int   // noncontiguous regions per rank (the x-axis of Figs. 9-10)
+	Total    int64 // aggregate bytes across all ranks (1 GiB in the paper)
+}
+
+// NewCyclic1D validates and builds the pattern; Total is divided
+// evenly, truncating so every access is the same size (at least 1).
+func NewCyclic1D(ranks, accesses int, total int64) (*Cyclic1D, error) {
+	if ranks <= 0 || accesses <= 0 || total <= 0 {
+		return nil, fmt.Errorf("patterns: invalid cyclic1d %d ranks %d accesses %d bytes", ranks, accesses, total)
+	}
+	if int64(ranks)*int64(accesses) > total {
+		return nil, fmt.Errorf("patterns: cyclic1d %d x %d accesses exceed %d bytes", ranks, accesses, total)
+	}
+	return &Cyclic1D{NumRanks: ranks, Accesses: accesses, Total: total}, nil
+}
+
+// BlockSize is the bytes per access.
+func (p *Cyclic1D) BlockSize() int64 { return p.Total / (int64(p.NumRanks) * int64(p.Accesses)) }
+
+// Name implements Pattern.
+func (p *Cyclic1D) Name() string { return "cyclic1d" }
+
+// Ranks implements Pattern.
+func (p *Cyclic1D) Ranks() int { return p.NumRanks }
+
+// FileRegions implements Pattern.
+func (p *Cyclic1D) FileRegions(rank int) int { return p.Accesses }
+
+// FileRegion implements Pattern.
+func (p *Cyclic1D) FileRegion(rank, i int) ioseg.Segment {
+	bs := p.BlockSize()
+	return ioseg.Segment{Offset: (int64(i)*int64(p.NumRanks) + int64(rank)) * bs, Length: bs}
+}
+
+// MemPieces implements Pattern: memory is contiguous, so pieces equal
+// file regions.
+func (p *Cyclic1D) MemPieces(rank int) int { return p.Accesses }
+
+// TotalBytes implements Pattern.
+func (p *Cyclic1D) TotalBytes(rank int) int64 { return p.BlockSize() * int64(p.Accesses) }
+
+// --- two-dimensional block-block (§4.2.1, Figure 8) ---
+
+// BlockBlock tiles an N×N byte array over a g×g process grid; each
+// rank owns one tile and accesses it row piece by row piece. The
+// requested access count is rounded to a whole number of pieces per
+// tile row (a region cannot cross rows: rows are discontiguous).
+type BlockBlock struct {
+	NumRanks int
+	Grid     int   // g, where NumRanks = g*g
+	N        int64 // array edge in bytes (file is N*N bytes)
+	PerRow   int   // pieces per tile row
+}
+
+// NewBlockBlock builds the pattern for ranks ∈ {4, 9, 16, ...} over a
+// total of about `total` bytes (edge = floor(sqrt(total))), targeting
+// `accesses` regions per rank.
+func NewBlockBlock(ranks, accesses int, total int64) (*BlockBlock, error) {
+	g := int(math.Round(math.Sqrt(float64(ranks))))
+	if g*g != ranks || ranks <= 0 {
+		return nil, fmt.Errorf("patterns: block-block needs a square rank count, got %d", ranks)
+	}
+	n := int64(math.Sqrt(float64(total)))
+	if n < int64(g) {
+		return nil, fmt.Errorf("patterns: total %d too small for grid %d", total, g)
+	}
+	tileRows := n / int64(g)
+	perRow := int(int64(accesses) / tileRows)
+	if perRow < 1 {
+		perRow = 1
+	}
+	tileW := n / int64(g)
+	if int64(perRow) > tileW {
+		perRow = int(tileW)
+	}
+	return &BlockBlock{NumRanks: ranks, Grid: g, N: n, PerRow: perRow}, nil
+}
+
+// Name implements Pattern.
+func (p *BlockBlock) Name() string { return "blockblock" }
+
+// Ranks implements Pattern.
+func (p *BlockBlock) Ranks() int { return p.NumRanks }
+
+// tile returns rank's tile origin (row, col) and size (h, w) in bytes.
+func (p *BlockBlock) tile(rank int) (row0, col0, h, w int64) {
+	g := int64(p.Grid)
+	r, c := int64(rank)/g, int64(rank)%g
+	h = p.N / g
+	w = p.N / g
+	row0 = r * h
+	col0 = c * w
+	// Last row/column of tiles absorbs the remainder.
+	if r == g-1 {
+		h = p.N - row0
+	}
+	if c == g-1 {
+		w = p.N - col0
+	}
+	return row0, col0, h, w
+}
+
+// FileRegions implements Pattern.
+func (p *BlockBlock) FileRegions(rank int) int {
+	_, _, h, _ := p.tile(rank)
+	return int(h) * p.PerRow
+}
+
+// FileRegion implements Pattern.
+func (p *BlockBlock) FileRegion(rank, i int) ioseg.Segment {
+	row0, col0, _, w := p.tile(rank)
+	row := int64(i / p.PerRow)
+	k := int64(i % p.PerRow)
+	piece := w / int64(p.PerRow)
+	off := (row0+row)*p.N + col0 + k*piece
+	length := piece
+	if k == int64(p.PerRow)-1 {
+		length = w - k*piece // last piece absorbs the row remainder
+	}
+	return ioseg.Segment{Offset: off, Length: length}
+}
+
+// MemPieces implements Pattern (memory contiguous).
+func (p *BlockBlock) MemPieces(rank int) int { return p.FileRegions(rank) }
+
+// TotalBytes implements Pattern.
+func (p *BlockBlock) TotalBytes(rank int) int64 {
+	_, _, h, w := p.tile(rank)
+	return h * w
+}
+
+// ServersPerRow reports how many distinct stripe units one tile row
+// advance skips: rows advance N bytes; with stripe unit s the stripe
+// slot advances (N/s) mod pcount each row — the paper's block-block
+// hotspot analysis (§4.2.2).
+func (p *BlockBlock) ServersPerRow(stripeSize int64, pcount int) int {
+	adv := (p.N / stripeSize) % int64(pcount)
+	if adv == 0 {
+		return 1
+	}
+	// Number of distinct residues of k*adv mod pcount = pcount/gcd.
+	return pcount / gcd(int(adv), pcount)
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// --- FLASH I/O (§4.3.1, Figures 13-14) ---
+
+// Flash models the FLASH checkpoint write. Per rank: Blocks mesh
+// blocks, each an Elems³ cube of cells surrounded by Guard guard
+// cells, each cell holding Vars variables of 8 bytes. Memory is
+// element-major (the 24 variables of a cell are adjacent), the file is
+// variable-major, so memory fragments at 8 bytes while file regions
+// are Elems³·8 bytes (4096 in the paper).
+//
+// File layout (Figure 14): variable v → mesh block b → rank p, each
+// chunk Elems³·8 bytes:
+//
+//	offset(v,b,p) = ((v*Blocks + b)*Ranks + p) * Elems³ * 8
+type Flash struct {
+	NumRanks int
+	Blocks   int // mesh blocks per rank (80 in the paper)
+	Elems    int // elements per cube edge (8)
+	Guard    int // guard cells per side (1)
+	Vars     int // variables per element (24)
+}
+
+// DefaultFlash returns the paper's FLASH configuration for a rank
+// count: 80 blocks of 8³ elements, 1 guard cell, 24 variables
+// (983,040 memory pieces and 1,920 file regions of 4 KiB per rank).
+func DefaultFlash(ranks int) *Flash {
+	return &Flash{NumRanks: ranks, Blocks: 80, Elems: 8, Guard: 1, Vars: 24}
+}
+
+// Name implements Pattern.
+func (p *Flash) Name() string { return "flashio" }
+
+// Ranks implements Pattern.
+func (p *Flash) Ranks() int { return p.NumRanks }
+
+// chunkBytes is the contiguous file bytes per (variable, block):
+// Elems³ doubles.
+func (p *Flash) chunkBytes() int64 {
+	e := int64(p.Elems)
+	return e * e * e * 8
+}
+
+// FileRegions implements Pattern: Vars * Blocks regions per rank.
+func (p *Flash) FileRegions(rank int) int { return p.Vars * p.Blocks }
+
+// FileRegion implements Pattern. Regions are ordered (v, b), matching
+// the checkpoint writer's loop nest.
+func (p *Flash) FileRegion(rank, i int) ioseg.Segment {
+	v := int64(i / p.Blocks)
+	b := int64(i % p.Blocks)
+	off := ((v*int64(p.Blocks)+b)*int64(p.NumRanks) + int64(rank)) * p.chunkBytes()
+	return ioseg.Segment{Offset: off, Length: p.chunkBytes()}
+}
+
+// MemPieces implements Pattern: one 8-byte piece per (element,
+// variable) = Blocks * Elems³ * Vars (983,040 in the paper).
+func (p *Flash) MemPieces(rank int) int {
+	return p.Blocks * p.Elems * p.Elems * p.Elems * p.Vars
+}
+
+// MemRegion implements MemPattern: the i-th 8-byte piece in file
+// stream order. Stream order is (v, b, z, y, x); memory order within a
+// block is element-major with guard-cell padding: the element at
+// (x,y,z) of block b lives at
+//
+//	((b*cube + ((z+G)*edge + (y+G))*edge + (x+G)) * Vars + v) * 8
+//
+// where edge = Elems+2·Guard and cube = edge³.
+func (p *Flash) MemRegion(rank, i int) ioseg.Segment {
+	e := p.Elems
+	perBlock := e * e * e // stream elements per (v,b)
+	v := i / (p.Blocks * perBlock)
+	rem := i % (p.Blocks * perBlock)
+	b := rem / perBlock
+	el := rem % perBlock
+	z := el / (e * e)
+	y := (el / e) % e
+	x := el % e
+	edge := int64(p.Elems + 2*p.Guard)
+	cube := edge * edge * edge
+	idx := (int64(b)*cube +
+		((int64(z)+int64(p.Guard))*edge+(int64(y)+int64(p.Guard)))*edge +
+		(int64(x) + int64(p.Guard)))
+	off := (idx*int64(p.Vars) + int64(v)) * 8
+	return ioseg.Segment{Offset: off, Length: 8}
+}
+
+// ArenaBytes implements MemPattern: blocks of padded cubes.
+func (p *Flash) ArenaBytes(rank int) int64 {
+	edge := int64(p.Elems + 2*p.Guard)
+	return int64(p.Blocks) * edge * edge * edge * int64(p.Vars) * 8
+}
+
+// TotalBytes implements Pattern: 7.5 MiB per rank in the paper
+// (80·8³·24·8 bytes).
+func (p *Flash) TotalBytes(rank int) int64 {
+	return int64(p.FileRegions(rank)) * p.chunkBytes()
+}
+
+// FileBytes is the checkpoint file size (rank count × 7.5 MiB).
+func (p *Flash) FileBytes() int64 {
+	return p.TotalBytes(0) * int64(p.NumRanks)
+}
+
+// --- tiled visualization (§4.4.1, Figure 16) ---
+
+// Tiled models the tiled visualization reader: a TilesX×TilesY display
+// wall, each tile W×H pixels at Bpp bytes per pixel, with adjacent
+// tiles overlapping by OverlapX/OverlapY pixels. The frame file stores
+// the merged display row-major; each rank reads its tile's rows.
+type Tiled struct {
+	TilesX, TilesY     int
+	W, H               int // tile pixel dimensions
+	Bpp                int // bytes per pixel
+	OverlapX, OverlapY int // pixel overlap between adjacent tiles
+}
+
+// DefaultTiled returns the paper's configuration: 3×2 tiles of
+// 1024×768 at 24-bit color, 270/128 pixel overlaps (≈10.2 MB file,
+// 768 file regions of 3072 bytes per rank).
+func DefaultTiled() *Tiled {
+	return &Tiled{TilesX: 3, TilesY: 2, W: 1024, H: 768, Bpp: 3, OverlapX: 270, OverlapY: 128}
+}
+
+// Name implements Pattern.
+func (p *Tiled) Name() string { return "tiledviz" }
+
+// Ranks implements Pattern.
+func (p *Tiled) Ranks() int { return p.TilesX * p.TilesY }
+
+// frameW is the merged display width in pixels.
+func (p *Tiled) frameW() int64 {
+	return int64(p.TilesX*p.W - (p.TilesX-1)*p.OverlapX)
+}
+
+// frameH is the merged display height in pixels.
+func (p *Tiled) frameH() int64 {
+	return int64(p.TilesY*p.H - (p.TilesY-1)*p.OverlapY)
+}
+
+// FileBytes is the frame file size (≈10.2 MB for the defaults).
+func (p *Tiled) FileBytes() int64 { return p.frameW() * p.frameH() * int64(p.Bpp) }
+
+// RowBytes is one merged display row.
+func (p *Tiled) RowBytes() int64 { return p.frameW() * int64(p.Bpp) }
+
+// FileRegions implements Pattern: one region per tile row (768).
+func (p *Tiled) FileRegions(rank int) int { return p.H }
+
+// FileRegion implements Pattern.
+func (p *Tiled) FileRegion(rank, i int) ioseg.Segment {
+	tx := int64(rank % p.TilesX)
+	ty := int64(rank / p.TilesX)
+	x0 := tx * int64(p.W-p.OverlapX)
+	y0 := ty * int64(p.H-p.OverlapY)
+	off := (y0+int64(i))*p.RowBytes() + x0*int64(p.Bpp)
+	return ioseg.Segment{Offset: off, Length: int64(p.W) * int64(p.Bpp)}
+}
+
+// MemPieces implements Pattern (tile memory contiguous).
+func (p *Tiled) MemPieces(rank int) int { return p.H }
+
+// TotalBytes implements Pattern: W*H*Bpp per rank (≈2.36 MB).
+func (p *Tiled) TotalBytes(rank int) int64 {
+	return int64(p.W) * int64(p.H) * int64(p.Bpp)
+}
+
+// UsefulFraction is the share of a sieve read a tile actually uses —
+// the paper's 1/TilesX estimate (§4.4.1).
+func (p *Tiled) UsefulFraction() float64 { return 1 / float64(p.TilesX) }

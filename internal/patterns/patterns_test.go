@@ -1,0 +1,268 @@
+package patterns
+
+import (
+	"testing"
+
+	"pvfs/internal/ioseg"
+)
+
+// checkDisjointCover verifies ranks' file regions never overlap and
+// jointly cover a contiguous prefix-free byte set of the given total.
+func checkDisjointCover(t *testing.T, p Pattern, wantTotal int64) {
+	t.Helper()
+	var all ioseg.List
+	var total int64
+	for r := 0; r < p.Ranks(); r++ {
+		l := FileList(p, r)
+		if n := p.FileRegions(r); n != len(l) {
+			t.Fatalf("rank %d: FileRegions=%d but list has %d", r, n, len(l))
+		}
+		if got := l.TotalLength(); got != p.TotalBytes(r) {
+			t.Fatalf("rank %d: TotalBytes=%d, list covers %d", r, p.TotalBytes(r), got)
+		}
+		total += l.TotalLength()
+		all = append(all, l...)
+	}
+	norm := all.Normalize()
+	if norm.TotalLength() != total {
+		t.Fatalf("%s: ranks overlap: union %d < sum %d", p.Name(), norm.TotalLength(), total)
+	}
+	if wantTotal > 0 && total != wantTotal {
+		t.Fatalf("%s: total = %d, want %d", p.Name(), total, wantTotal)
+	}
+}
+
+func TestCyclic1DGeometry(t *testing.T) {
+	p, err := NewCyclic1D(8, 1000, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs := p.BlockSize(); bs != (1<<30)/8000 {
+		t.Fatalf("block size = %d", bs)
+	}
+	// Rank r's i-th region interleaves.
+	s := p.FileRegion(3, 0)
+	if s.Offset != 3*p.BlockSize() {
+		t.Fatalf("rank 3 region 0 at %d", s.Offset)
+	}
+	s = p.FileRegion(0, 1)
+	if s.Offset != 8*p.BlockSize() {
+		t.Fatalf("rank 0 region 1 at %d", s.Offset)
+	}
+	checkDisjointCover(t, p, int64(8*1000)*p.BlockSize())
+}
+
+func TestCyclic1DPaperArithmetic(t *testing.T) {
+	// §4.2.2: 9 clients, 800,000 accesses on 1 GiB ≈ 149 bytes/access.
+	p, err := NewCyclic1D(9, 800000, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs := p.BlockSize(); bs != 149 {
+		t.Fatalf("block size = %d, want 149 (paper's turning point)", bs)
+	}
+}
+
+func TestCyclic1DValidation(t *testing.T) {
+	if _, err := NewCyclic1D(0, 10, 100); err == nil {
+		t.Fatal("zero ranks accepted")
+	}
+	if _, err := NewCyclic1D(4, 1000, 100); err == nil {
+		t.Fatal("more accesses than bytes accepted")
+	}
+}
+
+func TestBlockBlockGeometry(t *testing.T) {
+	p, err := NewBlockBlock(4, 4096, 1<<20) // 1 MiB array, edge 1024
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Grid != 2 || p.N != 1024 {
+		t.Fatalf("grid=%d n=%d", p.Grid, p.N)
+	}
+	// 4096 accesses over 512 tile rows = 8 pieces/row.
+	if p.PerRow != 8 {
+		t.Fatalf("PerRow = %d, want 8", p.PerRow)
+	}
+	checkDisjointCover(t, p, 1024*1024)
+
+	// Rank 3 (bottom-right tile) first region starts at row 512, col 512.
+	s := p.FileRegion(3, 0)
+	if s.Offset != 512*1024+512 {
+		t.Fatalf("rank 3 region 0 at %d", s.Offset)
+	}
+}
+
+func TestBlockBlockNonSquareRejected(t *testing.T) {
+	if _, err := NewBlockBlock(6, 100, 1<<20); err == nil {
+		t.Fatal("non-square rank count accepted")
+	}
+}
+
+func TestBlockBlockRemainderAbsorbed(t *testing.T) {
+	// 9 ranks on an edge not divisible by 3: the last row/col tiles
+	// absorb the remainder and coverage stays exact.
+	p, err := NewBlockBlock(9, 1000, 1000*1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDisjointCover(t, p, 1000*1000)
+}
+
+func TestBlockBlockServersPerRow(t *testing.T) {
+	// Paper setup: N = 32768 bytes/row, 16 KiB stripes, 8 servers:
+	// rows advance 2 stripe slots → only 4 distinct servers per client.
+	p := &BlockBlock{NumRanks: 9, Grid: 3, N: 32768, PerRow: 1}
+	if got := p.ServersPerRow(16384, 8); got != 4 {
+		t.Fatalf("ServersPerRow = %d, want 4", got)
+	}
+	// 1-D cyclic-like advance of 1 slot touches all 8.
+	p2 := &BlockBlock{NumRanks: 4, Grid: 2, N: 16384, PerRow: 1}
+	if got := p2.ServersPerRow(16384, 8); got != 8 {
+		t.Fatalf("ServersPerRow = %d, want 8", got)
+	}
+}
+
+func TestFlashPaperArithmetic(t *testing.T) {
+	// §4.3.1's request arithmetic.
+	p := DefaultFlash(4)
+	if got := p.MemPieces(0); got != 983040 {
+		t.Fatalf("mem pieces = %d, want 983040", got)
+	}
+	if got := p.FileRegions(0); got != 1920 {
+		t.Fatalf("file regions = %d, want 1920 (80 blocks x 24 vars)", got)
+	}
+	if got := p.chunkBytes(); got != 4096 {
+		t.Fatalf("chunk = %d, want 4096", got)
+	}
+	if got := p.TotalBytes(0); got != 7864320 {
+		t.Fatalf("bytes/rank = %d, want 7,864,320", got)
+	}
+	if got := p.FileBytes(); got != 4*7864320 {
+		t.Fatalf("file bytes = %d", got)
+	}
+}
+
+func TestFlashFileLayout(t *testing.T) {
+	p := DefaultFlash(2)
+	// Variable 0, block 0: rank 0 then rank 1, 4096 bytes each.
+	if s := p.FileRegion(0, 0); s.Offset != 0 || s.Length != 4096 {
+		t.Fatalf("rank 0 region 0 = %v", s)
+	}
+	if s := p.FileRegion(1, 0); s.Offset != 4096 {
+		t.Fatalf("rank 1 region 0 = %v", s)
+	}
+	// Rank 0, region 1 = (v=0, b=1): offset 2*4096.
+	if s := p.FileRegion(0, 1); s.Offset != 2*4096 {
+		t.Fatalf("rank 0 region 1 = %v", s)
+	}
+	checkDisjointCover(t, p, p.FileBytes())
+}
+
+func TestFlashMemoryLayout(t *testing.T) {
+	p := &Flash{NumRanks: 1, Blocks: 2, Elems: 2, Guard: 1, Vars: 3}
+	// Edge = 4, cube = 64 elements; arena = 2*64*3*8 = 3072.
+	if got := p.ArenaBytes(0); got != 3072 {
+		t.Fatalf("arena = %d", got)
+	}
+	// Stream piece 0: v=0,b=0,z=0,y=0,x=0 → element (1,1,1) in the
+	// padded cube: idx = (1*4+1)*4+1 = 21 → offset (21*3+0)*8 = 504.
+	if s := p.MemRegion(0, 0); s.Offset != 504 || s.Length != 8 {
+		t.Fatalf("piece 0 = %v", s)
+	}
+	// Next x: element (1,1,2): idx 22 → offset 528.
+	if s := p.MemRegion(0, 1); s.Offset != 528 {
+		t.Fatalf("piece 1 = %v", s)
+	}
+	// All pieces must be distinct, 8 bytes, inside the arena.
+	seen := map[int64]bool{}
+	mp := p.MemPieces(0)
+	if mp != 2*8*3 {
+		t.Fatalf("mem pieces = %d", mp)
+	}
+	for i := 0; i < mp; i++ {
+		s := p.MemRegion(0, i)
+		if s.Length != 8 || s.Offset < 0 || s.End() > p.ArenaBytes(0) {
+			t.Fatalf("piece %d = %v outside arena", i, s)
+		}
+		if seen[s.Offset] {
+			t.Fatalf("piece %d reuses offset %d", i, s.Offset)
+		}
+		seen[s.Offset] = true
+	}
+}
+
+func TestFlashMemFileTotalsAgree(t *testing.T) {
+	p := &Flash{NumRanks: 3, Blocks: 4, Elems: 4, Guard: 1, Vars: 5}
+	for r := 0; r < 3; r++ {
+		mem := MemList(p, r)
+		file := FileList(p, r)
+		if mem.TotalLength() != file.TotalLength() {
+			t.Fatalf("rank %d: mem %d != file %d bytes", r, mem.TotalLength(), file.TotalLength())
+		}
+		if len(mem) != p.MemPieces(r) {
+			t.Fatalf("rank %d: mem list %d pieces, want %d", r, len(mem), p.MemPieces(r))
+		}
+	}
+	checkDisjointCover(t, p, p.FileBytes())
+}
+
+func TestTiledPaperGeometry(t *testing.T) {
+	p := DefaultTiled()
+	if p.frameW() != 2532 || p.frameH() != 1408 {
+		t.Fatalf("frame = %dx%d, want 2532x1408", p.frameW(), p.frameH())
+	}
+	if got := p.FileBytes(); got != 10695168 {
+		t.Fatalf("file bytes = %d, want 10,695,168 (~10.2 MB)", got)
+	}
+	if got := p.FileRegions(0); got != 768 {
+		t.Fatalf("regions = %d, want 768", got)
+	}
+	if got := p.FileRegion(0, 0); got.Length != 3072 {
+		t.Fatalf("row length = %d, want 3072", got.Length)
+	}
+	if got := p.TotalBytes(0); got != 1024*768*3 {
+		t.Fatalf("tile bytes = %d", got)
+	}
+	if uf := p.UsefulFraction(); uf < 0.33 || uf > 0.34 {
+		t.Fatalf("useful fraction = %f, want ~1/3", uf)
+	}
+}
+
+func TestTiledOverlapMeansSharedBytes(t *testing.T) {
+	// Unlike the other patterns, tiles overlap: adjacent tiles read
+	// shared columns. Verify rank 0 and rank 1 rows overlap by
+	// exactly OverlapX pixels.
+	p := DefaultTiled()
+	r0 := p.FileRegion(0, 0)
+	r1 := p.FileRegion(1, 0)
+	inter, ok := r0.Intersect(r1)
+	if !ok {
+		t.Fatal("adjacent tiles do not overlap")
+	}
+	if want := int64(p.OverlapX * p.Bpp); inter.Length != want {
+		t.Fatalf("overlap = %d bytes, want %d", inter.Length, want)
+	}
+}
+
+func TestTiledRegionsInsideFile(t *testing.T) {
+	p := DefaultTiled()
+	for r := 0; r < p.Ranks(); r++ {
+		l := FileList(p, r)
+		span, _ := l.Span()
+		if span.End() > p.FileBytes() {
+			t.Fatalf("rank %d regions end at %d past file %d", r, span.End(), p.FileBytes())
+		}
+	}
+}
+
+func TestMemListContiguousDefault(t *testing.T) {
+	p, _ := NewCyclic1D(2, 10, 1000)
+	mem := MemList(p, 0)
+	if len(mem) != 1 || mem[0].Length != p.TotalBytes(0) {
+		t.Fatalf("mem list = %v", mem)
+	}
+	if ArenaSize(p, 0) != p.TotalBytes(0) {
+		t.Fatalf("arena = %d", ArenaSize(p, 0))
+	}
+}

@@ -1,0 +1,108 @@
+package patterns
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pvfs/internal/ioseg"
+)
+
+// Random is a seeded pseudo-random access pattern for fuzz and
+// equivalence testing: the file is carved into non-overlapping regions
+// of random sizes separated by random gaps, and each region is
+// assigned to a random rank. Unlike the paper's regular benchmarks it
+// has no structure for any method to exploit, which makes it the
+// worst honest input for cross-method equivalence tests (every method
+// must still produce byte-identical results) and for the trace
+// tooling. The same seed always yields the same pattern. Memory is one
+// contiguous buffer per rank.
+type Random struct {
+	NumRanks int
+	Seed     int64
+
+	perRank []ioseg.List
+	total   []int64
+}
+
+// RandomOptions bounds the generator.
+type RandomOptions struct {
+	// RegionsPerRank is the number of file regions each rank gets.
+	RegionsPerRank int
+	// MinSize and MaxSize bound region lengths (bytes).
+	MinSize, MaxSize int64
+	// MaxGap bounds the gap inserted between consecutive regions.
+	MaxGap int64
+}
+
+// NewRandom builds a random pattern: ranks × opts.RegionsPerRank
+// disjoint regions in file order, dealt to ranks by a seeded shuffle.
+func NewRandom(ranks int, seed int64, opts RandomOptions) (*Random, error) {
+	if ranks <= 0 || opts.RegionsPerRank <= 0 {
+		return nil, fmt.Errorf("patterns: invalid random pattern: %d ranks, %d regions/rank",
+			ranks, opts.RegionsPerRank)
+	}
+	if opts.MinSize <= 0 || opts.MaxSize < opts.MinSize || opts.MaxGap < 0 {
+		return nil, fmt.Errorf("patterns: invalid random sizes [%d,%d] gap %d",
+			opts.MinSize, opts.MaxSize, opts.MaxGap)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := ranks * opts.RegionsPerRank
+
+	// Deal rank ids evenly, then shuffle: every rank gets exactly
+	// RegionsPerRank regions at random file positions.
+	owner := make([]int, n)
+	for i := range owner {
+		owner[i] = i % ranks
+	}
+	rng.Shuffle(n, func(i, j int) { owner[i], owner[j] = owner[j], owner[i] })
+
+	p := &Random{
+		NumRanks: ranks,
+		Seed:     seed,
+		perRank:  make([]ioseg.List, ranks),
+		total:    make([]int64, ranks),
+	}
+	var off int64
+	for i := 0; i < n; i++ {
+		size := opts.MinSize + rng.Int63n(opts.MaxSize-opts.MinSize+1)
+		if opts.MaxGap > 0 {
+			off += rng.Int63n(opts.MaxGap + 1)
+		}
+		r := owner[i]
+		p.perRank[r] = append(p.perRank[r], ioseg.Segment{Offset: off, Length: size})
+		p.total[r] += size
+		off += size
+	}
+	return p, nil
+}
+
+// Name implements Pattern.
+func (p *Random) Name() string { return "random" }
+
+// Ranks implements Pattern.
+func (p *Random) Ranks() int { return p.NumRanks }
+
+// FileRegions implements Pattern.
+func (p *Random) FileRegions(rank int) int { return len(p.perRank[rank]) }
+
+// FileRegion implements Pattern.
+func (p *Random) FileRegion(rank, i int) ioseg.Segment { return p.perRank[rank][i] }
+
+// MemPieces implements Pattern: memory is contiguous.
+func (p *Random) MemPieces(rank int) int { return len(p.perRank[rank]) }
+
+// TotalBytes implements Pattern.
+func (p *Random) TotalBytes(rank int) int64 { return p.total[rank] }
+
+// FileBytes is the extent of the whole pattern (the implied file size).
+func (p *Random) FileBytes() int64 {
+	var max int64
+	for _, l := range p.perRank {
+		if n := len(l); n > 0 {
+			if e := l[n-1].End(); e > max {
+				max = e
+			}
+		}
+	}
+	return max
+}

@@ -1,0 +1,125 @@
+package patterns
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pvfs/internal/ioseg"
+)
+
+func defaultRandomOpts() RandomOptions {
+	return RandomOptions{RegionsPerRank: 64, MinSize: 1, MaxSize: 512, MaxGap: 1024}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a, err := NewRandom(4, 99, defaultRandomOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRandom(4, 99, defaultRandomOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		if !FileList(a, r).Equal(FileList(b, r)) {
+			t.Fatalf("rank %d differs across same-seed constructions", r)
+		}
+	}
+	c, err := NewRandom(4, 100, defaultRandomOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for r := 0; r < 4; r++ {
+		if !FileList(a, r).Equal(FileList(c, r)) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical patterns")
+	}
+}
+
+// TestRandomDisjointAndSorted: the property every method relies on —
+// regions never overlap across ranks, and each rank's list is sorted.
+func TestRandomDisjointAndSorted(t *testing.T) {
+	f := func(seed int64, ranks8, regions8 uint8) bool {
+		ranks := 1 + int(ranks8)%8
+		opts := RandomOptions{
+			RegionsPerRank: 1 + int(regions8)%100,
+			MinSize:        1, MaxSize: 300, MaxGap: 64,
+		}
+		p, err := NewRandom(ranks, seed, opts)
+		if err != nil {
+			return false
+		}
+		var all ioseg.List
+		for r := 0; r < ranks; r++ {
+			l := FileList(p, r)
+			if len(l) != opts.RegionsPerRank {
+				return false
+			}
+			if !l.IsSorted() {
+				return false
+			}
+			if l.TotalLength() != p.TotalBytes(r) {
+				return false
+			}
+			all = append(all, l...)
+		}
+		// Disjointness: normalized union preserves total length.
+		total := all.TotalLength()
+		return all.Normalize().TotalLength() == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomSizeBounds(t *testing.T) {
+	opts := RandomOptions{RegionsPerRank: 200, MinSize: 7, MaxSize: 9, MaxGap: 3}
+	p, err := NewRandom(3, 5, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 3; r++ {
+		for i := 0; i < p.FileRegions(r); i++ {
+			s := p.FileRegion(r, i)
+			if s.Length < 7 || s.Length > 9 {
+				t.Fatalf("region length %d outside [7,9]", s.Length)
+			}
+		}
+	}
+	if p.FileBytes() <= 0 {
+		t.Fatal("FileBytes not positive")
+	}
+}
+
+func TestRandomRejectsBadOptions(t *testing.T) {
+	cases := []struct {
+		ranks int
+		opts  RandomOptions
+	}{
+		{0, defaultRandomOpts()},
+		{2, RandomOptions{RegionsPerRank: 0, MinSize: 1, MaxSize: 2}},
+		{2, RandomOptions{RegionsPerRank: 4, MinSize: 0, MaxSize: 2}},
+		{2, RandomOptions{RegionsPerRank: 4, MinSize: 3, MaxSize: 2}},
+		{2, RandomOptions{RegionsPerRank: 4, MinSize: 1, MaxSize: 2, MaxGap: -1}},
+	}
+	for i, c := range cases {
+		if _, err := NewRandom(c.ranks, 1, c.opts); err == nil {
+			t.Errorf("case %d: invalid options accepted", i)
+		}
+	}
+}
+
+func TestRandomMemIsContiguous(t *testing.T) {
+	p, err := NewRandom(2, 11, defaultRandomOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := MemList(p, 0)
+	if len(mem) != 1 || mem[0].Offset != 0 || mem[0].Length != p.TotalBytes(0) {
+		t.Fatalf("mem list = %v, want one region of %d bytes", mem, p.TotalBytes(0))
+	}
+}

@@ -1,0 +1,91 @@
+package pvfsnet
+
+import (
+	"sync"
+	"time"
+)
+
+// Faults injects failures into a Server for recovery testing: requests
+// can be failed with an I/O status, connections can be dropped
+// mid-request (the client sees a broken connection, as when a daemon
+// is killed), and service can be delayed. A zero Faults injects
+// nothing. All methods are safe for concurrent use.
+type Faults struct {
+	mu       sync.Mutex
+	failNext int
+	dropNext int
+	delay    time.Duration
+
+	failed  int
+	dropped int
+}
+
+// FailRequests arms the injector to answer the next n requests with
+// StatusIOError instead of invoking the handler (the daemon is alive but
+// its disk errors).
+func (f *Faults) FailRequests(n int) {
+	f.mu.Lock()
+	f.failNext = n
+	f.mu.Unlock()
+}
+
+// DropConnections arms the injector to close the connection instead of
+// answering, for the next n requests (the daemon dies mid-call).
+func (f *Faults) DropConnections(n int) {
+	f.mu.Lock()
+	f.dropNext = n
+	f.mu.Unlock()
+}
+
+// SetDelay makes every request sleep d before being handled.
+func (f *Faults) SetDelay(d time.Duration) {
+	f.mu.Lock()
+	f.delay = d
+	f.mu.Unlock()
+}
+
+// Counts reports how many requests were failed and dropped so far.
+func (f *Faults) Counts() (failed, dropped int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.failed, f.dropped
+}
+
+type faultAction int
+
+const (
+	faultNone faultAction = iota
+	faultFail
+	faultDrop
+)
+
+// next consumes one injection decision.
+func (f *Faults) next() (faultAction, time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d := f.delay
+	if f.dropNext > 0 {
+		f.dropNext--
+		f.dropped++
+		return faultDrop, d
+	}
+	if f.failNext > 0 {
+		f.failNext--
+		f.failed++
+		return faultFail, d
+	}
+	return faultNone, d
+}
+
+// SetFaults installs a fault injector on the server; nil removes it.
+func (s *Server) SetFaults(f *Faults) {
+	s.mu.Lock()
+	s.faults = f
+	s.mu.Unlock()
+}
+
+func (s *Server) currentFaults() *Faults {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.faults
+}

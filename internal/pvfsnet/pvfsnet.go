@@ -1,0 +1,258 @@
+// Package pvfsnet provides the TCP transport shared by the PVFS manager
+// and I/O daemons: a message-per-request serve loop on the server side
+// and a serialized call connection on the client side.
+//
+// PVFS request handling is synchronous per connection: a client sends a
+// request and reads the response before issuing the next request on
+// that connection. Parallelism across servers comes from one connection
+// per (client, server) pair, exactly how the PVFS library fans out.
+package pvfsnet
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"pvfs/internal/wire"
+)
+
+// Handler processes one request message and returns the response.
+// Implementations must be safe for concurrent use: each connection is
+// served by its own goroutine.
+type Handler func(wire.Message) wire.Message
+
+// Server runs an accept loop dispatching framed messages to a Handler.
+type Server struct {
+	ln      net.Listener
+	handler Handler
+	logger  *log.Logger
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	faults *Faults
+	wg     sync.WaitGroup
+}
+
+// NewServer starts serving on ln immediately. Pass a nil logger to
+// suppress connection error logging.
+func NewServer(ln net.Listener, h Handler, logger *log.Logger) *Server {
+	s := &Server{ln: ln, handler: h, logger: logger, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.logger != nil {
+		s.logger.Printf(format, args...)
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+func (s *Server) serveConn(c net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+	}()
+	for {
+		req, err := wire.ReadMessage(c)
+		if err != nil {
+			return // EOF or broken connection ends the session
+		}
+		if f := s.currentFaults(); f != nil {
+			action, delay := f.next()
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			switch action {
+			case faultDrop:
+				return // deferred close severs the connection mid-call
+			case faultFail:
+				resp := wire.Message{Header: wire.Header{
+					Type:   req.Type.Response(),
+					Status: wire.StatusIOError,
+				}}
+				if err := wire.WriteMessage(c, resp); err != nil {
+					return
+				}
+				continue
+			}
+		}
+		resp := s.safeHandle(req)
+		resp.Type = req.Type.Response()
+		if err := wire.WriteMessage(c, resp); err != nil {
+			s.logf("pvfsnet: writing response to %s: %v", c.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+// safeHandle isolates handler panics to a protocol-error response so a
+// malformed request cannot take the daemon down.
+func (s *Server) safeHandle(req wire.Message) (resp wire.Message) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.logf("pvfsnet: handler panic on %v: %v", req.Type, r)
+			resp = wire.Message{Header: wire.Header{Status: wire.StatusProtocol}}
+		}
+	}()
+	return s.handler(req)
+}
+
+// Close stops accepting, closes live connections and waits for the
+// serving goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// Conn is a client connection issuing serialized request/response
+// calls. It is safe for concurrent use; calls are serialized per
+// connection as in the PVFS library.
+type Conn struct {
+	mu   sync.Mutex
+	addr string
+	c    net.Conn
+}
+
+// Dial connects to a PVFS daemon.
+func Dial(addr string) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pvfsnet: dial %s: %w", addr, err)
+	}
+	return &Conn{addr: addr, c: c}, nil
+}
+
+// ErrClosed is returned by calls on a closed connection.
+var ErrClosed = errors.New("pvfsnet: connection closed")
+
+// Call sends req and waits for the matching response. Non-OK response
+// statuses are returned as *wire.StatusError alongside the message.
+func (c *Conn) Call(req wire.Message) (wire.Message, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.c == nil {
+		return wire.Message{}, ErrClosed
+	}
+	if err := wire.WriteMessage(c.c, req); err != nil {
+		return wire.Message{}, fmt.Errorf("pvfsnet: call %v to %s: %w", req.Type, c.addr, err)
+	}
+	resp, err := wire.ReadMessage(c.c)
+	if err != nil {
+		return wire.Message{}, fmt.Errorf("pvfsnet: response for %v from %s: %w", req.Type, c.addr, err)
+	}
+	if resp.Type != req.Type.Response() {
+		return resp, fmt.Errorf("pvfsnet: response type %v for request %v", resp.Type, req.Type)
+	}
+	return resp, resp.Status.Err()
+}
+
+// Addr returns the remote address.
+func (c *Conn) Addr() string { return c.addr }
+
+// Close shuts the connection down.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.c == nil {
+		return nil
+	}
+	err := c.c.Close()
+	c.c = nil
+	return err
+}
+
+// Pool caches one Conn per address, creating them on demand. The PVFS
+// client keeps one connection per daemon for the life of the process.
+type Pool struct {
+	mu    sync.Mutex
+	conns map[string]*Conn
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{conns: make(map[string]*Conn)} }
+
+// Get returns the pooled connection for addr, dialing if needed.
+func (p *Pool) Get(addr string) (*Conn, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if c, ok := p.conns[addr]; ok {
+		return c, nil
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	p.conns[addr] = c
+	return c, nil
+}
+
+// Discard closes and forgets the pooled connection for addr, so the
+// next Get redials. Callers use it to recover from broken connections
+// (a daemon restart keeps its address; the stale socket must go).
+func (p *Pool) Discard(addr string) {
+	p.mu.Lock()
+	c, ok := p.conns[addr]
+	if ok {
+		delete(p.conns, addr)
+	}
+	p.mu.Unlock()
+	if ok {
+		c.Close()
+	}
+}
+
+// Close closes every pooled connection.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var first error
+	for addr, c := range p.conns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(p.conns, addr)
+	}
+	return first
+}

@@ -1,0 +1,230 @@
+package pvfsnet
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"pvfs/internal/wire"
+)
+
+// startEcho runs a server whose handler echoes the body and tags the
+// handle, optionally panicking on demand.
+func startEcho(t *testing.T) *Server {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ln, func(req wire.Message) wire.Message {
+		if string(req.Body) == "panic" {
+			panic("handler exploded")
+		}
+		return wire.Message{
+			Header: wire.Header{Handle: req.Handle + 1},
+			Body:   req.Body,
+		}
+	}, nil)
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	srv := startEcho(t)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Call(wire.Message{
+		Header: wire.Header{Type: wire.TPing, Handle: 41},
+		Body:   []byte("hello"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Handle != 42 || string(resp.Body) != "hello" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if resp.Type != wire.TPing.Response() {
+		t.Fatalf("resp type = %v", resp.Type)
+	}
+}
+
+func TestSequentialCallsOnOneConn(t *testing.T) {
+	srv := startEcho(t)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := uint64(0); i < 100; i++ {
+		resp, err := c.Call(wire.Message{Header: wire.Header{Type: wire.TPing, Handle: i}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Handle != i+1 {
+			t.Fatalf("call %d: handle = %d", i, resp.Handle)
+		}
+	}
+}
+
+func TestConcurrentCallsSerialize(t *testing.T) {
+	srv := startEcho(t)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g uint64) {
+			defer wg.Done()
+			resp, err := c.Call(wire.Message{Header: wire.Header{Type: wire.TPing, Handle: g}})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.Handle != g+1 {
+				errs <- &StatusErrorMismatch{}
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type StatusErrorMismatch struct{}
+
+func (*StatusErrorMismatch) Error() string { return "response routed to wrong caller" }
+
+func TestHandlerPanicIsolated(t *testing.T) {
+	srv := startEcho(t)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Call(wire.Message{Header: wire.Header{Type: wire.TPing}, Body: []byte("panic")})
+	if err == nil {
+		t.Fatal("panicking handler returned OK")
+	}
+	if resp.Status != wire.StatusProtocol {
+		t.Fatalf("status = %v", resp.Status)
+	}
+	// The connection must still work afterwards.
+	resp, err = c.Call(wire.Message{Header: wire.Header{Type: wire.TPing, Handle: 1}, Body: []byte("ok")})
+	if err != nil || resp.Handle != 2 {
+		t.Fatalf("connection broken after handler panic: %v %+v", err, resp)
+	}
+}
+
+func TestNonOKStatusBecomesError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ln, func(req wire.Message) wire.Message {
+		return wire.Message{Header: wire.Header{Status: wire.StatusNotFound}}
+	}, nil)
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Call(wire.Message{Header: wire.Header{Type: wire.TOpen}})
+	if err == nil {
+		t.Fatal("non-OK status did not produce an error")
+	}
+	if resp.Status != wire.StatusNotFound {
+		t.Fatalf("status = %v", resp.Status)
+	}
+}
+
+func TestCallAfterClose(t *testing.T) {
+	srv := startEcho(t)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call(wire.Message{Header: wire.Header{Type: wire.TPing}}); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	// Double close is fine.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	srv := startEcho(t)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call(wire.Message{Header: wire.Header{Type: wire.TPing}}); err == nil {
+		t.Fatal("call on closed server succeeded")
+	}
+	// Closing again is a no-op.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolReusesConnections(t *testing.T) {
+	srv := startEcho(t)
+	p := NewPool()
+	defer p.Close()
+	a, err := p.Get(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Get(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("pool did not reuse connection")
+	}
+	if _, err := p.Get("127.0.0.1:1"); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestGarbageBytesDropConnection(t *testing.T) {
+	srv := startEcho(t)
+	raw, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if _, err := raw.Write([]byte("GET / HTTP/1.1\r\n\r\n ---- not pvfs ----")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	if _, err := raw.Read(buf); err == nil {
+		t.Fatal("server answered garbage instead of dropping")
+	}
+	// Server still serves fresh connections.
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call(wire.Message{Header: wire.Header{Type: wire.TPing}}); err != nil {
+		t.Fatal(err)
+	}
+}

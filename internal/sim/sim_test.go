@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	end := e.Run()
+	if end != 30 {
+		t.Fatalf("end = %d", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSameTimeStableOrder(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("unstable same-time order: %v", order)
+		}
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := New()
+	var hits []int64
+	e.At(10, func() {
+		hits = append(hits, e.Now())
+		e.After(5, func() { hits = append(hits, e.Now()) })
+	})
+	e.Run()
+	if len(hits) != 2 || hits[0] != 10 || hits[1] != 15 {
+		t.Fatalf("hits = %v", hits)
+	}
+	if e.Events() != 2 {
+		t.Fatalf("Events = %d", e.Events())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestResourceFCFS(t *testing.T) {
+	var r Resource
+	// Idle resource: job starts immediately.
+	if done := r.Acquire(100, 50); done != 150 {
+		t.Fatalf("done = %d, want 150", done)
+	}
+	// Arrival during service queues behind.
+	if done := r.Acquire(120, 30); done != 180 {
+		t.Fatalf("done = %d, want 180", done)
+	}
+	// Arrival after idle gap starts at arrival.
+	if done := r.Acquire(1000, 10); done != 1010 {
+		t.Fatalf("done = %d, want 1010", done)
+	}
+	if r.Busy() != 90 {
+		t.Fatalf("busy = %d, want 90", r.Busy())
+	}
+}
+
+func TestResourceStart(t *testing.T) {
+	var r Resource
+	r.Acquire(0, 100)
+	if got := r.Start(50); got != 100 {
+		t.Fatalf("Start during busy = %d", got)
+	}
+	if got := r.Start(200); got != 200 {
+		t.Fatalf("Start when idle = %d", got)
+	}
+}
+
+func TestResourceZeroService(t *testing.T) {
+	var r Resource
+	if done := r.Acquire(5, 0); done != 5 {
+		t.Fatalf("zero service done = %d", done)
+	}
+}
+
+func TestNegativeServicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative service did not panic")
+		}
+	}()
+	var r Resource
+	r.Acquire(0, -1)
+}
+
+func TestBarrierReleasesAtMax(t *testing.T) {
+	e := New()
+	b := NewBarrier(e, 3)
+	var released []int64
+	arrive := func(t0 int64) {
+		e.At(t0, func() {
+			b.Arrive(e.Now(), func() { released = append(released, e.Now()) })
+		})
+	}
+	arrive(10)
+	arrive(50)
+	arrive(30)
+	e.Run()
+	if len(released) != 3 {
+		t.Fatalf("released %d parties", len(released))
+	}
+	for _, r := range released {
+		if r != 50 {
+			t.Fatalf("release time %d, want 50 (max arrival)", r)
+		}
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	e := New()
+	b := NewBarrier(e, 2)
+	var times []int64
+	// Round 1 at 10/20, round 2 at 30/40.
+	e.At(10, func() { b.Arrive(10, func() { times = append(times, e.Now()) }) })
+	e.At(20, func() {
+		b.Arrive(20, func() {
+			times = append(times, e.Now())
+			e.At(30, func() { b.Arrive(30, func() { times = append(times, e.Now()) }) })
+			e.At(40, func() { b.Arrive(40, func() { times = append(times, e.Now()) }) })
+		})
+	})
+	e.Run()
+	if len(times) != 4 {
+		t.Fatalf("times = %v", times)
+	}
+	if times[0] != 20 || times[1] != 20 || times[2] != 40 || times[3] != 40 {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+// An M/D/1-style sanity check: with deterministic arrivals faster than
+// the service rate, the queue grows and the last completion equals
+// first start + n*service.
+func TestResourceSaturation(t *testing.T) {
+	var r Resource
+	const n, service = 1000, 10
+	var last int64
+	for i := int64(0); i < n; i++ {
+		last = r.Acquire(i, service) // arrivals every 1ns, service 10ns
+	}
+	if want := int64(n * service); last != want {
+		t.Fatalf("last completion = %d, want %d", last, want)
+	}
+}
+
+func BenchmarkEngineThroughput(b *testing.B) {
+	e := New()
+	var r Resource
+	var count int
+	var schedule func(t int64)
+	schedule = func(t int64) {
+		e.At(t, func() {
+			count++
+			if count < b.N {
+				done := r.Acquire(e.Now(), 5)
+				schedule(done)
+			}
+		})
+	}
+	schedule(0)
+	b.ResetTimer()
+	e.Run()
+}

@@ -1,0 +1,253 @@
+package simcluster
+
+import (
+	"time"
+
+	"pvfs/internal/sim"
+)
+
+// Op is one I/O request from a client to a server (or the manager when
+// Server is ManagerServer).
+type Op struct {
+	Server       int   // relative server index, or ManagerServer
+	Payload      int64 // data bytes (write: client→server; read: server→client)
+	Regions      int   // contiguous regions the daemon applies
+	TrailerBytes int64 // trailing-data bytes (list descriptors)
+	Write        bool
+}
+
+// ManagerServer routes an op to the manager daemon (metadata).
+const ManagerServer = -1
+
+// Step is a set of ops issued in parallel (the client library's
+// per-call fan-out); the step completes when every op has.
+type Step []Op
+
+// StepIter lazily yields a chain's steps. Chains issue steps strictly
+// in sequence, like a blocking PVFS library call stream.
+type StepIter func() (Step, bool)
+
+// Stage is one phase of a rank's program: either a barrier with every
+// other rank, or a set of chains that run concurrently (list I/O keeps
+// one chain per server; multiple I/O uses a single chain).
+type Stage struct {
+	Barrier bool
+	Chains  []StepIter
+}
+
+// Workload is a complete experiment: per-rank stage programs over a
+// modeled cluster.
+type Workload struct {
+	Name   string
+	Params Params
+	// RankStages[r] is rank r's program. Every rank must contain the
+	// same number of Barrier stages, in the same stage positions.
+	RankStages [][]Stage
+}
+
+// Result reports a simulated run.
+type Result struct {
+	// Duration is the parallel completion time (max over ranks), the
+	// quantity the paper's figures plot.
+	Duration time.Duration
+	// RankDurations are per-rank completion times.
+	RankDurations []time.Duration
+	// Requests is the total I/O requests issued (manager included).
+	Requests int64
+	// Regions is the total contiguous regions applied at daemons.
+	Regions int64
+	// BytesMoved is total payload bytes over the network.
+	BytesMoved int64
+	// ServerBusy is per-daemon CPU busy time (utilization ×
+	// Duration).
+	ServerBusy []time.Duration
+	// Events is the discrete-event count (diagnostic).
+	Events int64
+}
+
+type runner struct {
+	eng *sim.Engine
+	p   Params
+
+	clientCPU []sim.Resource
+	clientTx  []sim.Resource
+	clientRx  []sim.Resource
+	serverCPU []sim.Resource
+	serverTx  []sim.Resource
+	serverRx  []sim.Resource
+	mgrCPU    sim.Resource
+
+	barrier *sim.Barrier
+
+	requests int64
+	regions  int64
+	bytes    int64
+}
+
+// Run executes the workload to completion in virtual time.
+func Run(w Workload) Result {
+	nRanks := len(w.RankStages)
+	r := &runner{
+		eng:       sim.New(),
+		p:         w.Params,
+		clientCPU: make([]sim.Resource, nRanks),
+		clientTx:  make([]sim.Resource, nRanks),
+		clientRx:  make([]sim.Resource, nRanks),
+		serverCPU: make([]sim.Resource, w.Params.Servers),
+		serverTx:  make([]sim.Resource, w.Params.Servers),
+		serverRx:  make([]sim.Resource, w.Params.Servers),
+	}
+	r.barrier = sim.NewBarrier(r.eng, nRanks)
+
+	ends := make([]int64, nRanks)
+	for rank := range w.RankStages {
+		rank := rank
+		stages := w.RankStages[rank]
+		r.eng.At(0, func() {
+			r.runStages(rank, stages, 0, func(t int64) { ends[rank] = t })
+		})
+	}
+	r.eng.Run()
+
+	res := Result{
+		RankDurations: make([]time.Duration, nRanks),
+		Requests:      r.requests,
+		Regions:       r.regions,
+		BytesMoved:    r.bytes,
+		ServerBusy:    make([]time.Duration, w.Params.Servers),
+		Events:        r.eng.Events(),
+	}
+	var max int64
+	for i, e := range ends {
+		res.RankDurations[i] = time.Duration(e)
+		if e > max {
+			max = e
+		}
+	}
+	res.Duration = time.Duration(max)
+	for i := range r.serverCPU {
+		res.ServerBusy[i] = time.Duration(r.serverCPU[i].Busy())
+	}
+	return res
+}
+
+// runStages executes a rank's stages sequentially starting at t.
+func (r *runner) runStages(rank int, stages []Stage, t int64, done func(int64)) {
+	if len(stages) == 0 {
+		done(t)
+		return
+	}
+	st := stages[0]
+	next := func(tc int64) { r.runStages(rank, stages[1:], tc, done) }
+	if st.Barrier {
+		r.barrier.Arrive(t, func() { next(r.eng.Now()) })
+		return
+	}
+	if len(st.Chains) == 0 {
+		next(t)
+		return
+	}
+	remaining := len(st.Chains)
+	var maxT int64 = t
+	for _, chain := range st.Chains {
+		r.runChain(rank, chain, t, func(tc int64) {
+			if tc > maxT {
+				maxT = tc
+			}
+			remaining--
+			if remaining == 0 {
+				next(maxT)
+			}
+		})
+	}
+}
+
+// runChain executes one chain's steps sequentially starting at t.
+func (r *runner) runChain(rank int, it StepIter, t int64, done func(int64)) {
+	step, ok := it()
+	if !ok {
+		done(t)
+		return
+	}
+	if len(step) == 0 {
+		r.runChain(rank, it, t, done)
+		return
+	}
+	remaining := len(step)
+	var maxT int64 = t
+	for _, op := range step {
+		r.issueOp(rank, op, t, func(tc int64) {
+			if tc > maxT {
+				maxT = tc
+			}
+			remaining--
+			if remaining == 0 {
+				r.runChain(rank, it, maxT, done)
+			}
+		})
+	}
+}
+
+// issueOp models one synchronous request/response exchange:
+//
+//	client CPU → client NIC tx → wire (+ small-write stall) →
+//	server NIC rx → server CPU → server NIC tx → wire →
+//	client NIC rx → client CPU → done.
+//
+// Two events are scheduled per op (arrival at each side); resource
+// acquisitions happen at event time, preserving FCFS order across
+// competing chains.
+func (r *runner) issueOp(rank int, op Op, t int64, done func(int64)) {
+	p := r.p
+	r.requests++
+	r.regions += int64(op.Regions)
+	r.bytes += op.Payload
+
+	if op.Server == ManagerServer {
+		// Metadata op: client → manager CPU → client.
+		tcpu := r.clientCPU[rank].Acquire(t, p.ClientReqCPUNS)
+		arrive := tcpu + p.WireLatencyNS
+		r.eng.At(arrive, func() {
+			tm := r.mgrCPU.Acquire(r.eng.Now(), p.MgrCPUNS)
+			back := tm + p.WireLatencyNS
+			r.eng.At(back, func() {
+				tc := r.clientCPU[rank].Acquire(r.eng.Now(), p.ClientRespCPUNS)
+				done(tc)
+			})
+		})
+		return
+	}
+
+	reqBytes := p.reqWireBytes(op)
+	respBytes := p.respWireBytes(op)
+	reqTransfer := p.transferNS(reqBytes)
+	respTransfer := p.transferNS(respBytes)
+
+	// Client side: marshal (+ payload copy for writes), then NIC tx.
+	marshal := p.ClientReqCPUNS
+	if op.Write {
+		marshal += op.Payload * p.ClientCopyNSPerByte
+	}
+	tcpu := r.clientCPU[rank].Acquire(t, marshal)
+	ttx := r.clientTx[rank].Acquire(tcpu, reqTransfer)
+	txStart := ttx - reqTransfer
+	arrive := txStart + p.WireLatencyNS + p.stallNS(op)
+
+	r.eng.At(arrive, func() {
+		// Receiver NIC occupancy pipelines with the sender's.
+		trx := r.serverRx[op.Server].Acquire(r.eng.Now(), reqTransfer)
+		tsrv := r.serverCPU[op.Server].Acquire(trx, p.serverServiceNS(op))
+		trtx := r.serverTx[op.Server].Acquire(tsrv, respTransfer)
+		rtxStart := trtx - respTransfer
+		back := rtxStart + p.WireLatencyNS
+		r.eng.At(back, func() {
+			trrx := r.clientRx[rank].Acquire(r.eng.Now(), respTransfer)
+			finish := p.ClientRespCPUNS
+			if !op.Write {
+				finish += op.Payload * p.ClientCopyNSPerByte
+			}
+			tc := r.clientCPU[rank].Acquire(trrx, finish)
+			done(tc)
+		})
+	})
+}

@@ -1,0 +1,472 @@
+package simcluster
+
+import (
+	"fmt"
+
+	"pvfs/internal/ioseg"
+	"pvfs/internal/patterns"
+	"pvfs/internal/wire"
+)
+
+// Method names a noncontiguous access strategy in the model.
+type Method int
+
+const (
+	// MethodMultiple: one contiguous request per region (§3.1).
+	MethodMultiple Method = iota
+	// MethodSieve: data sieving through a client buffer (§3.2).
+	MethodSieve
+	// MethodList: list I/O, ≤64 regions per request (§3.3).
+	MethodList
+	// MethodStrided: the datatype-descriptor extension (§5).
+	MethodStrided
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodMultiple:
+		return "multiple"
+	case MethodSieve:
+		return "datasieve"
+	case MethodList:
+		return "list"
+	case MethodStrided:
+		return "strided"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// Granularity mirrors the client library's list-entry construction
+// modes (see internal/client and DESIGN.md §3).
+type Granularity int
+
+const (
+	// GranFileRegions: one list entry per contiguous file region.
+	GranFileRegions Granularity = iota
+	// GranIntersect: one entry per (memory ∩ file) piece.
+	GranIntersect
+)
+
+// MethodOptions tunes workload construction.
+type MethodOptions struct {
+	Granularity Granularity
+	// MaxRegions per list request; 0 = wire.MaxRegionsPerRequest.
+	// The simulator permits values beyond the wire limit for the
+	// frame-budget ablation.
+	MaxRegions int
+	// SieveBufferBytes; 0 = the paper's 32 MB.
+	SieveBufferBytes int64
+	// NoSerializeSieveWrites disables the barrier serialization of
+	// sieving writes (on by default, as in §4.2.1).
+	NoSerializeSieveWrites bool
+	// CoalesceGapBytes, when positive, merges list entries whose file
+	// gap is at most this many bytes before dispatch — the hybrid
+	// list+sieve of §5 (extra gap bytes travel as payload).
+	CoalesceGapBytes int64
+}
+
+func (o MethodOptions) maxRegions() int {
+	if o.MaxRegions <= 0 {
+		return wire.MaxRegionsPerRequest
+	}
+	return o.MaxRegions
+}
+
+func (o MethodOptions) sieveBuffer() int64 {
+	if o.SieveBufferBytes <= 0 {
+		return 32 << 20
+	}
+	return o.SieveBufferBytes
+}
+
+// --- lazy entry iterators ---
+
+// segIter lazily yields file-space entries in stream order.
+type segIter func() (ioseg.Segment, bool)
+
+func fileRegionIter(pat patterns.Pattern, rank int) segIter {
+	i, n := 0, pat.FileRegions(rank)
+	return func() (ioseg.Segment, bool) {
+		if i >= n {
+			return ioseg.Segment{}, false
+		}
+		s := pat.FileRegion(rank, i)
+		i++
+		return s, true
+	}
+}
+
+// intersectIter yields (memory ∩ file) pieces lazily: a new piece
+// starts whenever either the memory or the file side starts a new
+// region. Patterns with contiguous memory degenerate to file regions.
+func intersectIter(pat patterns.Pattern, rank int) segIter {
+	mp, ok := pat.(patterns.MemPattern)
+	if !ok {
+		return fileRegionIter(pat, rank)
+	}
+	nf, nm := pat.FileRegions(rank), pat.MemPieces(rank)
+	fi, mi := 0, 0
+	var fOff, mOff int64
+	var fseg, mseg ioseg.Segment
+	loaded := false
+	return func() (ioseg.Segment, bool) {
+		if fi >= nf || mi >= nm {
+			return ioseg.Segment{}, false
+		}
+		if !loaded {
+			fseg = pat.FileRegion(rank, fi)
+			mseg = mp.MemRegion(rank, mi)
+			loaded = true
+		}
+		n := fseg.Length - fOff
+		if r := mseg.Length - mOff; r < n {
+			n = r
+		}
+		out := ioseg.Segment{Offset: fseg.Offset + fOff, Length: n}
+		fOff += n
+		mOff += n
+		if fOff == fseg.Length {
+			fi, fOff = fi+1, 0
+			if fi < nf {
+				fseg = pat.FileRegion(rank, fi)
+			}
+		}
+		if mOff == mseg.Length {
+			mi, mOff = mi+1, 0
+			if mi < nm {
+				mseg = mp.MemRegion(rank, mi)
+			}
+		}
+		return out, true
+	}
+}
+
+// coalesceIter merges consecutive entries whose gap is at most gap
+// bytes (entries must arrive in nondecreasing offset order, which all
+// patterns provide). It implements the hybrid list+sieve rule.
+func coalesceIter(inner segIter, gap int64) segIter {
+	var pending ioseg.Segment
+	havePending := false
+	return func() (ioseg.Segment, bool) {
+		for {
+			s, ok := inner()
+			if !ok {
+				if havePending {
+					havePending = false
+					return pending, true
+				}
+				return ioseg.Segment{}, false
+			}
+			if !havePending {
+				pending, havePending = s, true
+				continue
+			}
+			if s.Offset <= pending.End()+gap && s.Offset >= pending.Offset {
+				if e := s.End(); e > pending.End() {
+					pending.Length = e - pending.Offset
+				}
+				continue
+			}
+			out := pending
+			pending = s
+			return out, true
+		}
+	}
+}
+
+func entryIter(pat patterns.Pattern, rank int, opts MethodOptions) segIter {
+	var it segIter
+	if opts.Granularity == GranIntersect {
+		it = intersectIter(pat, rank)
+	} else {
+		it = fileRegionIter(pat, rank)
+	}
+	if opts.CoalesceGapBytes > 0 {
+		it = coalesceIter(it, opts.CoalesceGapBytes)
+	}
+	return it
+}
+
+// --- method chains ---
+
+// multipleChain yields one step per doubly-contiguous piece: the
+// traditional interface takes one buffer pointer and one file offset
+// per call, so a piece boundary in either memory or file forces a new
+// request (983,040 per process for FLASH, §4.3.1).
+func multipleChain(p Params, pat patterns.Pattern, rank int, write bool) StepIter {
+	entries := intersectIter(pat, rank)
+	return func() (Step, bool) {
+		seg, ok := entries()
+		if !ok {
+			return nil, false
+		}
+		pieces := p.Striping.Split(seg)
+		step := make(Step, len(pieces))
+		for k, pc := range pieces {
+			step[k] = Op{Server: pc.Server, Payload: pc.Phys.Length, Regions: 1, Write: write}
+		}
+		return step, true
+	}
+}
+
+// listChain yields one list request at a time: up to maxRegions
+// entries in stream order (§3.3: "I/O requests that contain more file
+// regions than the trailing data limit are broken up into several list
+// I/O requests"), fanned out in parallel to the servers holding the
+// batch's pieces. This is exactly the real client's batching: the
+// FLASH arithmetic (80·24)/64 = 30 requests per process emerges from
+// it (asserted in tests).
+func listChain(p Params, pat patterns.Pattern, rank int, write bool, opts MethodOptions) StepIter {
+	entries := entryIter(pat, rank, opts)
+	maxR := opts.maxRegions()
+	nSrv := p.Striping.PCount
+	counts := make([]int, nSrv)
+	bytes := make([]int64, nSrv)
+	return func() (Step, bool) {
+		for s := 0; s < nSrv; s++ {
+			counts[s], bytes[s] = 0, 0
+		}
+		got := 0
+		for got < maxR {
+			seg, ok := entries()
+			if !ok {
+				break
+			}
+			got++
+			for _, pc := range p.Striping.Split(seg) {
+				counts[pc.Server]++
+				bytes[pc.Server] += pc.Phys.Length
+			}
+		}
+		if got == 0 {
+			return nil, false
+		}
+		var step Step
+		for s := 0; s < nSrv; s++ {
+			// A server's share can exceed the wire limit when entries
+			// straddle many stripes; split defensively as the real
+			// client does.
+			for counts[s] > 0 {
+				n := counts[s]
+				if n > wire.MaxRegionsPerRequest {
+					n = wire.MaxRegionsPerRequest
+				}
+				share := bytes[s] * int64(n) / int64(counts[s])
+				step = append(step, Op{
+					Server:       s,
+					Payload:      share,
+					Regions:      n,
+					TrailerBytes: int64(wire.TrailingDataSize(n)),
+					Write:        write,
+				})
+				counts[s] -= n
+				bytes[s] -= share
+			}
+		}
+		return step, true
+	}
+}
+
+// sieveSpan is the extent from the rank's first to last file byte.
+func sieveSpan(pat patterns.Pattern, rank int) ioseg.Segment {
+	n := pat.FileRegions(rank)
+	if n == 0 {
+		return ioseg.Segment{}
+	}
+	first := pat.FileRegion(rank, 0)
+	last := pat.FileRegion(rank, n-1)
+	return ioseg.Segment{Offset: first.Offset, Length: last.End() - first.Offset}
+}
+
+// windowStep builds the parallel fan-out of one contiguous window
+// access: one op per server holding part of the window.
+func windowStep(p Params, w ioseg.Segment, write bool) Step {
+	var step Step
+	for s := 0; s < p.Striping.PCount; s++ {
+		b := p.Striping.PhysRange(s, w.Offset, w.End())
+		if b > 0 {
+			step = append(step, Op{Server: s, Payload: b, Regions: 1, Write: write})
+		}
+	}
+	return step
+}
+
+// sieveChain yields the window steps of a data-sieving operation:
+// reads are one step per window; writes are read-modify-write, two
+// steps per window (§3.2).
+func sieveChain(p Params, pat patterns.Pattern, rank int, write bool, opts MethodOptions) StepIter {
+	span := sieveSpan(pat, rank)
+	buf := opts.sieveBuffer()
+	var pos int64 // consumed bytes of span
+	pendingWrite := false
+	var window ioseg.Segment
+	return func() (Step, bool) {
+		if pendingWrite {
+			pendingWrite = false
+			return windowStep(p, window, true), true
+		}
+		if pos >= span.Length {
+			return nil, false
+		}
+		n := span.Length - pos
+		if n > buf {
+			n = buf
+		}
+		window = ioseg.Segment{Offset: span.Offset + pos, Length: n}
+		pos += n
+		if write {
+			// Read-modify-write: the read step now, the write-back on
+			// the next call.
+			pendingWrite = true
+		}
+		return windowStep(p, window, false), true
+	}
+}
+
+// stridedChain yields a single step: one descriptor request per
+// touched server carrying that server's share of the whole pattern.
+func stridedChain(p Params, pat patterns.Pattern, rank int, write bool) StepIter {
+	done := false
+	return func() (Step, bool) {
+		if done {
+			return nil, false
+		}
+		done = true
+		nSrv := p.Striping.PCount
+		bytes := make([]int64, nSrv)
+		regions := make([]int, nSrv)
+		n := pat.FileRegions(rank)
+		for i := 0; i < n; i++ {
+			for _, pc := range p.Striping.Split(pat.FileRegion(rank, i)) {
+				bytes[pc.Server] += pc.Phys.Length
+				regions[pc.Server]++
+			}
+		}
+		var step Step
+		for s := 0; s < nSrv; s++ {
+			if regions[s] == 0 {
+				continue
+			}
+			step = append(step, Op{
+				Server:       s,
+				Payload:      bytes[s],
+				Regions:      regions[s],
+				TrailerBytes: 40, // fixed vector descriptor
+				Write:        write,
+			})
+		}
+		return step, true
+	}
+}
+
+// chainsFor builds a rank's chains for one method.
+func chainsFor(p Params, pat patterns.Pattern, rank int, write bool, m Method, opts MethodOptions) []StepIter {
+	switch m {
+	case MethodMultiple:
+		return []StepIter{multipleChain(p, pat, rank, write)}
+	case MethodSieve:
+		return []StepIter{sieveChain(p, pat, rank, write, opts)}
+	case MethodList:
+		return []StepIter{listChain(p, pat, rank, write, opts)}
+	case MethodStrided:
+		return []StepIter{stridedChain(p, pat, rank, write)}
+	default:
+		panic("simcluster: unknown method " + m.String())
+	}
+}
+
+// BuildWorkload assembles the full experiment: every rank runs the
+// method concurrently; sieving writes are serialized rank by rank with
+// barriers unless disabled, matching §4.2.1 ("only one processor can
+// write at a time").
+func BuildWorkload(p Params, pat patterns.Pattern, write bool, m Method, opts MethodOptions) Workload {
+	ranks := pat.Ranks()
+	rankStages := make([][]Stage, ranks)
+	name := fmt.Sprintf("%s-%s-%dranks", pat.Name(), m, ranks)
+
+	serialize := m == MethodSieve && write && !opts.NoSerializeSieveWrites
+	for r := 0; r < ranks; r++ {
+		if serialize {
+			var prog []Stage
+			for k := 0; k < ranks; k++ {
+				if k == r {
+					prog = append(prog, Stage{Chains: chainsFor(p, pat, r, write, m, opts)})
+				} else {
+					prog = append(prog, Stage{})
+				}
+				prog = append(prog, Stage{Barrier: true})
+			}
+			rankStages[r] = prog
+		} else {
+			rankStages[r] = []Stage{{Chains: chainsFor(p, pat, r, write, m, opts)}}
+		}
+	}
+	return Workload{Name: name, Params: p, RankStages: rankStages}
+}
+
+// WithOpenClose wraps a workload with a manager open before and close
+// after each rank's I/O, as the tiled visualization benchmark times
+// them (Fig. 17).
+func WithOpenClose(w Workload) Workload {
+	mgrStage := func() Stage {
+		issued := false
+		return Stage{Chains: []StepIter{func() (Step, bool) {
+			if issued {
+				return nil, false
+			}
+			issued = true
+			return Step{Op{Server: ManagerServer}}, true
+		}}}
+	}
+	for r := range w.RankStages {
+		prog := []Stage{mgrStage()}
+		prog = append(prog, w.RankStages[r]...)
+		prog = append(prog, mgrStage())
+		w.RankStages[r] = prog
+	}
+	return w
+}
+
+// Counts aggregates what a workload will issue.
+type Counts struct {
+	// Requests is the number of server messages (what the daemons
+	// process and what the simulator costs).
+	Requests int64
+	// Batches is the number of logical I/O calls: one per step — the
+	// quantity the paper's request arithmetic counts (§4.3.1, §4.4.1).
+	Batches int64
+	// Regions is the total contiguous regions applied at daemons.
+	Regions int64
+	// Payload is the total data bytes.
+	Payload int64
+}
+
+// CountWorkload consumes a workload's chains (without simulating) and
+// returns the totals the real client would issue. The workload must
+// not be Run afterwards: its iterators are exhausted. Build a fresh
+// one for simulation.
+func CountWorkload(w Workload) Counts {
+	var c Counts
+	for _, prog := range w.RankStages {
+		for _, st := range prog {
+			for _, ch := range st.Chains {
+				for {
+					step, ok := ch()
+					if !ok {
+						break
+					}
+					if len(step) > 0 {
+						c.Batches++
+					}
+					for _, op := range step {
+						c.Requests++
+						c.Regions += int64(op.Regions)
+						c.Payload += op.Payload
+					}
+				}
+			}
+		}
+	}
+	return c
+}

@@ -1,0 +1,235 @@
+// Package stdfs adapts a PVFS client session to the standard
+// library's io/fs interfaces, read-only.
+//
+// The paper's PVFS "allows existing binaries to operate on PVFS files
+// without the need for recompiling" (§2) via a kernel mount; the Go
+// analogue is fs.FS: anything written against io/fs — fs.WalkDir,
+// fs.ReadFile, archivers, template loaders, http.FileServer — works
+// over a PVFS deployment unchanged.
+//
+// The PVFS manager keeps a flat namespace, so the adapter presents a
+// single root directory "." containing every file. File names that are
+// not valid io/fs paths (rare; e.g. containing "/") are hidden.
+package stdfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"sort"
+	"time"
+
+	"pvfs/internal/client"
+	"pvfs/internal/wire"
+)
+
+// New wraps a PVFS client session as a read-only fs.FS. The session
+// must stay open for the lifetime of the returned file system.
+func New(c *client.FS) fs.FS { return &fsys{c: c} }
+
+type fsys struct {
+	c *client.FS
+}
+
+// mapErr converts PVFS errors to io/fs sentinel errors.
+func mapErr(err error) error {
+	var se *wire.StatusError
+	if errors.As(err, &se) && se.Status == wire.StatusNotFound {
+		return fs.ErrNotExist
+	}
+	return err
+}
+
+// Open implements fs.FS.
+func (f *fsys) Open(name string) (fs.File, error) {
+	if !fs.ValidPath(name) {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrInvalid}
+	}
+	if name == "." {
+		entries, err := f.entries()
+		if err != nil {
+			return nil, &fs.PathError{Op: "open", Path: name, Err: err}
+		}
+		return &dir{entries: entries}, nil
+	}
+	pf, err := f.c.Open(name)
+	if err != nil {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: mapErr(err)}
+	}
+	size, err := pf.Size()
+	if err != nil {
+		pf.Close()
+		return nil, &fs.PathError{Op: "open", Path: name, Err: mapErr(err)}
+	}
+	return &file{f: pf, info: fileInfo{name: name, size: size}}, nil
+}
+
+// ReadDir implements fs.ReadDirFS for the root.
+func (f *fsys) ReadDir(name string) ([]fs.DirEntry, error) {
+	if name != "." {
+		if !fs.ValidPath(name) {
+			return nil, &fs.PathError{Op: "readdir", Path: name, Err: fs.ErrInvalid}
+		}
+		// Flat namespace: only the root is a directory.
+		return nil, &fs.PathError{Op: "readdir", Path: name, Err: fs.ErrNotExist}
+	}
+	return f.entries()
+}
+
+// entries lists the namespace as sorted directory entries.
+func (f *fsys) entries() ([]fs.DirEntry, error) {
+	names, err := f.c.List()
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	sort.Strings(names)
+	entries := make([]fs.DirEntry, 0, len(names))
+	for _, n := range names {
+		if !fs.ValidPath(n) || n == "." {
+			continue // unrepresentable in io/fs
+		}
+		entries = append(entries, &entry{fsys: f, name: n})
+	}
+	return entries, nil
+}
+
+// entry is a lazy directory entry: Info opens the file to learn its
+// size only when asked.
+type entry struct {
+	fsys *fsys
+	name string
+}
+
+func (e *entry) Name() string      { return e.name }
+func (e *entry) IsDir() bool       { return false }
+func (e *entry) Type() fs.FileMode { return 0 }
+
+func (e *entry) Info() (fs.FileInfo, error) {
+	pf, err := e.fsys.c.Open(e.name)
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	defer pf.Close()
+	size, err := pf.Size()
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	return fileInfo{name: e.name, size: size}, nil
+}
+
+// fileInfo is a point-in-time stat. PVFS of 2002 tracked no mtime per
+// stripe; ModTime is the zero time.
+type fileInfo struct {
+	name string
+	size int64
+}
+
+func (fi fileInfo) Name() string       { return fi.name }
+func (fi fileInfo) Size() int64        { return fi.size }
+func (fi fileInfo) Mode() fs.FileMode  { return 0o644 }
+func (fi fileInfo) ModTime() time.Time { return time.Time{} }
+func (fi fileInfo) IsDir() bool        { return false }
+func (fi fileInfo) Sys() any           { return nil }
+
+// file adapts client.File (ReaderAt) to fs.File with a cursor.
+type file struct {
+	f    *client.File
+	info fileInfo
+	pos  int64
+}
+
+func (f *file) Stat() (fs.FileInfo, error) { return f.info, nil }
+
+func (f *file) Read(p []byte) (int, error) {
+	if f.pos >= f.info.size {
+		return 0, io.EOF
+	}
+	if rem := f.info.size - f.pos; int64(len(p)) > rem {
+		p = p[:rem]
+	}
+	n, err := f.f.ReadAt(p, f.pos)
+	f.pos += int64(n)
+	return n, err
+}
+
+// ReadAt implements io.ReaderAt, clamped to the size at open.
+func (f *file) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, &fs.PathError{Op: "read", Path: f.info.name, Err: fs.ErrInvalid}
+	}
+	if off >= f.info.size {
+		return 0, io.EOF
+	}
+	short := false
+	if rem := f.info.size - off; int64(len(p)) > rem {
+		p, short = p[:rem], true
+	}
+	n, err := f.f.ReadAt(p, off)
+	if err == nil && short {
+		err = io.EOF
+	}
+	return n, err
+}
+
+// Seek implements io.Seeker.
+func (f *file) Seek(offset int64, whence int) (int64, error) {
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = f.pos
+	case io.SeekEnd:
+		base = f.info.size
+	default:
+		return 0, &fs.PathError{Op: "seek", Path: f.info.name, Err: fs.ErrInvalid}
+	}
+	if base+offset < 0 {
+		return 0, &fs.PathError{Op: "seek", Path: f.info.name, Err: fs.ErrInvalid}
+	}
+	f.pos = base + offset
+	return f.pos, nil
+}
+
+func (f *file) Close() error { return f.f.Close() }
+
+// dir is the open root directory.
+type dir struct {
+	entries []fs.DirEntry
+	pos     int
+}
+
+func (d *dir) Stat() (fs.FileInfo, error) { return dirInfo{}, nil }
+func (d *dir) Close() error               { return nil }
+func (d *dir) Read([]byte) (int, error) {
+	return 0, &fs.PathError{Op: "read", Path: ".", Err: errors.New("is a directory")}
+}
+
+// ReadDir implements fs.ReadDirFile.
+func (d *dir) ReadDir(n int) ([]fs.DirEntry, error) {
+	if n <= 0 {
+		out := d.entries[d.pos:]
+		d.pos = len(d.entries)
+		return out, nil
+	}
+	if d.pos >= len(d.entries) {
+		return nil, io.EOF
+	}
+	end := d.pos + n
+	if end > len(d.entries) {
+		end = len(d.entries)
+	}
+	out := d.entries[d.pos:end]
+	d.pos = end
+	return out, nil
+}
+
+// dirInfo is the root directory's stat.
+type dirInfo struct{}
+
+func (dirInfo) Name() string       { return "." }
+func (dirInfo) Size() int64        { return 0 }
+func (dirInfo) Mode() fs.FileMode  { return fs.ModeDir | 0o755 }
+func (dirInfo) ModTime() time.Time { return time.Time{} }
+func (dirInfo) IsDir() bool        { return true }
+func (dirInfo) Sys() any           { return nil }

@@ -1,0 +1,191 @@
+package stdfs_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"io/fs"
+	"testing"
+	"testing/fstest"
+
+	"pvfs/internal/client"
+	"pvfs/internal/cluster"
+	"pvfs/internal/stdfs"
+	"pvfs/internal/striping"
+)
+
+func startFS(t *testing.T, files map[string][]byte) fs.FS {
+	t.Helper()
+	c, err := cluster.Start(cluster.Options{NumIOD: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	cfs, err := client.Connect(c.MgrAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cfs.Close() })
+	for name, data := range files {
+		f, err := cfs.Create(name, striping.Config{PCount: 4, StripeSize: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) > 0 {
+			if _, err := f.WriteAt(data, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return stdfs.New(cfs)
+}
+
+func seeded(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*13 + 7)
+	}
+	return b
+}
+
+// TestFSTestSuite runs the standard library's conformance suite over
+// a populated deployment.
+func TestFSTestSuite(t *testing.T) {
+	files := map[string][]byte{
+		"alpha.bin":   seeded(1000),
+		"beta.bin":    seeded(64),
+		"gamma.bin":   seeded(517),
+		"empty.bin":   nil,
+		"stripey.bin": seeded(4096),
+	}
+	fsys := startFS(t, files)
+	if err := fstest.TestFS(fsys, "alpha.bin", "beta.bin", "gamma.bin", "stripey.bin"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadFileMatches(t *testing.T) {
+	want := seeded(777)
+	fsys := startFS(t, map[string][]byte{"data.bin": want})
+	got, err := fs.ReadFile(fsys, "data.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("ReadFile returned %d bytes, mismatch with written image", len(got))
+	}
+}
+
+func TestWalkDirSeesEveryFile(t *testing.T) {
+	files := map[string][]byte{"a": seeded(1), "b": seeded(2), "c": seeded(3)}
+	fsys := startFS(t, files)
+	seen := map[string]bool{}
+	err := fs.WalkDir(fsys, ".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			seen[path] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range files {
+		if !seen[name] {
+			t.Errorf("WalkDir missed %q", name)
+		}
+	}
+}
+
+func TestOpenMissingIsErrNotExist(t *testing.T) {
+	fsys := startFS(t, map[string][]byte{"present": seeded(8)})
+	_, err := fsys.Open("absent")
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("Open(absent) = %v, want fs.ErrNotExist", err)
+	}
+	var pe *fs.PathError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v is not a *fs.PathError", err)
+	}
+}
+
+func TestInvalidPathRejected(t *testing.T) {
+	fsys := startFS(t, nil)
+	for _, bad := range []string{"/abs", "a/../b", ""} {
+		if _, err := fsys.Open(bad); !errors.Is(err, fs.ErrInvalid) {
+			t.Errorf("Open(%q) = %v, want fs.ErrInvalid", bad, err)
+		}
+	}
+}
+
+func TestSeekAndPartialReads(t *testing.T) {
+	want := seeded(500)
+	fsys := startFS(t, map[string][]byte{"seek.bin": want})
+	f, err := fsys.Open("seek.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sk := f.(io.Seeker)
+	if _, err := sk.Seek(100, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 50)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, want[100:150]) {
+		t.Error("read after seek returned wrong bytes")
+	}
+	// Seek from end, then read to EOF.
+	if _, err := sk.Seek(-10, io.SeekEnd); err != nil {
+		t.Fatal(err)
+	}
+	rest, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rest, want[490:]) {
+		t.Error("tail read after SeekEnd mismatch")
+	}
+	if _, err := sk.Seek(-1, io.SeekStart); err == nil {
+		t.Error("negative seek accepted")
+	}
+}
+
+func TestRootStatIsDir(t *testing.T) {
+	fsys := startFS(t, map[string][]byte{"x": seeded(4)})
+	info, err := fs.Stat(fsys, ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.IsDir() {
+		t.Error("root is not a directory")
+	}
+}
+
+func TestReadDirPagination(t *testing.T) {
+	fsys := startFS(t, map[string][]byte{"a": nil, "b": nil, "c": nil})
+	f, err := fsys.Open(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rd := f.(fs.ReadDirFile)
+	first, err := rd.ReadDir(2)
+	if err != nil || len(first) != 2 {
+		t.Fatalf("ReadDir(2) = %d entries, %v", len(first), err)
+	}
+	second, err := rd.ReadDir(2)
+	if err != nil || len(second) != 1 {
+		t.Fatalf("second ReadDir(2) = %d entries, %v", len(second), err)
+	}
+	if _, err := rd.ReadDir(1); err != io.EOF {
+		t.Fatalf("exhausted ReadDir = %v, want io.EOF", err)
+	}
+}

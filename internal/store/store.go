@@ -1,0 +1,277 @@
+// Package store implements the local storage an I/O daemon keeps its
+// stripe files in. PVFS I/O daemons store each file's stripe data in a
+// regular file on the node's local file system; this package provides
+// that abstraction with two backends: an in-memory store for tests and
+// simulation harnesses, and a directory-backed store using one sparse
+// file per handle, the shape of a real iod data directory.
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Store is the storage interface an I/O daemon requires. Reads past the
+// current physical size yield zero bytes (sparse semantics), matching
+// reads from file holes on a POSIX file system.
+type Store interface {
+	// ReadAt fills p from the stripe file at off. Bytes beyond the
+	// stored size read as zeros; n is always len(p) on success.
+	ReadAt(handle uint64, p []byte, off int64) (int, error)
+	// WriteAt stores p at off, extending the file as needed.
+	WriteAt(handle uint64, p []byte, off int64) (int, error)
+	// Size reports the stored physical size (0 for unknown handles).
+	Size(handle uint64) (int64, error)
+	// Truncate sets the physical size, zero-filling on extension.
+	Truncate(handle uint64, size int64) error
+	// Remove deletes the stripe file for handle.
+	Remove(handle uint64) error
+	// Handles lists the stored handles in ascending order.
+	Handles() ([]uint64, error)
+	// Close releases backend resources.
+	Close() error
+}
+
+// --- memory backend ---
+
+// Mem is an in-memory Store.
+type Mem struct {
+	mu    sync.RWMutex
+	files map[uint64][]byte
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{files: make(map[uint64][]byte)}
+}
+
+// ReadAt implements Store.
+func (m *Mem) ReadAt(handle uint64, p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("store: negative offset %d", off)
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	f := m.files[handle]
+	for i := range p {
+		p[i] = 0
+	}
+	if off < int64(len(f)) {
+		copy(p, f[off:])
+	}
+	return len(p), nil
+}
+
+// WriteAt implements Store.
+func (m *Mem) WriteAt(handle uint64, p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("store: negative offset %d", off)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.files[handle]
+	if need := off + int64(len(p)); need > int64(len(f)) {
+		nf := make([]byte, need)
+		copy(nf, f)
+		f = nf
+	}
+	copy(f[off:], p)
+	m.files[handle] = f
+	return len(p), nil
+}
+
+// Size implements Store.
+func (m *Mem) Size(handle uint64) (int64, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return int64(len(m.files[handle])), nil
+}
+
+// Truncate implements Store.
+func (m *Mem) Truncate(handle uint64, size int64) error {
+	if size < 0 {
+		return fmt.Errorf("store: negative size %d", size)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.files[handle]
+	if size <= int64(len(f)) {
+		m.files[handle] = f[:size]
+		return nil
+	}
+	nf := make([]byte, size)
+	copy(nf, f)
+	m.files[handle] = nf
+	return nil
+}
+
+// Remove implements Store.
+func (m *Mem) Remove(handle uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.files, handle)
+	return nil
+}
+
+// Handles implements Store.
+func (m *Mem) Handles() ([]uint64, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	hs := make([]uint64, 0, len(m.files))
+	for h := range m.files {
+		hs = append(hs, h)
+	}
+	sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+	return hs, nil
+}
+
+// Close implements Store.
+func (m *Mem) Close() error { return nil }
+
+// --- directory backend ---
+
+// Dir is a Store backed by one file per handle inside a directory,
+// like a PVFS iod data directory (files named by handle in hex).
+type Dir struct {
+	mu   sync.Mutex
+	root string
+	open map[uint64]*os.File
+}
+
+// NewDir opens (creating if needed) a directory-backed store.
+func NewDir(root string) (*Dir, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Dir{root: root, open: make(map[uint64]*os.File)}, nil
+}
+
+func (d *Dir) path(handle uint64) string {
+	return filepath.Join(d.root, fmt.Sprintf("%016x.stripe", handle))
+}
+
+func (d *Dir) file(handle uint64) (*os.File, error) {
+	if f, ok := d.open[handle]; ok {
+		return f, nil
+	}
+	f, err := os.OpenFile(d.path(handle), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	d.open[handle] = f
+	return f, nil
+}
+
+// ReadAt implements Store.
+func (d *Dir) ReadAt(handle uint64, p []byte, off int64) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, err := d.file(handle)
+	if err != nil {
+		return 0, err
+	}
+	n, err := f.ReadAt(p, off)
+	if err == io.EOF {
+		// Sparse semantics: zero-fill the tail.
+		for i := n; i < len(p); i++ {
+			p[i] = 0
+		}
+		return len(p), nil
+	}
+	return n, err
+}
+
+// WriteAt implements Store.
+func (d *Dir) WriteAt(handle uint64, p []byte, off int64) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, err := d.file(handle)
+	if err != nil {
+		return 0, err
+	}
+	return f.WriteAt(p, off)
+}
+
+// Size implements Store.
+func (d *Dir) Size(handle uint64) (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if f, ok := d.open[handle]; ok {
+		st, err := f.Stat()
+		if err != nil {
+			return 0, err
+		}
+		return st.Size(), nil
+	}
+	st, err := os.Stat(d.path(handle))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// Truncate implements Store.
+func (d *Dir) Truncate(handle uint64, size int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, err := d.file(handle)
+	if err != nil {
+		return err
+	}
+	return f.Truncate(size)
+}
+
+// Remove implements Store.
+func (d *Dir) Remove(handle uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if f, ok := d.open[handle]; ok {
+		f.Close()
+		delete(d.open, handle)
+	}
+	err := os.Remove(d.path(handle))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// Handles implements Store.
+func (d *Dir) Handles() ([]uint64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ents, err := os.ReadDir(d.root)
+	if err != nil {
+		return nil, err
+	}
+	var hs []uint64
+	for _, e := range ents {
+		var h uint64
+		if _, err := fmt.Sscanf(e.Name(), "%016x.stripe", &h); err == nil {
+			hs = append(hs, h)
+		}
+	}
+	sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+	return hs, nil
+}
+
+// Close implements Store.
+func (d *Dir) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var first error
+	for h, f := range d.open {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(d.open, h)
+	}
+	return first
+}

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"fmt"
+
+	"pvfs/internal/ioseg"
+	"pvfs/internal/patterns"
+)
+
+// PatternOps synthesizes the operations a benchmark pattern issues:
+// one op per rank covering the rank's whole access, or — when chunk is
+// positive — the rank's access split into calls of at most chunk file
+// regions each, the way an application with a bounded request buffer
+// would issue it. Memory lists are carried when the pattern describes
+// noncontiguous memory (FLASH); otherwise memory is one contiguous
+// region per op.
+func PatternOps(pat patterns.Pattern, write bool, chunk int) ([]Op, error) {
+	if chunk < 0 {
+		return nil, fmt.Errorf("trace: negative chunk %d", chunk)
+	}
+	var ops []Op
+	for rank := 0; rank < pat.Ranks(); rank++ {
+		file := patterns.FileList(pat, rank)
+		mem := patterns.MemList(pat, rank)
+		if chunk == 0 || len(file) <= chunk {
+			ops = append(ops, Op{Rank: rank, Write: write, Mem: mem, File: file})
+			continue
+		}
+		memPos := cutPositions(mem)
+		var consumed int64
+		mi := 0
+		for start := 0; start < len(file); start += chunk {
+			end := start + chunk
+			if end > len(file) {
+				end = len(file)
+			}
+			fpart := file[start:end].Clone()
+			want := fpart.TotalLength()
+			mpart, nmi := sliceByBytes(mem, memPos, mi, consumed, want)
+			ops = append(ops, Op{Rank: rank, Write: write, Mem: mpart, File: fpart})
+			consumed += want
+			mi = nmi
+		}
+	}
+	return ops, nil
+}
+
+// cutPositions returns the cumulative byte position at which each
+// memory region starts in the packed stream.
+func cutPositions(l ioseg.List) []int64 {
+	pos := make([]int64, len(l))
+	var c int64
+	for i, s := range l {
+		pos[i] = c
+		c += s.Length
+	}
+	return pos
+}
+
+// sliceByBytes extracts want stream bytes from l starting at stream
+// position consumed, beginning the scan at region index hint. It
+// returns the sub-list and the region index where the next slice
+// should begin scanning.
+func sliceByBytes(l ioseg.List, pos []int64, hint int, consumed, want int64) (ioseg.List, int) {
+	var out ioseg.List
+	i := hint
+	for want > 0 && i < len(l) {
+		s := l[i]
+		// Offset of this region's unconsumed part.
+		skip := consumed - pos[i]
+		if skip < 0 {
+			skip = 0
+		}
+		avail := s.Length - skip
+		if avail <= 0 {
+			i++
+			continue
+		}
+		take := avail
+		if take > want {
+			take = want
+		}
+		out = append(out, ioseg.Segment{Offset: s.Offset + skip, Length: take})
+		consumed += take
+		want -= take
+		if take == avail {
+			i++
+		}
+	}
+	return out, i
+}
+
+// WritePattern synthesizes a pattern's operations directly into w.
+func WritePattern(w *Writer, pat patterns.Pattern, write bool, chunk int) error {
+	ops, err := PatternOps(pat, write, chunk)
+	if err != nil {
+		return err
+	}
+	for _, op := range ops {
+		if err := w.WriteOp(op); err != nil {
+			return err
+		}
+	}
+	return nil
+}

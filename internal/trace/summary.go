@@ -1,0 +1,227 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"strings"
+
+	"pvfs/internal/core"
+	"pvfs/internal/ioseg"
+)
+
+// Histogram counts values in power-of-two buckets: bucket k counts
+// values v with 2^(k-1) < v ≤ 2^k (bucket 0 counts v ≤ 1).
+type Histogram struct {
+	Buckets [64]int64
+	N       int64
+	Sum     int64
+	Max     int64
+}
+
+// Add records one value; negative values are clamped to 0.
+func (h *Histogram) Add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	k := 0
+	if v > 1 {
+		k = bits.Len64(uint64(v - 1))
+	}
+	h.Buckets[k]++
+	h.N++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+}
+
+// Mean returns the mean recorded value.
+func (h *Histogram) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.N)
+}
+
+// String renders the nonempty buckets as "≤2^k:count" pairs.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	for k, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "≤2^%d:%d", k, n)
+	}
+	if b.Len() == 0 {
+		return "(empty)"
+	}
+	return b.String()
+}
+
+// Summary aggregates the access-pattern statistics of a trace: the
+// numbers that §3.4's method analysis turns on (how many regions, how
+// big, how far apart).
+type Summary struct {
+	Meta Meta
+
+	Ops    int64
+	Reads  int64
+	Writes int64
+	// MaxRank is the largest rank observed (-1 when the trace is empty).
+	MaxRank int
+
+	// Bytes is the total data moved (sum of file-list lengths).
+	Bytes int64
+	// FileRegions and MemRegions are total contiguous region counts.
+	FileRegions int64
+	MemRegions  int64
+	// Pieces is the doubly-contiguous piece count — the multiple-I/O
+	// request count (§3.1: one call per piece contiguous in both
+	// memory and file; 983,040/process for FLASH).
+	Pieces int64
+
+	// FileSizeHist buckets file region lengths; GapHist buckets the
+	// forward gaps between consecutive file regions within an op
+	// (what data sieving would read and discard).
+	FileSizeHist Histogram
+	GapHist      Histogram
+	// BackwardJumps counts consecutive file-region pairs that move
+	// backwards in the file (non-monotone access).
+	BackwardJumps int64
+	// MinOff and MaxEnd bound the touched file bytes (MinOff is -1
+	// while the summary is empty; MaxEnd is the implied file size).
+	MinOff int64
+	MaxEnd int64
+}
+
+// Density is the fraction of the touched spans occupied by useful
+// data: Bytes / (Bytes + gap bytes). Data sieving approaches its best
+// case as Density → 1 (§3.2).
+func (s *Summary) Density() float64 {
+	denom := s.Bytes + s.GapHist.Sum
+	if denom == 0 {
+		return 0
+	}
+	return float64(s.Bytes) / float64(denom)
+}
+
+// Summarize drains tr and aggregates its statistics.
+func Summarize(tr *Reader) (*Summary, error) {
+	s := &Summary{Meta: tr.Meta(), MaxRank: -1, MinOff: -1}
+	for {
+		op, err := tr.Next()
+		if err == io.EOF {
+			return s, nil
+		}
+		if err != nil {
+			return s, err
+		}
+		s.AddOp(op)
+	}
+}
+
+// AddOp folds one operation into the summary.
+func (s *Summary) AddOp(op Op) {
+	s.Ops++
+	if op.Write {
+		s.Writes++
+	} else {
+		s.Reads++
+	}
+	if op.Rank > s.MaxRank {
+		s.MaxRank = op.Rank
+	}
+	s.Bytes += op.File.TotalLength()
+	s.FileRegions += int64(len(op.File))
+	s.MemRegions += int64(len(op.Mem))
+	s.Pieces += countPieces(op.Mem, op.File)
+	var prev ioseg.Segment
+	for i, r := range op.File {
+		s.FileSizeHist.Add(r.Length)
+		if i > 0 {
+			if gap := r.Offset - prev.End(); gap >= 0 {
+				s.GapHist.Add(gap)
+			} else {
+				s.BackwardJumps++
+			}
+		}
+		if r.End() > s.MaxEnd {
+			s.MaxEnd = r.End()
+		}
+		if s.MinOff < 0 || r.Offset < s.MinOff {
+			s.MinOff = r.Offset
+		}
+		prev = r
+	}
+}
+
+// Access converts the aggregate to the paper-analysis description
+// (internal/core), so §3.4's request arithmetic and method
+// recommendation run directly over a trace. ok is false when the
+// closed forms do not apply: an empty trace, or a self-overlapping
+// one (re-reads or overwrites make total bytes exceed the touched
+// span).
+func (s *Summary) Access() (core.Access, bool) {
+	if s.Ops == 0 || s.MinOff < 0 {
+		return core.Access{}, false
+	}
+	a := core.Access{
+		FileRegions: s.FileRegions,
+		MemPieces:   s.MemRegions,
+		Pieces:      s.Pieces,
+		Bytes:       s.Bytes,
+		SpanBytes:   s.MaxEnd - s.MinOff,
+	}
+	if err := a.Validate(); err != nil {
+		return core.Access{}, false
+	}
+	return a, true
+}
+
+// countPieces walks the two streams and counts pieces delimited by a
+// boundary on either side — the multiple-I/O call count.
+func countPieces(mem, file ioseg.List) int64 {
+	if len(mem) == 0 || len(file) == 0 {
+		return 0
+	}
+	var n int64
+	mi, fi := 0, 0
+	var mOff, fOff int64
+	for mi < len(mem) && fi < len(file) {
+		avail := mem[mi].Length - mOff
+		if r := file[fi].Length - fOff; r < avail {
+			avail = r
+		}
+		n++
+		mOff += avail
+		fOff += avail
+		if mOff == mem[mi].Length {
+			mi, mOff = mi+1, 0
+		}
+		if fOff == file[fi].Length {
+			fi, fOff = fi+1, 0
+		}
+	}
+	return n
+}
+
+// Format renders the summary as a human-readable report.
+func (s *Summary) Format(w io.Writer) {
+	fmt.Fprintf(w, "trace %q: %d ranks declared, max rank seen %d\n", s.Meta.Name, s.Meta.Ranks, s.MaxRank)
+	if s.Meta.Comment != "" {
+		fmt.Fprintf(w, "  comment: %s\n", s.Meta.Comment)
+	}
+	fmt.Fprintf(w, "  ops: %d (%d reads, %d writes)\n", s.Ops, s.Reads, s.Writes)
+	fmt.Fprintf(w, "  bytes: %d  implied file size: %d\n", s.Bytes, s.MaxEnd)
+	fmt.Fprintf(w, "  regions: file %d, mem %d, doubly-contiguous pieces %d\n",
+		s.FileRegions, s.MemRegions, s.Pieces)
+	fmt.Fprintf(w, "  file region sizes: mean %.1f max %d | %s\n",
+		s.FileSizeHist.Mean(), s.FileSizeHist.Max, s.FileSizeHist.String())
+	fmt.Fprintf(w, "  forward gaps: mean %.1f max %d | %s\n",
+		s.GapHist.Mean(), s.GapHist.Max, s.GapHist.String())
+	fmt.Fprintf(w, "  backward jumps: %d  density: %.4f\n", s.BackwardJumps, s.Density())
+}

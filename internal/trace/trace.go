@@ -1,0 +1,400 @@
+// Package trace records and replays noncontiguous I/O workloads.
+//
+// The paper's motivation rests on trace characterizations of parallel
+// scientific applications (its references [1], [4], [7], [10]): the
+// observation that applications issue many small noncontiguous
+// accesses came from I/O traces. This package closes that loop for the
+// reproduction: it defines a compact binary format for noncontiguous
+// I/O operation traces, synthesizes traces from the benchmark pattern
+// generators, replays a trace against a live PVFS deployment under any
+// of the access methods (multiple, data sieving, list I/O), and
+// computes the access-pattern statistics (region sizes, gap structure,
+// noncontiguity) that drive method selection.
+//
+// A trace is a stream of operations. Each operation is one logical
+// noncontiguous I/O call by one rank: a direction (read or write), a
+// memory region list, and a file region list, both in stream order as
+// the pvfs_read_list interface takes them.
+//
+// The binary format is versioned and self-delimiting: a magic header,
+// one metadata record, any number of operation records, and a final
+// end record carrying the operation count so that truncation is
+// detected. Integers are varint-coded; region offsets are delta-coded
+// against the previous region in the same list, which makes regular
+// strided patterns (the common case, §5) nearly free to store.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"pvfs/internal/ioseg"
+)
+
+// Magic begins every trace stream; the final byte is the format version.
+const Magic = "PVFSTRC\x01"
+
+// Record kinds.
+const (
+	kindMeta byte = 1
+	kindOp   byte = 2
+	kindEnd  byte = 3
+)
+
+// Op flag bits.
+const (
+	flagWrite  byte = 1 << 0
+	flagHasDur byte = 1 << 1
+)
+
+// maxRegions caps the region count a reader will allocate for a single
+// list, guarding against corrupt or hostile inputs. It is far above
+// anything the generators produce (a 1M-access artificial-benchmark
+// rank is 1M regions).
+const maxRegions = 1 << 26
+
+// maxStringLen caps metadata string lengths on decode.
+const maxStringLen = 1 << 16
+
+// Op is one logical noncontiguous I/O call by one rank.
+type Op struct {
+	// Rank is the issuing compute process.
+	Rank int
+	// Write is true for writes, false for reads.
+	Write bool
+	// Mem is the memory region list (offsets into the rank's arena).
+	Mem ioseg.List
+	// File is the file region list, in stream order.
+	File ioseg.List
+	// DurNS is the observed duration in nanoseconds when the trace was
+	// captured from a live run; 0 when unknown (synthesized traces).
+	DurNS int64
+}
+
+// Validate checks the op's lists for shape errors: invalid segments or
+// a byte-count mismatch between the memory and file sides.
+func (o Op) Validate() error {
+	if o.Rank < 0 {
+		return fmt.Errorf("trace: negative rank %d", o.Rank)
+	}
+	if err := o.Mem.Validate(); err != nil {
+		return fmt.Errorf("trace: memory list: %w", err)
+	}
+	if err := o.File.Validate(); err != nil {
+		return fmt.Errorf("trace: file list: %w", err)
+	}
+	if o.Mem.TotalLength() != o.File.TotalLength() {
+		return fmt.Errorf("trace: memory list covers %d bytes, file list %d",
+			o.Mem.TotalLength(), o.File.TotalLength())
+	}
+	return nil
+}
+
+// Meta describes a trace.
+type Meta struct {
+	// Name labels the workload (e.g. the pattern name).
+	Name string
+	// Ranks is the number of compute processes in the traced run.
+	Ranks int
+	// Comment is free-form provenance.
+	Comment string
+}
+
+// Writer encodes operations to a stream.
+type Writer struct {
+	w       *bufio.Writer
+	scratch []byte
+	ops     int64
+	closed  bool
+	err     error
+}
+
+// NewWriter writes the header and metadata record to w and returns a
+// Writer. Close must be called to emit the end record.
+func NewWriter(w io.Writer, meta Meta) (*Writer, error) {
+	if meta.Ranks < 0 {
+		return nil, fmt.Errorf("trace: negative rank count %d", meta.Ranks)
+	}
+	tw := &Writer{w: bufio.NewWriter(w)}
+	if _, err := tw.w.WriteString(Magic); err != nil {
+		return nil, err
+	}
+	b := tw.buf()
+	b = append(b, kindMeta)
+	b = appendString(b, meta.Name)
+	b = binary.AppendUvarint(b, uint64(meta.Ranks))
+	b = appendString(b, meta.Comment)
+	if _, err := tw.w.Write(b); err != nil {
+		return nil, err
+	}
+	return tw, nil
+}
+
+// buf returns the reusable scratch buffer, emptied.
+func (tw *Writer) buf() []byte { return tw.scratch[:0] }
+
+// WriteOp appends one operation record.
+func (tw *Writer) WriteOp(op Op) error {
+	if tw.err != nil {
+		return tw.err
+	}
+	if tw.closed {
+		return errors.New("trace: write after Close")
+	}
+	if err := op.Validate(); err != nil {
+		return err
+	}
+	b := tw.buf()
+	b = append(b, kindOp)
+	b = binary.AppendUvarint(b, uint64(op.Rank))
+	flags := byte(0)
+	if op.Write {
+		flags |= flagWrite
+	}
+	if op.DurNS > 0 {
+		flags |= flagHasDur
+	}
+	b = append(b, flags)
+	b = appendList(b, op.Mem)
+	b = appendList(b, op.File)
+	if op.DurNS > 0 {
+		b = binary.AppendUvarint(b, uint64(op.DurNS))
+	}
+	_, err := tw.w.Write(b)
+	tw.scratch = b
+	if err != nil {
+		tw.err = err
+		return err
+	}
+	tw.ops++
+	return nil
+}
+
+// Ops returns the number of operations written so far.
+func (tw *Writer) Ops() int64 { return tw.ops }
+
+// Close emits the end record and flushes. The underlying writer is not
+// closed. Close is idempotent.
+func (tw *Writer) Close() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	if tw.closed {
+		return nil
+	}
+	tw.closed = true
+	b := tw.buf()
+	b = append(b, kindEnd)
+	b = binary.AppendUvarint(b, uint64(tw.ops))
+	if _, err := tw.w.Write(b); err != nil {
+		tw.err = err
+		return err
+	}
+	if err := tw.w.Flush(); err != nil {
+		tw.err = err
+		return err
+	}
+	return nil
+}
+
+// appendString encodes a length-prefixed string.
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// appendList encodes a region list: a count, then per region a
+// zigzag-varint offset delta (against the previous region's offset)
+// and a uvarint length.
+func appendList(b []byte, l ioseg.List) []byte {
+	b = binary.AppendUvarint(b, uint64(len(l)))
+	var prev int64
+	for _, s := range l {
+		b = binary.AppendVarint(b, s.Offset-prev)
+		b = binary.AppendUvarint(b, uint64(s.Length))
+		prev = s.Offset
+	}
+	return b
+}
+
+// Reader decodes a trace stream.
+type Reader struct {
+	r    *bufio.Reader
+	meta Meta
+	ops  int64
+	done bool
+}
+
+// NewReader validates the header and metadata record of r.
+func NewReader(r io.Reader) (*Reader, error) {
+	tr := &Reader{r: bufio.NewReader(r)}
+	got := make([]byte, len(Magic))
+	if _, err := io.ReadFull(tr.r, got); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(got) != Magic {
+		return nil, fmt.Errorf("trace: bad magic %q (version mismatch or not a trace)", got)
+	}
+	kind, err := tr.r.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading metadata: %w", err)
+	}
+	if kind != kindMeta {
+		return nil, fmt.Errorf("trace: expected metadata record, got kind %d", kind)
+	}
+	if tr.meta.Name, err = readString(tr.r); err != nil {
+		return nil, err
+	}
+	ranks, err := readCount(tr.r, 1<<30)
+	if err != nil {
+		return nil, err
+	}
+	tr.meta.Ranks = int(ranks)
+	if tr.meta.Comment, err = readString(tr.r); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// Meta returns the trace metadata.
+func (tr *Reader) Meta() Meta { return tr.meta }
+
+// Next returns the next operation. It returns io.EOF after the end
+// record, and io.ErrUnexpectedEOF if the stream stops without one
+// (a truncated trace).
+func (tr *Reader) Next() (Op, error) {
+	if tr.done {
+		return Op{}, io.EOF
+	}
+	kind, err := tr.r.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return Op{}, io.ErrUnexpectedEOF
+		}
+		return Op{}, err
+	}
+	switch kind {
+	case kindOp:
+		op, err := tr.readOp()
+		if err != nil {
+			return Op{}, err
+		}
+		tr.ops++
+		return op, nil
+	case kindEnd:
+		want, err := readCount(tr.r, 1<<62)
+		if err != nil {
+			return Op{}, err
+		}
+		if int64(want) != tr.ops {
+			return Op{}, fmt.Errorf("trace: end record declares %d ops, stream carried %d", want, tr.ops)
+		}
+		tr.done = true
+		return Op{}, io.EOF
+	default:
+		return Op{}, fmt.Errorf("trace: unknown record kind %d", kind)
+	}
+}
+
+func (tr *Reader) readOp() (Op, error) {
+	var op Op
+	rank, err := readCount(tr.r, 1<<30)
+	if err != nil {
+		return op, err
+	}
+	op.Rank = int(rank)
+	flags, err := tr.r.ReadByte()
+	if err != nil {
+		return op, eofToUnexpected(err)
+	}
+	op.Write = flags&flagWrite != 0
+	if op.Mem, err = readList(tr.r); err != nil {
+		return op, err
+	}
+	if op.File, err = readList(tr.r); err != nil {
+		return op, err
+	}
+	if flags&flagHasDur != 0 {
+		d, err := readCount(tr.r, 1<<62)
+		if err != nil {
+			return op, err
+		}
+		op.DurNS = int64(d)
+	}
+	if err := op.Validate(); err != nil {
+		return op, err
+	}
+	return op, nil
+}
+
+// ReadAll drains the reader, returning every remaining operation.
+func ReadAll(tr *Reader) ([]Op, error) {
+	var ops []Op
+	for {
+		op, err := tr.Next()
+		if err == io.EOF {
+			return ops, nil
+		}
+		if err != nil {
+			return ops, err
+		}
+		ops = append(ops, op)
+	}
+}
+
+func eofToUnexpected(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// readCount reads a uvarint bounded by max.
+func readCount(r *bufio.Reader, max uint64) (uint64, error) {
+	v, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, eofToUnexpected(err)
+	}
+	if v > max {
+		return 0, fmt.Errorf("trace: count %d exceeds limit %d", v, max)
+	}
+	return v, nil
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := readCount(r, maxStringLen)
+	if err != nil {
+		return "", err
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", eofToUnexpected(err)
+	}
+	return string(b), nil
+}
+
+func readList(r *bufio.Reader) (ioseg.List, error) {
+	n, err := readCount(r, maxRegions)
+	if err != nil {
+		return nil, err
+	}
+	l := make(ioseg.List, n)
+	var prev int64
+	for i := range l {
+		delta, err := binary.ReadVarint(r)
+		if err != nil {
+			return nil, eofToUnexpected(err)
+		}
+		length, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, eofToUnexpected(err)
+		}
+		off := prev + delta
+		l[i] = ioseg.Segment{Offset: off, Length: int64(length)}
+		prev = off
+	}
+	return l, nil
+}

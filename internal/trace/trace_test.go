@@ -1,0 +1,485 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pvfs/internal/ioseg"
+	"pvfs/internal/patterns"
+)
+
+func mustList(t *testing.T, offLens ...int64) ioseg.List {
+	t.Helper()
+	if len(offLens)%2 != 0 {
+		t.Fatal("odd offLens")
+	}
+	var l ioseg.List
+	for i := 0; i < len(offLens); i += 2 {
+		l = append(l, ioseg.Segment{Offset: offLens[i], Length: offLens[i+1]})
+	}
+	return l
+}
+
+func roundTrip(t *testing.T, meta Meta, ops []Op) ([]Op, Meta) {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, meta)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	for i, op := range ops {
+		if err := w.WriteOp(op); err != nil {
+			t.Fatalf("WriteOp %d: %v", i, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	got, err := ReadAll(r)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	return got, r.Meta()
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	meta := Meta{Name: "unit", Ranks: 4, Comment: "hand-built"}
+	ops := []Op{
+		{Rank: 0, Write: false, Mem: mustList(t, 0, 10), File: mustList(t, 100, 10)},
+		{Rank: 3, Write: true, Mem: mustList(t, 0, 4, 8, 4), File: mustList(t, 0, 8), DurNS: 12345},
+		{Rank: 1, Write: true, Mem: mustList(t, 0, 6), File: mustList(t, 50, 2, 40, 2, 60, 2)},
+	}
+	got, gm := roundTrip(t, meta, ops)
+	if gm != meta {
+		t.Errorf("meta = %+v, want %+v", gm, meta)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("got %d ops, want %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if !reflect.DeepEqual(got[i], ops[i]) {
+			t.Errorf("op %d = %+v, want %+v", i, got[i], ops[i])
+		}
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	got, gm := roundTrip(t, Meta{Name: "empty"}, nil)
+	if len(got) != 0 {
+		t.Errorf("got %d ops from empty trace", len(got))
+	}
+	if gm.Name != "empty" {
+		t.Errorf("meta name = %q", gm.Name)
+	}
+}
+
+// quickOp builds a valid random op from raw fuzz material.
+func quickOp(r *rand.Rand) Op {
+	n := 1 + r.Intn(8)
+	mem := make(ioseg.List, 0, n)
+	file := make(ioseg.List, 0, n)
+	var total int64
+	for i := 0; i < n; i++ {
+		l := 1 + r.Int63n(1<<12)
+		mem = append(mem, ioseg.Segment{Offset: r.Int63n(1 << 30), Length: l})
+		total += l
+	}
+	// File side: random split of the same total into m pieces at
+	// arbitrary (possibly backward) offsets.
+	for total > 0 {
+		l := 1 + r.Int63n(total)
+		file = append(file, ioseg.Segment{Offset: r.Int63n(1 << 40), Length: l})
+		total -= l
+	}
+	return Op{
+		Rank:  r.Intn(64),
+		Write: r.Intn(2) == 0,
+		Mem:   mem,
+		File:  file,
+		DurNS: r.Int63n(1 << 30),
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	f := func(seed int64, nOps uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		ops := make([]Op, int(nOps)%12)
+		for i := range ops {
+			ops[i] = quickOp(r)
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, Meta{Name: "quick", Ranks: 64})
+		if err != nil {
+			return false
+		}
+		for _, op := range ops {
+			if err := w.WriteOp(op); err != nil {
+				return false
+			}
+		}
+		if err := w.Close(); err != nil {
+			return false
+		}
+		rd, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		got, err := ReadAll(rd)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(ops) {
+			return false
+		}
+		for i := range ops {
+			if !reflect.DeepEqual(got[i], ops[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Meta{Name: "trunc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := Op{Mem: mustList(t, 0, 8), File: mustList(t, 0, 8)}
+	for i := 0; i < 4; i++ {
+		if err := w.WriteOp(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Drop the end record (and a bit more).
+	cut := full[:len(full)-3]
+	r, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ReadAll(r)
+	if err == nil {
+		t.Fatal("truncated trace read without error")
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("NOTATRACE-------")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := NewReader(strings.NewReader("PV")); err == nil {
+		t.Fatal("short magic accepted")
+	}
+}
+
+func TestWriteAfterClose(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Meta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	op := Op{Mem: mustList(t, 0, 1), File: mustList(t, 0, 1)}
+	if err := w.WriteOp(op); err == nil {
+		t.Fatal("WriteOp after Close succeeded")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestOpValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		op   Op
+	}{
+		{"byte mismatch", Op{Mem: mustList(t, 0, 4), File: mustList(t, 0, 8)}},
+		{"negative rank", Op{Rank: -1, Mem: mustList(t, 0, 4), File: mustList(t, 0, 4)}},
+		{"negative offset", Op{Mem: mustList(t, -4, 4), File: mustList(t, 0, 4)}},
+		{"negative length", Op{Mem: mustList(t, 0, 4), File: mustList(t, 0, -4)}},
+	}
+	for _, c := range cases {
+		if err := c.op.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", c.name, c.op)
+		}
+	}
+	ok := Op{Mem: mustList(t, 0, 4), File: mustList(t, 0, 4)}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid op rejected: %v", err)
+	}
+}
+
+func TestWriterRejectsInvalidOp(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Meta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := Op{Mem: mustList(t, 0, 4), File: mustList(t, 0, 8)}
+	if err := w.WriteOp(bad); err == nil {
+		t.Fatal("invalid op accepted")
+	}
+	// The writer must remain usable for valid ops.
+	good := Op{Mem: mustList(t, 0, 4), File: mustList(t, 0, 4)}
+	if err := w.WriteOp(good); err != nil {
+		t.Fatalf("valid op after invalid: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, err := ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 1 {
+		t.Fatalf("got %d ops, want 1", len(ops))
+	}
+}
+
+func TestUnknownRecordKind(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Meta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Replace the end record kind with garbage.
+	raw[len(raw)-2] = 0x7f
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadAll(r); err == nil {
+		t.Fatal("unknown record kind accepted")
+	}
+}
+
+func TestDeltaEncodingIsCompact(t *testing.T) {
+	// A regular strided pattern must encode in only a few bytes per
+	// region (delta coding): 1000 regions of 8 bytes at stride 4096.
+	file := make(ioseg.List, 1000)
+	for i := range file {
+		file[i] = ioseg.Segment{Offset: int64(i) * 4096, Length: 8}
+	}
+	mem := ioseg.List{{Offset: 0, Length: 8000}}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Meta{Name: "stride"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteOp(Op{Mem: mem, File: file}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// 2 bytes stride delta + 1 byte length per region plus framing.
+	if buf.Len() > 4*1000+64 {
+		t.Errorf("strided op encoded in %d bytes; want ≤ %d", buf.Len(), 4*1000+64)
+	}
+}
+
+// --- pattern synthesis ---
+
+func TestPatternOpsWholeRank(t *testing.T) {
+	pat, err := patterns.NewCyclic1D(4, 16, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, err := PatternOps(pat, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 4 {
+		t.Fatalf("got %d ops, want 4 (one per rank)", len(ops))
+	}
+	var total int64
+	for _, op := range ops {
+		if err := op.Validate(); err != nil {
+			t.Fatalf("op invalid: %v", err)
+		}
+		if !op.Write {
+			t.Error("write flag lost")
+		}
+		total += op.File.TotalLength()
+	}
+	if total != 1<<16 {
+		t.Errorf("ops cover %d bytes, want %d", total, 1<<16)
+	}
+}
+
+func TestPatternOpsChunked(t *testing.T) {
+	pat, err := patterns.NewCyclic1D(2, 100, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole, err := PatternOps(pat, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunked, err := PatternOps(pat, false, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ceil(100/7) = 15 ops per rank.
+	if want := 2 * 15; len(chunked) != want {
+		t.Fatalf("got %d chunked ops, want %d", len(chunked), want)
+	}
+	// Each op balanced and valid; concatenation equals the whole access.
+	perRank := make(map[int]ioseg.List)
+	var total int64
+	for _, op := range chunked {
+		if err := op.Validate(); err != nil {
+			t.Fatalf("chunked op invalid: %v", err)
+		}
+		if len(op.File) > 7 {
+			t.Errorf("chunk carries %d file regions, want ≤ 7", len(op.File))
+		}
+		perRank[op.Rank] = append(perRank[op.Rank], op.File...)
+		total += op.File.TotalLength()
+	}
+	var wholeTotal int64
+	for _, op := range whole {
+		wholeTotal += op.File.TotalLength()
+		if !perRank[op.Rank].Equal(op.File) {
+			t.Errorf("rank %d: chunked file regions differ from whole access", op.Rank)
+		}
+	}
+	if total != wholeTotal {
+		t.Errorf("chunked total %d != whole total %d", total, wholeTotal)
+	}
+}
+
+func TestPatternOpsChunkedFlashMemSide(t *testing.T) {
+	// FLASH memory is noncontiguous (8-byte pieces); chunking must cut
+	// the memory stream at exactly the file-chunk byte boundaries.
+	pat := patterns.DefaultFlash(2)
+	pat.Blocks = 4 // shrink for test speed
+	ops, err := PatternOps(pat, true, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, op := range ops {
+		if err := op.Validate(); err != nil {
+			t.Fatalf("op %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestPatternOpsNegativeChunk(t *testing.T) {
+	pat, err := patterns.NewCyclic1D(2, 4, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PatternOps(pat, false, -1); err == nil {
+		t.Fatal("negative chunk accepted")
+	}
+}
+
+func TestWritePatternRoundTrip(t *testing.T) {
+	pat, err := patterns.NewCyclic1D(3, 9, 27<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Meta{Name: pat.Name(), Ranks: pat.Ranks()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePattern(w, pat, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, err := ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 3 {
+		t.Fatalf("got %d ops, want 3", len(ops))
+	}
+	want, err := PatternOps(pat, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !reflect.DeepEqual(ops[i], want[i]) {
+			t.Errorf("op %d differs after round trip", i)
+		}
+	}
+}
+
+// --- streaming guards ---
+
+func TestReaderStopsAtDeclaredCountMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Meta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := Op{Mem: mustList(t, 0, 2), File: mustList(t, 0, 2)}
+	if err := w.WriteOp(op); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// End record is the final two bytes: kindEnd, count=1. Corrupt the count.
+	raw[len(raw)-1] = 9
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadAll(r); err == nil {
+		t.Fatal("count mismatch accepted")
+	}
+}
+
+func TestNextAfterEOF(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, Meta{})
+	w.Close()
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("first Next = %v, want io.EOF", err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("second Next = %v, want io.EOF", err)
+	}
+}

@@ -1,0 +1,78 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestHandleListRespRoundTrip(t *testing.T) {
+	m := HandleListResp{
+		Handles: []uint64{1, 7, 1 << 60},
+		Sizes:   []int64{0, 4096, 1 << 40},
+	}
+	var got HandleListResp
+	if err := got.Unmarshal(m.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("round trip: got %+v, want %+v", got, m)
+	}
+}
+
+func TestHandleListRespEmpty(t *testing.T) {
+	var m HandleListResp
+	var got HandleListResp
+	if err := got.Unmarshal(m.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Handles) != 0 || len(got.Sizes) != 0 {
+		t.Fatalf("empty round trip produced %+v", got)
+	}
+}
+
+func TestHandleListRespQuick(t *testing.T) {
+	f := func(handles []uint64, sizes []int64) bool {
+		n := len(handles)
+		if len(sizes) < n {
+			n = len(sizes)
+		}
+		m := HandleListResp{Handles: handles[:n], Sizes: sizes[:n]}
+		var got HandleListResp
+		if err := got.Unmarshal(m.Marshal()); err != nil {
+			return false
+		}
+		if len(got.Handles) != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if got.Handles[i] != m.Handles[i] || got.Sizes[i] != m.Sizes[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHandleListRespRejectsTruncation(t *testing.T) {
+	m := HandleListResp{Handles: []uint64{1, 2}, Sizes: []int64{10, 20}}
+	b := m.Marshal()
+	var got HandleListResp
+	if err := got.Unmarshal(b[:len(b)-4]); err == nil {
+		t.Fatal("truncated handle list accepted")
+	}
+}
+
+func TestHandleListRespRejectsHugeCount(t *testing.T) {
+	// A count field claiming more entries than the limit must be
+	// rejected before allocation.
+	e := encoder{}
+	e.u64(maxHandleList + 1)
+	var got HandleListResp
+	if err := got.Unmarshal(e.buf); err == nil {
+		t.Fatal("oversized handle list count accepted")
+	}
+}

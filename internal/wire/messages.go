@@ -1,0 +1,409 @@
+package wire
+
+import (
+	"fmt"
+
+	"pvfs/internal/ioseg"
+	"pvfs/internal/striping"
+)
+
+// This file defines the typed request/response bodies. Clients address
+// I/O daemons in *physical* stripe-file coordinates: the client library
+// performs the striping math (as the PVFS library does) and each I/O
+// daemon sees only the regions that live on it.
+
+// CreateReq asks the manager to create a file. A PCount of 0 lets the
+// manager choose (all servers); a StripeSize of 0 selects the default.
+type CreateReq struct {
+	Name     string
+	Striping striping.Config
+}
+
+func (m *CreateReq) Marshal() []byte {
+	e := encoder{}
+	e.str(m.Name)
+	e.u32(uint32(m.Striping.Base))
+	e.u32(uint32(m.Striping.PCount))
+	e.i64(m.Striping.StripeSize)
+	return e.buf
+}
+
+func (m *CreateReq) Unmarshal(b []byte) error {
+	d := decoder{buf: b}
+	m.Name = d.str()
+	m.Striping.Base = int(d.u32())
+	m.Striping.PCount = int(d.u32())
+	m.Striping.StripeSize = d.i64()
+	return d.err
+}
+
+// FileInfo is the manager's description of a file, returned by create,
+// open and stat operations.
+type FileInfo struct {
+	Handle   uint64
+	Size     int64 // logical size as last recorded by the manager
+	Striping striping.Config
+	IODAddrs []string // network addresses of the I/O daemons, stripe order
+}
+
+func (m *FileInfo) Marshal() []byte {
+	e := encoder{}
+	e.u64(m.Handle)
+	e.i64(m.Size)
+	e.u32(uint32(m.Striping.Base))
+	e.u32(uint32(m.Striping.PCount))
+	e.i64(m.Striping.StripeSize)
+	e.u32(uint32(len(m.IODAddrs)))
+	for _, a := range m.IODAddrs {
+		e.str(a)
+	}
+	return e.buf
+}
+
+func (m *FileInfo) Unmarshal(b []byte) error {
+	d := decoder{buf: b}
+	m.Handle = d.u64()
+	m.Size = d.i64()
+	m.Striping.Base = int(d.u32())
+	m.Striping.PCount = int(d.u32())
+	m.Striping.StripeSize = d.i64()
+	n := d.u32()
+	if d.err != nil {
+		return d.err
+	}
+	if n > 1<<16 {
+		return fmt.Errorf("wire: absurd iod count %d", n)
+	}
+	m.IODAddrs = make([]string, n)
+	for i := range m.IODAddrs {
+		m.IODAddrs[i] = d.str()
+	}
+	return d.err
+}
+
+// NameReq is the body for open/stat/remove requests: just a file name.
+type NameReq struct{ Name string }
+
+func (m *NameReq) Marshal() []byte {
+	e := encoder{}
+	e.str(m.Name)
+	return e.buf
+}
+
+func (m *NameReq) Unmarshal(b []byte) error {
+	d := decoder{buf: b}
+	m.Name = d.str()
+	return d.err
+}
+
+// ListDirResp carries directory contents.
+type ListDirResp struct{ Names []string }
+
+func (m *ListDirResp) Marshal() []byte {
+	e := encoder{}
+	e.u32(uint32(len(m.Names)))
+	for _, n := range m.Names {
+		e.str(n)
+	}
+	return e.buf
+}
+
+func (m *ListDirResp) Unmarshal(b []byte) error {
+	d := decoder{buf: b}
+	n := d.u32()
+	if d.err != nil {
+		return d.err
+	}
+	if n > 1<<20 {
+		return fmt.Errorf("wire: absurd name count %d", n)
+	}
+	m.Names = make([]string, n)
+	for i := range m.Names {
+		m.Names[i] = d.str()
+	}
+	return d.err
+}
+
+// SetSizeReq records logical file size at the manager (sent by clients
+// after writes extend a file, since the manager does not see I/O).
+type SetSizeReq struct {
+	Handle uint64
+	Size   int64
+}
+
+func (m *SetSizeReq) Marshal() []byte {
+	e := encoder{}
+	e.u64(m.Handle)
+	e.i64(m.Size)
+	return e.buf
+}
+
+func (m *SetSizeReq) Unmarshal(b []byte) error {
+	d := decoder{buf: b}
+	m.Handle = d.u64()
+	m.Size = d.i64()
+	return d.err
+}
+
+// ReadReq asks an I/O daemon for one contiguous physical extent.
+type ReadReq struct {
+	Offset int64
+	Length int64
+}
+
+func (m *ReadReq) Marshal() []byte {
+	e := encoder{}
+	e.i64(m.Offset)
+	e.i64(m.Length)
+	return e.buf
+}
+
+func (m *ReadReq) Unmarshal(b []byte) error {
+	d := decoder{buf: b}
+	m.Offset = d.i64()
+	m.Length = d.i64()
+	return d.err
+}
+
+// WriteReq carries one contiguous physical extent plus its data.
+type WriteReq struct {
+	Offset int64
+	Data   []byte
+}
+
+func (m *WriteReq) Marshal() []byte {
+	e := encoder{}
+	e.i64(m.Offset)
+	e.bytes(m.Data)
+	return e.buf
+}
+
+func (m *WriteReq) Unmarshal(b []byte) error {
+	d := decoder{buf: b}
+	m.Offset = d.i64()
+	m.Data = d.rest()
+	return d.err
+}
+
+// ListReq is the list I/O request (§3.3): up to MaxRegionsPerRequest
+// physical regions in trailing data. For writes, Data holds the packed
+// stream matching the regions in order; for reads Data is empty.
+type ListReq struct {
+	Regions ioseg.List
+	Data    []byte
+}
+
+func (m *ListReq) Marshal() ([]byte, error) {
+	trailer, err := EncodeRegions(m.Regions)
+	if err != nil {
+		return nil, err
+	}
+	if m.Data == nil {
+		return trailer, nil
+	}
+	out := make([]byte, 0, len(trailer)+len(m.Data))
+	out = append(out, trailer...)
+	out = append(out, m.Data...)
+	return out, nil
+}
+
+func (m *ListReq) Unmarshal(b []byte) error {
+	regions, rest, err := DecodeRegions(b)
+	if err != nil {
+		return err
+	}
+	m.Regions = regions
+	m.Data = rest
+	return nil
+}
+
+// StridedReq is the datatype-extension request (paper §5 future work):
+// a vector descriptor (count × blocklen every stride from start, in
+// *logical* file coordinates) replaces the explicit region list,
+// removing the linear relationship between region count and request
+// count. The striping fields let the I/O daemon compute which pieces
+// of the pattern live on it (relative index RelIndex).
+type StridedReq struct {
+	Start    int64
+	Stride   int64
+	BlockLen int64
+	Count    int64
+	Striping striping.Config
+	RelIndex int    // which relative server the receiver is
+	Data     []byte // packed stream for writes (this server's bytes, logical order)
+}
+
+// ExpandRegions expands the descriptor into its explicit logical
+// region list.
+func (m *StridedReq) ExpandRegions() ioseg.List {
+	l := make(ioseg.List, 0, m.Count)
+	for i := int64(0); i < m.Count; i++ {
+		l = append(l, ioseg.Segment{Offset: m.Start + i*m.Stride, Length: m.BlockLen})
+	}
+	return l
+}
+
+// TotalLength is Count*BlockLen.
+func (m *StridedReq) TotalLength() int64 { return m.Count * m.BlockLen }
+
+func (m *StridedReq) Marshal() []byte {
+	e := encoder{}
+	e.i64(m.Start)
+	e.i64(m.Stride)
+	e.i64(m.BlockLen)
+	e.i64(m.Count)
+	e.u32(uint32(m.Striping.Base))
+	e.u32(uint32(m.Striping.PCount))
+	e.i64(m.Striping.StripeSize)
+	e.u32(uint32(m.RelIndex))
+	e.bytes(m.Data)
+	return e.buf
+}
+
+func (m *StridedReq) Unmarshal(b []byte) error {
+	d := decoder{buf: b}
+	m.Start = d.i64()
+	m.Stride = d.i64()
+	m.BlockLen = d.i64()
+	m.Count = d.i64()
+	m.Striping.Base = int(d.u32())
+	m.Striping.PCount = int(d.u32())
+	m.Striping.StripeSize = d.i64()
+	m.RelIndex = int(d.u32())
+	m.Data = d.rest()
+	if d.err != nil {
+		return d.err
+	}
+	if m.Count < 0 || m.BlockLen < 0 || m.Count > 1<<40 {
+		return fmt.Errorf("wire: invalid strided descriptor %+v", m)
+	}
+	return nil
+}
+
+// WrittenResp reports bytes applied by a write-family request.
+type WrittenResp struct{ N int64 }
+
+func (m *WrittenResp) Marshal() []byte {
+	e := encoder{}
+	e.i64(m.N)
+	return e.buf
+}
+
+func (m *WrittenResp) Unmarshal(b []byte) error {
+	d := decoder{buf: b}
+	m.N = d.i64()
+	return d.err
+}
+
+// SizeResp reports a physical stripe-file size (iod TStat response).
+type SizeResp struct{ Size int64 }
+
+func (m *SizeResp) Marshal() []byte {
+	e := encoder{}
+	e.i64(m.Size)
+	return e.buf
+}
+
+func (m *SizeResp) Unmarshal(b []byte) error {
+	d := decoder{buf: b}
+	m.Size = d.i64()
+	return d.err
+}
+
+// TruncateReq sets a stripe file's physical size.
+type TruncateReq struct{ Size int64 }
+
+func (m *TruncateReq) Marshal() []byte {
+	e := encoder{}
+	e.i64(m.Size)
+	return e.buf
+}
+
+func (m *TruncateReq) Unmarshal(b []byte) error {
+	d := decoder{buf: b}
+	m.Size = d.i64()
+	return d.err
+}
+
+// ServerStats carries an I/O daemon's request accounting, used by the
+// benchmarks to report the request-count arithmetic of §4.3.1/§4.4.1.
+type ServerStats struct {
+	Requests      int64 // I/O requests processed
+	Regions       int64 // contiguous regions applied (>= Requests)
+	BytesRead     int64
+	BytesWritten  int64
+	ListRequests  int64 // list I/O requests among Requests
+	TrailingBytes int64 // trailing data received
+}
+
+func (m *ServerStats) Marshal() []byte {
+	e := encoder{}
+	e.i64(m.Requests)
+	e.i64(m.Regions)
+	e.i64(m.BytesRead)
+	e.i64(m.BytesWritten)
+	e.i64(m.ListRequests)
+	e.i64(m.TrailingBytes)
+	return e.buf
+}
+
+func (m *ServerStats) Unmarshal(b []byte) error {
+	d := decoder{buf: b}
+	m.Requests = d.i64()
+	m.Regions = d.i64()
+	m.BytesRead = d.i64()
+	m.BytesWritten = d.i64()
+	m.ListRequests = d.i64()
+	m.TrailingBytes = d.i64()
+	return d.err
+}
+
+// HandleListResp enumerates the handles an I/O daemon stores and each
+// one's physical (stripe-file) size. The consistency checker
+// (internal/fsck) cross-references this against the manager's
+// metadata to find orphan and missing stripes.
+type HandleListResp struct {
+	Handles []uint64
+	Sizes   []int64
+}
+
+// maxHandleList caps the entries a decoder will allocate.
+const maxHandleList = 1 << 24
+
+func (m *HandleListResp) Marshal() []byte {
+	e := encoder{}
+	e.u64(uint64(len(m.Handles)))
+	for i, h := range m.Handles {
+		e.u64(h)
+		e.i64(m.Sizes[i])
+	}
+	return e.buf
+}
+
+func (m *HandleListResp) Unmarshal(b []byte) error {
+	d := decoder{buf: b}
+	n := d.u64()
+	if d.err != nil {
+		return d.err
+	}
+	if n > maxHandleList {
+		return fmt.Errorf("wire: handle list of %d entries exceeds limit", n)
+	}
+	m.Handles = make([]uint64, n)
+	m.Sizes = make([]int64, n)
+	for i := range m.Handles {
+		m.Handles[i] = d.u64()
+		m.Sizes[i] = d.i64()
+	}
+	return d.err
+}
+
+// Add accumulates other into m.
+func (m *ServerStats) Add(other ServerStats) {
+	m.Requests += other.Requests
+	m.Regions += other.Regions
+	m.BytesRead += other.BytesRead
+	m.BytesWritten += other.BytesWritten
+	m.ListRequests += other.ListRequests
+	m.TrailingBytes += other.TrailingBytes
+}

@@ -1,0 +1,389 @@
+// Package wire defines the binary protocol spoken between PVFS clients,
+// the manager daemon, and the I/O daemons.
+//
+// The protocol mirrors the structure described in the paper (§2, §3.3):
+// fixed-size request headers, with list I/O requests carrying a
+// variable-sized trailing data section holding up to MaxRegionsPerRequest
+// file offset/length pairs. The 64-region limit was chosen by the
+// authors so a request plus its trailing data fit a single 1500-byte
+// Ethernet frame; FrameBudget documents that arithmetic.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"pvfs/internal/ioseg"
+)
+
+// Protocol constants.
+const (
+	// Magic identifies PVFS protocol messages ("PVFS").
+	Magic = 0x50564653
+	// Version of the wire protocol.
+	Version = 1
+
+	// MaxRegionsPerRequest is the trailing-data limit from the paper:
+	// at most 64 contiguous file regions per list I/O request, so the
+	// request and its trailing data travel in one Ethernet frame.
+	MaxRegionsPerRequest = 64
+
+	// EthernetMTU and related values document the frame budget the
+	// 64-region limit was derived from.
+	EthernetMTU    = 1500
+	ipTCPOverhead  = 52 // IP (20) + TCP (20) + options (12)
+	EthernetMSS    = EthernetMTU - ipTCPOverhead
+	regionDescSize = 16 // offset int64 + length int64
+
+	// HeaderSize is the fixed request/response header length in bytes.
+	HeaderSize = 28
+
+	// MaxBodyLen bounds a single message body (headers + trailing data
+	// + payload) to keep a malicious or corrupt peer from forcing huge
+	// allocations. Large transfers are chunked above this layer.
+	MaxBodyLen = 64 << 20
+)
+
+// MsgType enumerates request and response message types.
+type MsgType uint16
+
+// Request/response types. Responses reuse the request type with the
+// response bit set.
+const (
+	TInvalid MsgType = iota
+	// Manager operations.
+	TCreate
+	TOpen
+	TStat
+	TRemove
+	TListDir
+	TSetSize
+	// I/O daemon operations.
+	TRead
+	TWrite
+	TReadList
+	TWriteList
+	TReadStrided  // datatype extension: strided (vector) descriptor
+	TWriteStrided // datatype extension
+	TTruncate
+	TServerStats
+	TPing
+	TListHandles // enumerate stored handles with sizes (fsck)
+
+	responseBit MsgType = 0x8000
+)
+
+// Response returns the response type for a request type.
+func (t MsgType) Response() MsgType { return t | responseBit }
+
+// IsResponse reports whether the type carries the response bit.
+func (t MsgType) IsResponse() bool { return t&responseBit != 0 }
+
+// Base strips the response bit.
+func (t MsgType) Base() MsgType { return t &^ responseBit }
+
+func (t MsgType) String() string {
+	names := map[MsgType]string{
+		TInvalid: "invalid", TCreate: "create", TOpen: "open", TStat: "stat",
+		TRemove: "remove", TListDir: "listdir", TSetSize: "setsize",
+		TRead: "read", TWrite: "write", TReadList: "readlist",
+		TWriteList: "writelist", TReadStrided: "readstrided",
+		TWriteStrided: "writestrided", TTruncate: "truncate",
+		TServerStats: "serverstats", TPing: "ping",
+		TListHandles: "listhandles",
+	}
+	n, ok := names[t.Base()]
+	if !ok {
+		return fmt.Sprintf("type(%d)", uint16(t))
+	}
+	if t.IsResponse() {
+		return n + "-resp"
+	}
+	return n
+}
+
+// Status codes carried in response headers.
+type Status uint32
+
+const (
+	StatusOK Status = iota
+	StatusNotFound
+	StatusExists
+	StatusInvalid
+	StatusIOError
+	StatusTooManyRegions
+	StatusProtocol
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusNotFound:
+		return "not found"
+	case StatusExists:
+		return "exists"
+	case StatusInvalid:
+		return "invalid argument"
+	case StatusIOError:
+		return "i/o error"
+	case StatusTooManyRegions:
+		return "too many regions in trailing data"
+	case StatusProtocol:
+		return "protocol error"
+	default:
+		return fmt.Sprintf("status(%d)", uint32(s))
+	}
+}
+
+// Err converts a non-OK status into an error.
+func (s Status) Err() error {
+	if s == StatusOK {
+		return nil
+	}
+	return &StatusError{Status: s}
+}
+
+// StatusError wraps a non-OK response status.
+type StatusError struct{ Status Status }
+
+func (e *StatusError) Error() string { return "pvfs: " + e.Status.String() }
+
+// Errors returned by the codec.
+var (
+	ErrBadMagic       = errors.New("wire: bad magic")
+	ErrBadVersion     = errors.New("wire: unsupported protocol version")
+	ErrBodyTooLarge   = errors.New("wire: message body exceeds limit")
+	ErrTooManyRegions = fmt.Errorf("wire: more than %d regions in trailing data", MaxRegionsPerRequest)
+	ErrShortBody      = errors.New("wire: body shorter than declared fields")
+)
+
+// Header is the fixed-size message header. Handle identifies the file
+// (assigned by the manager); Status is meaningful only on responses.
+type Header struct {
+	Type    MsgType
+	Status  Status
+	Handle  uint64
+	BodyLen uint32
+}
+
+// putHeader encodes h into buf, which must be at least HeaderSize long.
+func putHeader(buf []byte, h Header) {
+	binary.BigEndian.PutUint32(buf[0:], Magic)
+	binary.BigEndian.PutUint16(buf[4:], Version)
+	binary.BigEndian.PutUint16(buf[6:], uint16(h.Type))
+	binary.BigEndian.PutUint32(buf[8:], uint32(h.Status))
+	binary.BigEndian.PutUint64(buf[12:], h.Handle)
+	binary.BigEndian.PutUint32(buf[20:], h.BodyLen)
+	binary.BigEndian.PutUint32(buf[24:], 0) // reserved
+}
+
+// parseHeader decodes and validates a header.
+func parseHeader(buf []byte) (Header, error) {
+	if binary.BigEndian.Uint32(buf[0:]) != Magic {
+		return Header{}, ErrBadMagic
+	}
+	if v := binary.BigEndian.Uint16(buf[4:]); v != Version {
+		return Header{}, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	h := Header{
+		Type:    MsgType(binary.BigEndian.Uint16(buf[6:])),
+		Status:  Status(binary.BigEndian.Uint32(buf[8:])),
+		Handle:  binary.BigEndian.Uint64(buf[12:]),
+		BodyLen: binary.BigEndian.Uint32(buf[20:]),
+	}
+	if h.BodyLen > MaxBodyLen {
+		return Header{}, fmt.Errorf("%w: %d", ErrBodyTooLarge, h.BodyLen)
+	}
+	return h, nil
+}
+
+// Message is a complete protocol message: header plus raw body.
+type Message struct {
+	Header
+	Body []byte
+}
+
+// WriteMessage frames and writes a message.
+func WriteMessage(w io.Writer, m Message) error {
+	if len(m.Body) > MaxBodyLen {
+		return ErrBodyTooLarge
+	}
+	m.BodyLen = uint32(len(m.Body))
+	buf := make([]byte, HeaderSize+len(m.Body))
+	putHeader(buf, m.Header)
+	copy(buf[HeaderSize:], m.Body)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadMessage reads one framed message.
+func ReadMessage(r io.Reader) (Message, error) {
+	var hbuf [HeaderSize]byte
+	if _, err := io.ReadFull(r, hbuf[:]); err != nil {
+		return Message{}, err
+	}
+	h, err := parseHeader(hbuf[:])
+	if err != nil {
+		return Message{}, err
+	}
+	body := make([]byte, h.BodyLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Message{}, fmt.Errorf("wire: reading %d-byte body: %w", h.BodyLen, err)
+	}
+	return Message{Header: h, Body: body}, nil
+}
+
+// --- body encoding helpers ---
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) u32(v uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+}
+
+func (e *encoder) u64(v uint64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+}
+
+func (e *encoder) i64(v int64) { e.u64(uint64(v)) }
+
+func (e *encoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *encoder) bytes(b []byte) { e.buf = append(e.buf, b...) }
+
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 4 {
+		d.err = ErrShortBody
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.buf)
+	d.buf = d.buf[4:]
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 8 {
+		d.err = ErrShortBody
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.buf)
+	d.buf = d.buf[8:]
+	return v
+}
+
+func (d *decoder) i64() int64 { return int64(d.u64()) }
+
+func (d *decoder) str() string {
+	n := d.u32()
+	if d.err != nil {
+		return ""
+	}
+	if uint32(len(d.buf)) < n {
+		d.err = ErrShortBody
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}
+
+func (d *decoder) rest() []byte {
+	b := d.buf
+	d.buf = nil
+	return b
+}
+
+// EncodeRegions appends a region list as trailing data: a count
+// followed by offset/length pairs. It enforces the per-request limit.
+func EncodeRegions(l ioseg.List) ([]byte, error) {
+	if len(l) > MaxRegionsPerRequest {
+		return nil, ErrTooManyRegions
+	}
+	e := encoder{buf: make([]byte, 0, 4+len(l)*regionDescSize)}
+	e.u32(uint32(len(l)))
+	for _, s := range l {
+		e.i64(s.Offset)
+		e.i64(s.Length)
+	}
+	return e.buf, nil
+}
+
+// DecodeRegions parses trailing data produced by EncodeRegions and
+// returns the region list plus the remaining bytes.
+func DecodeRegions(b []byte) (ioseg.List, []byte, error) {
+	d := decoder{buf: b}
+	n := d.u32()
+	if d.err != nil {
+		return nil, nil, d.err
+	}
+	if n > MaxRegionsPerRequest {
+		return nil, nil, ErrTooManyRegions
+	}
+	l := make(ioseg.List, 0, n)
+	for i := uint32(0); i < n; i++ {
+		off := d.i64()
+		length := d.i64()
+		if d.err != nil {
+			return nil, nil, d.err
+		}
+		s := ioseg.Segment{Offset: off, Length: length}
+		if err := s.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("wire: region %d: %w", i, err)
+		}
+		l = append(l, s)
+	}
+	return l, d.rest(), nil
+}
+
+// TrailingDataSize returns the encoded size of n regions.
+func TrailingDataSize(n int) int { return 4 + n*regionDescSize }
+
+// FrameBudget returns how many regions fit in a single Ethernet frame
+// alongside a request header, reproducing the paper's derivation of the
+// 64-region limit (conservatively rounded down to a power of two).
+func FrameBudget() int {
+	n := (EthernetMSS - HeaderSize - 4) / regionDescSize
+	// Round down to a power of two, as the authors did (91 -> 64).
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	return p
+}
+
+// RequestWireSize returns the total bytes a request occupies on the
+// wire: header, fixed body fields, trailing region descriptors and
+// payload data. The simulator uses it to model transfer times.
+func RequestWireSize(fixedBody, regions int, payload int64) int64 {
+	return int64(HeaderSize+fixedBody+TrailingDataSize(regions)) + payload
+}
+
+// Frames returns the number of Ethernet frames a message of n wire
+// bytes occupies (at MSS payload per frame).
+func Frames(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return (n + EthernetMSS - 1) / EthernetMSS
+}

@@ -1,0 +1,184 @@
+// Package pvfs is a from-scratch Go reproduction of the system in
+// "Noncontiguous I/O through PVFS" (Ching, Choudhary, Liao, Ross,
+// Gropp — IEEE Cluster 2002): a PVFS-style parallel file system (one
+// metadata manager, N I/O daemons, striped files) with three
+// noncontiguous access methods —
+//
+//   - Multiple I/O: one contiguous request per doubly-contiguous piece
+//     (the traditional method, §3.1);
+//   - Data sieving I/O: large windows through a 32 MB client buffer,
+//     read-modify-write for writes (§3.2);
+//   - List I/O: the paper's contribution — up to 64 file regions
+//     described in a request's trailing data (§3.3);
+//
+// plus the paper's future-work extensions (§5): MPI-style datatype
+// descriptors and the hybrid list+sieve method.
+//
+// This package is the public facade: it re-exports the client library,
+// the in-process cluster harness, the access-pattern generators of the
+// paper's benchmarks, and the calibrated cluster performance model
+// that regenerates the paper's figures. See README.md for a tour and
+// EXPERIMENTS.md for paper-vs-measured results.
+//
+// A minimal session:
+//
+//	c, _ := pvfs.StartCluster(pvfs.ClusterOptions{NumIOD: 8})
+//	defer c.Close()
+//	fs, _ := c.Connect()
+//	defer fs.Close()
+//	f, _ := fs.Create("data.bin", pvfs.StripeConfig{})
+//	f.WriteList(buf, memRegions, fileRegions, pvfs.ListOptions{})
+package pvfs
+
+import (
+	iofs "io/fs"
+
+	"pvfs/internal/client"
+	"pvfs/internal/cluster"
+	"pvfs/internal/collective"
+	"pvfs/internal/datatype"
+	"pvfs/internal/ioseg"
+	"pvfs/internal/mpiio"
+	"pvfs/internal/stdfs"
+	"pvfs/internal/striping"
+)
+
+// Core region types (the pvfs_read_list offset/length vocabulary).
+type (
+	// Segment is a contiguous byte extent [Offset, Offset+Length).
+	Segment = ioseg.Segment
+	// List is an ordered list of segments.
+	List = ioseg.List
+	// StripeConfig selects a file's striping (base server, server
+	// count, stripe unit size; zero values select defaults).
+	StripeConfig = striping.Config
+)
+
+// DefaultStripeSize is PVFS's 16 KiB default stripe unit.
+const DefaultStripeSize = striping.DefaultStripeSize
+
+// Regions builds a List from parallel offset/length slices, the shape
+// of the paper's pvfs_read_list interface.
+func Regions(offsets, lengths []int64) (List, error) {
+	return ioseg.FromOffLen(offsets, lengths)
+}
+
+// Client library.
+type (
+	// FS is a client session against a PVFS deployment.
+	FS = client.FS
+	// File is an open PVFS file with contiguous and noncontiguous
+	// I/O methods.
+	File = client.File
+	// Method selects a noncontiguous access strategy.
+	Method = client.Method
+	// ListOptions tunes list I/O (entry granularity, batch size).
+	ListOptions = client.ListOptions
+	// SieveOptions tunes data sieving (buffer size; default 32 MB).
+	SieveOptions = client.SieveOptions
+	// SieveStats reports sieving/hybrid data movement.
+	SieveStats = client.SieveStats
+	// Options bundles method options for the unified entry points.
+	Options = client.Options
+	// Granularity selects list-entry construction.
+	Granularity = client.Granularity
+)
+
+// Noncontiguous access methods (§3).
+const (
+	MethodMultiple = client.MethodMultiple
+	MethodSieve    = client.MethodSieve
+	MethodList     = client.MethodList
+)
+
+// List-entry granularities (DESIGN.md §3).
+const (
+	GranularityFileRegions = client.GranularityFileRegions
+	GranularityIntersect   = client.GranularityIntersect
+)
+
+// DefaultSieveBuffer is the paper's 32 MB sieve buffer (§3.2).
+const DefaultSieveBuffer = client.DefaultSieveBuffer
+
+// Connect opens a client session against a manager daemon address.
+func Connect(mgrAddr string) (*FS, error) { return client.Connect(mgrAddr) }
+
+// StdFS wraps a client session as a read-only io/fs.FS — the Go
+// analogue of §2's "existing binaries operate on PVFS files without
+// the need for recompiling": fs.WalkDir, fs.ReadFile, http.FileServer
+// and anything else written against io/fs runs over the deployment
+// unchanged. The session must stay open while the file system is in
+// use. The adapter passes testing/fstest.TestFS; see internal/stdfs
+// for semantics (flat namespace, zero mod times).
+func StdFS(fs *FS) iofs.FS { return stdfs.New(fs) }
+
+// In-process cluster harness.
+type (
+	// Cluster is an in-process PVFS deployment (manager + I/O
+	// daemons on loopback TCP).
+	Cluster = cluster.Cluster
+	// ClusterOptions configures StartCluster.
+	ClusterOptions = cluster.Options
+	// Barrier is an MPI_Barrier equivalent for coordinating client
+	// goroutines (required around concurrent sieving writes, §4.2.1).
+	Barrier = cluster.Barrier
+)
+
+// StartCluster launches a manager and N I/O daemons on loopback TCP.
+func StartCluster(opts ClusterOptions) (*Cluster, error) { return cluster.Start(opts) }
+
+// NewBarrier creates an n-party reusable barrier.
+func NewBarrier(n int) *Barrier { return cluster.NewBarrier(n) }
+
+// RunRanks runs fn(rank) on n goroutines, one per simulated compute
+// process, returning the first error.
+func RunRanks(n int, fn func(rank int) error) error { return cluster.RunRanks(n, fn) }
+
+// MPI-style datatypes (§5 future work).
+type (
+	// Datatype is an MPI-style derived datatype; Flatten turns it
+	// into region lists, File.ReadType/WriteType consume it directly.
+	Datatype = datatype.Type
+	// Field is one member of a Struct datatype.
+	Field = datatype.Field
+)
+
+// Datatype constructors (see internal/datatype for semantics).
+var (
+	Bytes      = datatype.Bytes
+	Double     = datatype.Double
+	Contiguous = datatype.Contiguous
+	Vector     = datatype.Vector
+	HVector    = datatype.HVector
+	Indexed    = datatype.Indexed
+	Subarray   = datatype.Subarray
+	Struct     = datatype.Struct
+)
+
+// FlattenType materializes a datatype's regions at a base offset.
+func FlattenType(t Datatype, base int64) List { return datatype.Flatten(t, base) }
+
+// MPI-IO (ROMIO)-style layer: file views over datatypes with hints
+// selecting the noncontiguous strategy (the interface the paper
+// positions list I/O beneath, §1/§3).
+type (
+	// ViewFile is a PVFS file with an MPI-IO view installed.
+	ViewFile = mpiio.File
+	// ViewHints mirrors the ROMIO info keys relevant to the paper
+	// (method selection, sieve buffer size, hybrid coalescing gap).
+	ViewHints = mpiio.Hints
+)
+
+// OpenView wraps an open file with the MPI-IO view interface (the
+// default view is a linear byte stream; use SetView for noncontiguous
+// tilings).
+func OpenView(f *File, hints ViewHints) *ViewFile { return mpiio.Open(f, hints) }
+
+// CollectiveGroup coordinates two-phase collective I/O across ranks
+// (ROMIO's companion optimization, the paper's reference [11]): ranks
+// exchange data so aggregators issue large contiguous accesses.
+type CollectiveGroup = collective.Group
+
+// NewCollectiveGroup creates a two-phase I/O group of n ranks; every
+// rank must call each collective (WriteAll/ReadAll) in the same order.
+func NewCollectiveGroup(n int) *CollectiveGroup { return collective.NewGroup(n) }
