@@ -1,0 +1,3 @@
+module pvfs
+
+go 1.24

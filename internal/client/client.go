@@ -349,13 +349,13 @@ func (f *File) buildJobs(file ioseg.List) []*serverJob {
 
 // parallel runs fn for every job in its own goroutine (one per server,
 // as the PVFS library fans out) and returns the first error.
-func parallel(jobs []*serverJob, fn func(*serverJob) error) error {
+func parallel[T any](jobs []T, fn func(T) error) error {
 	if len(jobs) == 1 {
 		return fn(jobs[0])
 	}
 	errs := make(chan error, len(jobs))
 	for _, j := range jobs {
-		go func(j *serverJob) { errs <- fn(j) }(j)
+		go func(j T) { errs <- fn(j) }(j)
 	}
 	var first error
 	for range jobs {
@@ -364,6 +364,113 @@ func parallel(jobs []*serverJob, fn func(*serverJob) error) error {
 		}
 	}
 	return first
+}
+
+// pipelineCalls issues n requests against the daemon at addr, keeping
+// up to window of them in flight on the pooled connection (the tagged
+// pipelining of pvfsnet.CallAsync). build constructs request i on
+// demand — so at most window request bodies are live at once — and
+// consume handles response i; responses are consumed in issue order
+// except when a transport failure forces a serial re-issue. window <= 1
+// reproduces the original serialized call-per-round-trip behaviour,
+// including its retry semantics.
+//
+// Transport failures on the pipelined path are retried serially through
+// iodCall when the FS retry policy (SetRetries) allows; server-reported
+// errors always fail immediately. Request bodies are returned to the
+// wire buffer pool once the final attempt for them completes.
+func (fs *FS) pipelineCalls(addr string, n, window int, build func(int) (wire.Message, error), consume func(int, wire.Message) error) error {
+	if n == 0 {
+		return nil
+	}
+	if window <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			msg, err := build(i)
+			if err != nil {
+				return err
+			}
+			resp, err := fs.iodCall(addr, msg)
+			wire.PutBuf(msg.Body)
+			if err != nil {
+				return err
+			}
+			if err := consume(i, resp); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	type slot struct {
+		i   int
+		msg wire.Message
+		pc  *pvfsnet.Pending
+	}
+	var q []slot // in-flight, issue order
+	issue := func(i int) error {
+		msg, err := build(i)
+		if err != nil {
+			return err
+		}
+		conn, cerr := fs.pool.Get(addr)
+		var pc *pvfsnet.Pending
+		if cerr == nil {
+			pc, cerr = conn.CallAsync(msg)
+		}
+		if cerr != nil {
+			// The connection is unusable before a response was even
+			// owed. Recover serially when retries are enabled (the
+			// whole window may have failed with it; each request
+			// re-issues independently and Pool.Get dedups the redial).
+			if fs.retries.Load() == 0 {
+				wire.PutBuf(msg.Body)
+				return cerr
+			}
+			fs.stats.Retries.Add(1)
+			fs.pool.Discard(addr)
+			resp, rerr := fs.iodCall(addr, msg)
+			wire.PutBuf(msg.Body)
+			if rerr != nil {
+				return rerr
+			}
+			return consume(i, resp)
+		}
+		q = append(q, slot{i: i, msg: msg, pc: pc})
+		return nil
+	}
+	drainOne := func() error {
+		s := q[0]
+		q = q[1:]
+		resp, err := s.pc.Wait()
+		if err != nil {
+			var se *wire.StatusError
+			if !errors.As(err, &se) && fs.retries.Load() > 0 {
+				fs.stats.Retries.Add(1)
+				fs.pool.Discard(addr)
+				resp, err = fs.iodCall(addr, s.msg)
+			}
+			if err != nil {
+				wire.PutBuf(s.msg.Body)
+				return err
+			}
+		}
+		wire.PutBuf(s.msg.Body)
+		return consume(s.i, resp)
+	}
+	next := 0
+	for next < n || len(q) > 0 {
+		for next < n && len(q) < window {
+			if err := issue(next); err != nil {
+				return err
+			}
+			next++
+		}
+		if len(q) > 0 {
+			if err := drainOne(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // readContig reads one contiguous logical extent into p (a single PVFS
@@ -393,6 +500,7 @@ func (f *File) readContig(p []byte, off int64) error {
 		for i, ph := range j.phys {
 			copy(p[j.streamPos[i]:j.streamPos[i]+ph.Length], resp.Body[ph.Offset-span.Offset:])
 		}
+		resp.Release()
 		return nil
 	})
 }

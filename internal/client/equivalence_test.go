@@ -198,3 +198,77 @@ func TestStridedEquivalenceOnVector(t *testing.T) {
 		t.Fatal("strided read-back differs from source arena")
 	}
 }
+
+// TestListWindowEquivalence pins the pipelining contract: ReadList and
+// WriteList must produce byte-identical results whether requests are
+// serialized (Window=1, the original PVFS discipline) or pipelined
+// (Window=8), across granularities and an unstructured random pattern.
+func TestListWindowEquivalence(t *testing.T) {
+	c, err := cluster.Start(cluster.Options{NumIOD: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fs, err := c.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	pat, err := patterns.NewRandom(2, 99, patterns.RandomOptions{
+		RegionsPerRank: 300, MinSize: 1, MaxSize: 400, MaxGap: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := striping.Config{PCount: 4, StripeSize: 512}
+
+	for _, g := range []client.Granularity{client.GranularityFileRegions, client.GranularityIntersect} {
+		for r := 0; r < pat.Ranks(); r++ {
+			mem := patterns.MemList(pat, r)
+			file := patterns.FileList(pat, r)
+			arena := make([]byte, pat.TotalBytes(r))
+			for i := range arena {
+				arena[i] = byte(r*89 + i*13)
+			}
+			names := [2]string{}
+			for wi, window := range []int{1, 8} {
+				name := fmt.Sprintf("win-%v-r%d-w%d", g, r, window)
+				names[wi] = name
+				f, err := fs.Create(name, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts := client.ListOptions{Granularity: g, Window: window}
+				if err := f.WriteList(arena, mem, file, opts); err != nil {
+					t.Fatalf("write window=%d: %v", window, err)
+				}
+				if err := f.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			a := fullImage(t, fs, names[0])
+			b := fullImage(t, fs, names[1])
+			if !bytes.Equal(a, b) {
+				t.Fatalf("granularity %v rank %d: window=1 and window=8 images differ", g, r)
+			}
+
+			// Read the serialized-written file back under both windows.
+			f, err := fs.Open(names[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, window := range []int{1, 8} {
+				got := make([]byte, pat.TotalBytes(r))
+				opts := client.ListOptions{Granularity: g, Window: window}
+				if err := f.ReadList(got, mem, file, opts); err != nil {
+					t.Fatalf("read window=%d: %v", window, err)
+				}
+				if !bytes.Equal(got, arena) {
+					t.Fatalf("granularity %v rank %d window=%d: read-back differs", g, r, window)
+				}
+			}
+			f.Close()
+		}
+	}
+}

@@ -3,9 +3,11 @@ package client
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"pvfs/internal/ioseg"
 	"pvfs/internal/memio"
+	"pvfs/internal/striping"
 	"pvfs/internal/wire"
 )
 
@@ -35,6 +37,13 @@ func (g Granularity) String() string {
 	}
 }
 
+// DefaultListWindow is the number of list requests kept in flight per
+// server connection when ListOptions.Window is zero. Eight in-flight
+// requests hide most of the per-round-trip latency on the batched list
+// path while bounding client buffering to eight request bodies per
+// server.
+const DefaultListWindow = 8
+
 // ListOptions tunes list I/O.
 type ListOptions struct {
 	// Granularity of entry construction; default GranularityFileRegions.
@@ -42,6 +51,12 @@ type ListOptions struct {
 	// MaxRegions per request; 0 selects wire.MaxRegionsPerRequest (64).
 	// Values above the wire limit are rejected by the protocol layer.
 	MaxRegions int
+	// Window is the number of list requests kept in flight per server
+	// connection (the tagged pipelining of DESIGN.md §2). 0 selects
+	// DefaultListWindow; 1 restores the original serialized behaviour
+	// — one round trip at a time per server — which fault-injection
+	// setups that assume serialized calls should keep.
+	Window int
 }
 
 func (o ListOptions) maxRegions() int {
@@ -51,7 +66,18 @@ func (o ListOptions) maxRegions() int {
 	return o.MaxRegions
 }
 
-// checkLists validates a mem/file pair.
+func (o ListOptions) window() int {
+	if o.Window <= 0 {
+		return DefaultListWindow
+	}
+	return o.Window
+}
+
+// checkLists validates a mem/file pair. Cross-segment overlap is not
+// checked (it would cost a sort of the 983k-entry FLASH lists per
+// call): as with MPI receive buffers, memory regions that overlap one
+// another make read results undefined — responses scatter into the
+// arena concurrently, from one goroutine per server.
 func checkLists(arena []byte, mem, file ioseg.List) error {
 	if err := mem.Validate(); err != nil {
 		return fmt.Errorf("pvfs: memory list: %w", err)
@@ -132,11 +158,96 @@ func (f *File) WriteMultiple(arena []byte, mem, file ioseg.List) error {
 
 // --- list I/O (§3.3) ---
 
+// subReq is one wire-level list request: the index range [lo, hi) into
+// its planServer's piece arrays (at most MaxRegionsPerRequest regions).
+type subReq struct {
+	lo, hi int
+	bytes  int64
+}
+
+// planServer is the ordered request schedule for one I/O server: the
+// server's physical regions in logical order, the absolute stream
+// position of each region's first byte, and the request boundaries.
+// Pieces accumulate into two flat arrays rather than per-request
+// slices, so planning allocates O(log n) times per server instead of
+// O(requests).
+type planServer struct {
+	rel       int
+	phys      ioseg.List
+	streamPos []int64
+	reqs      []subReq
+
+	openLo    int   // first piece of the not-yet-cut request
+	openBytes int64 // payload bytes accumulated since the last cut
+}
+
+// cut closes the open request, if it holds any pieces.
+func (ps *planServer) cut() {
+	if len(ps.phys) > ps.openLo {
+		ps.reqs = append(ps.reqs, subReq{lo: ps.openLo, hi: len(ps.phys), bytes: ps.openBytes})
+		ps.openLo = len(ps.phys)
+		ps.openBytes = 0
+	}
+}
+
+// planList turns the logical entry list into per-server request
+// schedules. Request formation is exactly the paper's arithmetic — the
+// entry list is cut into batches of at most maxRegions entries (§3.3),
+// each batch splits across servers by striping, and a server's share of
+// one batch is sub-batched defensively at the wire limit — so request
+// counts are identical to the serialized implementation; only the issue
+// discipline (pipelined vs barriered) differs.
+func (f *File) planList(entries ioseg.List, maxRegions int) []*planServer {
+	cfg := f.info.Striping
+	byRel := make(map[int]*planServer)
+	var plans []*planServer
+	var stream int64
+	batchLeft := maxRegions
+	for _, s := range entries {
+		if batchLeft == 0 { // batch boundary: no request spans it
+			for _, ps := range plans {
+				ps.cut()
+			}
+			batchLeft = maxRegions
+		}
+		batchLeft--
+		entry := s
+		cfg.SplitFunc(entry, func(p striping.Piece) {
+			ps := byRel[p.Server]
+			if ps == nil {
+				ps = &planServer{rel: p.Server}
+				byRel[p.Server] = ps
+				plans = append(plans, ps)
+			}
+			if len(ps.phys)-ps.openLo == wire.MaxRegionsPerRequest {
+				ps.cut()
+			}
+			ps.phys = append(ps.phys, p.Phys)
+			ps.streamPos = append(ps.streamPos, stream+(p.Logical.Offset-entry.Offset))
+			ps.openBytes += p.Phys.Length
+		})
+		stream += s.Length
+	}
+	for _, ps := range plans {
+		ps.cut()
+	}
+	sort.Slice(plans, func(i, k int) bool { return plans[i].rel < plans[k].rel })
+	return plans
+}
+
 // ReadList performs the noncontiguous read via list I/O. As in the
 // paper (§3.3), a logical request describing more than 64 file regions
-// is broken into several list requests of at most 64 entries; each
+// is broken into several list requests of at most 64 entries and each
 // list request fans out to the I/O servers holding its pieces in
-// parallel, and successive list requests are issued in sequence.
+// parallel. Unlike the paper's client, successive requests to one
+// server are pipelined: up to ListOptions.Window requests ride the
+// connection concurrently, and each response scatters straight into the
+// caller's buffer by stream-position arithmetic — no staging copy of
+// the full transfer is ever built. Memory regions must not overlap one
+// another (as with MPI receive buffers): responses from different
+// servers — and, when Window > 1, from one server — scatter into the
+// arena concurrently, so overlapping destinations are undefined at any
+// window.
 func (f *File) ReadList(arena []byte, mem, file ioseg.List, opts ListOptions) error {
 	if err := checkLists(arena, mem, file); err != nil {
 		return err
@@ -145,58 +256,52 @@ func (f *File) ReadList(arena []byte, mem, file ioseg.List, opts ListOptions) er
 	if err != nil {
 		return err
 	}
-	stream := make([]byte, file.TotalLength())
-	var base int64
-	for _, batch := range entries.SplitCount(opts.maxRegions()) {
-		jobs := f.buildJobs(batch)
-		batchBase := base
-		err := parallel(jobs, func(j *serverJob) error {
-			// A server's share of one 64-entry request stays within
-			// the wire limit unless entries straddle many stripes;
-			// sub-batch defensively.
-			for start := 0; start < len(j.phys); start += wire.MaxRegionsPerRequest {
-				end := start + wire.MaxRegionsPerRequest
-				if end > len(j.phys) {
-					end = len(j.phys)
-				}
-				sub := j.phys[start:end]
-				body, err := (&wire.ListReq{Regions: sub}).Marshal()
+	smap := memio.NewStreamMap(mem)
+	plans := f.planList(entries, opts.maxRegions())
+	return parallel(plans, func(p *planServer) error {
+		addr := f.info.IODAddrs[p.rel]
+		return f.fs.pipelineCalls(addr, len(p.reqs), opts.window(),
+			func(i int) (wire.Message, error) {
+				r := &p.reqs[i]
+				regions := p.phys[r.lo:r.hi]
+				body, err := wire.AppendRegions(wire.GetBuf(wire.TrailingDataSize(len(regions)))[:0], regions)
 				if err != nil {
-					return err
+					return wire.Message{}, err
 				}
 				f.fs.stats.Requests.Add(1)
 				f.fs.stats.ListRequests.Add(1)
-				resp, err := f.call(j.rel, wire.Message{
+				return wire.Message{
 					Header: wire.Header{Type: wire.TReadList, Handle: f.info.Handle},
 					Body:   body,
-				})
-				if err != nil {
-					return err
+				}, nil
+			},
+			func(i int, resp wire.Message) error {
+				r := &p.reqs[i]
+				if int64(len(resp.Body)) != r.bytes {
+					return fmt.Errorf("pvfs: list read returned %d bytes, want %d", len(resp.Body), r.bytes)
 				}
-				want := ioseg.List(sub).TotalLength()
-				if int64(len(resp.Body)) != want {
-					return fmt.Errorf("pvfs: list read returned %d bytes, want %d", len(resp.Body), want)
-				}
-				f.fs.stats.BytesIn.Add(want)
+				f.fs.stats.BytesIn.Add(r.bytes)
 				var rpos int64
-				for i, ph := range sub {
-					sp := batchBase + j.streamPos[start+i]
-					copy(stream[sp:sp+ph.Length], resp.Body[rpos:rpos+ph.Length])
-					rpos += ph.Length
+				for k := r.lo; k < r.hi; k++ {
+					n := p.phys[k].Length
+					if err := smap.CopyIn(arena, p.streamPos[k], resp.Body[rpos:rpos+n]); err != nil {
+						return err
+					}
+					rpos += n
 				}
-			}
-			return nil
-		})
-		if err != nil {
-			return err
-		}
-		base += ioseg.List(batch).TotalLength()
-	}
-	return memio.Scatter(arena, mem, stream)
+				resp.Release()
+				return nil
+			})
+	})
 }
 
 // WriteList performs the noncontiguous write via list I/O, with the
-// same global 64-entry batching as ReadList.
+// same global 64-entry batching and per-server pipelining as ReadList.
+// Each request's payload is gathered directly from the caller's buffer
+// into the pooled request body — the serialized implementation's
+// full-size staging stream and per-request data copies are gone. File
+// regions must not overlap one another when Window > 1 (requests to one
+// server may be applied concurrently).
 func (f *File) WriteList(arena []byte, mem, file ioseg.List, opts ListOptions) error {
 	if err := checkLists(arena, mem, file); err != nil {
 		return err
@@ -205,46 +310,40 @@ func (f *File) WriteList(arena []byte, mem, file ioseg.List, opts ListOptions) e
 	if err != nil {
 		return err
 	}
-	stream, err := memio.Gather(arena, mem)
-	if err != nil {
-		return err
-	}
-	var base int64
-	for _, batch := range entries.SplitCount(opts.maxRegions()) {
-		jobs := f.buildJobs(batch)
-		batchBase := base
-		err := parallel(jobs, func(j *serverJob) error {
-			for start := 0; start < len(j.phys); start += wire.MaxRegionsPerRequest {
-				end := start + wire.MaxRegionsPerRequest
-				if end > len(j.phys) {
-					end = len(j.phys)
-				}
-				sub := j.phys[start:end]
-				data := make([]byte, 0, ioseg.List(sub).TotalLength())
-				for i, ph := range sub {
-					sp := batchBase + j.streamPos[start+i]
-					data = append(data, stream[sp:sp+ph.Length]...)
-				}
-				body, err := (&wire.ListReq{Regions: sub, Data: data}).Marshal()
+	smap := memio.NewStreamMap(mem)
+	plans := f.planList(entries, opts.maxRegions())
+	err = parallel(plans, func(p *planServer) error {
+		addr := f.info.IODAddrs[p.rel]
+		return f.fs.pipelineCalls(addr, len(p.reqs), opts.window(),
+			func(i int) (wire.Message, error) {
+				r := &p.reqs[i]
+				regions := p.phys[r.lo:r.hi]
+				size := wire.TrailingDataSize(len(regions)) + int(r.bytes)
+				body, err := wire.AppendRegions(wire.GetBuf(size)[:0], regions)
 				if err != nil {
-					return err
+					return wire.Message{}, err
+				}
+				for k := r.lo; k < r.hi; k++ {
+					body, err = smap.AppendOut(body, arena, p.streamPos[k], p.phys[k].Length)
+					if err != nil {
+						return wire.Message{}, err
+					}
 				}
 				f.fs.stats.Requests.Add(1)
 				f.fs.stats.ListRequests.Add(1)
-				f.fs.stats.BytesOut.Add(int64(len(data)))
-				if _, err := f.call(j.rel, wire.Message{
+				f.fs.stats.BytesOut.Add(r.bytes)
+				return wire.Message{
 					Header: wire.Header{Type: wire.TWriteList, Handle: f.info.Handle},
 					Body:   body,
-				}); err != nil {
-					return err
-				}
-			}
-			return nil
-		})
-		if err != nil {
-			return err
-		}
-		base += ioseg.List(batch).TotalLength()
+				}, nil
+			},
+			func(i int, resp wire.Message) error {
+				resp.Release()
+				return nil
+			})
+	})
+	if err != nil {
+		return err
 	}
 	if span, ok := file.Span(); ok {
 		f.noteWritten(span.End())
@@ -271,7 +370,8 @@ func (f *File) stridedServerLayout(start, stride, blockLen, count int64) ([]*ser
 // ReadStrided reads a vector pattern (count blocks of blockLen every
 // stride bytes from start) using one descriptor request per touched
 // server, independent of count — the paper's proposed fix for list
-// I/O's linear request growth.
+// I/O's linear request growth. Memory regions must not overlap one
+// another: per-server responses scatter into the arena concurrently.
 func (f *File) ReadStrided(arena []byte, mem ioseg.List, start, stride, blockLen, count int64) error {
 	if mem.TotalLength() != blockLen*count {
 		return fmt.Errorf("pvfs: memory list covers %d bytes, pattern %d", mem.TotalLength(), blockLen*count)
@@ -280,8 +380,8 @@ func (f *File) ReadStrided(arena []byte, mem ioseg.List, start, stride, blockLen
 	if err != nil {
 		return err
 	}
-	stream := make([]byte, blockLen*count)
-	err = parallel(jobs, func(j *serverJob) error {
+	smap := memio.NewStreamMap(mem)
+	return parallel(jobs, func(j *serverJob) error {
 		req := wire.StridedReq{
 			Start: start, Stride: stride, BlockLen: blockLen, Count: count,
 			Striping: f.info.Striping, RelIndex: j.rel,
@@ -301,16 +401,14 @@ func (f *File) ReadStrided(arena []byte, mem ioseg.List, start, stride, blockLen
 		f.fs.stats.BytesIn.Add(j.totalBytes)
 		var rpos int64
 		for i, ph := range j.phys {
-			sp := j.streamPos[i]
-			copy(stream[sp:sp+ph.Length], resp.Body[rpos:rpos+ph.Length])
+			if err := smap.CopyIn(arena, j.streamPos[i], resp.Body[rpos:rpos+ph.Length]); err != nil {
+				return err
+			}
 			rpos += ph.Length
 		}
+		resp.Release()
 		return nil
 	})
-	if err != nil {
-		return err
-	}
-	return memio.Scatter(arena, mem, stream)
 }
 
 // WriteStrided writes a vector pattern using one descriptor request
@@ -323,15 +421,16 @@ func (f *File) WriteStrided(arena []byte, mem ioseg.List, start, stride, blockLe
 	if err != nil {
 		return err
 	}
-	stream, err := memio.Gather(arena, mem)
-	if err != nil {
-		return err
-	}
+	smap := memio.NewStreamMap(mem)
 	err = parallel(jobs, func(j *serverJob) error {
-		data := make([]byte, 0, j.totalBytes)
+		data := wire.GetBuf(int(j.totalBytes))[:0]
+		defer wire.PutBuf(data)
 		for i, ph := range j.phys {
-			sp := j.streamPos[i]
-			data = append(data, stream[sp:sp+ph.Length]...)
+			var gerr error
+			data, gerr = smap.AppendOut(data, arena, j.streamPos[i], ph.Length)
+			if gerr != nil {
+				return gerr
+			}
 		}
 		req := wire.StridedReq{
 			Start: start, Stride: stride, BlockLen: blockLen, Count: count,

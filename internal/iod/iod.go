@@ -89,6 +89,14 @@ func ok(handle uint64, body []byte) wire.Message {
 	return wire.Message{Header: wire.Header{Handle: handle}, Body: body}
 }
 
+// okPooled is ok for a body the daemon allocated from the wire buffer
+// pool and will never touch again: the transport recycles it after the
+// response frame is written, so the read datapath stops allocating per
+// response in steady state.
+func okPooled(handle uint64, body []byte) wire.Message {
+	return wire.Message{Header: wire.Header{Handle: handle}, Body: body, Recycle: true}
+}
+
 func (s *Server) handle(req wire.Message) wire.Message {
 	switch req.Type {
 	case wire.TRead:
@@ -132,8 +140,9 @@ func (s *Server) read(req wire.Message) wire.Message {
 	if body.Length < 0 || body.Length > wire.MaxBodyLen {
 		return fail(wire.StatusInvalid)
 	}
-	p := make([]byte, body.Length)
+	p := wire.GetBuf(int(body.Length))
 	if _, err := s.st.ReadAt(req.Handle, p, body.Offset); err != nil {
+		wire.PutBuf(p)
 		return fail(wire.StatusIOError)
 	}
 	s.account(func(st *wire.ServerStats) {
@@ -141,7 +150,7 @@ func (s *Server) read(req wire.Message) wire.Message {
 		st.Regions++
 		st.BytesRead += body.Length
 	})
-	return ok(req.Handle, p)
+	return okPooled(req.Handle, p)
 }
 
 func (s *Server) write(req wire.Message) wire.Message {
@@ -163,6 +172,10 @@ func (s *Server) write(req wire.Message) wire.Message {
 
 // applyRegions runs one region list against the store, reading into or
 // writing from the packed stream. It is the core of list I/O service.
+// Writes scatter straight from the request's trailing data — no
+// intermediate buffer exists on that path. Reads fill a pooled buffer
+// that becomes the response body verbatim (okPooled), so the daemon
+// builds no intermediate full-response copies either.
 func (s *Server) applyRegions(handle uint64, regions ioseg.List, data []byte, isWrite bool) ([]byte, wire.Status) {
 	total := regions.TotalLength()
 	if total > wire.MaxBodyLen {
@@ -181,10 +194,11 @@ func (s *Server) applyRegions(handle uint64, regions ioseg.List, data []byte, is
 		}
 		return nil, wire.StatusOK
 	}
-	out := make([]byte, total)
+	out := wire.GetBuf(int(total))
 	var pos int64
 	for _, r := range regions {
 		if _, err := s.st.ReadAt(handle, out[pos:pos+r.Length], r.Offset); err != nil {
+			wire.PutBuf(out)
 			return nil, wire.StatusIOError
 		}
 		pos += r.Length
@@ -211,7 +225,7 @@ func (s *Server) readList(req wire.Message) wire.Message {
 		stats.BytesRead += int64(len(out))
 		stats.TrailingBytes += int64(wire.TrailingDataSize(len(body.Regions)))
 	})
-	return ok(req.Handle, out)
+	return okPooled(req.Handle, out)
 }
 
 func (s *Server) writeList(req wire.Message) wire.Message {
@@ -287,7 +301,7 @@ func (s *Server) readStrided(req wire.Message) wire.Message {
 		stats.Regions += int64(len(regions))
 		stats.BytesRead += int64(len(out))
 	})
-	return ok(req.Handle, out)
+	return okPooled(req.Handle, out)
 }
 
 func (s *Server) writeStrided(req wire.Message) wire.Message {

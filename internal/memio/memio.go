@@ -16,6 +16,7 @@ package memio
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"pvfs/internal/ioseg"
 )
@@ -153,6 +154,93 @@ func Scatter(arena []byte, mem ioseg.List, stream []byte) error {
 		pos += s.Length
 	}
 	return nil
+}
+
+// StreamMap indexes a region list by cumulative stream position, so
+// stream bytes can be copied to or from the arena regions directly —
+// without materializing the full packed stream — given only a stream
+// offset. It is the zero-copy engine of pipelined list I/O: each
+// response (or request payload) names a stream range, and the map
+// resolves that range to arena extents in O(log n) plus the extents
+// touched. A StreamMap is immutable after construction and safe for
+// concurrent use.
+type StreamMap struct {
+	regions ioseg.List
+	prefix  []int64 // prefix[i] = stream position of regions[i]'s first byte
+}
+
+// NewStreamMap builds the cumulative index over l. The list is aliased,
+// not copied; callers must not mutate it afterwards.
+func NewStreamMap(l ioseg.List) *StreamMap {
+	prefix := make([]int64, len(l)+1)
+	for i, s := range l {
+		prefix[i+1] = prefix[i] + s.Length
+	}
+	return &StreamMap{regions: l, prefix: prefix}
+}
+
+// Total returns the stream length the map covers.
+func (m *StreamMap) Total() int64 { return m.prefix[len(m.prefix)-1] }
+
+// seek returns the index of the region containing stream position pos.
+func (m *StreamMap) seek(pos int64) int {
+	// Binary search for the last prefix entry <= pos, skipping any
+	// empty regions that share the position.
+	i := sort.Search(len(m.regions), func(i int) bool { return m.prefix[i+1] > pos })
+	return i
+}
+
+// CopyIn copies src — stream bytes beginning at stream position pos —
+// into the arena extents those positions map to (the scatter direction
+// of a list read). Concurrent CopyIn calls are safe when their stream
+// ranges are disjoint and the regions do not overlap in arena space.
+func (m *StreamMap) CopyIn(arena []byte, pos int64, src []byte) error {
+	if pos < 0 || pos+int64(len(src)) > m.Total() {
+		return fmt.Errorf("memio: stream range [%d,+%d) outside stream of %d bytes",
+			pos, len(src), m.Total())
+	}
+	for i := m.seek(pos); len(src) > 0; i++ {
+		s := m.regions[i]
+		off := pos - m.prefix[i] // consumed bytes within region i
+		n := s.Length - off
+		if r := int64(len(src)); r < n {
+			n = r
+		}
+		dst := s.Offset + off
+		if dst+n > int64(len(arena)) {
+			return fmt.Errorf("memio: region %d (%v) outside arena of %d bytes", i, s, len(arena))
+		}
+		copy(arena[dst:dst+n], src[:n])
+		src = src[n:]
+		pos += n
+	}
+	return nil
+}
+
+// AppendOut appends the n stream bytes beginning at stream position pos,
+// gathered from the arena extents they map to, onto dst (the gather
+// direction of a list write) and returns the extended slice.
+func (m *StreamMap) AppendOut(dst []byte, arena []byte, pos, n int64) ([]byte, error) {
+	if pos < 0 || pos+n > m.Total() {
+		return dst, fmt.Errorf("memio: stream range [%d,+%d) outside stream of %d bytes",
+			pos, n, m.Total())
+	}
+	for i := m.seek(pos); n > 0; i++ {
+		s := m.regions[i]
+		off := pos - m.prefix[i]
+		c := s.Length - off
+		if c > n {
+			c = n
+		}
+		src := s.Offset + off
+		if src+c > int64(len(arena)) {
+			return dst, fmt.Errorf("memio: region %d (%v) outside arena of %d bytes", i, s, len(arena))
+		}
+		dst = append(dst, arena[src:src+c]...)
+		n -= c
+		pos += c
+	}
+	return dst, nil
 }
 
 // StreamIndex locates the byte at stream position pos within the

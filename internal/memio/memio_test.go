@@ -376,3 +376,120 @@ func BenchmarkGather(b *testing.B) {
 		}
 	}
 }
+
+// --- StreamMap ---
+
+// TestStreamMapMatchesScatter checks CopyIn against the reference
+// Scatter implementation: scattering a stream in arbitrary chunks
+// through a StreamMap must produce the same arena image.
+func TestStreamMapMatchesScatter(t *testing.T) {
+	mem := ioseg.List{seg(10, 5), seg(0, 3), seg(40, 1), seg(20, 7)}
+	stream := make([]byte, mem.TotalLength())
+	for i := range stream {
+		stream[i] = byte(i + 1)
+	}
+	want := make([]byte, 64)
+	if err := Scatter(want, mem, stream); err != nil {
+		t.Fatal(err)
+	}
+
+	m := NewStreamMap(mem)
+	if m.Total() != mem.TotalLength() {
+		t.Fatalf("Total = %d, want %d", m.Total(), mem.TotalLength())
+	}
+	for _, chunk := range []int{1, 2, 5, 16} {
+		got := make([]byte, 64)
+		for pos := 0; pos < len(stream); pos += chunk {
+			end := pos + chunk
+			if end > len(stream) {
+				end = len(stream)
+			}
+			if err := m.CopyIn(got, int64(pos), stream[pos:end]); err != nil {
+				t.Fatalf("chunk %d at %d: %v", chunk, pos, err)
+			}
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("chunk %d: CopyIn image differs from Scatter", chunk)
+		}
+	}
+}
+
+// TestStreamMapMatchesGather checks AppendOut against Gather: gathering
+// the stream in arbitrary chunks must reproduce Gather's output.
+func TestStreamMapMatchesGather(t *testing.T) {
+	arena := make([]byte, 64)
+	for i := range arena {
+		arena[i] = byte(i * 7)
+	}
+	mem := ioseg.List{seg(32, 9), seg(1, 2), seg(50, 14)}
+	want, err := Gather(arena, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewStreamMap(mem)
+	for _, chunk := range []int64{1, 3, 8, 25} {
+		var got []byte
+		for pos := int64(0); pos < m.Total(); pos += chunk {
+			n := chunk
+			if pos+n > m.Total() {
+				n = m.Total() - pos
+			}
+			got, err = m.AppendOut(got, arena, pos, n)
+			if err != nil {
+				t.Fatalf("chunk %d at %d: %v", chunk, pos, err)
+			}
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("chunk %d: AppendOut stream differs from Gather", chunk)
+		}
+	}
+}
+
+// TestStreamMapBounds rejects out-of-range stream and arena accesses.
+func TestStreamMapBounds(t *testing.T) {
+	mem := ioseg.List{seg(0, 4), seg(100, 4)}
+	m := NewStreamMap(mem)
+	arena := make([]byte, 8) // too small for the second region
+	if err := m.CopyIn(arena, 6, []byte{1, 2}); err == nil {
+		t.Fatal("CopyIn past the arena succeeded")
+	}
+	if err := m.CopyIn(arena, -1, []byte{1}); err == nil {
+		t.Fatal("negative stream position accepted")
+	}
+	if err := m.CopyIn(arena, 7, []byte{1, 2}); err == nil {
+		t.Fatal("stream overrun accepted")
+	}
+	if _, err := m.AppendOut(nil, arena, 5, 4); err == nil {
+		t.Fatal("AppendOut past the arena succeeded")
+	}
+	if _, err := m.AppendOut(nil, arena, 0, 9); err == nil {
+		t.Fatal("AppendOut stream overrun accepted")
+	}
+	// In-range operations on the small arena's region still work.
+	if err := m.CopyIn(arena, 0, []byte{9, 9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AppendOut(nil, arena, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamMapEmptyRegions tolerates empty segments in the list.
+func TestStreamMapEmptyRegions(t *testing.T) {
+	mem := ioseg.List{seg(0, 2), seg(5, 0), seg(8, 2)}
+	m := NewStreamMap(mem)
+	arena := make([]byte, 16)
+	if err := m.CopyIn(arena, 0, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if arena[0] != 1 || arena[1] != 2 || arena[8] != 3 || arena[9] != 4 {
+		t.Fatalf("arena = %v", arena[:10])
+	}
+	got, err := m.AppendOut(nil, arena, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{2, 3}) {
+		t.Fatalf("AppendOut = %v", got)
+	}
+}

@@ -1,0 +1,318 @@
+package pvfsnet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"pvfs/internal/wire"
+)
+
+// startJitterEcho runs a server whose handler echoes the body (into a
+// fresh buffer) after a small random delay, so pipelined requests on
+// one connection complete out of order.
+func startJitterEcho(t *testing.T, maxDelay time.Duration) *Server {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ln, func(req wire.Message) wire.Message {
+		if maxDelay > 0 {
+			time.Sleep(time.Duration(rand.Int63n(int64(maxDelay))))
+		}
+		body := append([]byte(nil), req.Body...)
+		return wire.Message{
+			Header: wire.Header{Handle: req.Handle + 1},
+			Body:   body,
+		}
+	}, nil)
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// TestPipelinedCallsOnOneConn drives many concurrent tagged calls over
+// a single connection, with jittered server-side completion, and checks
+// every response routes back to its caller. Run under -race this also
+// exercises the demux and concurrent server dispatch for data races.
+func TestPipelinedCallsOnOneConn(t *testing.T) {
+	srv := startJitterEcho(t, 200*time.Microsecond)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const (
+		goroutines = 8
+		perG       = 50
+		window     = 16
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var pend []*Pending
+			var want []uint64
+			flush := func() error {
+				for i, p := range pend {
+					resp, err := p.Wait()
+					if err != nil {
+						return err
+					}
+					if resp.Handle != want[i]+1 {
+						return fmt.Errorf("goroutine %d: handle %d routed to call expecting %d", g, resp.Handle, want[i])
+					}
+					var got uint64
+					if len(resp.Body) != 8 {
+						return fmt.Errorf("goroutine %d: body %d bytes", g, len(resp.Body))
+					}
+					got = binary.BigEndian.Uint64(resp.Body)
+					if got != want[i] {
+						return fmt.Errorf("goroutine %d: body %d routed to call expecting %d", g, got, want[i])
+					}
+				}
+				pend, want = pend[:0], want[:0]
+				return nil
+			}
+			for i := 0; i < perG; i++ {
+				id := uint64(g*1000 + i)
+				body := make([]byte, 8)
+				binary.BigEndian.PutUint64(body, id)
+				p, err := c.CallAsync(wire.Message{
+					Header: wire.Header{Type: wire.TPing, Handle: id},
+					Body:   body,
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				pend = append(pend, p)
+				want = append(want, id)
+				if len(pend) == window {
+					if err := flush(); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+			if err := flush(); err != nil {
+				errs <- err
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestOutOfOrderCompletion proves a later request can complete before
+// an earlier one on the same connection: the server sleeps on demand,
+// the client waits on the fast call first.
+func TestOutOfOrderCompletion(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ln, func(req wire.Message) wire.Message {
+		if string(req.Body) == "slow" {
+			time.Sleep(100 * time.Millisecond)
+		}
+		return wire.Message{Header: wire.Header{Handle: req.Handle}}
+	}, nil)
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	slow, err := c.CallAsync(wire.Message{Header: wire.Header{Type: wire.TPing, Handle: 1}, Body: []byte("slow")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := c.CallAsync(wire.Message{Header: wire.Header{Type: wire.TPing, Handle: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	resp, err := fast.Wait()
+	if err != nil || resp.Handle != 2 {
+		t.Fatalf("fast call: %v %+v", err, resp)
+	}
+	if d := time.Since(start); d > 50*time.Millisecond {
+		t.Errorf("fast call waited %v behind the slow one; pipelining is not overlapping", d)
+	}
+	resp, err = slow.Wait()
+	if err != nil || resp.Handle != 1 {
+		t.Fatalf("slow call: %v %+v", err, resp)
+	}
+}
+
+// TestPipelinedCallsFailOnServerClose ensures every in-flight tagged
+// call is unblocked with an error when the peer goes away.
+func TestPipelinedCallsFailOnServerClose(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := make(chan struct{})
+	srv := NewServer(ln, func(req wire.Message) wire.Message {
+		<-block
+		return wire.Message{}
+	}, nil)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var pend []*Pending
+	for i := 0; i < 4; i++ {
+		p, err := c.CallAsync(wire.Message{Header: wire.Header{Type: wire.TPing}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pend = append(pend, p)
+	}
+	close(block) // let handlers finish so Server.Close can drain
+	go srv.Close()
+	deadline := time.After(5 * time.Second)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, p := range pend {
+			p.Wait() // errors (or stray successes) both acceptable; must not hang
+		}
+	}()
+	select {
+	case <-done:
+	case <-deadline:
+		t.Fatal("pending calls still blocked after server close")
+	}
+	// The connection is now terminally broken or closed: new calls fail.
+	if _, err := c.Call(wire.Message{Header: wire.Header{Type: wire.TPing}}); err == nil {
+		t.Fatal("call on dead connection succeeded")
+	}
+}
+
+// TestEchoBodyMatchesAcrossPipelining double-checks body integrity with
+// large, distinct payloads racing on one connection (buffer pooling
+// must never cross-wire two calls' data).
+func TestEchoBodyMatchesAcrossPipelining(t *testing.T) {
+	srv := startJitterEcho(t, 100*time.Microsecond)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const n = 64
+	pend := make([]*Pending, n)
+	bodies := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		body := make([]byte, 3000+i)
+		for k := range body {
+			body[k] = byte(i ^ k)
+		}
+		bodies[i] = body
+		p, err := c.CallAsync(wire.Message{Header: wire.Header{Type: wire.TPing, Handle: uint64(i)}, Body: body})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pend[i] = p
+	}
+	for i, p := range pend {
+		resp, err := p.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(resp.Body, bodies[i]) {
+			t.Fatalf("call %d: echoed body differs", i)
+		}
+	}
+}
+
+// TestPoolDialDoesNotBlockOtherAddresses pins the Pool.Get fix: a slow
+// dial to one address must not serialize Gets for other addresses, and
+// concurrent Gets for the slow address share one dial.
+func TestPoolDialDoesNotBlockOtherAddresses(t *testing.T) {
+	srv := startEcho(t)
+	p := NewPool()
+	defer p.Close()
+
+	slowStarted := make(chan struct{})
+	release := make(chan struct{})
+	var slowDials int32
+	var mu sync.Mutex
+	p.dial = func(addr string) (*Conn, error) {
+		if addr == "slow:1" {
+			mu.Lock()
+			slowDials++
+			n := slowDials
+			mu.Unlock()
+			if n == 1 {
+				close(slowStarted)
+			}
+			<-release
+			return nil, fmt.Errorf("slow dial failed")
+		}
+		return Dial(addr)
+	}
+
+	results := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := p.Get("slow:1")
+			results <- err
+		}()
+	}
+	<-slowStarted
+
+	// While the slow dial hangs, an unrelated address must connect.
+	fastDone := make(chan error, 1)
+	go func() {
+		_, err := p.Get(srv.Addr())
+		fastDone <- err
+	}()
+	select {
+	case err := <-fastDone:
+		if err != nil {
+			t.Fatalf("fast Get failed: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Get for a healthy address blocked behind a slow dial")
+	}
+
+	close(release)
+	for i := 0; i < 2; i++ {
+		if err := <-results; err == nil {
+			t.Fatal("slow dial reported success")
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if slowDials != 1 {
+		t.Fatalf("%d dials for one address; want 1 (singleflight)", slowDials)
+	}
+}
+
+// TestPoolGetAfterClose returns ErrClosed instead of dialing.
+func TestPoolGetAfterClose(t *testing.T) {
+	srv := startEcho(t)
+	p := NewPool()
+	if _, err := p.Get(srv.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	if _, err := p.Get(srv.Addr()); err != ErrClosed {
+		t.Fatalf("Get after Close = %v, want ErrClosed", err)
+	}
+}

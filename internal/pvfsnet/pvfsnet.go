@@ -1,11 +1,15 @@
 // Package pvfsnet provides the TCP transport shared by the PVFS manager
 // and I/O daemons: a message-per-request serve loop on the server side
-// and a serialized call connection on the client side.
+// and a tagged, pipelined call connection on the client side.
 //
-// PVFS request handling is synchronous per connection: a client sends a
-// request and reads the response before issuing the next request on
-// that connection. Parallelism across servers comes from one connection
-// per (client, server) pair, exactly how the PVFS library fans out.
+// Each request carries a tag in its wire header and the server echoes
+// the tag in the response, so a client may keep a window of calls in
+// flight on one connection (CallAsync/Wait) and match completions that
+// arrive out of order. Call preserves the original serialized
+// request/response semantics on top of the same machinery. Parallelism
+// across servers still comes from one connection per (client, server)
+// pair, exactly how the PVFS library fans out; pipelining adds
+// parallelism *within* each connection.
 package pvfsnet
 
 import (
@@ -21,8 +25,16 @@ import (
 
 // Handler processes one request message and returns the response.
 // Implementations must be safe for concurrent use: each connection is
-// served by its own goroutine.
+// served by its own goroutines, and requests on a single connection may
+// be handled concurrently. Handlers must not retain req.Body (or
+// slices into it) past return: the transport recycles the buffer once
+// the response has been written.
 type Handler func(wire.Message) wire.Message
+
+// maxServerInflight bounds how many requests from one connection a
+// server handles concurrently; excess requests wait in the read loop,
+// applying backpressure through TCP.
+const maxServerInflight = 64
 
 // Server runs an accept loop dispatching framed messages to a Handler.
 type Server struct {
@@ -75,14 +87,35 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// serveConn reads requests and dispatches each to its own goroutine so
+// a connection's requests are serviced concurrently; responses are
+// written under a per-connection mutex and carry the request's tag, so
+// they may complete in any order. Fault-injection decisions are taken
+// in the read loop, in arrival order, to keep injector semantics
+// deterministic.
 func (s *Server) serveConn(c net.Conn) {
 	defer s.wg.Done()
+	var (
+		wmu sync.Mutex // serializes response frames
+		hwg sync.WaitGroup
+	)
+	sem := make(chan struct{}, maxServerInflight)
 	defer func() {
+		hwg.Wait() // let in-flight handlers finish writing
 		c.Close()
 		s.mu.Lock()
 		delete(s.conns, c)
 		s.mu.Unlock()
 	}()
+	writeResp := func(resp wire.Message) error {
+		wmu.Lock()
+		err := wire.WriteMessage(c, resp)
+		wmu.Unlock()
+		if resp.Recycle {
+			wire.PutBuf(resp.Body)
+		}
+		return err
+	}
 	for {
 		req, err := wire.ReadMessage(c)
 		if err != nil {
@@ -90,30 +123,82 @@ func (s *Server) serveConn(c net.Conn) {
 		}
 		if f := s.currentFaults(); f != nil {
 			action, delay := f.next()
-			if delay > 0 {
-				time.Sleep(delay)
-			}
 			switch action {
 			case faultDrop:
+				if delay > 0 {
+					time.Sleep(delay)
+				}
 				return // deferred close severs the connection mid-call
 			case faultFail:
+				if delay > 0 {
+					time.Sleep(delay)
+				}
 				resp := wire.Message{Header: wire.Header{
 					Type:   req.Type.Response(),
 					Status: wire.StatusIOError,
+					Tag:    req.Tag,
 				}}
-				if err := wire.WriteMessage(c, resp); err != nil {
+				wire.PutBuf(req.Body)
+				if err := writeResp(resp); err != nil {
 					return
 				}
 				continue
+			default:
+				if delay > 0 {
+					// Service delay: sleep inside the handler goroutine
+					// so pipelined requests overlap their delays, as
+					// they would overlap real service time.
+					req := req
+					sem <- struct{}{}
+					hwg.Add(1)
+					go func() {
+						defer hwg.Done()
+						defer func() { <-sem }()
+						time.Sleep(delay)
+						s.dispatch(c, req, writeResp)
+					}()
+					continue
+				}
 			}
 		}
-		resp := s.safeHandle(req)
-		resp.Type = req.Type.Response()
-		if err := wire.WriteMessage(c, resp); err != nil {
-			s.logf("pvfsnet: writing response to %s: %v", c.RemoteAddr(), err)
-			return
-		}
+		sem <- struct{}{}
+		hwg.Add(1)
+		go func(req wire.Message) {
+			defer hwg.Done()
+			defer func() { <-sem }()
+			s.dispatch(c, req, writeResp)
+		}(req)
 	}
+}
+
+// dispatch runs the handler for one request and writes the tagged
+// response, then recycles the request body (handlers must not retain
+// it — see Handler).
+func (s *Server) dispatch(c net.Conn, req wire.Message, writeResp func(wire.Message) error) {
+	resp := s.safeHandle(req)
+	resp.Type = req.Type.Response()
+	resp.Tag = req.Tag
+	if sameBacking(req.Body, resp.Body) {
+		// A handler echoed (a slice of) the request body; recycling
+		// both sides would double-free, so the response write owns it.
+		resp.Recycle = true
+		req.Body = nil
+	}
+	if err := writeResp(resp); err != nil {
+		s.logf("pvfsnet: writing response to %s: %v", c.RemoteAddr(), err)
+		c.Close() // wake the read loop; the session is broken
+	}
+	wire.PutBuf(req.Body)
+}
+
+// sameBacking reports whether two slices share a backing array. Slices
+// into the same array share their final capacity byte regardless of
+// their offsets.
+func sameBacking(a, b []byte) bool {
+	if cap(a) == 0 || cap(b) == 0 {
+		return false
+	}
+	return &a[:cap(a)][cap(a)-1] == &b[:cap(b)][cap(b)-1]
 }
 
 // safeHandle isolates handler panics to a protocol-error response so a
@@ -146,86 +231,238 @@ func (s *Server) Close() error {
 	return err
 }
 
-// Conn is a client connection issuing serialized request/response
-// calls. It is safe for concurrent use; calls are serialized per
-// connection as in the PVFS library.
-type Conn struct {
-	mu   sync.Mutex
-	addr string
-	c    net.Conn
+// ErrClosed is returned by calls on a closed connection.
+var ErrClosed = errors.New("pvfsnet: connection closed")
+
+// callResult carries one demultiplexed response (or terminal error) to
+// the waiting caller.
+type callResult struct {
+	msg wire.Message
+	err error
 }
 
-// Dial connects to a PVFS daemon.
+// Conn is a client connection issuing tagged request/response calls.
+// It is safe for concurrent use: any number of goroutines may Call or
+// CallAsync at once, and up to the caller-managed window many tagged
+// requests may be in flight simultaneously; a dedicated reader
+// goroutine routes each response to its caller by tag.
+type Conn struct {
+	addr string
+	c    net.Conn
+
+	wmu sync.Mutex // serializes request frames
+
+	mu      sync.Mutex
+	nextTag uint32
+	pending map[uint32]chan callResult
+	rerr    error // terminal receive error; nil while healthy
+	closed  bool
+}
+
+// Dial connects to a PVFS daemon and starts the response demultiplexer.
 func Dial(addr string) (*Conn, error) {
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("pvfsnet: dial %s: %w", addr, err)
 	}
-	return &Conn{addr: addr, c: c}, nil
+	conn := &Conn{addr: addr, c: c, pending: make(map[uint32]chan callResult)}
+	go conn.readLoop()
+	return conn, nil
 }
 
-// ErrClosed is returned by calls on a closed connection.
-var ErrClosed = errors.New("pvfsnet: connection closed")
+// readLoop demultiplexes responses to pending calls by tag until the
+// connection dies, then fails every remaining and future call.
+func (c *Conn) readLoop() {
+	for {
+		msg, err := wire.ReadMessage(c.c)
+		if err != nil {
+			c.fail(fmt.Errorf("pvfsnet: receiving from %s: %w", c.addr, err))
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[msg.Tag]
+		delete(c.pending, msg.Tag)
+		c.mu.Unlock()
+		if !ok {
+			// A response nothing waits for: the peer is confused, and
+			// the byte stream can no longer be trusted.
+			c.c.Close()
+			c.fail(fmt.Errorf("pvfsnet: unmatched response tag %d from %s", msg.Tag, c.addr))
+			return
+		}
+		ch <- callResult{msg: msg}
+	}
+}
+
+// fail marks the connection broken and unblocks every pending call.
+func (c *Conn) fail(err error) {
+	c.mu.Lock()
+	if c.closed {
+		err = ErrClosed
+	}
+	if c.rerr == nil {
+		c.rerr = err
+	} else {
+		err = c.rerr
+	}
+	pending := c.pending
+	c.pending = make(map[uint32]chan callResult)
+	c.mu.Unlock()
+	for _, ch := range pending {
+		ch <- callResult{err: err}
+	}
+}
+
+// Pending is an in-flight tagged call; Wait blocks for its response.
+type Pending struct {
+	conn *Conn
+	typ  wire.MsgType
+	ch   chan callResult
+}
+
+// CallAsync sends req and returns immediately with a Pending handle for
+// the response. The caller decides the in-flight window by how many
+// CallAsync results it holds before Waiting on them. req.Body is fully
+// consumed (copied into the wire frame) before CallAsync returns.
+func (c *Conn) CallAsync(req wire.Message) (*Pending, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c.rerr != nil {
+		err := c.rerr
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextTag++
+	if c.nextTag == 0 { // tag 0 means "untagged"; skip it on wrap
+		c.nextTag = 1
+	}
+	tag := c.nextTag
+	ch := make(chan callResult, 1)
+	c.pending[tag] = ch
+	c.mu.Unlock()
+
+	req.Tag = tag
+	c.wmu.Lock()
+	err := wire.WriteMessage(c.c, req)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, tag)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("pvfsnet: call %v to %s: %w", req.Type, c.addr, err)
+	}
+	return &Pending{conn: c, typ: req.Type, ch: ch}, nil
+}
+
+// Wait blocks until the response for this call arrives. Non-OK response
+// statuses are returned as *wire.StatusError alongside the message.
+// Wait must be called exactly once per Pending.
+func (p *Pending) Wait() (wire.Message, error) {
+	res := <-p.ch
+	if res.err != nil {
+		return wire.Message{}, fmt.Errorf("pvfsnet: response for %v from %s: %w", p.typ, p.conn.addr, res.err)
+	}
+	resp := res.msg
+	if resp.Type != p.typ.Response() {
+		return resp, fmt.Errorf("pvfsnet: response type %v for request %v", resp.Type, p.typ)
+	}
+	return resp, resp.Status.Err()
+}
 
 // Call sends req and waits for the matching response. Non-OK response
 // statuses are returned as *wire.StatusError alongside the message.
 func (c *Conn) Call(req wire.Message) (wire.Message, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.c == nil {
-		return wire.Message{}, ErrClosed
-	}
-	if err := wire.WriteMessage(c.c, req); err != nil {
-		return wire.Message{}, fmt.Errorf("pvfsnet: call %v to %s: %w", req.Type, c.addr, err)
-	}
-	resp, err := wire.ReadMessage(c.c)
+	p, err := c.CallAsync(req)
 	if err != nil {
-		return wire.Message{}, fmt.Errorf("pvfsnet: response for %v from %s: %w", req.Type, c.addr, err)
+		return wire.Message{}, err
 	}
-	if resp.Type != req.Type.Response() {
-		return resp, fmt.Errorf("pvfsnet: response type %v for request %v", resp.Type, req.Type)
-	}
-	return resp, resp.Status.Err()
+	return p.Wait()
 }
 
 // Addr returns the remote address.
 func (c *Conn) Addr() string { return c.addr }
 
-// Close shuts the connection down.
+// Close shuts the connection down; pending calls fail with ErrClosed.
 func (c *Conn) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.c == nil {
+	if c.closed {
+		c.mu.Unlock()
 		return nil
 	}
-	err := c.c.Close()
-	c.c = nil
-	return err
+	c.closed = true
+	c.mu.Unlock()
+	return c.c.Close()
 }
 
 // Pool caches one Conn per address, creating them on demand. The PVFS
 // client keeps one connection per daemon for the life of the process.
 type Pool struct {
-	mu    sync.Mutex
-	conns map[string]*Conn
+	mu      sync.Mutex
+	conns   map[string]*Conn
+	dialing map[string]*poolDial
+	closed  bool
+	dial    func(string) (*Conn, error) // test seam; nil selects Dial
+}
+
+// poolDial tracks one in-progress dial so concurrent Gets for the same
+// address share it instead of dialing redundantly.
+type poolDial struct {
+	done chan struct{}
+	c    *Conn
+	err  error
 }
 
 // NewPool returns an empty pool.
-func NewPool() *Pool { return &Pool{conns: make(map[string]*Conn)} }
+func NewPool() *Pool {
+	return &Pool{conns: make(map[string]*Conn), dialing: make(map[string]*poolDial)}
+}
 
-// Get returns the pooled connection for addr, dialing if needed.
+// Get returns the pooled connection for addr, dialing if needed. The
+// dial happens outside the pool lock, so one slow or unreachable daemon
+// never blocks lookups for other addresses; concurrent Gets for the
+// same address share a single dial.
 func (p *Pool) Get(addr string) (*Conn, error) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
 	if c, ok := p.conns[addr]; ok {
+		p.mu.Unlock()
 		return c, nil
 	}
-	c, err := Dial(addr)
-	if err != nil {
-		return nil, err
+	if d, ok := p.dialing[addr]; ok {
+		p.mu.Unlock()
+		<-d.done
+		return d.c, d.err
 	}
-	p.conns[addr] = c
-	return c, nil
+	d := &poolDial{done: make(chan struct{})}
+	p.dialing[addr] = d
+	dial := p.dial
+	if dial == nil {
+		dial = Dial
+	}
+	p.mu.Unlock()
+
+	c, err := dial(addr)
+
+	p.mu.Lock()
+	delete(p.dialing, addr)
+	if err == nil {
+		if p.closed {
+			c.Close()
+			c, err = nil, ErrClosed
+		} else {
+			p.conns[addr] = c
+		}
+	}
+	p.mu.Unlock()
+	d.c, d.err = c, err
+	close(d.done)
+	return c, err
 }
 
 // Discard closes and forgets the pooled connection for addr, so the
@@ -247,6 +484,7 @@ func (p *Pool) Discard(addr string) {
 func (p *Pool) Close() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.closed = true
 	var first error
 	for addr, c := range p.conns {
 		if err := c.Close(); err != nil && first == nil {

@@ -95,6 +95,15 @@ func (c Config) Split(s ioseg.Segment) []Piece {
 	}
 	est := int(s.Length/c.StripeSize) + 2
 	out := make([]Piece, 0, est)
+	c.SplitFunc(s, func(p Piece) { out = append(out, p) })
+	return out
+}
+
+// SplitFunc is Split without the slice: it invokes fn for each piece in
+// ascending logical order. The I/O hot path uses it to stream pieces
+// into preallocated per-server schedules without allocating a []Piece
+// per logical segment.
+func (c Config) SplitFunc(s ioseg.Segment, fn func(Piece)) {
 	off := s.Offset
 	remain := s.Length
 	for remain > 0 {
@@ -103,7 +112,7 @@ func (c Config) Split(s ioseg.Segment) []Piece {
 		if remain < n {
 			n = remain
 		}
-		out = append(out, Piece{
+		fn(Piece{
 			Server:  c.ServerFor(off),
 			Phys:    ioseg.Segment{Offset: c.PhysicalOffset(off), Length: n},
 			Logical: ioseg.Segment{Offset: off, Length: n},
@@ -111,7 +120,6 @@ func (c Config) Split(s ioseg.Segment) []Piece {
 		off += n
 		remain -= n
 	}
-	return out
 }
 
 // SplitList decomposes a logical segment list into per-server physical

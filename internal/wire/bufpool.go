@@ -1,0 +1,95 @@
+package wire
+
+// Message body buffer pooling. The I/O hot path reads and writes one
+// framed message per request; without pooling every message allocates
+// its body (and the write path a header+body frame), so steady-state
+// list I/O churns the garbage collector in proportion to throughput.
+//
+// Buffers are kept in power-of-two size classes backed by buffered
+// channels rather than sync.Pool: a channel free list never allocates
+// on Get/Put (sync.Pool boxes the slice header on every Put), gives a
+// hard bound on parked memory per class, and needs no GC integration.
+// Misses simply allocate and surplus Puts are dropped, so the pool is
+// always safe to bypass.
+//
+// Ownership contract: PutBuf may only be called by code that owns the
+// buffer outright — nothing else may retain a reference. Dropping a
+// pooled buffer without PutBuf is always safe (the GC reclaims it).
+
+const (
+	minBufShift = 9  // 512 B: below this, pooling costs more than it saves
+	maxBufShift = 26 // 64 MiB == MaxBodyLen
+)
+
+// bufClasses holds one free list per power-of-two size class. Class
+// capacities taper off so large classes cannot park unbounded memory:
+// ≤64 KiB classes keep up to 64 buffers, ≤1 MiB up to 16, above that 4.
+var bufClasses [maxBufShift + 1]chan []byte
+
+func init() {
+	for shift := minBufShift; shift <= maxBufShift; shift++ {
+		n := 64
+		switch {
+		case shift > 20: // > 1 MiB
+			n = 4
+		case shift > 16: // > 64 KiB
+			n = 16
+		}
+		bufClasses[shift] = make(chan []byte, n)
+	}
+}
+
+// shiftFor returns the smallest class whose buffers hold n bytes.
+func shiftFor(n int) int {
+	shift := minBufShift
+	for 1<<shift < n {
+		shift++
+	}
+	return shift
+}
+
+// GetBuf returns a buffer of length n, reusing a pooled buffer when one
+// is available. n == 0 returns nil.
+func GetBuf(n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	if n > 1<<maxBufShift {
+		return make([]byte, n)
+	}
+	shift := shiftFor(n)
+	select {
+	case b := <-bufClasses[shift]:
+		return b[:n]
+	default:
+		return make([]byte, n, 1<<shift)
+	}
+}
+
+// PutBuf returns a buffer to the pool. The caller must own b outright;
+// no other reference to its backing array may remain live. Buffers too
+// small to pool and surplus buffers in a full class are dropped.
+func PutBuf(b []byte) {
+	c := cap(b)
+	if c < 1<<minBufShift {
+		return
+	}
+	// File the buffer under the largest class it can fully serve, so a
+	// foreign buffer with an off-class capacity is still reusable.
+	shift := minBufShift
+	for shift < maxBufShift && 1<<(shift+1) <= c {
+		shift++
+	}
+	select {
+	case bufClasses[shift] <- b[:cap(b)]:
+	default:
+	}
+}
+
+// Release returns the message body to the buffer pool and clears it.
+// Callers use it on the hot path once they have fully consumed a
+// message; see the PutBuf ownership contract.
+func (m *Message) Release() {
+	PutBuf(m.Body)
+	m.Body = nil
+}

@@ -162,11 +162,16 @@ var (
 
 // Header is the fixed-size message header. Handle identifies the file
 // (assigned by the manager); Status is meaningful only on responses.
+// Tag matches responses to requests on pipelined connections: a server
+// echoes the request's tag in its response, so a client may keep many
+// tagged calls in flight on one connection and demultiplex out-of-order
+// completions. Tag 0 denotes an untagged (serialized) exchange.
 type Header struct {
 	Type    MsgType
 	Status  Status
 	Handle  uint64
 	BodyLen uint32
+	Tag     uint32
 }
 
 // putHeader encodes h into buf, which must be at least HeaderSize long.
@@ -177,7 +182,7 @@ func putHeader(buf []byte, h Header) {
 	binary.BigEndian.PutUint32(buf[8:], uint32(h.Status))
 	binary.BigEndian.PutUint64(buf[12:], h.Handle)
 	binary.BigEndian.PutUint32(buf[20:], h.BodyLen)
-	binary.BigEndian.PutUint32(buf[24:], 0) // reserved
+	binary.BigEndian.PutUint32(buf[24:], h.Tag)
 }
 
 // parseHeader decodes and validates a header.
@@ -193,6 +198,7 @@ func parseHeader(buf []byte) (Header, error) {
 		Status:  Status(binary.BigEndian.Uint32(buf[8:])),
 		Handle:  binary.BigEndian.Uint64(buf[12:]),
 		BodyLen: binary.BigEndian.Uint32(buf[20:]),
+		Tag:     binary.BigEndian.Uint32(buf[24:]),
 	}
 	if h.BodyLen > MaxBodyLen {
 		return Header{}, fmt.Errorf("%w: %d", ErrBodyTooLarge, h.BodyLen)
@@ -204,22 +210,33 @@ func parseHeader(buf []byte) (Header, error) {
 type Message struct {
 	Header
 	Body []byte
+
+	// Recycle marks Body as owned by the wire buffer pool: the
+	// transport returns it via PutBuf once the message is written.
+	// Only producers that allocated Body with GetBuf and will never
+	// touch it again may set it. Recycle never crosses the wire.
+	Recycle bool
 }
 
-// WriteMessage frames and writes a message.
+// WriteMessage frames and writes a message. The frame buffer comes from
+// the message pool, so steady-state writes do not allocate.
 func WriteMessage(w io.Writer, m Message) error {
 	if len(m.Body) > MaxBodyLen {
 		return ErrBodyTooLarge
 	}
 	m.BodyLen = uint32(len(m.Body))
-	buf := make([]byte, HeaderSize+len(m.Body))
+	buf := GetBuf(HeaderSize + len(m.Body))
 	putHeader(buf, m.Header)
 	copy(buf[HeaderSize:], m.Body)
 	_, err := w.Write(buf)
+	PutBuf(buf)
 	return err
 }
 
-// ReadMessage reads one framed message.
+// ReadMessage reads one framed message. The body buffer comes from the
+// message pool: callers that fully consume it may hand it back with
+// Release/PutBuf; callers that retain it (or are unsure) simply keep
+// it and the GC reclaims it as usual.
 func ReadMessage(r io.Reader) (Message, error) {
 	var hbuf [HeaderSize]byte
 	if _, err := io.ReadFull(r, hbuf[:]); err != nil {
@@ -229,7 +246,7 @@ func ReadMessage(r io.Reader) (Message, error) {
 	if err != nil {
 		return Message{}, err
 	}
-	body := make([]byte, h.BodyLen)
+	body := GetBuf(int(h.BodyLen))
 	if _, err := io.ReadFull(r, body); err != nil {
 		return Message{}, fmt.Errorf("wire: reading %d-byte body: %w", h.BodyLen, err)
 	}
@@ -317,10 +334,17 @@ func (d *decoder) rest() []byte {
 // EncodeRegions appends a region list as trailing data: a count
 // followed by offset/length pairs. It enforces the per-request limit.
 func EncodeRegions(l ioseg.List) ([]byte, error) {
+	return AppendRegions(make([]byte, 0, TrailingDataSize(len(l))), l)
+}
+
+// AppendRegions appends the trailing-data encoding of l to dst and
+// returns the extended slice, so callers building a request body in a
+// pooled buffer avoid the intermediate allocation of EncodeRegions.
+func AppendRegions(dst []byte, l ioseg.List) ([]byte, error) {
 	if len(l) > MaxRegionsPerRequest {
-		return nil, ErrTooManyRegions
+		return dst, ErrTooManyRegions
 	}
-	e := encoder{buf: make([]byte, 0, 4+len(l)*regionDescSize)}
+	e := encoder{buf: dst}
 	e.u32(uint32(len(l)))
 	for _, s := range l {
 		e.i64(s.Offset)

@@ -100,6 +100,12 @@ const (
 // DefaultSieveBuffer is the paper's 32 MB sieve buffer (§3.2).
 const DefaultSieveBuffer = client.DefaultSieveBuffer
 
+// DefaultListWindow is the number of list requests kept in flight per
+// server connection when ListOptions.Window is zero (DESIGN.md §2).
+// Set ListOptions.Window to 1 for the original serialized PVFS
+// behaviour.
+const DefaultListWindow = client.DefaultListWindow
+
 // Connect opens a client session against a manager daemon address.
 func Connect(mgrAddr string) (*FS, error) { return client.Connect(mgrAddr) }
 
