@@ -198,6 +198,15 @@ func catCmd(args []string) error {
 	return nil
 }
 
+// pathLine formats one per-path counter for the replay summary,
+// omitting paths that saw no traffic.
+func pathLine(name string, v client.PathValues) string {
+	if v.Requests == 0 && v.Bytes == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" %s %d req / %d B", name, v.Requests, v.Bytes)
+}
+
 func parseMethod(s string) (client.Method, error) {
 	switch s {
 	case "multiple":
@@ -282,6 +291,12 @@ func replayCmd(args []string) error {
 	fmt.Printf("requests: %d I/O (%d list), %d manager; %d bytes out, %d bytes in\n",
 		res.Requests.Requests, res.Requests.ListRequests, res.Requests.MgrRequests,
 		res.Requests.BytesOut, res.Requests.BytesIn)
+	fmt.Printf("per path:%s%s%s%s%s\n",
+		pathLine("multiple", res.Requests.Multiple),
+		pathLine("sieve", res.Requests.Sieve),
+		pathLine("list", res.Requests.List),
+		pathLine("strided", res.Requests.Strided),
+		pathLine("datatype", res.Requests.Datatype))
 	for _, rr := range res.PerRank {
 		fmt.Printf("  rank %d: %d ops, %d bytes, %v\n", rr.Rank, rr.Ops, rr.Bytes, rr.Elapsed)
 	}

@@ -11,9 +11,12 @@
 //   - List I/O (§3.3): up to 64 file regions per request in trailing
 //     data (ReadList/WriteList, the pvfs_read_list interface).
 //
-// A fourth, strided descriptors (ReadStrided/WriteStrided), implements
-// the paper's §5 future work: datatype-style descriptions that remove
-// the linear region-to-request relationship.
+// A fourth, datatype I/O (ReadDatatype/WriteDatatype, with
+// ReadStrided/WriteStrided as its uniform-vector special case),
+// implements the paper's §5 future work: the access pattern itself
+// crosses the wire as an encoded datatype and each I/O daemon
+// evaluates its own share, removing the linear region-to-request
+// relationship (DESIGN.md §6).
 package client
 
 import (
@@ -29,9 +32,33 @@ import (
 	"pvfs/internal/wire"
 )
 
+// PathCounters is the per-access-path accounting: wire requests
+// issued and payload bytes moved through one noncontiguous method.
+type PathCounters struct {
+	Requests atomic.Int64
+	Bytes    atomic.Int64
+}
+
+func (p *PathCounters) snapshot() PathValues {
+	return PathValues{Requests: p.Requests.Load(), Bytes: p.Bytes.Load()}
+}
+
+// PathValues is a point-in-time copy of PathCounters.
+type PathValues struct {
+	Requests int64
+	Bytes    int64
+}
+
+// Sub returns the delta p - o.
+func (p PathValues) Sub(o PathValues) PathValues {
+	return PathValues{Requests: p.Requests - o.Requests, Bytes: p.Bytes - o.Bytes}
+}
+
 // Counters tracks client-side request accounting, used by benchmarks
 // and tests to verify the request arithmetic of the paper (§4.3.1:
-// 983,040 vs 30 vs 1 requests per process).
+// 983,040 vs 30 vs 1 requests per process). The per-path counters
+// break the totals down by access method, so a trace replay or
+// benchmark can show which datapath its requests took.
 type Counters struct {
 	Requests     atomic.Int64 // I/O requests sent to I/O daemons
 	ListRequests atomic.Int64 // list I/O requests among Requests
@@ -39,6 +66,15 @@ type Counters struct {
 	BytesOut     atomic.Int64 // payload bytes sent (writes)
 	BytesIn      atomic.Int64 // payload bytes received (reads)
 	Retries      atomic.Int64 // transport-level retries (SetRetries)
+
+	// Per-path accounting (DESIGN.md §6): multiple I/O (§3.1), data
+	// sieving (§3.2), list I/O (§3.3), strided descriptors and full
+	// datatype I/O (§5).
+	Multiple PathCounters
+	Sieve    PathCounters
+	List     PathCounters
+	Strided  PathCounters
+	Datatype PathCounters
 }
 
 // Snapshot returns a plain-value copy of the counters.
@@ -50,6 +86,11 @@ func (c *Counters) Snapshot() CounterValues {
 		BytesOut:     c.BytesOut.Load(),
 		BytesIn:      c.BytesIn.Load(),
 		Retries:      c.Retries.Load(),
+		Multiple:     c.Multiple.snapshot(),
+		Sieve:        c.Sieve.snapshot(),
+		List:         c.List.snapshot(),
+		Strided:      c.Strided.snapshot(),
+		Datatype:     c.Datatype.snapshot(),
 	}
 }
 
@@ -61,6 +102,30 @@ type CounterValues struct {
 	BytesOut     int64
 	BytesIn      int64
 	Retries      int64
+
+	Multiple PathValues
+	Sieve    PathValues
+	List     PathValues
+	Strided  PathValues
+	Datatype PathValues
+}
+
+// Sub returns the delta v - o, the accounting of the work performed
+// between two snapshots.
+func (v CounterValues) Sub(o CounterValues) CounterValues {
+	return CounterValues{
+		Requests:     v.Requests - o.Requests,
+		ListRequests: v.ListRequests - o.ListRequests,
+		MgrRequests:  v.MgrRequests - o.MgrRequests,
+		BytesOut:     v.BytesOut - o.BytesOut,
+		BytesIn:      v.BytesIn - o.BytesIn,
+		Retries:      v.Retries - o.Retries,
+		Multiple:     v.Multiple.Sub(o.Multiple),
+		Sieve:        v.Sieve.Sub(o.Sieve),
+		List:         v.List.Sub(o.List),
+		Strided:      v.Strided.Sub(o.Strided),
+		Datatype:     v.Datatype.Sub(o.Datatype),
+	}
 }
 
 // FS is a connection to a PVFS deployment (one manager, N I/O daemons).
@@ -474,8 +539,9 @@ func (fs *FS) pipelineCalls(addr string, n, window int, build func(int) (wire.Me
 }
 
 // readContig reads one contiguous logical extent into p (a single PVFS
-// read: one request per touched server, issued in parallel).
-func (f *File) readContig(p []byte, off int64) error {
+// read: one request per touched server, issued in parallel). A non-nil
+// path attributes the wire traffic to a per-method counter.
+func (f *File) readContig(p []byte, off int64, path *PathCounters) error {
 	if len(p) == 0 {
 		return nil
 	}
@@ -486,6 +552,10 @@ func (f *File) readContig(p []byte, off int64) error {
 		span, _ := j.phys.Span()
 		req := wire.ReadReq{Offset: span.Offset, Length: span.Length}
 		f.fs.stats.Requests.Add(1)
+		if path != nil {
+			path.Requests.Add(1)
+			path.Bytes.Add(span.Length)
+		}
 		resp, err := f.call(j.rel, wire.Message{
 			Header: wire.Header{Type: wire.TRead, Handle: f.info.Handle},
 			Body:   req.Marshal(),
@@ -506,7 +576,7 @@ func (f *File) readContig(p []byte, off int64) error {
 }
 
 // writeContig writes one contiguous logical extent from p.
-func (f *File) writeContig(p []byte, off int64) error {
+func (f *File) writeContig(p []byte, off int64, path *PathCounters) error {
 	if len(p) == 0 {
 		return nil
 	}
@@ -520,6 +590,10 @@ func (f *File) writeContig(p []byte, off int64) error {
 		req := wire.WriteReq{Offset: span.Offset, Data: data}
 		f.fs.stats.Requests.Add(1)
 		f.fs.stats.BytesOut.Add(span.Length)
+		if path != nil {
+			path.Requests.Add(1)
+			path.Bytes.Add(span.Length)
+		}
 		_, err := f.call(j.rel, wire.Message{
 			Header: wire.Header{Type: wire.TWrite, Handle: f.info.Handle},
 			Body:   req.Marshal(),
@@ -538,7 +612,7 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, errors.New("pvfs: negative offset")
 	}
-	if err := f.readContig(p, off); err != nil {
+	if err := f.readContig(p, off, nil); err != nil {
 		return 0, err
 	}
 	return len(p), nil
@@ -549,7 +623,7 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, errors.New("pvfs: negative offset")
 	}
-	if err := f.writeContig(p, off); err != nil {
+	if err := f.writeContig(p, off, nil); err != nil {
 		return 0, err
 	}
 	return len(p), nil

@@ -1,0 +1,391 @@
+package client_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pvfs/internal/client"
+	"pvfs/internal/cluster"
+	"pvfs/internal/datatype"
+	"pvfs/internal/ioseg"
+	"pvfs/internal/pvfsnet"
+	"pvfs/internal/striping"
+)
+
+// Tests for the datatype I/O datapath (DESIGN.md §6): the pattern
+// crosses the wire as an encoded constructor tree, the daemons
+// evaluate their own shares, and the client windows + pipelines the
+// transfer. The equivalence contract is the acceptance bar: datatype
+// read/write of any pattern must be byte-identical to ReadList/
+// WriteList of the flattened pattern.
+
+// fragmentedMem splits [0, total) into memory regions of the given
+// size with gaps, exercising the StreamMap scatter/gather (the arena
+// is sized to hold the gaps).
+func fragmentedMem(total, piece, gap int64) (ioseg.List, int64) {
+	var mem ioseg.List
+	var off int64
+	for covered := int64(0); covered < total; covered += piece {
+		n := piece
+		if r := total - covered; r < n {
+			n = r
+		}
+		mem = append(mem, ioseg.Segment{Offset: off, Length: n})
+		off += n + gap
+	}
+	return mem, off
+}
+
+// datatypeCases are the pattern shapes the tentpole names: vector,
+// indexed, and 2-D subarray, plus a nested constructor for depth.
+func datatypeCases(t *testing.T) map[string]struct {
+	typ   datatype.Type
+	base  int64
+	count int64
+} {
+	t.Helper()
+	idx, err := datatype.Indexed(
+		[]int64{3, 1, 5, 2, 4},
+		[]int64{0, 7, 11, 20, 26},
+		datatype.Double(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := datatype.Subarray(
+		[]int64{24, 40},  // full 2-D array
+		[]int64{9, 13},   // sub-block
+		[]int64{5, 17},   // start corner
+		datatype.Bytes(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]struct {
+		typ   datatype.Type
+		base  int64
+		count int64
+	}{
+		"vector":   {datatype.Vector(37, 24, 100, datatype.Bytes(1)), 40, 3},
+		"indexed":  {idx, 128, 5},
+		"subarray": {sub, 64, 2},
+		"nested":   {datatype.Contiguous(4, datatype.Vector(6, 2, 5, datatype.Bytes(9))), 10, 7},
+	}
+}
+
+func TestDatatypeEquivalenceWithList(t *testing.T) {
+	_, fs := startCluster(t, 4)
+	cfg := striping.Config{PCount: 4, StripeSize: 256}
+	for name, tc := range datatypeCases(t) {
+		t.Run(name, func(t *testing.T) {
+			dataLen, _, err := datatype.CheckPattern(tc.typ, tc.base, tc.count)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Flatten the repeated pattern for the list-I/O reference.
+			var file ioseg.List
+			ext := tc.typ.Extent()
+			for i := int64(0); i < tc.count; i++ {
+				file = tc.typ.AppendRegions(file, tc.base+i*ext)
+			}
+			file = file.Normalize()
+
+			mem, arenaLen := fragmentedMem(dataLen, 47, 9)
+			arena := make([]byte, arenaLen)
+			rand.New(rand.NewSource(11)).Read(arena)
+
+			// Small windows + pipelining so one transfer exercises many
+			// concurrent in-flight requests (meaningful under -race).
+			opts := client.DatatypeOptions{WindowBytes: 96, Window: 4}
+
+			fDT, err := fs.Create("dt-"+name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fDT.WriteDatatype(arena, mem, tc.typ, tc.base, tc.count, opts); err != nil {
+				t.Fatal(err)
+			}
+			fDT.Close()
+			fList, err := fs.Create("list-"+name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fList.WriteList(arena, mem, file, client.ListOptions{}); err != nil {
+				t.Fatal(err)
+			}
+			fList.Close()
+
+			if a, b := fullImage(t, fs, "dt-"+name), fullImage(t, fs, "list-"+name); !bytes.Equal(a, b) {
+				t.Fatal("datatype and list writes left different images")
+			}
+
+			// Read back through both paths from the list-written file.
+			fr, err := fs.Open("list-" + name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fr.Close()
+			gotDT := make([]byte, arenaLen)
+			if err := fr.ReadDatatype(gotDT, mem, tc.typ, tc.base, tc.count, opts); err != nil {
+				t.Fatal(err)
+			}
+			gotList := make([]byte, arenaLen)
+			if err := fr.ReadList(gotList, mem, file, client.ListOptions{}); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gotDT, gotList) {
+				t.Fatal("datatype and list reads differ")
+			}
+			for _, s := range mem {
+				if !bytes.Equal(gotDT[s.Offset:s.End()], arena[s.Offset:s.End()]) {
+					t.Fatalf("read-back differs from source in region %v", s)
+				}
+			}
+		})
+	}
+}
+
+// TestDatatypeWindowSerializedEquivalence pins the window discipline:
+// serialized (Window=1) and deeply pipelined transfers with tiny
+// window payloads must be byte-identical.
+func TestDatatypeWindowSerializedEquivalence(t *testing.T) {
+	_, fs := startCluster(t, 3)
+	typ := datatype.Vector(500, 16, 48, datatype.Bytes(1))
+	const base = 8
+	dataLen, _, err := datatype.CheckPattern(typ, base, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena := make([]byte, dataLen)
+	rand.New(rand.NewSource(5)).Read(arena)
+	mem := ioseg.List{{Offset: 0, Length: dataLen}}
+	for _, opts := range []client.DatatypeOptions{
+		{WindowBytes: 64, Window: 1},
+		{WindowBytes: 64, Window: 8},
+		{},
+	} {
+		name := fmt.Sprintf("win%d-depth%d", opts.WindowBytes, opts.Window)
+		f, err := fs.Create(name, striping.Config{PCount: 3, StripeSize: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.WriteDatatype(arena, mem, typ, base, 1, opts); err != nil {
+			t.Fatalf("%s write: %v", name, err)
+		}
+		got := make([]byte, dataLen)
+		if err := f.ReadDatatype(got, mem, typ, base, 1, opts); err != nil {
+			t.Fatalf("%s read: %v", name, err)
+		}
+		if !bytes.Equal(got, arena) {
+			t.Fatalf("%s round trip differs", name)
+		}
+		f.Close()
+	}
+	ref := fullImage(t, fs, "win64-depth1")
+	for _, name := range []string{"win64-depth8", "win0-depth0"} {
+		if !bytes.Equal(ref, fullImage(t, fs, name)) {
+			t.Fatalf("image of %s differs from serialized reference", name)
+		}
+	}
+}
+
+// TestDatatypeRequestCountIndependentOfFragments is the acceptance
+// criterion: a FLASH-like vector pattern with >=100k contiguous
+// fragments completes in O(transfer size / window) wire requests per
+// server — fragment count must not appear in the arithmetic — and
+// matches list I/O byte-for-byte.
+func TestDatatypeRequestCountIndependentOfFragments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("120k-fragment pattern")
+	}
+	_, fs := startCluster(t, 4)
+	// 120,000 fragments of 8 bytes every 32: the paper's FLASH shape
+	// (8-byte doubles scattered in the file).
+	const (
+		frags    = 120_000
+		fragLen  = 8
+		stride   = 32
+		winBytes = 64 << 10
+	)
+	typ := datatype.Vector(frags, fragLen, stride, datatype.Bytes(1))
+	dataLen := int64(frags * fragLen)
+	arena := make([]byte, dataLen)
+	rand.New(rand.NewSource(9)).Read(arena)
+	mem := ioseg.List{{Offset: 0, Length: dataLen}}
+	opts := client.DatatypeOptions{WindowBytes: winBytes}
+
+	f, err := fs.Create("flash.dat", striping.Config{PCount: 4, StripeSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := fs.Counters().Snapshot()
+	if err := f.WriteDatatype(arena, mem, typ, 0, 1, opts); err != nil {
+		t.Fatal(err)
+	}
+	mid := fs.Counters().Snapshot()
+	got := make([]byte, dataLen)
+	if err := f.ReadDatatype(got, mem, typ, 0, 1, opts); err != nil {
+		t.Fatal(err)
+	}
+	after := fs.Counters().Snapshot()
+	if !bytes.Equal(got, arena) {
+		t.Fatal("datatype round trip differs")
+	}
+
+	// O(transfer/window): each server owns dataLen/4 bytes, so at most
+	// ceil(dataLen/4/winBytes)+1 requests per server per direction.
+	perServer := (dataLen/4+winBytes-1)/winBytes + 1
+	bound := 4 * perServer
+	if w := mid.Sub(before).Requests; w > bound {
+		t.Fatalf("write used %d requests, want <= %d (fragment-independent)", w, bound)
+	}
+	if r := after.Sub(mid).Requests; r > bound {
+		t.Fatalf("read used %d requests, want <= %d (fragment-independent)", r, bound)
+	}
+	// The same transfer via list I/O would need frags/64 requests;
+	// make the contrast explicit.
+	if listReqs := int64(frags / 64); bound*10 > listReqs {
+		t.Fatalf("test misconfigured: datatype bound %d not clearly below list's %d", bound, listReqs)
+	}
+
+	// Byte-identical to list I/O of the flattened pattern.
+	flat := datatype.Flatten(typ, 0)
+	gotList := make([]byte, dataLen)
+	if err := f.ReadList(gotList, mem, flat, client.ListOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotList, arena) {
+		t.Fatal("list read of flattened pattern differs")
+	}
+}
+
+// TestDatatypeFaultInjectionRetries drives the datatype path through
+// dropped connections with retries enabled: transfers must complete
+// and stay byte-identical to list I/O.
+func TestDatatypeFaultInjectionRetries(t *testing.T) {
+	c, err := cluster.Start(cluster.Options{NumIOD: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fs, err := c.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	fs.SetRetries(3)
+
+	typ := datatype.Vector(300, 16, 40, datatype.Bytes(1))
+	dataLen, _, err := datatype.CheckPattern(typ, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena := make([]byte, dataLen)
+	rand.New(rand.NewSource(77)).Read(arena)
+	mem := ioseg.List{{Offset: 0, Length: dataLen}}
+	opts := client.DatatypeOptions{WindowBytes: 256, Window: 4}
+
+	f, err := fs.Create("faulty.dat", striping.Config{PCount: 3, StripeSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var faults pvfsnet.Faults
+	c.IODs[1].Net().SetFaults(&faults)
+
+	faults.DropConnections(2)
+	if err := f.WriteDatatype(arena, mem, typ, 0, 2, opts); err != nil {
+		t.Fatalf("write under drops: %v", err)
+	}
+	faults.DropConnections(2)
+	got := make([]byte, dataLen)
+	if err := f.ReadDatatype(got, mem, typ, 0, 2, opts); err != nil {
+		t.Fatalf("read under drops: %v", err)
+	}
+	if !bytes.Equal(got, arena) {
+		t.Fatal("round trip under fault injection differs")
+	}
+	if fs.Counters().Retries.Load() == 0 {
+		t.Fatal("no retries recorded; fault injection did not engage")
+	}
+
+	// Reference: the image matches a clean list write of the same data.
+	var file ioseg.List
+	ext := typ.Extent()
+	for i := int64(0); i < 2; i++ {
+		file = typ.AppendRegions(file, i*ext)
+	}
+	fRef, err := fs.Create("ref.dat", striping.Config{PCount: 3, StripeSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fRef.WriteList(arena, mem, file.Normalize(), client.ListOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	fRef.Close()
+	if !bytes.Equal(fullImage(t, fs, "faulty.dat"), fullImage(t, fs, "ref.dat")) {
+		t.Fatal("faulted datatype image differs from clean list image")
+	}
+}
+
+// TestDatatypePathCounters checks the per-path accounting satellite:
+// datatype traffic lands on the Datatype counters, strided wrappers on
+// Strided, and neither pollutes the list path.
+func TestDatatypePathCounters(t *testing.T) {
+	_, fs := startCluster(t, 2)
+	f, err := fs.Create("ctr.dat", striping.Config{PCount: 2, StripeSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ := datatype.Vector(16, 8, 24, datatype.Bytes(1))
+	arena := make([]byte, 128)
+	mem := ioseg.List{{Offset: 0, Length: 128}}
+
+	before := fs.Counters().Snapshot()
+	if err := f.WriteDatatype(arena, mem, typ, 0, 1, client.DatatypeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	d := fs.Counters().Snapshot().Sub(before)
+	if d.Datatype.Requests == 0 || d.Datatype.Bytes != 128 {
+		t.Fatalf("datatype path counters: %+v", d.Datatype)
+	}
+	if d.Strided.Requests != 0 || d.List.Requests != 0 {
+		t.Fatalf("cross-path pollution: strided %+v list %+v", d.Strided, d.List)
+	}
+
+	before = fs.Counters().Snapshot()
+	if err := f.WriteStrided(arena, mem, 0, 24, 8, 16); err != nil {
+		t.Fatal(err)
+	}
+	d = fs.Counters().Snapshot().Sub(before)
+	if d.Strided.Requests == 0 || d.Strided.Bytes != 128 {
+		t.Fatalf("strided path counters: %+v", d.Strided)
+	}
+	if d.Datatype.Requests != 0 {
+		t.Fatalf("strided polluted datatype path: %+v", d.Datatype)
+	}
+}
+
+// TestDatatypeRejectsBadArguments pins client-side validation.
+func TestDatatypeRejectsBadArguments(t *testing.T) {
+	_, fs := startCluster(t, 2)
+	f, err := fs.Create("bad.dat", striping.Config{PCount: 2, StripeSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ := datatype.Vector(4, 8, 16, datatype.Bytes(1))
+	arena := make([]byte, 32)
+	if err := f.ReadDatatype(arena, ioseg.List{{Offset: 0, Length: 16}}, typ, 0, 1, client.DatatypeOptions{}); err == nil {
+		t.Fatal("memory/pattern length mismatch accepted")
+	}
+	if err := f.ReadDatatype(arena, ioseg.List{{Offset: 0, Length: 32}}, typ, -8, 1, client.DatatypeOptions{}); err == nil {
+		t.Fatal("negative base accepted")
+	}
+	if err := f.ReadDatatype(arena[:16], ioseg.List{{Offset: 0, Length: 32}}, typ, 0, 1, client.DatatypeOptions{}); err == nil {
+		t.Fatal("memory region outside arena accepted")
+	}
+	if err := f.ReadDatatype(arena, ioseg.List{{Offset: 0, Length: 32}}, typ, 0, -1, client.DatatypeOptions{}); err == nil {
+		t.Fatal("negative count accepted")
+	}
+}

@@ -93,23 +93,23 @@ func (f *File) WriteHybrid(arena []byte, mem, file ioseg.List, gap int64, opts L
 
 // ReadType reads the file regions described by an MPI-style datatype
 // at a base offset into a contiguous buffer — the descriptive request
-// language of §5. Uniform vector layouts are recognized and shipped as
-// a single strided descriptor per server; everything else flattens to
-// list I/O.
+// language of §5. Types the wire codec can carry ship un-flattened
+// down the datatype path (DESIGN.md §6); anything past the codec's
+// limits flattens to list I/O.
 func (f *File) ReadType(arena []byte, t datatype.Type, base int64, opts ListOptions) error {
 	mem := ioseg.List{{Offset: 0, Length: t.Size()}}
-	if start, stride, blockLen, count, ok := datatype.AsVector(t, base); ok && count > 1 && stride > blockLen {
-		return f.ReadStrided(arena, mem, start, stride, blockLen, count)
+	if datatype.CanEncode(t) == nil && base >= 0 {
+		return f.ReadDatatype(arena, mem, t, base, 1, DatatypeOptions{Window: opts.Window})
 	}
 	return f.ReadList(arena, mem, datatype.Flatten(t, base), opts)
 }
 
 // WriteType writes a contiguous buffer into the file regions described
-// by a datatype at a base offset.
+// by a datatype at a base offset (see ReadType for routing).
 func (f *File) WriteType(arena []byte, t datatype.Type, base int64, opts ListOptions) error {
 	mem := ioseg.List{{Offset: 0, Length: t.Size()}}
-	if start, stride, blockLen, count, ok := datatype.AsVector(t, base); ok && count > 1 && stride > blockLen {
-		return f.WriteStrided(arena, mem, start, stride, blockLen, count)
+	if datatype.CanEncode(t) == nil && base >= 0 {
+		return f.WriteDatatype(arena, mem, t, base, 1, DatatypeOptions{Window: opts.Window})
 	}
 	return f.WriteList(arena, mem, datatype.Flatten(t, base), opts)
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"pvfs/internal/datatype"
 	"pvfs/internal/ioseg"
 	"pvfs/internal/memio"
 	"pvfs/internal/striping"
@@ -131,7 +132,7 @@ func (f *File) ReadMultiple(arena []byte, mem, file ioseg.List) error {
 		return err
 	}
 	for _, pr := range pairs {
-		if err := f.readContig(arena[pr.Mem.Offset:pr.Mem.End()], pr.File.Offset); err != nil {
+		if err := f.readContig(arena[pr.Mem.Offset:pr.Mem.End()], pr.File.Offset, &f.fs.stats.Multiple); err != nil {
 			return err
 		}
 	}
@@ -149,7 +150,7 @@ func (f *File) WriteMultiple(arena []byte, mem, file ioseg.List) error {
 		return err
 	}
 	for _, pr := range pairs {
-		if err := f.writeContig(arena[pr.Mem.Offset:pr.Mem.End()], pr.File.Offset); err != nil {
+		if err := f.writeContig(arena[pr.Mem.Offset:pr.Mem.End()], pr.File.Offset, &f.fs.stats.Multiple); err != nil {
 			return err
 		}
 	}
@@ -270,6 +271,7 @@ func (f *File) ReadList(arena []byte, mem, file ioseg.List, opts ListOptions) er
 				}
 				f.fs.stats.Requests.Add(1)
 				f.fs.stats.ListRequests.Add(1)
+				f.fs.stats.List.Requests.Add(1)
 				return wire.Message{
 					Header: wire.Header{Type: wire.TReadList, Handle: f.info.Handle},
 					Body:   body,
@@ -281,6 +283,7 @@ func (f *File) ReadList(arena []byte, mem, file ioseg.List, opts ListOptions) er
 					return fmt.Errorf("pvfs: list read returned %d bytes, want %d", len(resp.Body), r.bytes)
 				}
 				f.fs.stats.BytesIn.Add(r.bytes)
+				f.fs.stats.List.Bytes.Add(r.bytes)
 				var rpos int64
 				for k := r.lo; k < r.hi; k++ {
 					n := p.phys[k].Length
@@ -331,6 +334,8 @@ func (f *File) WriteList(arena []byte, mem, file ioseg.List, opts ListOptions) e
 				}
 				f.fs.stats.Requests.Add(1)
 				f.fs.stats.ListRequests.Add(1)
+				f.fs.stats.List.Requests.Add(1)
+				f.fs.stats.List.Bytes.Add(r.bytes)
 				f.fs.stats.BytesOut.Add(r.bytes)
 				return wire.Message{
 					Header: wire.Header{Type: wire.TWriteList, Handle: f.info.Handle},
@@ -353,101 +358,37 @@ func (f *File) WriteList(arena []byte, mem, file ioseg.List, opts ListOptions) e
 
 // --- strided descriptors (§5 future work) ---
 
-// stridedServerLayout computes, per relative server, the order and
-// stream positions of the pieces the server will produce for a strided
-// pattern. Stream order is logical order (block 0 first).
-func (f *File) stridedServerLayout(start, stride, blockLen, count int64) ([]*serverJob, error) {
+// ReadStrided reads a vector pattern (count blocks of blockLen every
+// stride bytes from start). It is a thin layer over the datatype
+// datapath — the pattern ships as Vector(count, blockLen, stride,
+// bytes(1)) and each I/O daemon evaluates its own share — so requests
+// per server scale with transfer size over the response window, never
+// with count. Memory regions must not overlap one another: responses
+// scatter into the arena concurrently.
+func (f *File) ReadStrided(arena []byte, mem ioseg.List, start, stride, blockLen, count int64) error {
+	t, err := stridedType(stride, blockLen, count)
+	if err != nil {
+		return err
+	}
+	return f.readDatatype(arena, mem, t, start, 1, DatatypeOptions{}, &f.fs.stats.Strided)
+}
+
+// WriteStrided writes a vector pattern through the datatype datapath
+// (see ReadStrided).
+func (f *File) WriteStrided(arena []byte, mem ioseg.List, start, stride, blockLen, count int64) error {
+	t, err := stridedType(stride, blockLen, count)
+	if err != nil {
+		return err
+	}
+	return f.writeDatatype(arena, mem, t, start, 1, DatatypeOptions{}, &f.fs.stats.Strided)
+}
+
+// stridedType builds the vector datatype equivalent of a strided
+// descriptor (wire.StridedReq.AsDatatype performs the same
+// reinterpretation server-side for the legacy request family).
+func stridedType(stride, blockLen, count int64) (datatype.Type, error) {
 	if blockLen < 0 || count < 0 || stride < 0 {
 		return nil, errors.New("pvfs: negative strided parameter")
 	}
-	file := make(ioseg.List, 0, count)
-	for i := int64(0); i < count; i++ {
-		file = append(file, ioseg.Segment{Offset: start + i*stride, Length: blockLen})
-	}
-	return f.buildJobs(file), nil
-}
-
-// ReadStrided reads a vector pattern (count blocks of blockLen every
-// stride bytes from start) using one descriptor request per touched
-// server, independent of count — the paper's proposed fix for list
-// I/O's linear request growth. Memory regions must not overlap one
-// another: per-server responses scatter into the arena concurrently.
-func (f *File) ReadStrided(arena []byte, mem ioseg.List, start, stride, blockLen, count int64) error {
-	if mem.TotalLength() != blockLen*count {
-		return fmt.Errorf("pvfs: memory list covers %d bytes, pattern %d", mem.TotalLength(), blockLen*count)
-	}
-	jobs, err := f.stridedServerLayout(start, stride, blockLen, count)
-	if err != nil {
-		return err
-	}
-	smap := memio.NewStreamMap(mem)
-	return parallel(jobs, func(j *serverJob) error {
-		req := wire.StridedReq{
-			Start: start, Stride: stride, BlockLen: blockLen, Count: count,
-			Striping: f.info.Striping, RelIndex: j.rel,
-		}
-		f.fs.stats.Requests.Add(1)
-		f.fs.stats.ListRequests.Add(1)
-		resp, err := f.call(j.rel, wire.Message{
-			Header: wire.Header{Type: wire.TReadStrided, Handle: f.info.Handle},
-			Body:   req.Marshal(),
-		})
-		if err != nil {
-			return err
-		}
-		if int64(len(resp.Body)) != j.totalBytes {
-			return fmt.Errorf("pvfs: strided read returned %d bytes, want %d", len(resp.Body), j.totalBytes)
-		}
-		f.fs.stats.BytesIn.Add(j.totalBytes)
-		var rpos int64
-		for i, ph := range j.phys {
-			if err := smap.CopyIn(arena, j.streamPos[i], resp.Body[rpos:rpos+ph.Length]); err != nil {
-				return err
-			}
-			rpos += ph.Length
-		}
-		resp.Release()
-		return nil
-	})
-}
-
-// WriteStrided writes a vector pattern using one descriptor request
-// per touched server.
-func (f *File) WriteStrided(arena []byte, mem ioseg.List, start, stride, blockLen, count int64) error {
-	if mem.TotalLength() != blockLen*count {
-		return fmt.Errorf("pvfs: memory list covers %d bytes, pattern %d", mem.TotalLength(), blockLen*count)
-	}
-	jobs, err := f.stridedServerLayout(start, stride, blockLen, count)
-	if err != nil {
-		return err
-	}
-	smap := memio.NewStreamMap(mem)
-	err = parallel(jobs, func(j *serverJob) error {
-		data := wire.GetBuf(int(j.totalBytes))[:0]
-		defer wire.PutBuf(data)
-		for i, ph := range j.phys {
-			var gerr error
-			data, gerr = smap.AppendOut(data, arena, j.streamPos[i], ph.Length)
-			if gerr != nil {
-				return gerr
-			}
-		}
-		req := wire.StridedReq{
-			Start: start, Stride: stride, BlockLen: blockLen, Count: count,
-			Striping: f.info.Striping, RelIndex: j.rel, Data: data,
-		}
-		f.fs.stats.Requests.Add(1)
-		f.fs.stats.ListRequests.Add(1)
-		f.fs.stats.BytesOut.Add(int64(len(data)))
-		_, err := f.call(j.rel, wire.Message{
-			Header: wire.Header{Type: wire.TWriteStrided, Handle: f.info.Handle},
-			Body:   req.Marshal(),
-		})
-		return err
-	})
-	if err != nil {
-		return err
-	}
-	f.noteWritten(start + (count-1)*stride + blockLen)
-	return nil
+	return datatype.Vector(count, blockLen, stride, datatype.Bytes(1)), nil
 }

@@ -103,7 +103,7 @@ func (f *File) ReadSieve(arena []byte, mem, file ioseg.List, opts SieveOptions) 
 			buf = make([]byte, w.Length)
 		}
 		buf = buf[:w.Length]
-		if err := f.readContig(buf, w.Offset); err != nil {
+		if err := f.readContig(buf, w.Offset, &f.fs.stats.Sieve); err != nil {
 			return st, err
 		}
 		useful, err := memio.ExtractWindow(stream, file, buf, w)
@@ -142,14 +142,14 @@ func (f *File) WriteSieve(arena []byte, mem, file ioseg.List, opts SieveOptions)
 		buf = buf[:w.Length]
 		// Read-modify-write: fetch the window, inject the regions,
 		// write the whole window back.
-		if err := f.readContig(buf, w.Offset); err != nil {
+		if err := f.readContig(buf, w.Offset, &f.fs.stats.Sieve); err != nil {
 			return st, err
 		}
 		useful, err := memio.InjectWindow(buf, stream, file, w)
 		if err != nil {
 			return st, err
 		}
-		if err := f.writeContig(buf, w.Offset); err != nil {
+		if err := f.writeContig(buf, w.Offset, &f.fs.stats.Sieve); err != nil {
 			return st, err
 		}
 		st.Windows++

@@ -18,7 +18,10 @@ import (
 )
 
 // Type is a derived datatype: a byte-granularity template of data
-// blocks within an extent, relocatable to any base offset.
+// blocks within an extent, relocatable to any base offset. The
+// interface is sealed (walkFrom is unexported): all implementations
+// live in this package, which is what lets the wire codec and the
+// streaming walker cover every constructor.
 type Type interface {
 	// Size is the number of data bytes the type selects.
 	Size() int64
@@ -31,6 +34,20 @@ type Type interface {
 	// AppendRegions appends the type's regions, shifted by base, onto
 	// dst in ascending offset order and returns dst.
 	AppendRegions(dst ioseg.List, base int64) ioseg.List
+	// walkFrom invokes fn for each raw (unmerged) region of the type
+	// at base in data order, skipping the first skip data bytes — the
+	// region containing byte skip is clipped to start there. It
+	// returns false iff fn stopped the walk. State is O(tree depth):
+	// nothing is materialized, and skipping jumps whole subtrees by
+	// size arithmetic instead of visiting them.
+	walkFrom(base, skip int64, fn func(ioseg.Segment) bool) bool
+	// denseRun reports (conservatively) whether the type's layout is a
+	// single contiguous run of size bytes at displacement displ from
+	// the base. Walks emit such subtrees as one region instead of
+	// iterating their elements, so a dense repetition of any count
+	// costs O(1) — without this, a hostile vector(2^40, 1, 1, bytes(1))
+	// would grind a walk through 2^40 merge steps.
+	denseRun() (displ, size int64, ok bool)
 	// String renders the type constructor tree.
 	String() string
 }

@@ -1,0 +1,287 @@
+package iod
+
+// Server-side access-pattern evaluation (DESIGN.md §6). A datatype
+// request carries the encoded constructor tree, a repetition count, a
+// base offset and the striping geometry; the daemon walks the pattern,
+// intersects it with its own stripe and streams the data. The region
+// list the pattern flattens to is never materialized: evaluation state
+// is O(tree depth) regardless of how many contiguous fragments the
+// pattern describes, which is what removes list I/O's linear
+// region-to-request relationship (paper §5).
+//
+// The strided request family (wire.StridedReq, the degenerate vector
+// descriptor that predates the full codec) is serviced by the same
+// engine: the descriptor is reinterpreted as Vector(count, blockLen,
+// stride, bytes(1)) and evaluated with an unwindowed (whole-share)
+// window.
+
+import (
+	"pvfs/internal/datatype"
+	"pvfs/internal/ioseg"
+	"pvfs/internal/striping"
+	"pvfs/internal/wire"
+)
+
+// Evaluation limits. They bound daemon CPU and memory per request, not
+// pattern expressiveness: a client that needs more splits the transfer
+// into more windows.
+const (
+	// maxEvalSegments caps the contiguous pattern fragments one request
+	// evaluation may visit. Each visited fragment covers at least one
+	// data byte, so this also caps walk CPU. A 64 MiB window of 8-byte
+	// fragments striped 16-wide scans ~128M bytes of pattern — still
+	// within budget at the default window sizes; hostile patterns that
+	// scatter a window across more fragments than this are refused.
+	maxEvalSegments = 1 << 22
+
+	// maxEvalPCount / maxEvalStripe bound the striping geometry a
+	// request may carry so stripe-cycle arithmetic cannot overflow.
+	maxEvalPCount = 1 << 16
+	maxEvalStripe = 1 << 40
+)
+
+// checkGeometry validates the striping config and relative index of a
+// pattern-evaluating request.
+func checkGeometry(cfg striping.Config, rel int) wire.Status {
+	if cfg.Validate() != nil || cfg.PCount > maxEvalPCount || cfg.StripeSize > maxEvalStripe ||
+		rel < 0 || rel >= cfg.PCount {
+		return wire.StatusInvalid
+	}
+	return wire.StatusOK
+}
+
+// decodePattern decodes and validates the pattern of a datatype
+// request: the type tree, its repetition bounds and the striping
+// geometry. A nil error guarantees every offset the walk emits lies in
+// non-negative int64 space (datatype.CheckPattern).
+func decodePattern(body *wire.ReadDatatypeReq) (datatype.Type, wire.Status) {
+	if st := checkGeometry(body.Striping, body.RelIndex); st != wire.StatusOK {
+		return nil, st
+	}
+	t, err := datatype.Decode(body.TypeEnc)
+	if err != nil {
+		return nil, wire.StatusProtocol
+	}
+	if _, _, err := datatype.CheckPattern(t, body.Base, body.Count); err != nil {
+		return nil, wire.StatusInvalid
+	}
+	return t, wire.StatusOK
+}
+
+// evalWindow streams the physical pieces of one request window: it
+// seeks the walk of count repetitions of t at base to data position
+// dataPos (O(tree depth) for uniform constructors), clips each emitted
+// logical fragment to relative server rel, and invokes fn for each
+// physical extent in logical order until want owned bytes are covered
+// or the pattern ends. fn returning false aborts with StatusIOError.
+// Memory is O(tree depth); fragments visited are capped by
+// maxEvalSegments.
+func evalWindow(t datatype.Type, base, count int64, cfg striping.Config, rel int, dataPos, want int64, fn func(phys ioseg.Segment) bool) (filled, pieces int64, st wire.Status) {
+	if want == 0 {
+		return 0, 0, wire.StatusOK
+	}
+	st = wire.StatusOK
+	budget := maxEvalSegments
+	datatype.WalkRepeated(t, base, count, dataPos, func(seg ioseg.Segment) bool {
+		budget--
+		if budget < 0 {
+			st = wire.StatusInvalid
+			return false
+		}
+		return cfg.ClipServer(seg, rel, func(p striping.Piece) bool {
+			phys := p.Phys
+			if rem := want - filled; phys.Length > rem {
+				phys.Length = rem
+			}
+			if !fn(phys) {
+				st = wire.StatusIOError
+				return false
+			}
+			filled += phys.Length
+			pieces++
+			return filled < want
+		})
+	})
+	return filled, pieces, st
+}
+
+// ownedBytes walks the whole pattern summing relative server rel's
+// share, in O(1) memory per fragment (striping.PhysRange is closed
+// form). It is the unwindowed sizing pass of the strided compatibility
+// path.
+func ownedBytes(t datatype.Type, base, count int64, cfg striping.Config, rel int) (int64, wire.Status) {
+	var total int64
+	budget := maxEvalSegments
+	st := wire.StatusOK
+	datatype.WalkRepeated(t, base, count, 0, func(seg ioseg.Segment) bool {
+		budget--
+		if budget < 0 {
+			st = wire.StatusInvalid
+			return false
+		}
+		total += cfg.PhysRange(rel, seg.Offset, seg.End())
+		return true
+	})
+	return total, st
+}
+
+func (s *Server) readDatatype(req wire.Message) wire.Message {
+	var body wire.ReadDatatypeReq
+	if err := body.Unmarshal(req.Body); err != nil {
+		return fail(wire.StatusProtocol)
+	}
+	t, st := decodePattern(&body)
+	if st != wire.StatusOK {
+		return fail(st)
+	}
+	out := wire.GetBuf(int(body.Want))
+	var filled int64
+	_, pieces, st := evalWindow(t, body.Base, body.Count, body.Striping, body.RelIndex,
+		body.DataPos, body.Want, func(phys ioseg.Segment) bool {
+			if _, err := s.st.ReadAt(req.Handle, out[filled:filled+phys.Length], phys.Offset); err != nil {
+				return false
+			}
+			filled += phys.Length
+			return true
+		})
+	if st != wire.StatusOK {
+		wire.PutBuf(out)
+		return fail(st)
+	}
+	s.account(func(stats *wire.ServerStats) {
+		stats.Requests++
+		stats.DatatypeRequests++
+		stats.Regions += pieces
+		stats.BytesRead += filled
+		stats.TypeBytes += int64(len(body.TypeEnc))
+	})
+	return okPooled(req.Handle, out[:filled])
+}
+
+func (s *Server) writeDatatype(req wire.Message) wire.Message {
+	var body wire.WriteDatatypeReq
+	if err := body.Unmarshal(req.Body); err != nil {
+		return fail(wire.StatusProtocol)
+	}
+	t, st := decodePattern(&body.ReadDatatypeReq)
+	if st != wire.StatusOK {
+		return fail(st)
+	}
+	var pos int64
+	filled, pieces, st := evalWindow(t, body.Base, body.Count, body.Striping, body.RelIndex,
+		body.DataPos, body.Want, func(phys ioseg.Segment) bool {
+			if _, err := s.st.WriteAt(req.Handle, body.Data[pos:pos+phys.Length], phys.Offset); err != nil {
+				return false
+			}
+			pos += phys.Length
+			return true
+		})
+	if st != wire.StatusOK {
+		return fail(st)
+	}
+	if filled != body.Want {
+		// The window named more bytes than the pattern holds for this
+		// server from DataPos on: the payload cannot correspond.
+		return fail(wire.StatusInvalid)
+	}
+	s.account(func(stats *wire.ServerStats) {
+		stats.Requests++
+		stats.DatatypeRequests++
+		stats.Regions += pieces
+		stats.BytesWritten += filled
+		stats.TypeBytes += int64(len(body.TypeEnc))
+	})
+	return ok(req.Handle, (&wire.WrittenResp{N: filled}).Marshal())
+}
+
+// maxStridedExpansion caps the block count a strided descriptor may
+// carry, bounding the unwindowed evaluation below.
+const maxStridedExpansion = 1 << 22
+
+// stridedPattern validates a strided descriptor and reinterprets it as
+// a datatype pattern (one repetition of a vector over bytes).
+func stridedPattern(body *wire.StridedReq) (datatype.Type, int64, wire.Status) {
+	if st := checkGeometry(body.Striping, body.RelIndex); st != wire.StatusOK {
+		return nil, 0, st
+	}
+	if body.Count > maxStridedExpansion {
+		return nil, 0, wire.StatusInvalid
+	}
+	t, base := body.AsDatatype()
+	if _, _, err := datatype.CheckPattern(t, base, 1); err != nil {
+		return nil, 0, wire.StatusInvalid
+	}
+	return t, base, wire.StatusOK
+}
+
+func (s *Server) readStrided(req wire.Message) wire.Message {
+	var body wire.StridedReq
+	if err := body.Unmarshal(req.Body); err != nil {
+		return fail(wire.StatusProtocol)
+	}
+	t, base, st := stridedPattern(&body)
+	if st != wire.StatusOK {
+		return fail(st)
+	}
+	owned, st := ownedBytes(t, base, 1, body.Striping, body.RelIndex)
+	if st != wire.StatusOK || owned > wire.MaxBodyLen {
+		return fail(wire.StatusInvalid)
+	}
+	out := wire.GetBuf(int(owned))
+	var filled int64
+	_, pieces, st := evalWindow(t, base, 1, body.Striping, body.RelIndex, 0, owned,
+		func(phys ioseg.Segment) bool {
+			if _, err := s.st.ReadAt(req.Handle, out[filled:filled+phys.Length], phys.Offset); err != nil {
+				return false
+			}
+			filled += phys.Length
+			return true
+		})
+	if st != wire.StatusOK {
+		wire.PutBuf(out)
+		return fail(st)
+	}
+	s.account(func(stats *wire.ServerStats) {
+		stats.Requests++
+		stats.ListRequests++
+		stats.Regions += pieces
+		stats.BytesRead += filled
+	})
+	return okPooled(req.Handle, out[:filled])
+}
+
+func (s *Server) writeStrided(req wire.Message) wire.Message {
+	var body wire.StridedReq
+	if err := body.Unmarshal(req.Body); err != nil {
+		return fail(wire.StatusProtocol)
+	}
+	t, base, st := stridedPattern(&body)
+	if st != wire.StatusOK {
+		return fail(st)
+	}
+	// The strided request family is unwindowed: the payload must be
+	// exactly this server's share, checked before any byte is applied.
+	owned, st := ownedBytes(t, base, 1, body.Striping, body.RelIndex)
+	if st != wire.StatusOK || owned != int64(len(body.Data)) {
+		return fail(wire.StatusInvalid)
+	}
+	var pos int64
+	filled, pieces, st := evalWindow(t, base, 1, body.Striping, body.RelIndex, 0, owned,
+		func(phys ioseg.Segment) bool {
+			if _, err := s.st.WriteAt(req.Handle, body.Data[pos:pos+phys.Length], phys.Offset); err != nil {
+				return false
+			}
+			pos += phys.Length
+			return true
+		})
+	if st != wire.StatusOK {
+		return fail(st)
+	}
+	s.account(func(stats *wire.ServerStats) {
+		stats.Requests++
+		stats.ListRequests++
+		stats.Regions += pieces
+		stats.BytesWritten += filled
+	})
+	return ok(req.Handle, (&wire.WrittenResp{N: filled}).Marshal())
+}

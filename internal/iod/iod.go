@@ -9,8 +9,11 @@
 //     file regions as trailing data; the daemon applies each region
 //     against its local stripe file and streams the data back (reads)
 //     or scatters the received stream (writes).
-//   - Strided requests are the datatype extension of §5: a vector
-//     descriptor replaces the explicit region list.
+//   - Strided and datatype requests are the §5 extension: the access
+//     pattern itself (a vector descriptor, or a full encoded datatype
+//     constructor tree) replaces the explicit region list, and the
+//     daemon evaluates it against its own stripe in bounded memory
+//     (see datatype.go and DESIGN.md §6).
 //
 // Clients address the daemon in physical stripe-file coordinates; the
 // striping math lives in the client library, as in PVFS.
@@ -111,6 +114,10 @@ func (s *Server) handle(req wire.Message) wire.Message {
 		return s.readStrided(req)
 	case wire.TWriteStrided:
 		return s.writeStrided(req)
+	case wire.TReadDatatype:
+		return s.readDatatype(req)
+	case wire.TWriteDatatype:
+		return s.writeDatatype(req)
 	case wire.TStat:
 		return s.stat(req)
 	case wire.TTruncate:
@@ -247,82 +254,6 @@ func (s *Server) writeList(req wire.Message) wire.Message {
 		stats.Regions += int64(len(body.Regions))
 		stats.BytesWritten += n
 		stats.TrailingBytes += int64(wire.TrailingDataSize(len(body.Regions)))
-	})
-	return ok(req.Handle, (&wire.WrittenResp{N: n}).Marshal())
-}
-
-// maxStridedExpansion caps the number of regions a strided descriptor
-// may expand to server-side, bounding memory for hostile descriptors.
-const maxStridedExpansion = 1 << 22
-
-// stridedLocalRegions expands a strided descriptor and keeps only the
-// physical pieces that live on this daemon (per the request's relative
-// server index), in logical order. This is the datatype extension: the
-// descriptor crosses the wire, the region list never does.
-func stridedLocalRegions(body *wire.StridedReq) (ioseg.List, wire.Status) {
-	if err := body.Striping.Validate(); err != nil {
-		return nil, wire.StatusInvalid
-	}
-	if body.Count > maxStridedExpansion || body.RelIndex < 0 ||
-		body.RelIndex >= body.Striping.PCount {
-		return nil, wire.StatusInvalid
-	}
-	var phys ioseg.List
-	for i := int64(0); i < body.Count; i++ {
-		seg := ioseg.Segment{Offset: body.Start + i*body.Stride, Length: body.BlockLen}
-		if seg.Validate() != nil {
-			return nil, wire.StatusInvalid
-		}
-		for _, p := range body.Striping.Split(seg) {
-			if p.Server == body.RelIndex {
-				phys = append(phys, p.Phys)
-			}
-		}
-	}
-	return phys, wire.StatusOK
-}
-
-func (s *Server) readStrided(req wire.Message) wire.Message {
-	var body wire.StridedReq
-	if err := body.Unmarshal(req.Body); err != nil {
-		return fail(wire.StatusProtocol)
-	}
-	regions, st := stridedLocalRegions(&body)
-	if st != wire.StatusOK {
-		return fail(st)
-	}
-	out, st := s.applyRegions(req.Handle, regions, nil, false)
-	if st != wire.StatusOK {
-		return fail(st)
-	}
-	s.account(func(stats *wire.ServerStats) {
-		stats.Requests++
-		stats.ListRequests++
-		stats.Regions += int64(len(regions))
-		stats.BytesRead += int64(len(out))
-	})
-	return okPooled(req.Handle, out)
-}
-
-func (s *Server) writeStrided(req wire.Message) wire.Message {
-	var body wire.StridedReq
-	if err := body.Unmarshal(req.Body); err != nil {
-		return fail(wire.StatusProtocol)
-	}
-	regions, st := stridedLocalRegions(&body)
-	if st != wire.StatusOK {
-		return fail(st)
-	}
-	_, st = s.applyRegions(req.Handle, regions, body.Data, true)
-	if st != wire.StatusOK {
-		return fail(st)
-	}
-	n := int64(len(body.Data))
-	s.account(func(stats *wire.ServerStats) {
-		stats.Requests++
-		stats.ListRequests++
-		stats.Regions += int64(len(regions))
-		stats.BytesWritten += n
 	})
 	return ok(req.Handle, (&wire.WrittenResp{N: n}).Marshal())
 }

@@ -34,6 +34,14 @@ type Hints struct {
 	// CoalesceGapBytes, when positive, applies the hybrid list+sieve
 	// coalescing before dispatch (§5 future work).
 	CoalesceGapBytes int64
+	// NoDatatype disables the datatype fast path: accesses that cover
+	// whole filetype tiles normally ship the view type itself to the
+	// I/O daemons (DESIGN.md §6) instead of flattening to region
+	// lists. Set it to force the flattened methods, e.g. to compare
+	// paths.
+	NoDatatype bool
+	// DatatypeOptions tunes the datatype path when it is taken.
+	DatatypeOptions client.DatatypeOptions
 }
 
 // File is an open file with an MPI-IO view.
@@ -152,6 +160,47 @@ func (m *File) regionsFor(dataOff, n int64) (ioseg.List, error) {
 	return merged, nil
 }
 
+// datatypePattern reports whether the view access [dataOff,
+// dataOff+n) is expressible as a wire datatype pattern: it must cover
+// whole filetype tiles (the repetition unit the daemons evaluate) and
+// the filetype must survive the wire codec's limits. This is the
+// selection function of the datatype routing — expressible accesses
+// ship the view type itself; everything else falls back to the
+// flattened region-list methods.
+func (m *File) datatypePattern(dataOff, n int64) (t datatype.Type, base, count int64, ok bool) {
+	if n <= 0 || dataOff%m.tileData != 0 || n%m.tileData != 0 {
+		return nil, 0, 0, false
+	}
+	if datatype.CanEncode(m.filetype) != nil {
+		return nil, 0, 0, false
+	}
+	tile := dataOff / m.tileData
+	return m.filetype, m.disp + tile*m.tileExtent, n / m.tileData, true
+}
+
+// dispatchView runs one view transfer of [dataOff, dataOff+n) bytes
+// of view data space. Expressible accesses take the datatype path —
+// the view type crosses the wire un-flattened, so neither the client
+// nor the request stream ever holds the region list — when the hints
+// select plain list I/O; otherwise (or on fallback) the access is
+// flattened through regionsFor and dispatched to the hinted method.
+func (m *File) dispatchView(buf []byte, dataOff, n int64, write bool) error {
+	if !m.hints.NoDatatype && m.hints.Method == client.MethodList && m.hints.CoalesceGapBytes == 0 {
+		if t, base, count, ok := m.datatypePattern(dataOff, n); ok {
+			mem := ioseg.List{{Offset: 0, Length: n}}
+			if write {
+				return m.f.WriteDatatype(buf, mem, t, base, count, m.hints.DatatypeOptions)
+			}
+			return m.f.ReadDatatype(buf, mem, t, base, count, m.hints.DatatypeOptions)
+		}
+	}
+	file, err := m.regionsFor(dataOff, n)
+	if err != nil {
+		return err
+	}
+	return m.dispatch(buf, file, write)
+}
+
 // dispatch runs one noncontiguous transfer per the hints.
 func (m *File) dispatch(buf []byte, file ioseg.List, write bool) error {
 	mem := ioseg.List{{Offset: 0, Length: int64(len(buf))}}
@@ -176,11 +225,7 @@ func (m *File) ReadAtEtype(buf []byte, etypeOff int64) error {
 	if int64(len(buf))%m.etype.Size() != 0 {
 		return fmt.Errorf("mpiio: buffer %d bytes is not whole etypes of %d", len(buf), m.etype.Size())
 	}
-	file, err := m.regionsFor(etypeOff*m.etype.Size(), int64(len(buf)))
-	if err != nil {
-		return err
-	}
-	return m.dispatch(buf, file, false)
+	return m.dispatchView(buf, etypeOff*m.etype.Size(), int64(len(buf)), false)
 }
 
 // WriteAtEtype writes len(buf) bytes at an etype offset
@@ -189,20 +234,12 @@ func (m *File) WriteAtEtype(buf []byte, etypeOff int64) error {
 	if int64(len(buf))%m.etype.Size() != 0 {
 		return fmt.Errorf("mpiio: buffer %d bytes is not whole etypes of %d", len(buf), m.etype.Size())
 	}
-	file, err := m.regionsFor(etypeOff*m.etype.Size(), int64(len(buf)))
-	if err != nil {
-		return err
-	}
-	return m.dispatch(buf, file, true)
+	return m.dispatchView(buf, etypeOff*m.etype.Size(), int64(len(buf)), true)
 }
 
 // Read reads sequentially at the view cursor (MPI_File_read).
 func (m *File) Read(buf []byte) error {
-	file, err := m.regionsFor(m.cursor, int64(len(buf)))
-	if err != nil {
-		return err
-	}
-	if err := m.dispatch(buf, file, false); err != nil {
+	if err := m.dispatchView(buf, m.cursor, int64(len(buf)), false); err != nil {
 		return err
 	}
 	m.cursor += int64(len(buf))
@@ -211,11 +248,7 @@ func (m *File) Read(buf []byte) error {
 
 // Write writes sequentially at the view cursor (MPI_File_write).
 func (m *File) Write(buf []byte) error {
-	file, err := m.regionsFor(m.cursor, int64(len(buf)))
-	if err != nil {
-		return err
-	}
-	if err := m.dispatch(buf, file, true); err != nil {
+	if err := m.dispatchView(buf, m.cursor, int64(len(buf)), true); err != nil {
 		return err
 	}
 	m.cursor += int64(len(buf))

@@ -285,3 +285,82 @@ func TestFlashAsView(t *testing.T) {
 		}
 	}
 }
+
+// TestDatatypeRouting pins the selection function of the datatype
+// path (DESIGN.md §6): whole-tile accesses under plain list hints
+// ship the view type itself (Datatype path counters move, List stays
+// flat); unaligned accesses and NoDatatype fall back to list I/O; and
+// both routes produce identical bytes.
+func TestDatatypeRouting(t *testing.T) {
+	_, fs, m := newFile(t, mpiio.Hints{Method: client.MethodList})
+	// Rank-0 view of a 4-rank cyclic pattern: eight 64-byte blocks,
+	// one per 256-byte stripe cycle, as a single filetype tile.
+	filetype := datatype.Vector(8, 64, 256, datatype.Bytes(1))
+	if err := m.SetView(0, datatype.Bytes(1), filetype); err != nil {
+		t.Fatal(err)
+	}
+
+	data := make([]byte, 8*64) // exactly one tile of view data
+	rand.New(rand.NewSource(21)).Read(data)
+
+	before := fs.Counters().Snapshot()
+	if err := m.WriteAtEtype(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	d := fs.Counters().Snapshot().Sub(before)
+	if d.Datatype.Requests == 0 {
+		t.Fatalf("whole-tile write did not take the datatype path: %+v", d)
+	}
+	if d.List.Requests != 0 {
+		t.Fatalf("whole-tile write also used list I/O: %+v", d.List)
+	}
+
+	// Read back through the datatype route and verify.
+	got := make([]byte, len(data))
+	if err := m.ReadAtEtype(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("datatype-routed read-back differs")
+	}
+
+	// An access that does not cover whole tiles falls back to list I/O.
+	before = fs.Counters().Snapshot()
+	part := make([]byte, 32)
+	if err := m.ReadAtEtype(part, 16); err != nil {
+		t.Fatal(err)
+	}
+	d = fs.Counters().Snapshot().Sub(before)
+	if d.Datatype.Requests != 0 || d.List.Requests == 0 {
+		t.Fatalf("partial-tile access routing: %+v", d)
+	}
+	if !bytes.Equal(part, data[16:48]) {
+		t.Fatal("fallback read-back differs")
+	}
+
+	// NoDatatype forces the flattened path even for whole tiles, and
+	// the results stay identical.
+	f2, err := fs.Create("view-nodt.dat", striping.Config{PCount: 4, StripeSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := mpiio.Open(f2, mpiio.Hints{Method: client.MethodList, NoDatatype: true})
+	if err := m2.SetView(0, datatype.Bytes(1), filetype); err != nil {
+		t.Fatal(err)
+	}
+	before = fs.Counters().Snapshot()
+	if err := m2.WriteAtEtype(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	d = fs.Counters().Snapshot().Sub(before)
+	if d.Datatype.Requests != 0 || d.List.Requests == 0 {
+		t.Fatalf("NoDatatype routing: %+v", d)
+	}
+	got2 := make([]byte, len(data))
+	if err := m2.ReadAtEtype(got2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, data) {
+		t.Fatal("NoDatatype read-back differs")
+	}
+}

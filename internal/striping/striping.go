@@ -122,6 +122,55 @@ func (c Config) SplitFunc(s ioseg.Segment, fn func(Piece)) {
 	}
 }
 
+// ClipServer invokes fn for each piece of s that lives on relative
+// server rel, in ascending logical order, stopping early when fn
+// returns false; it reports whether the walk ran to completion. Unlike
+// SplitFunc it visits only rel's stripe units, so the cost is
+// proportional to the pieces on rel rather than to every piece of s —
+// the shape an I/O daemon needs to intersect a logical access pattern
+// with its own stripe (DESIGN.md §6) without paying for the other
+// servers' shares.
+func (c Config) ClipServer(s ioseg.Segment, rel int, fn func(Piece) bool) bool {
+	if s.Empty() {
+		return true
+	}
+	cycle := c.StripeSize * int64(c.PCount)
+	relStart := int64(rel) * c.StripeSize
+	// First cycle whose rel-unit could intersect s. unitLo cannot
+	// overflow here: when k > 0 it is at most s.Offset by construction.
+	k := int64(0)
+	if s.Offset > relStart {
+		k = (s.Offset - relStart) / cycle
+	}
+	for unitLo := k*cycle + relStart; unitLo < s.End(); {
+		lo, hi := unitLo, unitLo+c.StripeSize
+		if hi < unitLo { // unit straddles the top of int64 offset space
+			hi = s.End()
+		}
+		if s.Offset > lo {
+			lo = s.Offset
+		}
+		if e := s.End(); e < hi {
+			hi = e
+		}
+		if lo < hi {
+			if !fn(Piece{
+				Server:  rel,
+				Phys:    ioseg.Segment{Offset: c.PhysicalOffset(lo), Length: hi - lo},
+				Logical: ioseg.Segment{Offset: lo, Length: hi - lo},
+			}) {
+				return false
+			}
+		}
+		next := unitLo + cycle
+		if next < unitLo { // offset space exhausted: no further units
+			return true
+		}
+		unitLo = next
+	}
+	return true
+}
+
 // SplitList decomposes a logical segment list into per-server physical
 // segment lists. The returned map is keyed by relative server index;
 // each list preserves the order pieces appear in the logical request,

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"pvfs/internal/ioseg"
 )
@@ -251,5 +252,92 @@ func BenchmarkSplitList(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c.SplitList(l)
+	}
+}
+
+// Property: ClipServer(s, rel) yields exactly the pieces Split(s)
+// assigns to rel, in the same order — it is the per-server projection
+// the I/O daemon uses to avoid computing other servers' shares.
+func TestClipServerMatchesSplit(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := cfg(1+r.Intn(8), int64(16+r.Intn(512)))
+		for i := 0; i < 50; i++ {
+			s := ioseg.Segment{Offset: int64(r.Intn(1 << 16)), Length: int64(r.Intn(4096))}
+			want := make(map[int][]Piece)
+			for _, p := range c.Split(s) {
+				want[p.Server] = append(want[p.Server], p)
+			}
+			for rel := 0; rel < c.PCount; rel++ {
+				var got []Piece
+				if !c.ClipServer(s, rel, func(p Piece) bool {
+					got = append(got, p)
+					return true
+				}) {
+					return false
+				}
+				if len(got) != len(want[rel]) {
+					return false
+				}
+				for i := range got {
+					if got[i] != want[rel][i] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClipServerEarlyStop(t *testing.T) {
+	c := cfg(2, 64)
+	n := 0
+	done := c.ClipServer(ioseg.Segment{Offset: 0, Length: 64 * 20}, 0, func(Piece) bool {
+		n++
+		return false
+	})
+	if done || n != 1 {
+		t.Fatalf("early stop: done=%v n=%d", done, n)
+	}
+}
+
+// TestClipServerNearMaxInt64 is a regression test: segments ending
+// near the top of int64 offset space must terminate (the unit-advance
+// arithmetic used to wrap past MaxInt64 and loop forever) and emit
+// exactly the bytes of the segment across all servers, once each.
+func TestClipServerNearMaxInt64(t *testing.T) {
+	cfg := Config{PCount: 2, StripeSize: 4096}
+	const maxI64 = int64(^uint64(0) >> 1)
+	for _, seg := range []ioseg.Segment{
+		{Offset: maxI64 - 4096, Length: 4096},
+		{Offset: maxI64 - 10000, Length: 10000},
+		{Offset: maxI64 - 1, Length: 1},
+	} {
+		var total int64
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for rel := 0; rel < cfg.PCount; rel++ {
+				cfg.ClipServer(seg, rel, func(p Piece) bool {
+					if p.Logical.Offset < seg.Offset || p.Logical.End() > seg.End() {
+						t.Errorf("piece %v outside segment %v", p.Logical, seg)
+					}
+					total += p.Logical.Length
+					return true
+				})
+			}
+		}()
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			t.Fatalf("ClipServer hangs on %v", seg)
+		}
+		if total != seg.Length {
+			t.Fatalf("segment %v: clipped %d bytes across servers, want %d", seg, total, seg.Length)
+		}
 	}
 }

@@ -160,15 +160,7 @@ func Replay(fs *client.FS, fileName string, ops []Op, opts ReplayOptions) (*Resu
 		return nil, err
 	}
 	res.Elapsed = time.Since(start)
-	after := fs.Counters().Snapshot()
-	res.Requests = client.CounterValues{
-		Requests:     after.Requests - before.Requests,
-		ListRequests: after.ListRequests - before.ListRequests,
-		MgrRequests:  after.MgrRequests - before.MgrRequests,
-		BytesOut:     after.BytesOut - before.BytesOut,
-		BytesIn:      after.BytesIn - before.BytesIn,
-		Retries:      after.Retries - before.Retries,
-	}
+	res.Requests = fs.Counters().Snapshot().Sub(before)
 	if opts.Verify {
 		if err := verifyFile(fs, fileName, ops, opts.Seed); err != nil {
 			return res, err

@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"testing"
 
+	"pvfs/internal/datatype"
 	"pvfs/internal/ioseg"
+	"pvfs/internal/striping"
 )
 
 // Native fuzz targets for the decoders that face the network. Run as
@@ -60,6 +62,43 @@ func FuzzMessageRoundTrip(f *testing.F) {
 		}
 		if m2.Type != m.Type || m2.Handle != m.Handle || !bytes.Equal(m2.Body, m.Body) {
 			t.Fatal("message round trip diverged")
+		}
+	})
+}
+
+func FuzzDatatypeReq(f *testing.F) {
+	enc, err := datatype.Encode(datatype.Vector(1000, 8, 32, datatype.Bytes(1)))
+	if err != nil {
+		f.Fatal(err)
+	}
+	read := ReadDatatypeReq{
+		Base: 64, Count: 3, DataPos: 128, Want: 256,
+		Striping: striping.Config{PCount: 4, StripeSize: 4096},
+		RelIndex: 2, TypeEnc: enc,
+	}
+	f.Add(read.Marshal())
+	write := WriteDatatypeReq{ReadDatatypeReq: read, Data: make([]byte, 256)}
+	f.Add(write.Marshal())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r ReadDatatypeReq
+		if r.Unmarshal(data) == nil {
+			// Accepted requests have sane shapes and re-marshal to a
+			// decodable form.
+			if r.Base < 0 || r.Count < 0 || r.DataPos < 0 || r.Want < 0 ||
+				r.Want > MaxBodyLen || len(r.TypeEnc) > MaxTypeEncLen {
+				t.Fatalf("accepted out-of-range request %+v", r)
+			}
+			var again ReadDatatypeReq
+			if err := again.Unmarshal(r.Marshal()); err != nil {
+				t.Fatalf("re-marshalled request does not parse: %v", err)
+			}
+		}
+		var w WriteDatatypeReq
+		if w.Unmarshal(data) == nil {
+			if int64(len(w.Data)) != w.Want {
+				t.Fatalf("accepted write with %d payload bytes, want %d", len(w.Data), w.Want)
+			}
 		}
 	})
 }

@@ -334,6 +334,9 @@ type ServerStats struct {
 	BytesWritten  int64
 	ListRequests  int64 // list I/O requests among Requests
 	TrailingBytes int64 // trailing data received
+	// Datatype-path accounting (DESIGN.md §6).
+	DatatypeRequests int64 // datatype I/O requests among Requests
+	TypeBytes        int64 // encoded-datatype bytes received
 }
 
 func (m *ServerStats) Marshal() []byte {
@@ -344,6 +347,8 @@ func (m *ServerStats) Marshal() []byte {
 	e.i64(m.BytesWritten)
 	e.i64(m.ListRequests)
 	e.i64(m.TrailingBytes)
+	e.i64(m.DatatypeRequests)
+	e.i64(m.TypeBytes)
 	return e.buf
 }
 
@@ -355,6 +360,8 @@ func (m *ServerStats) Unmarshal(b []byte) error {
 	m.BytesWritten = d.i64()
 	m.ListRequests = d.i64()
 	m.TrailingBytes = d.i64()
+	m.DatatypeRequests = d.i64()
+	m.TypeBytes = d.i64()
 	return d.err
 }
 
@@ -406,4 +413,6 @@ func (m *ServerStats) Add(other ServerStats) {
 	m.BytesWritten += other.BytesWritten
 	m.ListRequests += other.ListRequests
 	m.TrailingBytes += other.TrailingBytes
+	m.DatatypeRequests += other.DatatypeRequests
+	m.TypeBytes += other.TypeBytes
 }

@@ -71,6 +71,10 @@ const (
 	TServerStats
 	TPing
 	TListHandles // enumerate stored handles with sizes (fsck)
+	// Datatype I/O (DESIGN.md §6): the encoded constructor tree crosses
+	// the wire and the daemon evaluates the access pattern itself.
+	TReadDatatype
+	TWriteDatatype
 
 	responseBit MsgType = 0x8000
 )
@@ -92,7 +96,8 @@ func (t MsgType) String() string {
 		TWriteList: "writelist", TReadStrided: "readstrided",
 		TWriteStrided: "writestrided", TTruncate: "truncate",
 		TServerStats: "serverstats", TPing: "ping",
-		TListHandles: "listhandles",
+		TListHandles: "listhandles", TReadDatatype: "readdatatype",
+		TWriteDatatype: "writedatatype",
 	}
 	n, ok := names[t.Base()]
 	if !ok {

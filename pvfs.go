@@ -82,6 +82,9 @@ type (
 	Options = client.Options
 	// Granularity selects list-entry construction.
 	Granularity = client.Granularity
+	// DatatypeOptions tunes datatype I/O (per-request payload window,
+	// pipeline depth) for File.ReadDatatype/WriteDatatype (DESIGN.md §6).
+	DatatypeOptions = client.DatatypeOptions
 )
 
 // Noncontiguous access methods (§3).
@@ -105,6 +108,10 @@ const DefaultSieveBuffer = client.DefaultSieveBuffer
 // Set ListOptions.Window to 1 for the original serialized PVFS
 // behaviour.
 const DefaultListWindow = client.DefaultListWindow
+
+// DefaultDatatypeWindow is the per-request payload window of datatype
+// I/O when DatatypeOptions.WindowBytes is zero (DESIGN.md §6).
+const DefaultDatatypeWindow = client.DefaultDatatypeWindowBytes
 
 // Connect opens a client session against a manager daemon address.
 func Connect(mgrAddr string) (*FS, error) { return client.Connect(mgrAddr) }
