@@ -353,13 +353,36 @@ func (f *File) Size() (int64, error) {
 	return f.info.Striping.FileSizeFromStripes(phys), nil
 }
 
-// Close reports the logical high-water mark to the manager and
-// releases the handle. Pooled connections stay open for other files.
+// Sync asks every I/O daemon serving the file to flush its cached
+// dirty blocks for this handle down to durable storage (TSync).
+// Daemons running without a write-back cache acknowledge immediately,
+// so Sync is always safe to call. On return, every write that
+// completed before the call survives a daemon crash (DESIGN.md §7).
+func (f *File) Sync() error {
+	rels := make([]int, f.info.Striping.PCount)
+	for i := range rels {
+		rels[i] = i
+	}
+	return parallel(rels, func(rel int) error {
+		_, err := f.call(rel, wire.Message{
+			Header: wire.Header{Type: wire.TSync, Handle: f.info.Handle},
+		})
+		return err
+	})
+}
+
+// Close flushes the daemons' cached dirty blocks for the file
+// (flush-on-close), reports the logical high-water mark to the
+// manager and releases the handle. Pooled connections stay open for
+// other files. If the file was only read, no sync round trip is made.
 func (f *File) Close() error {
 	f.mu.Lock()
 	hw := f.maxWritten
 	f.mu.Unlock()
 	if hw > 0 {
+		if err := f.Sync(); err != nil {
+			return err
+		}
 		req := wire.SetSizeReq{Handle: f.info.Handle, Size: hw}
 		if _, err := f.fs.mgrCall(wire.TSetSize, f.info.Handle, req.Marshal()); err != nil {
 			return err

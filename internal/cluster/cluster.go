@@ -27,6 +27,9 @@ type Options struct {
 	// DataDir, when non-empty, backs each daemon with a directory
 	// store under DataDir/iodN; empty selects in-memory stores.
 	DataDir string
+	// Cache, when non-nil, wraps each daemon's store in a write-back
+	// block cache (store.Cached) with these options.
+	Cache *store.CacheOptions
 	// Logger receives daemon diagnostics; nil silences them.
 	Logger *log.Logger
 }
@@ -55,6 +58,9 @@ func Start(opts Options) (*Cluster, error) {
 			st = ds
 		} else {
 			st = store.NewMem()
+		}
+		if opts.Cache != nil {
+			st = store.Cached(st, *opts.Cache)
 		}
 		srv, err := iod.Listen("127.0.0.1:0", st, opts.Logger)
 		if err != nil {

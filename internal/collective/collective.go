@@ -94,10 +94,15 @@ func (g *Group) release(seq uint64) {
 	delete(g.calls, seq)
 }
 
-// domains partitions the global span into n near-equal contiguous
-// file domains (ROMIO's default partitioning).
+// domains partitions the global span into at most n near-equal
+// contiguous file domains (ROMIO's default partitioning). When the
+// span is smaller than the rank count the trailing domains would be
+// zero-length — a degenerate geometry whose End() collides with its
+// neighbour's, so routing a piece to one would make no progress; they
+// are dropped, and ranks beyond the returned length simply aggregate
+// nothing.
 func domains(span ioseg.Segment, n int) []ioseg.Segment {
-	out := make([]ioseg.Segment, n)
+	out := make([]ioseg.Segment, 0, n)
 	chunk := span.Length / int64(n)
 	rem := span.Length % int64(n)
 	off := span.Offset
@@ -106,18 +111,24 @@ func domains(span ioseg.Segment, n int) []ioseg.Segment {
 		if int64(i) < rem {
 			l++
 		}
-		out[i] = ioseg.Segment{Offset: off, Length: l}
+		if l == 0 {
+			continue
+		}
+		out = append(out, ioseg.Segment{Offset: off, Length: l})
 		off += l
 	}
 	return out
 }
 
-// domainFor locates the aggregator owning a file offset.
+// domainFor locates the aggregator owning a file offset. The domain
+// list holds no zero-length entries (see domains), so the returned
+// domain always makes positive progress for any offset inside the
+// global span; -1 reports an offset no domain covers.
 func domainFor(ds []ioseg.Segment, off int64) int {
 	// Binary search over domain starts.
 	i := sort.Search(len(ds), func(i int) bool { return ds[i].End() > off })
 	if i == len(ds) {
-		return len(ds) - 1
+		return -1
 	}
 	return i
 }
@@ -167,11 +178,18 @@ func (g *Group) WriteAll(rank int, f *client.File, arena []byte, mem, file ioseg
 	ds := domains(gs, g.n)
 
 	// Exchange phase: route each piece (splitting at domain
-	// boundaries) to its aggregator.
+	// boundaries) to its aggregator. A routing failure is recorded
+	// rather than returned so the rank still participates in the
+	// remaining barriers.
+routeWrite:
 	for _, pr := range pairs {
 		fileSeg, memOff := pr.File, pr.Mem.Offset
 		for !fileSeg.Empty() {
 			d := domainFor(ds, fileSeg.Offset)
+			if d < 0 {
+				st.errs[rank] = fmt.Errorf("collective: rank %d: piece %v outside file domains", rank, fileSeg)
+				break routeWrite
+			}
 			take := fileSeg.Length
 			if end := ds[d].End(); fileSeg.Offset+take > end {
 				take = end - fileSeg.Offset
@@ -191,8 +209,11 @@ func (g *Group) WriteAll(rank int, f *client.File, arena []byte, mem, file ioseg
 	}
 	g.barrier.Wait()
 
-	// I/O phase: this rank aggregates its domain.
-	st.errs[rank] = g.flushDomain(f, st.collected[rank])
+	// I/O phase: this rank aggregates its domain. Ranks beyond the
+	// domain count (span smaller than the group) aggregate nothing.
+	if st.errs[rank] == nil && rank < len(ds) {
+		st.errs[rank] = g.flushDomain(f, st.collected[rank])
+	}
 	g.barrier.Wait()
 
 	err = firstError(st.errs)
@@ -261,10 +282,15 @@ func (g *Group) ReadAll(rank int, f *client.File, arena []byte, mem, file ioseg.
 		memOff int64
 	}
 	var slots []slot
+routeRead:
 	for _, pr := range pairs {
 		fileSeg, memOff := pr.File, pr.Mem.Offset
 		for !fileSeg.Empty() {
 			d := domainFor(ds, fileSeg.Offset)
+			if d < 0 {
+				st.errs[rank] = fmt.Errorf("collective: rank %d: piece %v outside file domains", rank, fileSeg)
+				break routeRead
+			}
 			take := fileSeg.Length
 			if end := ds[d].End(); fileSeg.Offset+take > end {
 				take = end - fileSeg.Offset
@@ -282,8 +308,12 @@ func (g *Group) ReadAll(rank int, f *client.File, arena []byte, mem, file ioseg.
 	g.barrier.Wait()
 
 	// I/O phase: aggregate this rank's domain with one contiguous
-	// read covering the requested union, then route responses.
-	st.errs[rank] = g.serveDomain(f, st, st.collected[rank])
+	// read covering the requested union, then route responses. Ranks
+	// beyond the domain count (span smaller than the group) serve
+	// nothing.
+	if st.errs[rank] == nil && rank < len(ds) {
+		st.errs[rank] = g.serveDomain(f, st, st.collected[rank])
+	}
 	g.barrier.Wait()
 
 	if err := firstError(st.errs); err != nil {

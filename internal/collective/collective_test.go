@@ -307,3 +307,99 @@ func TestGroupSequentialCollectives(t *testing.T) {
 		}
 	}
 }
+
+// TestCollectiveSmallSpan exercises the degenerate geometry where the
+// global span is smaller than the rank count: the ROMIO-style
+// partitioning would hand out zero-length file domains, whose End()
+// collides with a neighbour's and can route pieces into a domain that
+// makes no forward progress. Ranks beyond the domain count must simply
+// aggregate nothing.
+func TestCollectiveSmallSpan(t *testing.T) {
+	c := startCluster(t)
+	fs, err := c.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if _, err := fs.Create("tiny.dat", striping.Config{PCount: 4, StripeSize: 64}); err != nil {
+		t.Fatal(err)
+	}
+	// 8 ranks; only ranks 0-2 contribute one byte each, so the global
+	// span is 3 bytes — smaller than the group.
+	const ranks = 8
+	runCollective(t, c, "tiny.dat", ranks, func(rank int, g *collective.Group, f *client.File) error {
+		var mem, file ioseg.List
+		var arena []byte
+		if rank < 3 {
+			arena = []byte{byte('a' + rank)}
+			mem = ioseg.List{{Offset: 0, Length: 1}}
+			file = ioseg.List{{Offset: int64(rank), Length: 1}}
+		}
+		return g.WriteAll(rank, f, arena, mem, file)
+	})
+	f, err := fs.Open("tiny.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 3)
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abc" {
+		t.Fatalf("small-span collective wrote %q, want %q", got, "abc")
+	}
+
+	// Read it back collectively through the same degenerate geometry.
+	runCollective(t, c, "tiny.dat", ranks, func(rank int, g *collective.Group, f *client.File) error {
+		var mem, file ioseg.List
+		var arena []byte
+		if rank < 3 {
+			arena = make([]byte, 1)
+			mem = ioseg.List{{Offset: 0, Length: 1}}
+			file = ioseg.List{{Offset: int64(rank), Length: 1}}
+		}
+		if err := g.ReadAll(rank, f, arena, mem, file); err != nil {
+			return err
+		}
+		if rank < 3 && arena[0] != byte('a'+rank) {
+			return fmt.Errorf("rank %d read %q", rank, arena)
+		}
+		return nil
+	})
+}
+
+// TestCollectiveSpanEqualsOne: the extreme case, a one-byte global
+// span across a multi-rank group.
+func TestCollectiveSpanEqualsOne(t *testing.T) {
+	c := startCluster(t)
+	fs, err := c.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if _, err := fs.Create("one.dat", striping.Config{PCount: 4, StripeSize: 64}); err != nil {
+		t.Fatal(err)
+	}
+	const ranks = 4
+	runCollective(t, c, "one.dat", ranks, func(rank int, g *collective.Group, f *client.File) error {
+		var mem, file ioseg.List
+		var arena []byte
+		if rank == 2 {
+			arena = []byte{'Z'}
+			mem = ioseg.List{{Offset: 0, Length: 1}}
+			file = ioseg.List{{Offset: 5, Length: 1}}
+		}
+		return g.WriteAll(rank, f, arena, mem, file)
+	})
+	f, err := fs.Open("one.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 1)
+	if _, err := f.ReadAt(got, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 'Z' {
+		t.Fatalf("byte = %q", got)
+	}
+}

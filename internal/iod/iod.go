@@ -20,6 +20,7 @@
 package iod
 
 import (
+	"errors"
 	"log"
 	"net"
 	"sync"
@@ -62,11 +63,20 @@ func (s *Server) Addr() string { return s.srv.Addr() }
 // (pvfsnet.Faults) in recovery tests.
 func (s *Server) Net() *pvfsnet.Server { return s.srv }
 
-// Stats returns a snapshot of the request accounting.
+// Stats returns a snapshot of the request accounting, merged with the
+// storage cache's counters when the store is cache-wrapped
+// (store.Cached).
 func (s *Server) Stats() wire.ServerStats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	s.mu.Unlock()
+	if cp, ok := s.st.(store.CacheStatsProvider); ok {
+		cs := cp.CacheStats()
+		st.CacheHits = cs.Hits
+		st.CacheMisses = cs.Misses
+		st.CacheFlushes = cs.Flushes
+	}
+	return st
 }
 
 // Close stops the daemon and closes its store.
@@ -127,6 +137,8 @@ func (s *Server) handle(req wire.Message) wire.Message {
 			return fail(wire.StatusIOError)
 		}
 		return ok(req.Handle, nil)
+	case wire.TSync:
+		return s.sync(req)
 	case wire.TServerStats:
 		st := s.Stats()
 		return ok(req.Handle, st.Marshal())
@@ -144,7 +156,7 @@ func (s *Server) read(req wire.Message) wire.Message {
 	if err := body.Unmarshal(req.Body); err != nil {
 		return fail(wire.StatusProtocol)
 	}
-	if body.Length < 0 || body.Length > wire.MaxBodyLen {
+	if body.Length < 0 || body.Length > wire.MaxBodyLen || body.Offset < 0 {
 		return fail(wire.StatusInvalid)
 	}
 	p := wire.GetBuf(int(body.Length))
@@ -165,6 +177,9 @@ func (s *Server) write(req wire.Message) wire.Message {
 	if err := body.Unmarshal(req.Body); err != nil {
 		return fail(wire.StatusProtocol)
 	}
+	if body.Offset < 0 {
+		return fail(wire.StatusInvalid)
+	}
 	n, err := s.st.WriteAt(req.Handle, body.Data, body.Offset)
 	if err != nil {
 		return fail(wire.StatusIOError)
@@ -183,9 +198,19 @@ func (s *Server) write(req wire.Message) wire.Message {
 // intermediate buffer exists on that path. Reads fill a pooled buffer
 // that becomes the response body verbatim (okPooled), so the daemon
 // builds no intermediate full-response copies either.
+//
+// The region geometry is fully validated before any memory is sliced:
+// each region's offset/length must be non-negative and overflow-free,
+// and the total — summed with overflow detection, since 64 lengths
+// that each pass Validate can still wrap int64 — must fit MaxBodyLen.
+// A request failing any of these is answered StatusInvalid; it must
+// never panic the daemon (remote DoS).
 func (s *Server) applyRegions(handle uint64, regions ioseg.List, data []byte, isWrite bool) ([]byte, wire.Status) {
-	total := regions.TotalLength()
-	if total > wire.MaxBodyLen {
+	if regions.Validate() != nil {
+		return nil, wire.StatusInvalid
+	}
+	total, err := regions.TotalLengthChecked()
+	if err != nil || total > wire.MaxBodyLen {
 		return nil, wire.StatusInvalid
 	}
 	if isWrite {
@@ -219,6 +244,9 @@ func (s *Server) readList(req wire.Message) wire.Message {
 		if err == wire.ErrTooManyRegions {
 			return fail(wire.StatusTooManyRegions)
 		}
+		if errors.Is(err, wire.ErrInvalidRegion) {
+			return fail(wire.StatusInvalid)
+		}
 		return fail(wire.StatusProtocol)
 	}
 	out, st := s.applyRegions(req.Handle, body.Regions, nil, false)
@@ -240,6 +268,9 @@ func (s *Server) writeList(req wire.Message) wire.Message {
 	if err := body.Unmarshal(req.Body); err != nil {
 		if err == wire.ErrTooManyRegions {
 			return fail(wire.StatusTooManyRegions)
+		}
+		if errors.Is(err, wire.ErrInvalidRegion) {
+			return fail(wire.StatusInvalid)
 		}
 		return fail(wire.StatusProtocol)
 	}
@@ -287,10 +318,25 @@ func (s *Server) listHandles(req wire.Message) wire.Message {
 	return ok(req.Handle, resp.Marshal())
 }
 
+// sync services TSync: flush the handle's dirty cached blocks down to
+// durable storage. Stores without a write-back layer have nothing to
+// flush and succeed immediately, so clients may sync unconditionally.
+func (s *Server) sync(req wire.Message) wire.Message {
+	if sy, ok := s.st.(store.Syncer); ok {
+		if err := sy.Sync(req.Handle); err != nil {
+			return fail(wire.StatusIOError)
+		}
+	}
+	return ok(req.Handle, nil)
+}
+
 func (s *Server) truncate(req wire.Message) wire.Message {
 	var body wire.TruncateReq
 	if err := body.Unmarshal(req.Body); err != nil {
 		return fail(wire.StatusProtocol)
+	}
+	if body.Size < 0 {
+		return fail(wire.StatusInvalid)
 	}
 	if err := s.st.Truncate(req.Handle, body.Size); err != nil {
 		return fail(wire.StatusIOError)

@@ -2,6 +2,7 @@ package iod_test
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 
 	"pvfs/internal/iod"
@@ -189,6 +190,139 @@ func TestMalformedBodiesRejected(t *testing.T) {
 		if resp.Status == wire.StatusOK {
 			t.Errorf("%v: status OK for malformed body", typ)
 		}
+	}
+}
+
+// rawRegions hand-encodes list I/O trailing data, bypassing the client
+// codec's validation so hostile geometry reaches the daemon.
+func rawRegions(pairs ...int64) []byte {
+	buf := make([]byte, 4+8*len(pairs))
+	binary.BigEndian.PutUint32(buf, uint32(len(pairs)/2))
+	for i, v := range pairs {
+		binary.BigEndian.PutUint64(buf[4+8*i:], uint64(v))
+	}
+	return buf
+}
+
+// TestHostileRegionGeometryRejected is the regression test for the
+// remote-DoS panic: a read-list request whose region lengths are each
+// individually valid but sum past MaxInt64 used to wrap the total
+// negative, slip past the body-size check, and panic the daemon
+// slicing a nil buffer. It must be answered StatusInvalid with the
+// daemon still serving.
+func TestHostileRegionGeometryRejected(t *testing.T) {
+	_, c := startIOD(t)
+	hostile := [][]byte{
+		// Four regions of 2^61 bytes: sum = 2^63, wraps negative.
+		rawRegions(0, 1<<61, 0, 1<<61, 0, 1<<61, 0, 1<<61),
+		// Offset+length overflow inside one region.
+		rawRegions((1<<63)-2, 4),
+		// Negative region length.
+		rawRegions(0, -5),
+		// Negative region offset.
+		rawRegions(-10, 5),
+	}
+	for i, trailer := range hostile {
+		for _, typ := range []wire.MsgType{wire.TReadList, wire.TWriteList} {
+			resp, err := c.Call(wire.Message{Header: wire.Header{Type: typ, Handle: 1}, Body: trailer})
+			if err == nil {
+				t.Fatalf("hostile geometry %d accepted by %v", i, typ)
+			}
+			if resp.Status != wire.StatusInvalid {
+				t.Fatalf("hostile geometry %d via %v: status = %v, want invalid", i, typ, resp.Status)
+			}
+		}
+	}
+	// The daemon must still be alive and serving.
+	call(t, c, wire.TPing, 0, nil)
+	w := wire.WriteReq{Offset: 0, Data: []byte("still up")}
+	call(t, c, wire.TWrite, 1, w.Marshal())
+}
+
+func TestNegativeOffsetsRejected(t *testing.T) {
+	_, c := startIOD(t)
+	neg := wire.ReadReq{Offset: -4, Length: 4}
+	if resp, err := c.Call(wire.Message{Header: wire.Header{Type: wire.TRead}, Body: neg.Marshal()}); err == nil || resp.Status != wire.StatusInvalid {
+		t.Fatalf("negative read offset: %v / %v", resp.Status, err)
+	}
+	w := wire.WriteReq{Offset: -4, Data: []byte("xx")}
+	if resp, err := c.Call(wire.Message{Header: wire.Header{Type: wire.TWrite}, Body: w.Marshal()}); err == nil || resp.Status != wire.StatusInvalid {
+		t.Fatalf("negative write offset: %v / %v", resp.Status, err)
+	}
+	tr := wire.TruncateReq{Size: -1}
+	if resp, err := c.Call(wire.Message{Header: wire.Header{Type: wire.TTruncate}, Body: tr.Marshal()}); err == nil || resp.Status != wire.StatusInvalid {
+		t.Fatalf("negative truncate: %v / %v", resp.Status, err)
+	}
+	// Offset that overflows when summed with the write length.
+	w2 := wire.WriteReq{Offset: (1 << 63) - 2, Data: []byte("xx")}
+	if resp, err := c.Call(wire.Message{Header: wire.Header{Type: wire.TWrite}, Body: w2.Marshal()}); err == nil || resp.Status == wire.StatusOK {
+		t.Fatalf("overflowing write offset accepted: %v / %v", resp.Status, err)
+	}
+	call(t, c, wire.TPing, 0, nil)
+}
+
+// startCachedIOD returns a daemon whose store is a write-back cache
+// over a Mem store the test can inspect, with the periodic flusher
+// disabled so only TSync moves data down.
+func startCachedIOD(t *testing.T) (*store.Mem, *pvfsnet.Conn) {
+	t.Helper()
+	inner := store.NewMem()
+	cached := store.Cached(inner, store.CacheOptions{BlockSize: 4096, FlushInterval: -1})
+	srv, err := iod.Listen("127.0.0.1:0", cached, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := pvfsnet.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return inner, c
+}
+
+// TestSyncFlushesCachedDaemon pins the TSync protocol contract: a
+// cached daemon defers writes, TSync lands them on the backing store.
+func TestSyncFlushesCachedDaemon(t *testing.T) {
+	inner, c := startCachedIOD(t)
+	w := wire.WriteReq{Offset: 0, Data: []byte("write-back")}
+	call(t, c, wire.TWrite, 11, w.Marshal())
+	if sz, _ := inner.Size(11); sz != 0 {
+		t.Fatalf("write reached backing store before sync (size %d)", sz)
+	}
+	call(t, c, wire.TSync, 11, nil)
+	p := make([]byte, 10)
+	if _, err := inner.ReadAt(11, p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(p) != "write-back" {
+		t.Fatalf("backing store after sync = %q", p)
+	}
+}
+
+// TestSyncOnUncachedDaemonIsNoop: stores without a write-back layer
+// acknowledge TSync immediately.
+func TestSyncOnUncachedDaemonIsNoop(t *testing.T) {
+	_, c := startIOD(t)
+	call(t, c, wire.TSync, 5, nil)
+}
+
+// TestServerStatsCarryCacheCounters: the stats endpoint reports the
+// cache's hit/miss/flush counters over the wire.
+func TestServerStatsCarryCacheCounters(t *testing.T) {
+	_, c := startCachedIOD(t)
+	w := wire.WriteReq{Offset: 0, Data: make([]byte, 100)}
+	call(t, c, wire.TWrite, 1, w.Marshal())
+	r := wire.ReadReq{Offset: 0, Length: 100}
+	call(t, c, wire.TRead, 1, r.Marshal())
+	call(t, c, wire.TSync, 1, nil)
+	resp := call(t, c, wire.TServerStats, 0, nil)
+	var st wire.ServerStats
+	if err := st.Unmarshal(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheHits == 0 || st.CacheFlushes == 0 {
+		t.Fatalf("cache counters missing from server stats: %+v", st)
 	}
 }
 

@@ -10,6 +10,7 @@ package ioseg
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -133,6 +134,28 @@ func (l List) TotalLength() int64 {
 		n += s.Length
 	}
 	return n
+}
+
+// ErrLengthOverflow reports a region list whose total length exceeds
+// int64 space.
+var ErrLengthOverflow = errors.New("ioseg: total length overflows int64")
+
+// TotalLengthChecked is TotalLength with overflow detection: segment
+// lengths from an untrusted peer may individually pass Validate yet
+// sum past MaxInt64, wrapping negative. Negative segment lengths are
+// rejected too, so a nil error guarantees a non-negative exact total.
+func (l List) TotalLengthChecked() (int64, error) {
+	var n int64
+	for i, s := range l {
+		if s.Length < 0 {
+			return 0, fmt.Errorf("ioseg: segment %d: negative length %d", i, s.Length)
+		}
+		if n > math.MaxInt64-s.Length {
+			return 0, ErrLengthOverflow
+		}
+		n += s.Length
+	}
+	return n, nil
 }
 
 // Count returns the number of segments.

@@ -9,6 +9,7 @@ package store
 import (
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -36,7 +37,52 @@ type Store interface {
 	Close() error
 }
 
+// Syncer is implemented by stores that buffer writes (Cache): Sync
+// pushes a handle's dirty data down to durable storage, SyncAll every
+// handle's. Backends that write through (Mem, Dir) need not implement
+// it; callers feature-test with a type assertion.
+type Syncer interface {
+	Sync(handle uint64) error
+	SyncAll() error
+}
+
+// MaxFileSize bounds a single stripe file's physical size. It exists
+// so untrusted request geometry cannot drive a backend into absurd
+// allocations or kernel-rejected syscalls: an offset near MaxInt64
+// must fail cleanly, not overflow extent arithmetic (off+len wrapping
+// negative skips growth checks and panics the daemon) and not ask the
+// in-memory backend for an exabyte of zeros. 1 PiB is far above any
+// real stripe file while keeping every off+len sum overflow-free.
+const MaxFileSize = 1 << 50
+
+// checkExtent validates a write extent [off, off+n) against negative
+// offsets, int64 overflow and the MaxFileSize bound.
+func checkExtent(off int64, n int) error {
+	switch {
+	case off < 0:
+		return fmt.Errorf("store: negative offset %d", off)
+	case off > math.MaxInt64-int64(n):
+		return fmt.Errorf("store: extent [%d,+%d) overflows int64", off, n)
+	case off+int64(n) > MaxFileSize:
+		return fmt.Errorf("store: extent [%d,+%d) exceeds max file size", off, n)
+	}
+	return nil
+}
+
 // --- memory backend ---
+
+// Sizer is implemented by stores whose per-file size bound is tighter
+// than MaxFileSize; layered stores (Cache) query it so they never
+// accept a write the backend must later refuse.
+type Sizer interface {
+	MaxSize() int64
+}
+
+// MemMaxFileSize bounds a single in-memory stripe file. Unlike Dir
+// (sparse files, cheap holes), Mem allocates every byte up to the
+// write's end, so a hostile offset must be refused long before the
+// runtime's allocator is asked for it.
+const MemMaxFileSize = 8 << 30
 
 // Mem is an in-memory Store.
 type Mem struct {
@@ -51,8 +97,8 @@ func NewMem() *Mem {
 
 // ReadAt implements Store.
 func (m *Mem) ReadAt(handle uint64, p []byte, off int64) (int, error) {
-	if off < 0 {
-		return 0, fmt.Errorf("store: negative offset %d", off)
+	if err := checkExtent(off, len(p)); err != nil {
+		return 0, err
 	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
@@ -68,8 +114,11 @@ func (m *Mem) ReadAt(handle uint64, p []byte, off int64) (int, error) {
 
 // WriteAt implements Store.
 func (m *Mem) WriteAt(handle uint64, p []byte, off int64) (int, error) {
-	if off < 0 {
-		return 0, fmt.Errorf("store: negative offset %d", off)
+	if err := checkExtent(off, len(p)); err != nil {
+		return 0, err
+	}
+	if off+int64(len(p)) > MemMaxFileSize {
+		return 0, fmt.Errorf("store: extent [%d,+%d) exceeds in-memory file limit", off, len(p))
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -95,6 +144,9 @@ func (m *Mem) Size(handle uint64) (int64, error) {
 func (m *Mem) Truncate(handle uint64, size int64) error {
 	if size < 0 {
 		return fmt.Errorf("store: negative size %d", size)
+	}
+	if size > MemMaxFileSize {
+		return fmt.Errorf("store: size %d exceeds in-memory file limit", size)
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -132,12 +184,24 @@ func (m *Mem) Handles() ([]uint64, error) {
 // Close implements Store.
 func (m *Mem) Close() error { return nil }
 
+// MaxSize implements Sizer.
+func (m *Mem) MaxSize() int64 { return MemMaxFileSize }
+
 // --- directory backend ---
 
 // Dir is a Store backed by one file per handle inside a directory,
 // like a PVFS iod data directory (files named by handle in hex).
+//
+// Concurrency: the store-level mutex guards only the open-file table
+// and is never held across a data syscall. Reads and writes go through
+// pread/pwrite on the per-handle *os.File, which the kernel serializes
+// per call, so requests on different handles — and positioned requests
+// on the same handle — proceed in parallel. (The original
+// implementation held one store-wide mutex across every ReadAt/WriteAt
+// syscall, serializing the whole daemon and defeating the tagged
+// request pipelining of the transport.)
 type Dir struct {
-	mu   sync.Mutex
+	mu   sync.Mutex // guards open; never held across data syscalls
 	root string
 	open map[uint64]*os.File
 }
@@ -154,7 +218,12 @@ func (d *Dir) path(handle uint64) string {
 	return filepath.Join(d.root, fmt.Sprintf("%016x.stripe", handle))
 }
 
+// file returns the open stripe file for handle, opening (and caching)
+// it on first use. The map lock is held only for the lookup/open, not
+// for any data access on the returned file.
 func (d *Dir) file(handle uint64) (*os.File, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if f, ok := d.open[handle]; ok {
 		return f, nil
 	}
@@ -168,8 +237,9 @@ func (d *Dir) file(handle uint64) (*os.File, error) {
 
 // ReadAt implements Store.
 func (d *Dir) ReadAt(handle uint64, p []byte, off int64) (int, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	if err := checkExtent(off, len(p)); err != nil {
+		return 0, err
+	}
 	f, err := d.file(handle)
 	if err != nil {
 		return 0, err
@@ -187,8 +257,9 @@ func (d *Dir) ReadAt(handle uint64, p []byte, off int64) (int, error) {
 
 // WriteAt implements Store.
 func (d *Dir) WriteAt(handle uint64, p []byte, off int64) (int, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	if err := checkExtent(off, len(p)); err != nil {
+		return 0, err
+	}
 	f, err := d.file(handle)
 	if err != nil {
 		return 0, err
@@ -199,8 +270,9 @@ func (d *Dir) WriteAt(handle uint64, p []byte, off int64) (int, error) {
 // Size implements Store.
 func (d *Dir) Size(handle uint64) (int64, error) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	if f, ok := d.open[handle]; ok {
+	f, ok := d.open[handle]
+	d.mu.Unlock()
+	if ok {
 		st, err := f.Stat()
 		if err != nil {
 			return 0, err
@@ -219,8 +291,12 @@ func (d *Dir) Size(handle uint64) (int64, error) {
 
 // Truncate implements Store.
 func (d *Dir) Truncate(handle uint64, size int64) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	if size < 0 {
+		return fmt.Errorf("store: negative size %d", size)
+	}
+	if size > MaxFileSize {
+		return fmt.Errorf("store: size %d exceeds max file size", size)
+	}
 	f, err := d.file(handle)
 	if err != nil {
 		return err
@@ -228,7 +304,10 @@ func (d *Dir) Truncate(handle uint64, size int64) error {
 	return f.Truncate(size)
 }
 
-// Remove implements Store.
+// Remove implements Store. The map lock is held across the unlink:
+// releasing it first would let a concurrent data operation reopen and
+// cache the file between the map delete and the unlink, leaving the
+// store writing into an orphaned inode.
 func (d *Dir) Remove(handle uint64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()

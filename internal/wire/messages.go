@@ -337,6 +337,11 @@ type ServerStats struct {
 	// Datatype-path accounting (DESIGN.md §6).
 	DatatypeRequests int64 // datatype I/O requests among Requests
 	TypeBytes        int64 // encoded-datatype bytes received
+	// Storage-cache accounting (DESIGN.md §7), populated when the
+	// daemon runs a write-back block cache (store.Cached).
+	CacheHits    int64 // block lookups served from cache memory
+	CacheMisses  int64 // block fills from the backing store
+	CacheFlushes int64 // dirty blocks written back
 }
 
 func (m *ServerStats) Marshal() []byte {
@@ -349,6 +354,9 @@ func (m *ServerStats) Marshal() []byte {
 	e.i64(m.TrailingBytes)
 	e.i64(m.DatatypeRequests)
 	e.i64(m.TypeBytes)
+	e.i64(m.CacheHits)
+	e.i64(m.CacheMisses)
+	e.i64(m.CacheFlushes)
 	return e.buf
 }
 
@@ -362,6 +370,9 @@ func (m *ServerStats) Unmarshal(b []byte) error {
 	m.TrailingBytes = d.i64()
 	m.DatatypeRequests = d.i64()
 	m.TypeBytes = d.i64()
+	m.CacheHits = d.i64()
+	m.CacheMisses = d.i64()
+	m.CacheFlushes = d.i64()
 	return d.err
 }
 
@@ -415,4 +426,7 @@ func (m *ServerStats) Add(other ServerStats) {
 	m.TrailingBytes += other.TrailingBytes
 	m.DatatypeRequests += other.DatatypeRequests
 	m.TypeBytes += other.TypeBytes
+	m.CacheHits += other.CacheHits
+	m.CacheMisses += other.CacheMisses
+	m.CacheFlushes += other.CacheFlushes
 }

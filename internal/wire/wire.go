@@ -75,6 +75,10 @@ const (
 	// the wire and the daemon evaluates the access pattern itself.
 	TReadDatatype
 	TWriteDatatype
+	// TSync asks an I/O daemon to flush its cached dirty blocks for
+	// the request's handle down to durable storage (DESIGN.md §7). A
+	// daemon without a write-back cache answers OK immediately.
+	TSync
 
 	responseBit MsgType = 0x8000
 )
@@ -97,7 +101,7 @@ func (t MsgType) String() string {
 		TWriteStrided: "writestrided", TTruncate: "truncate",
 		TServerStats: "serverstats", TPing: "ping",
 		TListHandles: "listhandles", TReadDatatype: "readdatatype",
-		TWriteDatatype: "writedatatype",
+		TWriteDatatype: "writedatatype", TSync: "sync",
 	}
 	n, ok := names[t.Base()]
 	if !ok {
@@ -163,6 +167,10 @@ var (
 	ErrBodyTooLarge   = errors.New("wire: message body exceeds limit")
 	ErrTooManyRegions = fmt.Errorf("wire: more than %d regions in trailing data", MaxRegionsPerRequest)
 	ErrShortBody      = errors.New("wire: body shorter than declared fields")
+	// ErrInvalidRegion marks trailing data whose region geometry is
+	// hostile (negative offset/length or int64 overflow) rather than
+	// merely malformed; servers answer it with StatusInvalid.
+	ErrInvalidRegion = errors.New("wire: invalid region geometry")
 )
 
 // Header is the fixed-size message header. Handle identifies the file
@@ -378,7 +386,7 @@ func DecodeRegions(b []byte) (ioseg.List, []byte, error) {
 		}
 		s := ioseg.Segment{Offset: off, Length: length}
 		if err := s.Validate(); err != nil {
-			return nil, nil, fmt.Errorf("wire: region %d: %w", i, err)
+			return nil, nil, fmt.Errorf("%w: region %d: %v", ErrInvalidRegion, i, err)
 		}
 		l = append(l, s)
 	}
