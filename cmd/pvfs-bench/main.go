@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,7 @@ import (
 
 	"pvfs/internal/client"
 	"pvfs/internal/cluster"
+	"pvfs/internal/ioseg"
 	"pvfs/internal/patterns"
 	"pvfs/internal/striping"
 )
@@ -34,6 +36,7 @@ func main() {
 	write := flag.Bool("write", false, "benchmark writes instead of reads")
 	gran := flag.String("granularity", "file", "list entry granularity: file | intersect")
 	methodsFlag := flag.String("methods", "", "comma list of multiple,datasieve,list (default: paper's set)")
+	async := flag.Int("async", 1, "nonblocking ops in flight per rank (File.Start); applies to multiple/list, 1 = blocking calls")
 	flag.Parse()
 
 	pat, err := buildPattern(*pattern, *clients, *accesses, *total, *blocks)
@@ -63,12 +66,12 @@ func main() {
 	if *write {
 		dir = "write"
 	}
-	fmt.Printf("# pattern=%s clients=%d iods=%d ssize=%d direction=%s granularity=%v\n",
-		pat.Name(), pat.Ranks(), *iods, *ssize, dir, g)
+	fmt.Printf("# pattern=%s clients=%d iods=%d ssize=%d direction=%s granularity=%v async=%d\n",
+		pat.Name(), pat.Ranks(), *iods, *ssize, dir, g, *async)
 	fmt.Printf("%-12s %12s %12s %12s %14s\n", "method", "seconds", "requests", "regions", "bytes")
 
 	for _, m := range methods {
-		secs, stats, err := runMethod(c, pat, m, *write, *ssize, g)
+		secs, stats, err := runMethod(c, pat, m, *write, *ssize, g, *async)
 		if err != nil {
 			fatal(fmt.Errorf("%v: %w", m, err))
 		}
@@ -134,10 +137,67 @@ func splitComma(s string) []string {
 	return out
 }
 
+// workChunk is one rank's share of a pattern assigned to one
+// nonblocking Op.
+type workChunk struct {
+	mem, file ioseg.List
+}
+
+// splitWork cuts the (mem, file) pair into n stream-contiguous chunks
+// of near-equal bytes: the file list splits at region boundaries and
+// the memory list is clipped at the matching stream positions, so each
+// chunk is an independent, disjoint transfer.
+func splitWork(mem, file ioseg.List, n int) []workChunk {
+	total := file.TotalLength()
+	if n <= 1 || total == 0 || len(file) < 2 {
+		return []workChunk{{mem: mem, file: file}}
+	}
+	per := (total + int64(n) - 1) / int64(n)
+	var chunks []workChunk
+	var cur workChunk
+	var curBytes int64
+	memIdx, memUsed := 0, int64(0) // walk position in the memory list
+	takeMem := func(want int64) ioseg.List {
+		var out ioseg.List
+		for want > 0 && memIdx < len(mem) {
+			m := mem[memIdx]
+			avail := m.Length - memUsed
+			take := avail
+			if take > want {
+				take = want
+			}
+			out = append(out, ioseg.Segment{Offset: m.Offset + memUsed, Length: take})
+			memUsed += take
+			want -= take
+			if memUsed == m.Length {
+				memIdx, memUsed = memIdx+1, 0
+			}
+		}
+		return out
+	}
+	for _, s := range file {
+		cur.file = append(cur.file, s)
+		curBytes += s.Length
+		if curBytes >= per && len(chunks) < n-1 {
+			cur.mem = takeMem(curBytes)
+			chunks = append(chunks, cur)
+			cur, curBytes = workChunk{}, 0
+		}
+	}
+	if len(cur.file) > 0 {
+		cur.mem = takeMem(curBytes)
+		chunks = append(chunks, cur)
+	}
+	return chunks
+}
+
 // runMethod executes one method across all ranks (own connection per
 // rank, as in MPI) against a fresh file, returning wall seconds and
-// the server-side accounting delta.
-func runMethod(c *cluster.Cluster, pat patterns.Pattern, m client.Method, write bool, ssize int64, g client.Granularity) (float64, statsDelta, error) {
+// the server-side accounting delta. async > 1 splits each rank's
+// pattern into async chunks started as concurrent nonblocking Ops
+// (File.Start); data sieving keeps blocking calls (its
+// read-modify-write needs serialization).
+func runMethod(c *cluster.Cluster, pat patterns.Pattern, m client.Method, write bool, ssize int64, g client.Granularity, async int) (float64, statsDelta, error) {
 	fs0, err := c.Connect()
 	if err != nil {
 		return 0, statsDelta{}, err
@@ -195,19 +255,40 @@ func runMethod(c *cluster.Cluster, pat patterns.Pattern, m client.Method, write 
 			arena[i] = byte(rank)
 		}
 		opts := client.Options{List: client.ListOptions{Granularity: g}}
-		if write {
-			if m == client.MethodSieve {
-				// Serialized as in §4.2.1: one writer at a time.
-				for k := 0; k < pat.Ranks(); k++ {
-					if k == rank {
-						if _, err := f.WriteSieve(arena, mem, file, opts.Sieve); err != nil {
-							return err
-						}
+		if write && m == client.MethodSieve {
+			// Serialized as in §4.2.1: one writer at a time.
+			for k := 0; k < pat.Ranks(); k++ {
+				if k == rank {
+					if _, err := f.WriteSieve(arena, mem, file, opts.Sieve); err != nil {
+						return err
 					}
-					barrier.Wait()
 				}
-				return nil
+				barrier.Wait()
 			}
+			return nil
+		}
+		if async > 1 && m != client.MethodSieve {
+			am := client.AccessMultiple
+			if m == client.MethodList {
+				am = client.AccessList
+			}
+			ctx := context.Background()
+			ops := make([]*client.Op, 0, async)
+			for _, w := range splitWork(mem, file, async) {
+				ops = append(ops, f.Start(ctx, client.Request{
+					Write: write, Arena: arena, Mem: w.mem, File: w.file,
+					Method: am, List: client.ListOptions{Granularity: g},
+				}))
+			}
+			var first error
+			for _, op := range ops {
+				if _, err := op.Wait(); err != nil && first == nil {
+					first = err
+				}
+			}
+			return first
+		}
+		if write {
 			return f.WriteNoncontig(m, arena, mem, file, opts)
 		}
 		return f.ReadNoncontig(m, arena, mem, file, opts)

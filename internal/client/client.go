@@ -20,11 +20,13 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pvfs/internal/ioseg"
 	"pvfs/internal/pvfsnet"
@@ -139,11 +141,51 @@ type FS struct {
 
 // Connect dials the manager.
 func Connect(mgrAddr string) (*FS, error) {
-	c, err := pvfsnet.Dial(mgrAddr)
+	return ConnectContext(context.Background(), mgrAddr)
+}
+
+// ConnectContext dials the manager, honoring the context's deadline
+// and cancellation for the TCP connect.
+func ConnectContext(ctx context.Context, mgrAddr string) (*FS, error) {
+	c, err := pvfsnet.DialContext(ctx, mgrAddr)
 	if err != nil {
 		return nil, err
 	}
 	return &FS{mgrAddr: mgrAddr, mgr: c, pool: pvfsnet.NewPool()}, nil
+}
+
+// ctxKey keys request-scoped knobs carried through the datapath.
+type ctxKey int
+
+// callTimeoutKey carries Request.CallTimeout: a deadline applied to
+// each individual wire call rather than the whole operation.
+const callTimeoutKey ctxKey = iota
+
+// withCallTimeout attaches a per-wire-call deadline to ctx; d <= 0 is
+// a no-op.
+func withCallTimeout(ctx context.Context, d time.Duration) context.Context {
+	if d <= 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, callTimeoutKey, d)
+}
+
+// callCtx derives the context governing one wire call: the operation
+// context bounded by the per-call timeout, when one is set. The
+// returned cancel must always be called.
+func callCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if d, ok := ctx.Value(callTimeoutKey).(time.Duration); ok && d > 0 {
+		return context.WithTimeout(ctx, d)
+	}
+	return ctx, func() {}
+}
+
+// ctxFailed reports whether err is a context cancellation or deadline
+// error — failures the datapath must not retry and must not blame on
+// the connection (the pooled connection stays healthy; only the
+// affected tags are abandoned).
+func ctxFailed(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // Counters exposes the client request accounting.
@@ -167,26 +209,40 @@ func (fs *FS) SetRetries(n int) {
 
 // iodCall issues one request on the pooled connection for addr,
 // redialing and retrying on transport failures when retries are
-// enabled.
-func (fs *FS) iodCall(addr string, msg wire.Message) (wire.Message, error) {
+// enabled. Context failures — the operation's cancellation or the
+// per-call deadline of withCallTimeout — are never retried and never
+// discard the connection: the call's tag is abandoned, every other
+// tag on the connection proceeds.
+func (fs *FS) iodCall(ctx context.Context, addr string, msg wire.Message) (wire.Message, error) {
 	attempts := 1 + int(fs.retries.Load())
 	var lastErr error
 	for i := 0; i < attempts; i++ {
+		if err := ctx.Err(); err != nil {
+			return wire.Message{}, err
+		}
 		if i > 0 {
 			fs.stats.Retries.Add(1)
 		}
-		conn, err := fs.pool.Get(addr)
+		conn, err := fs.pool.GetContext(ctx, addr)
 		if err != nil {
+			if ctxFailed(err) {
+				return wire.Message{}, err
+			}
 			lastErr = err
 			continue
 		}
-		resp, err := conn.Call(msg)
+		cctx, cancel := callCtx(ctx)
+		resp, err := conn.CallContext(cctx, msg)
+		cancel()
 		if err == nil {
 			return resp, nil
 		}
 		var se *wire.StatusError
 		if errors.As(err, &se) {
 			return resp, err // the server answered; retrying cannot help
+		}
+		if ctxFailed(err) {
+			return wire.Message{}, err // canceled/timed out; the connection is fine
 		}
 		fs.pool.Discard(addr)
 		lastErr = err
@@ -203,16 +259,22 @@ func (fs *FS) Close() error {
 	return err
 }
 
-func (fs *FS) mgrCall(t wire.MsgType, handle uint64, body []byte) (wire.Message, error) {
+func (fs *FS) mgrCall(ctx context.Context, t wire.MsgType, handle uint64, body []byte) (wire.Message, error) {
 	fs.stats.MgrRequests.Add(1)
-	return fs.mgr.Call(wire.Message{Header: wire.Header{Type: t, Handle: handle}, Body: body})
+	return fs.mgr.CallContext(ctx, wire.Message{Header: wire.Header{Type: t, Handle: handle}, Body: body})
 }
 
 // Create creates a file with the given striping (zero values select
 // manager defaults) and opens it.
 func (fs *FS) Create(name string, cfg striping.Config) (*File, error) {
+	return fs.CreateContext(context.Background(), name, cfg)
+}
+
+// CreateContext is Create under a context: the metadata round trip to
+// the manager aborts when ctx ends.
+func (fs *FS) CreateContext(ctx context.Context, name string, cfg striping.Config) (*File, error) {
 	req := wire.CreateReq{Name: name, Striping: cfg}
-	resp, err := fs.mgrCall(wire.TCreate, 0, req.Marshal())
+	resp, err := fs.mgrCall(ctx, wire.TCreate, 0, req.Marshal())
 	if err != nil {
 		return nil, fmt.Errorf("create %q: %w", name, err)
 	}
@@ -221,8 +283,13 @@ func (fs *FS) Create(name string, cfg striping.Config) (*File, error) {
 
 // Open opens an existing file.
 func (fs *FS) Open(name string) (*File, error) {
+	return fs.OpenContext(context.Background(), name)
+}
+
+// OpenContext is Open under a context.
+func (fs *FS) OpenContext(ctx context.Context, name string) (*File, error) {
 	req := wire.NameReq{Name: name}
-	resp, err := fs.mgrCall(wire.TOpen, 0, req.Marshal())
+	resp, err := fs.mgrCall(ctx, wire.TOpen, 0, req.Marshal())
 	if err != nil {
 		return nil, fmt.Errorf("open %q: %w", name, err)
 	}
@@ -247,27 +314,28 @@ func (fs *FS) fileFromInfo(name string, body []byte) (*File, error) {
 // Remove deletes a file: stripe data at every I/O daemon, then the
 // manager metadata.
 func (fs *FS) Remove(name string) error {
+	ctx := context.Background()
 	f, err := fs.Open(name)
 	if err != nil {
 		return err
 	}
 	for _, addr := range f.info.IODAddrs {
-		conn, err := fs.pool.Get(addr)
+		conn, err := fs.pool.GetContext(ctx, addr)
 		if err != nil {
 			return err
 		}
-		if _, err := conn.Call(wire.Message{Header: wire.Header{Type: wire.TRemove, Handle: f.info.Handle}}); err != nil {
+		if _, err := conn.CallContext(ctx, wire.Message{Header: wire.Header{Type: wire.TRemove, Handle: f.info.Handle}}); err != nil {
 			return fmt.Errorf("remove %q at %s: %w", name, addr, err)
 		}
 	}
 	req := wire.NameReq{Name: name}
-	_, err = fs.mgrCall(wire.TRemove, 0, req.Marshal())
+	_, err = fs.mgrCall(ctx, wire.TRemove, 0, req.Marshal())
 	return err
 }
 
 // List returns all file names known to the manager.
 func (fs *FS) List() ([]string, error) {
-	resp, err := fs.mgrCall(wire.TListDir, 0, nil)
+	resp, err := fs.mgrCall(context.Background(), wire.TListDir, 0, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -281,14 +349,15 @@ func (fs *FS) List() ([]string, error) {
 // ServerStats fetches request accounting from every I/O daemon serving
 // file f, summed, plus the per-server breakdown.
 func (fs *FS) ServerStats(f *File) (wire.ServerStats, []wire.ServerStats, error) {
+	ctx := context.Background()
 	per := make([]wire.ServerStats, len(f.info.IODAddrs))
 	var total wire.ServerStats
 	for i, addr := range f.info.IODAddrs {
-		conn, err := fs.pool.Get(addr)
+		conn, err := fs.pool.GetContext(ctx, addr)
 		if err != nil {
 			return total, per, err
 		}
-		resp, err := conn.Call(wire.Message{Header: wire.Header{Type: wire.TServerStats}})
+		resp, err := conn.CallContext(ctx, wire.Message{Header: wire.Header{Type: wire.TServerStats}})
 		if err != nil {
 			return total, per, err
 		}
@@ -331,16 +400,20 @@ func (f *File) RecordedSize() int64 { return f.info.Size }
 
 // call issues one request to relative server rel, honoring the FS
 // retry policy.
-func (f *File) call(rel int, msg wire.Message) (wire.Message, error) {
-	return f.fs.iodCall(f.info.IODAddrs[rel], msg)
+func (f *File) call(ctx context.Context, rel int, msg wire.Message) (wire.Message, error) {
+	return f.fs.iodCall(ctx, f.info.IODAddrs[rel], msg)
 }
 
 // Size queries every I/O daemon for its stripe size and derives the
 // logical file size, as PVFS does (the manager does not see I/O).
 func (f *File) Size() (int64, error) {
+	return f.size(context.Background())
+}
+
+func (f *File) size(ctx context.Context) (int64, error) {
 	phys := make([]int64, f.info.Striping.PCount)
 	for rel := range phys {
-		resp, err := f.call(rel, wire.Message{Header: wire.Header{Type: wire.TStat, Handle: f.info.Handle}})
+		resp, err := f.call(ctx, rel, wire.Message{Header: wire.Header{Type: wire.TStat, Handle: f.info.Handle}})
 		if err != nil {
 			return 0, err
 		}
@@ -359,12 +432,18 @@ func (f *File) Size() (int64, error) {
 // so Sync is always safe to call. On return, every write that
 // completed before the call survives a daemon crash (DESIGN.md §7).
 func (f *File) Sync() error {
+	return f.SyncContext(context.Background())
+}
+
+// SyncContext is Sync under a context; canceling it abandons the
+// outstanding flush round trips (daemons still complete them).
+func (f *File) SyncContext(ctx context.Context) error {
 	rels := make([]int, f.info.Striping.PCount)
 	for i := range rels {
 		rels[i] = i
 	}
 	return parallel(rels, func(rel int) error {
-		_, err := f.call(rel, wire.Message{
+		_, err := f.call(ctx, rel, wire.Message{
 			Header: wire.Header{Type: wire.TSync, Handle: f.info.Handle},
 		})
 		return err
@@ -376,15 +455,21 @@ func (f *File) Sync() error {
 // manager and releases the handle. Pooled connections stay open for
 // other files. If the file was only read, no sync round trip is made.
 func (f *File) Close() error {
+	return f.CloseContext(context.Background())
+}
+
+// CloseContext is Close under a context. A canceled close leaves the
+// handle usable: the size report is skipped, not half-applied.
+func (f *File) CloseContext(ctx context.Context) error {
 	f.mu.Lock()
 	hw := f.maxWritten
 	f.mu.Unlock()
 	if hw > 0 {
-		if err := f.Sync(); err != nil {
+		if err := f.SyncContext(ctx); err != nil {
 			return err
 		}
 		req := wire.SetSizeReq{Handle: f.info.Handle, Size: hw}
-		if _, err := f.fs.mgrCall(wire.TSetSize, f.info.Handle, req.Marshal()); err != nil {
+		if _, err := f.fs.mgrCall(ctx, wire.TSetSize, f.info.Handle, req.Marshal()); err != nil {
 			return err
 		}
 	}
@@ -467,7 +552,12 @@ func parallel[T any](jobs []T, fn func(T) error) error {
 // iodCall when the FS retry policy (SetRetries) allows; server-reported
 // errors always fail immediately. Request bodies are returned to the
 // wire buffer pool once the final attempt for them completes.
-func (fs *FS) pipelineCalls(addr string, n, window int, build func(int) (wire.Message, error), consume func(int, wire.Message) error) error {
+//
+// Cancellation (ctx or the per-call deadline of withCallTimeout) fails
+// the operation without poisoning the connection: every in-flight tag
+// is abandoned — the read loop discards and recycles its eventual
+// response — and the pooled connection stays usable for other tags.
+func (fs *FS) pipelineCalls(ctx context.Context, addr string, n, window int, build func(int) (wire.Message, error), consume func(int, wire.Message) error) error {
 	if n == 0 {
 		return nil
 	}
@@ -477,7 +567,7 @@ func (fs *FS) pipelineCalls(addr string, n, window int, build func(int) (wire.Me
 			if err != nil {
 				return err
 			}
-			resp, err := fs.iodCall(addr, msg)
+			resp, err := fs.iodCall(ctx, addr, msg)
 			wire.PutBuf(msg.Body)
 			if err != nil {
 				return err
@@ -494,17 +584,32 @@ func (fs *FS) pipelineCalls(addr string, n, window int, build func(int) (wire.Me
 		pc  *pvfsnet.Pending
 	}
 	var q []slot // in-flight, issue order
+	// On any error return, abandon what is still in flight so tags are
+	// discarded cleanly and pooled request bodies come back.
+	defer func() {
+		for _, s := range q {
+			s.pc.Abandon()
+			wire.PutBuf(s.msg.Body)
+		}
+	}()
 	issue := func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		msg, err := build(i)
 		if err != nil {
 			return err
 		}
-		conn, cerr := fs.pool.Get(addr)
+		conn, cerr := fs.pool.GetContext(ctx, addr)
 		var pc *pvfsnet.Pending
 		if cerr == nil {
 			pc, cerr = conn.CallAsync(msg)
 		}
 		if cerr != nil {
+			if ctxFailed(cerr) {
+				wire.PutBuf(msg.Body)
+				return cerr
+			}
 			// The connection is unusable before a response was even
 			// owed. Recover serially when retries are enabled (the
 			// whole window may have failed with it; each request
@@ -515,7 +620,7 @@ func (fs *FS) pipelineCalls(addr string, n, window int, build func(int) (wire.Me
 			}
 			fs.stats.Retries.Add(1)
 			fs.pool.Discard(addr)
-			resp, rerr := fs.iodCall(addr, msg)
+			resp, rerr := fs.iodCall(ctx, addr, msg)
 			wire.PutBuf(msg.Body)
 			if rerr != nil {
 				return rerr
@@ -528,13 +633,21 @@ func (fs *FS) pipelineCalls(addr string, n, window int, build func(int) (wire.Me
 	drainOne := func() error {
 		s := q[0]
 		q = q[1:]
-		resp, err := s.pc.Wait()
+		cctx, cancel := callCtx(ctx)
+		resp, err := s.pc.WaitContext(cctx)
+		cancel()
 		if err != nil {
 			var se *wire.StatusError
-			if !errors.As(err, &se) && fs.retries.Load() > 0 {
+			switch {
+			case errors.As(err, &se):
+				// The server answered; retrying cannot help.
+			case ctxFailed(err):
+				// Canceled or per-call deadline: the tag is already
+				// abandoned; fail the operation, keep the connection.
+			case fs.retries.Load() > 0:
 				fs.stats.Retries.Add(1)
 				fs.pool.Discard(addr)
-				resp, err = fs.iodCall(addr, s.msg)
+				resp, err = fs.iodCall(ctx, addr, s.msg)
 			}
 			if err != nil {
 				wire.PutBuf(s.msg.Body)
@@ -564,7 +677,7 @@ func (fs *FS) pipelineCalls(addr string, n, window int, build func(int) (wire.Me
 // readContig reads one contiguous logical extent into p (a single PVFS
 // read: one request per touched server, issued in parallel). A non-nil
 // path attributes the wire traffic to a per-method counter.
-func (f *File) readContig(p []byte, off int64, path *PathCounters) error {
+func (f *File) readContig(ctx context.Context, p []byte, off int64, path *PathCounters) error {
 	if len(p) == 0 {
 		return nil
 	}
@@ -579,7 +692,7 @@ func (f *File) readContig(p []byte, off int64, path *PathCounters) error {
 			path.Requests.Add(1)
 			path.Bytes.Add(span.Length)
 		}
-		resp, err := f.call(j.rel, wire.Message{
+		resp, err := f.call(ctx, j.rel, wire.Message{
 			Header: wire.Header{Type: wire.TRead, Handle: f.info.Handle},
 			Body:   req.Marshal(),
 		})
@@ -599,7 +712,7 @@ func (f *File) readContig(p []byte, off int64, path *PathCounters) error {
 }
 
 // writeContig writes one contiguous logical extent from p.
-func (f *File) writeContig(p []byte, off int64, path *PathCounters) error {
+func (f *File) writeContig(ctx context.Context, p []byte, off int64, path *PathCounters) error {
 	if len(p) == 0 {
 		return nil
 	}
@@ -617,7 +730,7 @@ func (f *File) writeContig(p []byte, off int64, path *PathCounters) error {
 			path.Requests.Add(1)
 			path.Bytes.Add(span.Length)
 		}
-		_, err := f.call(j.rel, wire.Message{
+		_, err := f.call(ctx, j.rel, wire.Message{
 			Header: wire.Header{Type: wire.TWrite, Handle: f.info.Handle},
 			Body:   req.Marshal(),
 		})
@@ -630,23 +743,36 @@ func (f *File) writeContig(p []byte, off int64, path *PathCounters) error {
 }
 
 // ReadAt implements contiguous reads (io.ReaderAt semantics against
-// the logical file; holes read as zeros).
+// the logical file; holes read as zeros). It is a synchronous wrapper
+// over Start with a contiguous Request.
 func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, errors.New("pvfs: negative offset")
 	}
-	if err := f.readContig(p, off, nil); err != nil {
+	_, err := f.Run(context.Background(), Request{
+		Arena: p,
+		File:  ioseg.List{{Offset: off, Length: int64(len(p))}},
+		Mem:   ioseg.List{{Offset: 0, Length: int64(len(p))}},
+	})
+	if err != nil {
 		return 0, err
 	}
 	return len(p), nil
 }
 
-// WriteAt implements contiguous writes.
+// WriteAt implements contiguous writes (a synchronous wrapper over
+// Start with a contiguous write Request).
 func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, errors.New("pvfs: negative offset")
 	}
-	if err := f.writeContig(p, off, nil); err != nil {
+	_, err := f.Run(context.Background(), Request{
+		Write: true,
+		Arena: p,
+		File:  ioseg.List{{Offset: off, Length: int64(len(p))}},
+		Mem:   ioseg.List{{Offset: 0, Length: int64(len(p))}},
+	})
+	if err != nil {
 		return 0, err
 	}
 	return len(p), nil
@@ -655,11 +781,12 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 // Truncate sets the logical file size: each stripe file is cut to the
 // physical size implied by the logical size.
 func (f *File) Truncate(size int64) error {
+	ctx := context.Background()
 	cfg := f.info.Striping
 	for rel := 0; rel < cfg.PCount; rel++ {
 		phys := cfg.PhysPrefix(rel, size)
 		req := wire.TruncateReq{Size: phys}
-		if _, err := f.call(rel, wire.Message{
+		if _, err := f.call(ctx, rel, wire.Message{
 			Header: wire.Header{Type: wire.TTruncate, Handle: f.info.Handle},
 			Body:   req.Marshal(),
 		}); err != nil {

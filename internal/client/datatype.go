@@ -12,6 +12,7 @@ package client
 // growth.
 
 import (
+	"context"
 	"fmt"
 
 	"pvfs/internal/datatype"
@@ -186,10 +187,14 @@ func (f *File) datatypeServers(p *dtPlan, t datatype.Type, base, count, winBytes
 // responses scatter concurrently, across servers and (when Window > 1)
 // within one.
 func (f *File) ReadDatatype(arena []byte, mem ioseg.List, t datatype.Type, base, count int64, opts DatatypeOptions) error {
-	return f.readDatatype(arena, mem, t, base, count, opts, &f.fs.stats.Datatype)
+	_, err := f.Run(context.Background(), Request{
+		Arena: arena, Mem: mem, Type: t, Base: base, Count: count,
+		Method: AccessDatatype, Datatype: opts,
+	})
+	return err
 }
 
-func (f *File) readDatatype(arena []byte, mem ioseg.List, t datatype.Type, base, count int64, opts DatatypeOptions, path *PathCounters) error {
+func (f *File) readDatatype(ctx context.Context, arena []byte, mem ioseg.List, t datatype.Type, base, count int64, opts DatatypeOptions, path *PathCounters) error {
 	plan, err := f.planDatatype(arena, mem, t, base, count)
 	if err != nil {
 		return err
@@ -201,7 +206,7 @@ func (f *File) readDatatype(arena []byte, mem ioseg.List, t datatype.Type, base,
 		n := int((w.remaining + winBytes - 1) / winBytes)
 		wins := make([][]dtPiece, n)
 		wants := make([]int64, n)
-		return f.fs.pipelineCalls(f.info.IODAddrs[w.rel], n, opts.window(),
+		return f.fs.pipelineCalls(ctx, f.info.IODAddrs[w.rel], n, opts.window(),
 			func(i int) (wire.Message, error) {
 				dataPos, want, pieces := w.next()
 				wins[i], wants[i] = pieces, want
@@ -244,10 +249,14 @@ func (f *File) readDatatype(arena []byte, mem ioseg.List, t datatype.Type, base,
 // encoded type. The pattern's file regions must not overlap one
 // another when Window > 1 (windows may be applied concurrently).
 func (f *File) WriteDatatype(arena []byte, mem ioseg.List, t datatype.Type, base, count int64, opts DatatypeOptions) error {
-	return f.writeDatatype(arena, mem, t, base, count, opts, &f.fs.stats.Datatype)
+	_, err := f.Run(context.Background(), Request{
+		Write: true, Arena: arena, Mem: mem, Type: t, Base: base, Count: count,
+		Method: AccessDatatype, Datatype: opts,
+	})
+	return err
 }
 
-func (f *File) writeDatatype(arena []byte, mem ioseg.List, t datatype.Type, base, count int64, opts DatatypeOptions, path *PathCounters) error {
+func (f *File) writeDatatype(ctx context.Context, arena []byte, mem ioseg.List, t datatype.Type, base, count int64, opts DatatypeOptions, path *PathCounters) error {
 	plan, err := f.planDatatype(arena, mem, t, base, count)
 	if err != nil {
 		return err
@@ -257,7 +266,7 @@ func (f *File) writeDatatype(arena []byte, mem ioseg.List, t datatype.Type, base
 	jobs := f.datatypeServers(plan, t, base, count, winBytes)
 	err = parallel(jobs, func(w *dtWindows) error {
 		n := int((w.remaining + winBytes - 1) / winBytes)
-		return f.fs.pipelineCalls(f.info.IODAddrs[w.rel], n, opts.window(),
+		return f.fs.pipelineCalls(ctx, f.info.IODAddrs[w.rel], n, opts.window(),
 			func(i int) (wire.Message, error) {
 				dataPos, want, pieces := w.next()
 				req := wire.ReadDatatypeReq{

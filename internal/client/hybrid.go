@@ -1,6 +1,8 @@
 package client
 
 import (
+	"context"
+
 	"pvfs/internal/datatype"
 	"pvfs/internal/ioseg"
 	"pvfs/internal/memio"
@@ -14,8 +16,33 @@ import (
 
 // ReadHybrid reads the noncontiguous pattern by coalescing file
 // regions whose gaps are at most gap bytes and issuing list I/O on the
-// coalesced extents, sieving the wanted bytes out client-side.
+// coalesced extents, sieving the wanted bytes out client-side. It is a
+// synchronous wrapper over Start.
 func (f *File) ReadHybrid(arena []byte, mem, file ioseg.List, gap int64, opts ListOptions) (SieveStats, error) {
+	res, err := f.Run(context.Background(), Request{
+		Arena: arena, Mem: mem, File: file,
+		Method: AccessHybrid, CoalesceGap: gap, List: opts,
+	})
+	return res.Sieve, err
+}
+
+// WriteHybrid writes the pattern through coalesced extents: each
+// extent is read (list I/O), updated in memory, and written back (list
+// I/O) — read-modify-write at extent rather than buffer granularity.
+// Like data sieving writes, concurrent writers to overlapping extents
+// must be serialized by the caller (PVFS has no locks, §4.2.1); gap=0
+// coalesces only adjacent regions and performs no read-modify-write.
+func (f *File) WriteHybrid(arena []byte, mem, file ioseg.List, gap int64, opts ListOptions) (SieveStats, error) {
+	res, err := f.Run(context.Background(), Request{
+		Write: true, Arena: arena, Mem: mem, File: file,
+		Method: AccessHybrid, CoalesceGap: gap, List: opts,
+	})
+	return res.Sieve, err
+}
+
+// readHybrid is the hybrid datapath shared by Start and the legacy
+// wrappers.
+func (f *File) readHybrid(ctx context.Context, arena []byte, mem, file ioseg.List, gap int64, opts ListOptions) (SieveStats, error) {
 	var st SieveStats
 	if err := checkLists(arena, mem, file); err != nil {
 		return st, err
@@ -23,7 +50,7 @@ func (f *File) ReadHybrid(arena []byte, mem, file ioseg.List, gap int64, opts Li
 	coalesced := file.Normalize().Coalesce(gap)
 	tmp := make([]byte, coalesced.TotalLength())
 	tmpMem := ioseg.List{{Offset: 0, Length: coalesced.TotalLength()}}
-	if err := f.ReadList(tmp, tmpMem, coalesced, opts); err != nil {
+	if err := f.readList(ctx, tmp, tmpMem, coalesced, opts); err != nil {
 		return st, err
 	}
 	// Extract the requested regions from each coalesced extent into
@@ -46,13 +73,7 @@ func (f *File) ReadHybrid(arena []byte, mem, file ioseg.List, gap int64, opts Li
 	return st, nil
 }
 
-// WriteHybrid writes the pattern through coalesced extents: each
-// extent is read (list I/O), updated in memory, and written back (list
-// I/O) — read-modify-write at extent rather than buffer granularity.
-// Like data sieving writes, concurrent writers to overlapping extents
-// must be serialized by the caller (PVFS has no locks, §4.2.1); gap=0
-// coalesces only adjacent regions and performs no read-modify-write.
-func (f *File) WriteHybrid(arena []byte, mem, file ioseg.List, gap int64, opts ListOptions) (SieveStats, error) {
+func (f *File) writeHybrid(ctx context.Context, arena []byte, mem, file ioseg.List, gap int64, opts ListOptions) (SieveStats, error) {
 	var st SieveStats
 	if err := checkLists(arena, mem, file); err != nil {
 		return st, err
@@ -69,7 +90,7 @@ func (f *File) WriteHybrid(arena []byte, mem, file ioseg.List, gap int64, opts L
 	// gaps; with gap==0 the coalesced extents are exactly covered.
 	rmw := coalesced.TotalLength() != file.TotalLength()
 	if rmw {
-		if err := f.ReadList(tmp, tmpMem, coalesced, opts); err != nil {
+		if err := f.readList(ctx, tmp, tmpMem, coalesced, opts); err != nil {
 			return st, err
 		}
 		st.BytesAccessed += coalesced.TotalLength()
@@ -84,7 +105,7 @@ func (f *File) WriteHybrid(arena []byte, mem, file ioseg.List, gap int64, opts L
 		st.BytesUseful += useful
 		base += e.Length
 	}
-	if err := f.WriteList(tmp, tmpMem, coalesced, opts); err != nil {
+	if err := f.writeList(ctx, tmp, tmpMem, coalesced, opts); err != nil {
 		return st, err
 	}
 	st.BytesAccessed += coalesced.TotalLength()
@@ -93,23 +114,24 @@ func (f *File) WriteHybrid(arena []byte, mem, file ioseg.List, gap int64, opts L
 
 // ReadType reads the file regions described by an MPI-style datatype
 // at a base offset into a contiguous buffer — the descriptive request
-// language of §5. Types the wire codec can carry ship un-flattened
-// down the datatype path (DESIGN.md §6); anything past the codec's
-// limits flattens to list I/O.
+// language of §5. It is a wrapper over Start with a datatype-layout
+// Request left on auto method selection: types the wire codec can
+// carry ship un-flattened down the datatype path (DESIGN.md §6);
+// anything past the codec's limits flattens to list I/O.
 func (f *File) ReadType(arena []byte, t datatype.Type, base int64, opts ListOptions) error {
-	mem := ioseg.List{{Offset: 0, Length: t.Size()}}
-	if datatype.CanEncode(t) == nil && base >= 0 {
-		return f.ReadDatatype(arena, mem, t, base, 1, DatatypeOptions{Window: opts.Window})
-	}
-	return f.ReadList(arena, mem, datatype.Flatten(t, base), opts)
+	_, err := f.Run(context.Background(), Request{
+		Arena: arena, Type: t, Base: base, Count: 1,
+		List: opts, Datatype: DatatypeOptions{Window: opts.Window},
+	})
+	return err
 }
 
 // WriteType writes a contiguous buffer into the file regions described
 // by a datatype at a base offset (see ReadType for routing).
 func (f *File) WriteType(arena []byte, t datatype.Type, base int64, opts ListOptions) error {
-	mem := ioseg.List{{Offset: 0, Length: t.Size()}}
-	if datatype.CanEncode(t) == nil && base >= 0 {
-		return f.WriteDatatype(arena, mem, t, base, 1, DatatypeOptions{Window: opts.Window})
-	}
-	return f.WriteList(arena, mem, datatype.Flatten(t, base), opts)
+	_, err := f.Run(context.Background(), Request{
+		Write: true, Arena: arena, Type: t, Base: base, Count: 1,
+		List: opts, Datatype: DatatypeOptions{Window: opts.Window},
+	})
+	return err
 }

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -122,8 +123,26 @@ func listEntries(mem, file ioseg.List, g Granularity) (ioseg.List, error) {
 // memory and file, since the classic read interface takes one buffer
 // pointer and one file offset per call. For FLASH-like patterns with
 // 8-byte memory pieces this is the paper's 983,040 requests per
-// process (§4.3.1).
+// process (§4.3.1). It is a synchronous wrapper over Start.
 func (f *File) ReadMultiple(arena []byte, mem, file ioseg.List) error {
+	_, err := f.Run(context.Background(), Request{
+		Arena: arena, Mem: mem, File: file, Method: AccessMultiple,
+	})
+	return err
+}
+
+// WriteMultiple performs the noncontiguous write with one contiguous
+// PVFS request per doubly-contiguous piece (a wrapper over Start).
+func (f *File) WriteMultiple(arena []byte, mem, file ioseg.List) error {
+	_, err := f.Run(context.Background(), Request{
+		Write: true, Arena: arena, Mem: mem, File: file, Method: AccessMultiple,
+	})
+	return err
+}
+
+// readMultiple is the multiple-I/O datapath shared by Start and the
+// legacy wrappers.
+func (f *File) readMultiple(ctx context.Context, arena []byte, mem, file ioseg.List) error {
 	if err := checkLists(arena, mem, file); err != nil {
 		return err
 	}
@@ -132,16 +151,14 @@ func (f *File) ReadMultiple(arena []byte, mem, file ioseg.List) error {
 		return err
 	}
 	for _, pr := range pairs {
-		if err := f.readContig(arena[pr.Mem.Offset:pr.Mem.End()], pr.File.Offset, &f.fs.stats.Multiple); err != nil {
+		if err := f.readContig(ctx, arena[pr.Mem.Offset:pr.Mem.End()], pr.File.Offset, &f.fs.stats.Multiple); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// WriteMultiple performs the noncontiguous write with one contiguous
-// PVFS request per doubly-contiguous piece.
-func (f *File) WriteMultiple(arena []byte, mem, file ioseg.List) error {
+func (f *File) writeMultiple(ctx context.Context, arena []byte, mem, file ioseg.List) error {
 	if err := checkLists(arena, mem, file); err != nil {
 		return err
 	}
@@ -150,7 +167,7 @@ func (f *File) WriteMultiple(arena []byte, mem, file ioseg.List) error {
 		return err
 	}
 	for _, pr := range pairs {
-		if err := f.writeContig(arena[pr.Mem.Offset:pr.Mem.End()], pr.File.Offset, &f.fs.stats.Multiple); err != nil {
+		if err := f.writeContig(ctx, arena[pr.Mem.Offset:pr.Mem.End()], pr.File.Offset, &f.fs.stats.Multiple); err != nil {
 			return err
 		}
 	}
@@ -250,6 +267,15 @@ func (f *File) planList(entries ioseg.List, maxRegions int) []*planServer {
 // arena concurrently, so overlapping destinations are undefined at any
 // window.
 func (f *File) ReadList(arena []byte, mem, file ioseg.List, opts ListOptions) error {
+	_, err := f.Run(context.Background(), Request{
+		Arena: arena, Mem: mem, File: file, Method: AccessList, List: opts,
+	})
+	return err
+}
+
+// readList is the list-I/O datapath shared by Start and the legacy
+// wrappers (see ReadList for semantics).
+func (f *File) readList(ctx context.Context, arena []byte, mem, file ioseg.List, opts ListOptions) error {
 	if err := checkLists(arena, mem, file); err != nil {
 		return err
 	}
@@ -261,7 +287,7 @@ func (f *File) ReadList(arena []byte, mem, file ioseg.List, opts ListOptions) er
 	plans := f.planList(entries, opts.maxRegions())
 	return parallel(plans, func(p *planServer) error {
 		addr := f.info.IODAddrs[p.rel]
-		return f.fs.pipelineCalls(addr, len(p.reqs), opts.window(),
+		return f.fs.pipelineCalls(ctx, addr, len(p.reqs), opts.window(),
 			func(i int) (wire.Message, error) {
 				r := &p.reqs[i]
 				regions := p.phys[r.lo:r.hi]
@@ -306,6 +332,15 @@ func (f *File) ReadList(arena []byte, mem, file ioseg.List, opts ListOptions) er
 // regions must not overlap one another when Window > 1 (requests to one
 // server may be applied concurrently).
 func (f *File) WriteList(arena []byte, mem, file ioseg.List, opts ListOptions) error {
+	_, err := f.Run(context.Background(), Request{
+		Write: true, Arena: arena, Mem: mem, File: file, Method: AccessList, List: opts,
+	})
+	return err
+}
+
+// writeList is the list-I/O write datapath shared by Start and the
+// legacy wrappers (see WriteList for semantics).
+func (f *File) writeList(ctx context.Context, arena []byte, mem, file ioseg.List, opts ListOptions) error {
 	if err := checkLists(arena, mem, file); err != nil {
 		return err
 	}
@@ -317,7 +352,7 @@ func (f *File) WriteList(arena []byte, mem, file ioseg.List, opts ListOptions) e
 	plans := f.planList(entries, opts.maxRegions())
 	err = parallel(plans, func(p *planServer) error {
 		addr := f.info.IODAddrs[p.rel]
-		return f.fs.pipelineCalls(addr, len(p.reqs), opts.window(),
+		return f.fs.pipelineCalls(ctx, addr, len(p.reqs), opts.window(),
 			func(i int) (wire.Message, error) {
 				r := &p.reqs[i]
 				regions := p.phys[r.lo:r.hi]
@@ -366,21 +401,21 @@ func (f *File) WriteList(arena []byte, mem, file ioseg.List, opts ListOptions) e
 // with count. Memory regions must not overlap one another: responses
 // scatter into the arena concurrently.
 func (f *File) ReadStrided(arena []byte, mem ioseg.List, start, stride, blockLen, count int64) error {
-	t, err := stridedType(stride, blockLen, count)
-	if err != nil {
-		return err
-	}
-	return f.readDatatype(arena, mem, t, start, 1, DatatypeOptions{}, &f.fs.stats.Strided)
+	_, err := f.Run(context.Background(), Request{
+		Arena: arena, Mem: mem,
+		Strided: &Strided{Start: start, Stride: stride, BlockLen: blockLen, Count: count},
+	})
+	return err
 }
 
 // WriteStrided writes a vector pattern through the datatype datapath
 // (see ReadStrided).
 func (f *File) WriteStrided(arena []byte, mem ioseg.List, start, stride, blockLen, count int64) error {
-	t, err := stridedType(stride, blockLen, count)
-	if err != nil {
-		return err
-	}
-	return f.writeDatatype(arena, mem, t, start, 1, DatatypeOptions{}, &f.fs.stats.Strided)
+	_, err := f.Run(context.Background(), Request{
+		Write: true, Arena: arena, Mem: mem,
+		Strided: &Strided{Start: start, Stride: stride, BlockLen: blockLen, Count: count},
+	})
+	return err
 }
 
 // stridedType builds the vector datatype equivalent of a strided

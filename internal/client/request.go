@@ -1,0 +1,417 @@
+package client
+
+// The unified nonblocking I/O API. Every data operation — contiguous
+// or noncontiguous, read or write, list or datatype or sieving — is
+// one Request descriptor handed to File.Start, which returns an Op:
+// a started, cancelable operation. The legacy Read*/Write* method
+// matrix survives as thin synchronous wrappers over Start (request
+// formation and counter accounting are unchanged), so the descriptor
+// is the single point where memory layout, file layout, method
+// selection and per-op tuning meet. MPI-IO's nonblocking operations
+// (MPI_File_iread/iwrite) are the model: Start is the i-variant of
+// the whole matrix at once.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"pvfs/internal/datatype"
+	"pvfs/internal/ioseg"
+)
+
+// AccessMethod selects the datapath a Request travels. The zero value
+// (AccessAuto) picks for you: datatype layouts that survive the wire
+// codec ship un-flattened (DESIGN.md §6), doubly-contiguous transfers
+// take the plain contiguous path, everything else goes to list I/O —
+// the paper's preferred method.
+type AccessMethod int
+
+const (
+	// AccessAuto picks the datapath from the layout (see above).
+	AccessAuto AccessMethod = iota
+	// AccessContig is one contiguous request per touched server; the
+	// layout must be a single memory region and a single file region.
+	AccessContig
+	// AccessMultiple is one contiguous request per doubly-contiguous
+	// piece (§3.1).
+	AccessMultiple
+	// AccessSieve is data sieving I/O (§3.2); Result.Sieve reports the
+	// data movement.
+	AccessSieve
+	// AccessList is list I/O (§3.3), the paper's contribution.
+	AccessList
+	// AccessDatatype ships the access pattern itself to the I/O
+	// daemons (§5, DESIGN.md §6); the layout must be a datatype or
+	// strided one.
+	AccessDatatype
+	// AccessHybrid coalesces nearby file regions (CoalesceGap) and
+	// moves the coalesced extents with list I/O (§5).
+	AccessHybrid
+)
+
+func (m AccessMethod) String() string {
+	switch m {
+	case AccessAuto:
+		return "auto"
+	case AccessContig:
+		return "contig"
+	case AccessMultiple:
+		return "multiple"
+	case AccessSieve:
+		return "datasieve"
+	case AccessList:
+		return "list"
+	case AccessDatatype:
+		return "datatype"
+	case AccessHybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("access(%d)", int(m))
+	}
+}
+
+// Strided is the vector-pattern shorthand layout: Count blocks of
+// BlockLen bytes every Stride bytes, starting at file offset Start.
+type Strided struct {
+	Start    int64
+	Stride   int64
+	BlockLen int64
+	Count    int64
+}
+
+// Request is the unified access descriptor: one value bundles the
+// memory layout, the file layout, the method selection and the per-op
+// tuning that used to be spread across the Read*/Write* method matrix.
+//
+// Memory layout: Arena is the user buffer; Mem lists the arena
+// regions holding the transfer's bytes in stream order. A nil Mem
+// means one region covering the transfer's size from arena offset 0.
+//
+// File layout — exactly one of:
+//   - File: an explicit region list (the pvfs_read_list vocabulary);
+//   - Type/Base/Count: Count repetitions of an MPI-style datatype at
+//     byte offset Base (Count 0 means 1);
+//   - Strided: the uniform-vector shorthand.
+//
+// The zero method (AccessAuto) routes encodable datatype layouts down
+// the datatype path, single-region pairs down the contiguous path, and
+// everything else to list I/O. Explicit methods that cannot express
+// the given layout are errors, except that the flattened methods
+// (multiple/sieve/list/hybrid) accept a datatype layout by flattening
+// it client-side.
+type Request struct {
+	// Write selects direction: false reads into Arena, true writes
+	// from it.
+	Write bool
+
+	// Arena is the user memory the transfer scatters into (reads) or
+	// gathers from (writes).
+	Arena []byte
+	// Mem lists the arena regions of the transfer in stream order; nil
+	// selects a single region [0, transfer size).
+	Mem ioseg.List
+
+	// File is the region-list file layout.
+	File ioseg.List
+	// Type/Base/Count is the datatype file layout.
+	Type  datatype.Type
+	Base  int64
+	Count int64
+	// Strided is the vector shorthand file layout.
+	Strided *Strided
+
+	// Method picks the datapath; the zero value auto-picks.
+	Method AccessMethod
+
+	// Per-method tuning (each applies only when its path is taken).
+	List        ListOptions
+	Sieve       SieveOptions
+	Datatype    DatatypeOptions
+	CoalesceGap int64 // hybrid coalescing gap, bytes
+
+	// CallTimeout bounds each individual wire call of the operation
+	// (not the operation as a whole): a daemon that stalls mid-call
+	// fails that call with context.DeadlineExceeded instead of wedging
+	// the operation forever, and only the affected tags are abandoned
+	// — the pooled connection stays usable. 0 means no per-call bound.
+	CallTimeout time.Duration
+}
+
+// Result summarizes a completed operation.
+type Result struct {
+	// Method is the datapath the operation actually took (never
+	// AccessAuto).
+	Method AccessMethod
+	// Bytes is the transfer's payload size: the bytes of the memory
+	// layout moved between arena and file.
+	Bytes int64
+	// Sieve reports sieving data movement when Method is AccessSieve
+	// or AccessHybrid (zero otherwise). On error it holds the movement
+	// up to the failure.
+	Sieve SieveStats
+}
+
+// Op is a started nonblocking operation. Exactly one goroutine should
+// Wait; Done may be selected on by any number.
+type Op struct {
+	done chan struct{}
+	res  Result
+	err  error
+}
+
+// Done returns a channel closed when the operation completes (with or
+// without error) — the select-friendly form of Wait.
+func (o *Op) Done() <-chan struct{} { return o.done }
+
+// Wait blocks until the operation completes and returns its Result
+// and error. It may be called any number of times; all calls return
+// the same values.
+func (o *Op) Wait() (Result, error) {
+	<-o.done
+	return o.res, o.err
+}
+
+// Err returns nil while the operation runs, and its final error (or
+// nil on success) once it completes.
+func (o *Op) Err() error {
+	select {
+	case <-o.done:
+		return o.err
+	default:
+		return nil
+	}
+}
+
+// Start begins the operation described by req and returns immediately
+// with an Op handle. The operation runs in its own goroutine against
+// the tagged, pipelined transport, so several Ops on one file (or many
+// files) overlap their round trips — MPI_File_iread/iwrite semantics.
+//
+// Cancellation: when ctx ends (cancel or deadline), the operation
+// fails with the context error. In-flight wire calls abandon their
+// tags — the I/O daemons still complete the requests they already
+// received, and the read loop discards the late responses — so a
+// canceled write may have applied any subset of its requests, but
+// never a torn individual request, and the connection pool remains
+// usable by other operations. See DESIGN.md §8.
+func (f *File) Start(ctx context.Context, req Request) *Op {
+	op := &Op{done: make(chan struct{})}
+	go func() {
+		defer close(op.done)
+		op.res, op.err = f.exec(ctx, req)
+	}()
+	return op
+}
+
+// Run is the synchronous form of Start: start, wait, return.
+func (f *File) Run(ctx context.Context, req Request) (Result, error) {
+	return f.Start(ctx, req).Wait()
+}
+
+// resolved is the normalized form of a Request: one concrete layout
+// and one concrete method.
+type resolved struct {
+	method  AccessMethod
+	mem     ioseg.List
+	file    ioseg.List    // region-list layout (nil for datatype path)
+	t       datatype.Type // datatype layout (nil for region-list path)
+	base    int64
+	count   int64
+	strided bool // pattern came from the Strided shorthand (counter attribution)
+}
+
+// resolve validates the descriptor and normalizes layout and method.
+func (r Request) resolve() (resolved, error) {
+	var out resolved
+
+	// Exactly one file layout.
+	layouts := 0
+	if r.File != nil {
+		layouts++
+	}
+	if r.Type != nil {
+		layouts++
+	}
+	if r.Strided != nil {
+		layouts++
+	}
+	if layouts > 1 {
+		return out, fmt.Errorf("pvfs: request needs exactly one file layout (File, Type or Strided), got %d", layouts)
+	}
+	// No layout at all is the empty region list: a zero-byte transfer
+	// (the legacy methods accepted nil lists as no-ops).
+
+	switch {
+	case r.Strided != nil:
+		s := r.Strided
+		t, err := stridedType(s.Stride, s.BlockLen, s.Count)
+		if err != nil {
+			return out, err
+		}
+		if s.Start < 0 {
+			return out, errors.New("pvfs: negative strided start")
+		}
+		out.t, out.base, out.count, out.strided = t, s.Start, 1, true
+	case r.Type != nil:
+		out.t, out.base, out.count = r.Type, r.Base, r.Count
+		if out.count == 0 {
+			out.count = 1
+		}
+	default:
+		out.file = r.File
+	}
+
+	// Transfer size, for defaulting Mem.
+	var total int64
+	if out.t != nil {
+		if out.count < 0 {
+			return out, fmt.Errorf("pvfs: negative datatype count %d", out.count)
+		}
+		total = out.t.Size() * out.count
+	} else {
+		var err error
+		total, err = out.file.TotalLengthChecked()
+		if err != nil {
+			return out, fmt.Errorf("pvfs: file list: %w", err)
+		}
+	}
+	out.mem = r.Mem
+	if out.mem == nil && total > 0 {
+		out.mem = ioseg.List{{Offset: 0, Length: total}}
+	}
+
+	// Method.
+	out.method = r.Method
+	if out.method == AccessAuto {
+		switch {
+		case out.t != nil && datatype.CanEncode(out.t) == nil && out.base >= 0:
+			out.method = AccessDatatype
+		case out.t != nil:
+			out.method = AccessList
+		case len(out.file) == 1 && len(out.mem) <= 1:
+			out.method = AccessContig
+		default:
+			out.method = AccessList
+		}
+	}
+
+	// Layout/method compatibility; flattened methods accept a datatype
+	// layout by materializing its regions client-side.
+	switch out.method {
+	case AccessDatatype:
+		if out.t == nil {
+			return out, errors.New("pvfs: AccessDatatype requires a Type or Strided layout")
+		}
+		if err := datatype.CanEncode(out.t); err != nil {
+			return out, fmt.Errorf("pvfs: datatype not encodable: %w", err)
+		}
+	case AccessContig, AccessMultiple, AccessSieve, AccessList, AccessHybrid:
+		if out.t != nil {
+			out.file = flattenRepeated(out.t, out.base, out.count)
+			out.t = nil
+		}
+		if out.method == AccessContig && (len(out.file) != 1 || len(out.mem) > 1) {
+			return out, fmt.Errorf("pvfs: AccessContig requires one memory and one file region, got %d/%d", len(out.mem), len(out.file))
+		}
+	default:
+		return out, fmt.Errorf("pvfs: unknown access method %v", out.method)
+	}
+	return out, nil
+}
+
+// flattenRepeated materializes count repetitions of t at base as a
+// region list (repetitions advance by the type's extent, as in MPI).
+func flattenRepeated(t datatype.Type, base, count int64) ioseg.List {
+	if count == 1 {
+		return datatype.Flatten(t, base)
+	}
+	ext := t.Extent()
+	var out ioseg.List
+	for i := int64(0); i < count; i++ {
+		out = append(out, datatype.Flatten(t, base+i*ext)...)
+	}
+	return out
+}
+
+// exec runs one resolved Request to completion under ctx.
+func (f *File) exec(ctx context.Context, req Request) (Result, error) {
+	rv, err := req.resolve()
+	if err != nil {
+		return Result{}, err
+	}
+	ctx = withCallTimeout(ctx, req.CallTimeout)
+	res := Result{Method: rv.method, Bytes: rv.mem.TotalLength()}
+
+	if err := ctx.Err(); err != nil {
+		return res, err // a canceled Start never touches the wire
+	}
+
+	switch rv.method {
+	case AccessContig:
+		if err := rv.file.Validate(); err != nil {
+			return res, fmt.Errorf("pvfs: file list: %w", err)
+		}
+		off := rv.file[0].Offset
+		var p []byte
+		if len(rv.mem) == 1 {
+			m := rv.mem[0]
+			if err := m.Validate(); err != nil {
+				return res, fmt.Errorf("pvfs: memory list: %w", err)
+			}
+			if m.End() > int64(len(req.Arena)) {
+				return res, fmt.Errorf("pvfs: memory region %v outside buffer of %d bytes", m, len(req.Arena))
+			}
+			if m.Length != rv.file[0].Length {
+				return res, fmt.Errorf("pvfs: memory list covers %d bytes, file list %d", m.Length, rv.file[0].Length)
+			}
+			p = req.Arena[m.Offset:m.End()]
+		} else if rv.file[0].Length != 0 {
+			return res, fmt.Errorf("pvfs: memory list covers 0 bytes, file list %d", rv.file[0].Length)
+		}
+		if req.Write {
+			return res, f.writeContig(ctx, p, off, nil)
+		}
+		return res, f.readContig(ctx, p, off, nil)
+
+	case AccessMultiple:
+		if req.Write {
+			return res, f.writeMultiple(ctx, req.Arena, rv.mem, rv.file)
+		}
+		return res, f.readMultiple(ctx, req.Arena, rv.mem, rv.file)
+
+	case AccessSieve:
+		if req.Write {
+			res.Sieve, err = f.writeSieve(ctx, req.Arena, rv.mem, rv.file, req.Sieve)
+		} else {
+			res.Sieve, err = f.readSieve(ctx, req.Arena, rv.mem, rv.file, req.Sieve)
+		}
+		return res, err
+
+	case AccessList:
+		if req.Write {
+			return res, f.writeList(ctx, req.Arena, rv.mem, rv.file, req.List)
+		}
+		return res, f.readList(ctx, req.Arena, rv.mem, rv.file, req.List)
+
+	case AccessDatatype:
+		path := &f.fs.stats.Datatype
+		if rv.strided {
+			path = &f.fs.stats.Strided
+		}
+		if req.Write {
+			return res, f.writeDatatype(ctx, req.Arena, rv.mem, rv.t, rv.base, rv.count, req.Datatype, path)
+		}
+		return res, f.readDatatype(ctx, req.Arena, rv.mem, rv.t, rv.base, rv.count, req.Datatype, path)
+
+	case AccessHybrid:
+		if req.Write {
+			res.Sieve, err = f.writeHybrid(ctx, req.Arena, rv.mem, rv.file, req.CoalesceGap, req.List)
+		} else {
+			res.Sieve, err = f.readHybrid(ctx, req.Arena, rv.mem, rv.file, req.CoalesceGap, req.List)
+		}
+		return res, err
+	}
+	return res, fmt.Errorf("pvfs: unknown access method %v", rv.method)
+}

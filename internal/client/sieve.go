@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"fmt"
 
 	"pvfs/internal/ioseg"
@@ -90,8 +91,29 @@ func SieveWindows(file ioseg.List, bufSize int64) []ioseg.Segment {
 
 // ReadSieve performs the noncontiguous read via data sieving: large
 // contiguous reads into a client buffer, extracting the wanted regions
-// in memory (§3.2).
+// in memory (§3.2). It is a synchronous wrapper over Start.
 func (f *File) ReadSieve(arena []byte, mem, file ioseg.List, opts SieveOptions) (SieveStats, error) {
+	res, err := f.Run(context.Background(), Request{
+		Arena: arena, Mem: mem, File: file, Method: AccessSieve, Sieve: opts,
+	})
+	return res.Sieve, err
+}
+
+// WriteSieve performs the noncontiguous write via data sieving:
+// read-modify-write of each window (§3.2). PVFS has no file locking,
+// so concurrent WriteSieve calls to overlapping extents race; the
+// paper serializes writers with a barrier (§4.2.1), which callers of
+// this method must arrange themselves (see cluster.Barrier).
+func (f *File) WriteSieve(arena []byte, mem, file ioseg.List, opts SieveOptions) (SieveStats, error) {
+	res, err := f.Run(context.Background(), Request{
+		Write: true, Arena: arena, Mem: mem, File: file, Method: AccessSieve, Sieve: opts,
+	})
+	return res.Sieve, err
+}
+
+// readSieve is the sieving datapath shared by Start and the legacy
+// wrappers.
+func (f *File) readSieve(ctx context.Context, arena []byte, mem, file ioseg.List, opts SieveOptions) (SieveStats, error) {
 	var st SieveStats
 	if err := checkLists(arena, mem, file); err != nil {
 		return st, err
@@ -103,7 +125,7 @@ func (f *File) ReadSieve(arena []byte, mem, file ioseg.List, opts SieveOptions) 
 			buf = make([]byte, w.Length)
 		}
 		buf = buf[:w.Length]
-		if err := f.readContig(buf, w.Offset, &f.fs.stats.Sieve); err != nil {
+		if err := f.readContig(ctx, buf, w.Offset, &f.fs.stats.Sieve); err != nil {
 			return st, err
 		}
 		useful, err := memio.ExtractWindow(stream, file, buf, w)
@@ -120,12 +142,7 @@ func (f *File) ReadSieve(arena []byte, mem, file ioseg.List, opts SieveOptions) 
 	return st, nil
 }
 
-// WriteSieve performs the noncontiguous write via data sieving:
-// read-modify-write of each window (§3.2). PVFS has no file locking,
-// so concurrent WriteSieve calls to overlapping extents race; the
-// paper serializes writers with a barrier (§4.2.1), which callers of
-// this method must arrange themselves (see cluster.Barrier).
-func (f *File) WriteSieve(arena []byte, mem, file ioseg.List, opts SieveOptions) (SieveStats, error) {
+func (f *File) writeSieve(ctx context.Context, arena []byte, mem, file ioseg.List, opts SieveOptions) (SieveStats, error) {
 	var st SieveStats
 	if err := checkLists(arena, mem, file); err != nil {
 		return st, err
@@ -142,14 +159,14 @@ func (f *File) WriteSieve(arena []byte, mem, file ioseg.List, opts SieveOptions)
 		buf = buf[:w.Length]
 		// Read-modify-write: fetch the window, inject the regions,
 		// write the whole window back.
-		if err := f.readContig(buf, w.Offset, &f.fs.stats.Sieve); err != nil {
+		if err := f.readContig(ctx, buf, w.Offset, &f.fs.stats.Sieve); err != nil {
 			return st, err
 		}
 		useful, err := memio.InjectWindow(buf, stream, file, w)
 		if err != nil {
 			return st, err
 		}
-		if err := f.writeContig(buf, w.Offset, &f.fs.stats.Sieve); err != nil {
+		if err := f.writeContig(ctx, buf, w.Offset, &f.fs.stats.Sieve); err != nil {
 			return st, err
 		}
 		st.Windows++
@@ -190,32 +207,44 @@ type Options struct {
 	Sieve SieveOptions
 }
 
-// ReadNoncontig dispatches a noncontiguous read to the chosen method.
-func (f *File) ReadNoncontig(m Method, arena []byte, mem, file ioseg.List, opts Options) error {
+// accessFor maps the legacy Method enum to the Request vocabulary.
+func accessFor(m Method) (AccessMethod, error) {
 	switch m {
 	case MethodMultiple:
-		return f.ReadMultiple(arena, mem, file)
+		return AccessMultiple, nil
 	case MethodSieve:
-		_, err := f.ReadSieve(arena, mem, file, opts.Sieve)
-		return err
+		return AccessSieve, nil
 	case MethodList:
-		return f.ReadList(arena, mem, file, opts.List)
+		return AccessList, nil
 	default:
-		return fmt.Errorf("pvfs: unknown method %v", m)
+		return AccessAuto, fmt.Errorf("pvfs: unknown method %v", m)
 	}
 }
 
-// WriteNoncontig dispatches a noncontiguous write to the chosen method.
-func (f *File) WriteNoncontig(m Method, arena []byte, mem, file ioseg.List, opts Options) error {
-	switch m {
-	case MethodMultiple:
-		return f.WriteMultiple(arena, mem, file)
-	case MethodSieve:
-		_, err := f.WriteSieve(arena, mem, file, opts.Sieve)
+// ReadNoncontig dispatches a noncontiguous read to the chosen method
+// (a wrapper over Start).
+func (f *File) ReadNoncontig(m Method, arena []byte, mem, file ioseg.List, opts Options) error {
+	am, err := accessFor(m)
+	if err != nil {
 		return err
-	case MethodList:
-		return f.WriteList(arena, mem, file, opts.List)
-	default:
-		return fmt.Errorf("pvfs: unknown method %v", m)
 	}
+	_, err = f.Run(context.Background(), Request{
+		Arena: arena, Mem: mem, File: file, Method: am,
+		List: opts.List, Sieve: opts.Sieve,
+	})
+	return err
+}
+
+// WriteNoncontig dispatches a noncontiguous write to the chosen method
+// (a wrapper over Start).
+func (f *File) WriteNoncontig(m Method, arena []byte, mem, file ioseg.List, opts Options) error {
+	am, err := accessFor(m)
+	if err != nil {
+		return err
+	}
+	_, err = f.Run(context.Background(), Request{
+		Write: true, Arena: arena, Mem: mem, File: file, Method: am,
+		List: opts.List, Sieve: opts.Sieve,
+	})
+	return err
 }

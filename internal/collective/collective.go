@@ -19,6 +19,7 @@
 package collective
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -224,8 +225,9 @@ routeWrite:
 	return err
 }
 
-// flushDomain writes the collected pieces of one file domain: a single
-// contiguous write when they tile exactly, list I/O otherwise.
+// flushDomain writes the collected pieces of one file domain through
+// one unified Request: a single contiguous write when they tile
+// exactly, list I/O otherwise.
 func (g *Group) flushDomain(f *client.File, pieces []piece) error {
 	if len(pieces) == 0 {
 		return nil
@@ -239,23 +241,30 @@ func (g *Group) flushDomain(f *client.File, pieces []piece) error {
 			break
 		}
 	}
-	if contiguous {
-		buf := make([]byte, 0, totalBytes(pieces))
-		for _, p := range pieces {
-			buf = append(buf, p.data...)
-		}
-		_, err := f.WriteAt(buf, pieces[0].file.Offset)
-		return err
-	}
-	// Holes: fall back to list I/O over the merged pieces.
-	var fileList ioseg.List
 	buf := make([]byte, 0, totalBytes(pieces))
 	for _, p := range pieces {
-		fileList = append(fileList, p.file)
 		buf = append(buf, p.data...)
 	}
-	memList := ioseg.List{{Offset: 0, Length: int64(len(buf))}}
-	return f.WriteList(buf, memList, fileList, client.ListOptions{})
+	req := client.Request{
+		Write: true,
+		Arena: buf,
+		Mem:   ioseg.List{{Offset: 0, Length: int64(len(buf))}},
+	}
+	if contiguous {
+		// One doubly-contiguous region: the auto method resolves this
+		// to the plain contiguous path (one request per server).
+		req.File = ioseg.List{{Offset: pieces[0].file.Offset, Length: int64(len(buf))}}
+	} else {
+		// Holes: list I/O over the merged pieces.
+		fileList := make(ioseg.List, len(pieces))
+		for i, p := range pieces {
+			fileList[i] = p.file
+		}
+		req.File = fileList
+		req.Method = client.AccessList
+	}
+	_, err := f.Run(context.Background(), req)
+	return err
 }
 
 // ReadAll performs a collective noncontiguous read

@@ -14,6 +14,7 @@
 package mpiio
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -179,44 +180,63 @@ func (m *File) datatypePattern(dataOff, n int64) (t datatype.Type, base, count i
 }
 
 // dispatchView runs one view transfer of [dataOff, dataOff+n) bytes
-// of view data space. Expressible accesses take the datatype path —
-// the view type crosses the wire un-flattened, so neither the client
-// nor the request stream ever holds the region list — when the hints
-// select plain list I/O; otherwise (or on fallback) the access is
-// flattened through regionsFor and dispatched to the hinted method.
+// of view data space by building the unified client.Request for it and
+// running it through File.Start. Expressible accesses take the
+// datatype path — the view type crosses the wire un-flattened, so
+// neither the client nor the request stream ever holds the region list
+// — when the hints select plain list I/O; otherwise (or on fallback)
+// the access is flattened through regionsFor and dispatched to the
+// hinted method.
 func (m *File) dispatchView(buf []byte, dataOff, n int64, write bool) error {
+	req, err := m.viewRequest(buf, dataOff, n, write)
+	if err != nil {
+		return err
+	}
+	_, err = m.f.Run(context.Background(), req)
+	return err
+}
+
+// viewRequest translates a view access into the unified descriptor.
+func (m *File) viewRequest(buf []byte, dataOff, n int64, write bool) (client.Request, error) {
+	req := client.Request{
+		Write: write,
+		Arena: buf,
+		Mem:   ioseg.List{{Offset: 0, Length: n}},
+	}
 	if !m.hints.NoDatatype && m.hints.Method == client.MethodList && m.hints.CoalesceGapBytes == 0 {
 		if t, base, count, ok := m.datatypePattern(dataOff, n); ok {
-			mem := ioseg.List{{Offset: 0, Length: n}}
-			if write {
-				return m.f.WriteDatatype(buf, mem, t, base, count, m.hints.DatatypeOptions)
-			}
-			return m.f.ReadDatatype(buf, mem, t, base, count, m.hints.DatatypeOptions)
+			req.Type, req.Base, req.Count = t, base, count
+			req.Method = client.AccessDatatype
+			req.Datatype = m.hints.DatatypeOptions
+			return req, nil
 		}
 	}
 	file, err := m.regionsFor(dataOff, n)
 	if err != nil {
-		return err
+		return client.Request{}, err
 	}
-	return m.dispatch(buf, file, write)
-}
-
-// dispatch runs one noncontiguous transfer per the hints.
-func (m *File) dispatch(buf []byte, file ioseg.List, write bool) error {
-	mem := ioseg.List{{Offset: 0, Length: int64(len(buf))}}
+	if file == nil {
+		file = ioseg.List{} // empty transfer: a present-but-empty layout
+	}
+	req.File = file
+	req.Mem = ioseg.List{{Offset: 0, Length: int64(len(buf))}}
 	if m.hints.CoalesceGapBytes > 0 {
-		if write {
-			_, err := m.f.WriteHybrid(buf, mem, file, m.hints.CoalesceGapBytes, client.ListOptions{})
-			return err
-		}
-		_, err := m.f.ReadHybrid(buf, mem, file, m.hints.CoalesceGapBytes, client.ListOptions{})
-		return err
+		req.Method = client.AccessHybrid
+		req.CoalesceGap = m.hints.CoalesceGapBytes
+		return req, nil
 	}
-	opts := client.Options{Sieve: client.SieveOptions{BufferSize: m.hints.SieveBufferBytes}}
-	if write {
-		return m.f.WriteNoncontig(m.hints.Method, buf, mem, file, opts)
+	switch m.hints.Method {
+	case client.MethodMultiple:
+		req.Method = client.AccessMultiple
+	case client.MethodSieve:
+		req.Method = client.AccessSieve
+		req.Sieve = client.SieveOptions{BufferSize: m.hints.SieveBufferBytes}
+	case client.MethodList:
+		req.Method = client.AccessList
+	default:
+		return client.Request{}, fmt.Errorf("mpiio: unknown method %v", m.hints.Method)
 	}
-	return m.f.ReadNoncontig(m.hints.Method, buf, mem, file, opts)
+	return req, nil
 }
 
 // ReadAtEtype reads len(buf) bytes at an offset given in etypes of

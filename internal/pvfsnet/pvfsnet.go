@@ -13,6 +13,7 @@
 package pvfsnet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -252,26 +253,43 @@ type Conn struct {
 
 	wmu sync.Mutex // serializes request frames
 
-	mu      sync.Mutex
-	nextTag uint32
-	pending map[uint32]chan callResult
-	rerr    error // terminal receive error; nil while healthy
-	closed  bool
+	mu        sync.Mutex
+	nextTag   uint32
+	pending   map[uint32]chan callResult
+	abandoned map[uint32]struct{} // canceled tags whose responses are discarded
+	rerr      error               // terminal receive error; nil while healthy
+	closed    bool
 }
 
 // Dial connects to a PVFS daemon and starts the response demultiplexer.
 func Dial(addr string) (*Conn, error) {
-	c, err := net.Dial("tcp", addr)
+	return DialContext(context.Background(), addr)
+}
+
+// DialContext connects to a PVFS daemon, honoring the context's
+// deadline and cancellation for the TCP connect itself (the original
+// Dial used a bare net.Dial: a blackholed daemon address blocked the
+// caller for the kernel's connect timeout, minutes on most systems).
+func DialContext(ctx context.Context, addr string) (*Conn, error) {
+	var d net.Dialer
+	c, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("pvfsnet: dial %s: %w", addr, err)
 	}
-	conn := &Conn{addr: addr, c: c, pending: make(map[uint32]chan callResult)}
+	conn := &Conn{
+		addr:      addr,
+		c:         c,
+		pending:   make(map[uint32]chan callResult),
+		abandoned: make(map[uint32]struct{}),
+	}
 	go conn.readLoop()
 	return conn, nil
 }
 
 // readLoop demultiplexes responses to pending calls by tag until the
 // connection dies, then fails every remaining and future call.
+// Responses for abandoned tags (canceled calls) are discarded and
+// their pooled bodies recycled; the connection stays healthy.
 func (c *Conn) readLoop() {
 	for {
 		msg, err := wire.ReadMessage(c.c)
@@ -281,7 +299,14 @@ func (c *Conn) readLoop() {
 		}
 		c.mu.Lock()
 		ch, ok := c.pending[msg.Tag]
-		delete(c.pending, msg.Tag)
+		if ok {
+			delete(c.pending, msg.Tag)
+		} else if _, ab := c.abandoned[msg.Tag]; ab {
+			delete(c.abandoned, msg.Tag)
+			c.mu.Unlock()
+			msg.Release()
+			continue
+		}
 		c.mu.Unlock()
 		if !ok {
 			// A response nothing waits for: the peer is confused, and
@@ -307,6 +332,7 @@ func (c *Conn) fail(err error) {
 	}
 	pending := c.pending
 	c.pending = make(map[uint32]chan callResult)
+	c.abandoned = make(map[uint32]struct{})
 	c.mu.Unlock()
 	for _, ch := range pending {
 		ch <- callResult{err: err}
@@ -317,6 +343,7 @@ func (c *Conn) fail(err error) {
 type Pending struct {
 	conn *Conn
 	typ  wire.MsgType
+	tag  uint32
 	ch   chan callResult
 }
 
@@ -354,14 +381,17 @@ func (c *Conn) CallAsync(req wire.Message) (*Pending, error) {
 		c.mu.Unlock()
 		return nil, fmt.Errorf("pvfsnet: call %v to %s: %w", req.Type, c.addr, err)
 	}
-	return &Pending{conn: c, typ: req.Type, ch: ch}, nil
+	return &Pending{conn: c, typ: req.Type, tag: tag, ch: ch}, nil
 }
 
 // Wait blocks until the response for this call arrives. Non-OK response
 // statuses are returned as *wire.StatusError alongside the message.
-// Wait must be called exactly once per Pending.
+// Exactly one of Wait/WaitContext/Abandon must be called per Pending.
 func (p *Pending) Wait() (wire.Message, error) {
-	res := <-p.ch
+	return p.settle(<-p.ch)
+}
+
+func (p *Pending) settle(res callResult) (wire.Message, error) {
 	if res.err != nil {
 		return wire.Message{}, fmt.Errorf("pvfsnet: response for %v from %s: %w", p.typ, p.conn.addr, res.err)
 	}
@@ -372,6 +402,54 @@ func (p *Pending) Wait() (wire.Message, error) {
 	return resp, resp.Status.Err()
 }
 
+// WaitContext blocks until the response arrives or ctx is done. On
+// cancellation/deadline the call's tag is abandoned — the connection
+// stays healthy for every other tag, and the eventual response is
+// discarded by the read loop — and the context error is returned. A
+// response that already arrived wins over a simultaneous cancellation.
+func (p *Pending) WaitContext(ctx context.Context) (wire.Message, error) {
+	select {
+	case res := <-p.ch:
+		return p.settle(res)
+	case <-ctx.Done():
+	}
+	// Canceled: abandon the tag, but prefer a result that raced in.
+	if res, ok := p.abandon(); ok {
+		return p.settle(res)
+	}
+	return wire.Message{}, fmt.Errorf("pvfsnet: call %v to %s: %w", p.typ, p.conn.addr, ctx.Err())
+}
+
+// Abandon gives up on the call without waiting: the tag is marked
+// abandoned so its response (if it ever arrives) is discarded and its
+// pooled body recycled, and the connection stays usable. If the
+// response already arrived, it is released here.
+func (p *Pending) Abandon() {
+	if res, ok := p.abandon(); ok && res.err == nil {
+		res.msg.Release()
+	}
+}
+
+// abandon moves the tag to the abandoned set. If the read loop already
+// claimed the tag, the in-flight result is received and returned
+// instead (ok=true).
+func (p *Pending) abandon() (callResult, bool) {
+	c := p.conn
+	c.mu.Lock()
+	if _, pending := c.pending[p.tag]; pending {
+		delete(c.pending, p.tag)
+		c.abandoned[p.tag] = struct{}{}
+		c.mu.Unlock()
+		return callResult{}, false
+	}
+	c.mu.Unlock()
+	// The tag is no longer pending: either the read loop claimed it (a
+	// result is in flight to the buffered channel) or the connection
+	// failed (an error result was sent). Both deliver exactly one
+	// result, so this receive cannot block.
+	return <-p.ch, true
+}
+
 // Call sends req and waits for the matching response. Non-OK response
 // statuses are returned as *wire.StatusError alongside the message.
 func (c *Conn) Call(req wire.Message) (wire.Message, error) {
@@ -380,6 +458,20 @@ func (c *Conn) Call(req wire.Message) (wire.Message, error) {
 		return wire.Message{}, err
 	}
 	return p.Wait()
+}
+
+// CallContext is Call with cancellation: if ctx ends before the
+// response arrives, the tag is abandoned (the connection remains
+// usable for other tags) and the context error is returned.
+func (c *Conn) CallContext(ctx context.Context, req wire.Message) (wire.Message, error) {
+	if err := ctx.Err(); err != nil {
+		return wire.Message{}, fmt.Errorf("pvfsnet: call %v to %s: %w", req.Type, c.addr, err)
+	}
+	p, err := c.CallAsync(req)
+	if err != nil {
+		return wire.Message{}, err
+	}
+	return p.WaitContext(ctx)
 }
 
 // Addr returns the remote address.
@@ -425,6 +517,23 @@ func NewPool() *Pool {
 // never blocks lookups for other addresses; concurrent Gets for the
 // same address share a single dial.
 func (p *Pool) Get(addr string) (*Conn, error) {
+	return p.GetContext(context.Background(), addr)
+}
+
+// poolDialTimeout bounds the shared singleflight dial. The dial is
+// detached from any one caller's context — several operations may be
+// waiting on it, and one operation's cancellation must not fail the
+// others — so this cap is what keeps a blackholed address from
+// parking the dial slot forever.
+const poolDialTimeout = 30 * time.Second
+
+// GetContext is Get honoring ctx: every caller stops waiting when its
+// own ctx ends. The dial itself is shared (singleflight) and detached
+// — it runs on under poolDialTimeout even if the initiating caller
+// cancels, and a successful connection lands in the pool for later
+// Gets — so one operation's cancellation never fails another
+// operation's Get.
+func (p *Pool) GetContext(ctx context.Context, addr string) (*Conn, error) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -434,35 +543,42 @@ func (p *Pool) Get(addr string) (*Conn, error) {
 		p.mu.Unlock()
 		return c, nil
 	}
-	if d, ok := p.dialing[addr]; ok {
-		p.mu.Unlock()
-		<-d.done
-		return d.c, d.err
-	}
-	d := &poolDial{done: make(chan struct{})}
-	p.dialing[addr] = d
-	dial := p.dial
-	if dial == nil {
-		dial = Dial
-	}
-	p.mu.Unlock()
-
-	c, err := dial(addr)
-
-	p.mu.Lock()
-	delete(p.dialing, addr)
-	if err == nil {
-		if p.closed {
-			c.Close()
-			c, err = nil, ErrClosed
-		} else {
-			p.conns[addr] = c
+	d, ok := p.dialing[addr]
+	if !ok {
+		d = &poolDial{done: make(chan struct{})}
+		p.dialing[addr] = d
+		dial := p.dial
+		if dial == nil {
+			dial = func(a string) (*Conn, error) {
+				dctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), poolDialTimeout)
+				defer cancel()
+				return DialContext(dctx, a)
+			}
 		}
+		go func() {
+			c, err := dial(addr)
+			p.mu.Lock()
+			delete(p.dialing, addr)
+			if err == nil {
+				if p.closed {
+					c.Close()
+					c, err = nil, ErrClosed
+				} else {
+					p.conns[addr] = c
+				}
+			}
+			p.mu.Unlock()
+			d.c, d.err = c, err
+			close(d.done)
+		}()
 	}
 	p.mu.Unlock()
-	d.c, d.err = c, err
-	close(d.done)
-	return c, err
+	select {
+	case <-d.done:
+		return d.c, d.err
+	case <-ctx.Done():
+		return nil, fmt.Errorf("pvfsnet: awaiting dial of %s: %w", addr, ctx.Err())
+	}
 }
 
 // Discard closes and forgets the pooled connection for addr, so the

@@ -1,5 +1,7 @@
 package wire
 
+import "sync/atomic"
+
 // Message body buffer pooling. The I/O hot path reads and writes one
 // framed message per request; without pooling every message allocates
 // its body (and the write path a header+body frame), so steady-state
@@ -48,12 +50,24 @@ func shiftFor(n int) int {
 	return shift
 }
 
+// bufGets and bufPuts count pool traffic: buffers handed out by GetBuf
+// and buffers returned through PutBuf (whether or not they were parked
+// in a class). Tests use the deltas to prove ownership discipline —
+// e.g. that an abandoned call's response body still reaches PutBuf.
+var bufGets, bufPuts atomic.Int64
+
+// BufStats reports cumulative GetBuf/PutBuf call counts.
+func BufStats() (gets, puts int64) {
+	return bufGets.Load(), bufPuts.Load()
+}
+
 // GetBuf returns a buffer of length n, reusing a pooled buffer when one
 // is available. n == 0 returns nil.
 func GetBuf(n int) []byte {
 	if n <= 0 {
 		return nil
 	}
+	bufGets.Add(1)
 	if n > 1<<maxBufShift {
 		return make([]byte, n)
 	}
@@ -71,6 +85,10 @@ func GetBuf(n int) []byte {
 // small to pool and surplus buffers in a full class are dropped.
 func PutBuf(b []byte) {
 	c := cap(b)
+	if c == 0 {
+		return
+	}
+	bufPuts.Add(1)
 	if c < 1<<minBufShift {
 		return
 	}

@@ -31,6 +31,7 @@
 package pvfs
 
 import (
+	"context"
 	iofs "io/fs"
 
 	"pvfs/internal/client"
@@ -85,6 +86,37 @@ type (
 	// DatatypeOptions tunes datatype I/O (per-request payload window,
 	// pipeline depth) for File.ReadDatatype/WriteDatatype (DESIGN.md §6).
 	DatatypeOptions = client.DatatypeOptions
+
+	// Request is the unified access descriptor of the nonblocking API:
+	// one value bundles memory layout, file layout (region list,
+	// datatype, or strided shorthand), method selection and per-op
+	// tuning. File.Start(ctx, Request) runs it without blocking
+	// (DESIGN.md §8).
+	Request = client.Request
+	// Op is a started nonblocking operation (Wait / Done / Err).
+	Op = client.Op
+	// Result summarizes a completed operation (resolved method, bytes
+	// moved, sieving stats).
+	Result = client.Result
+	// AccessMethod selects a Request's datapath; the zero value
+	// auto-picks.
+	AccessMethod = client.AccessMethod
+	// StridedSpec is the vector-pattern shorthand file layout of a
+	// Request.
+	StridedSpec = client.Strided
+)
+
+// Request access methods (DESIGN.md §8). AccessAuto routes encodable
+// datatype layouts down the datatype path, doubly-contiguous transfers
+// down the contiguous path, and everything else to list I/O.
+const (
+	AccessAuto     = client.AccessAuto
+	AccessContig   = client.AccessContig
+	AccessMultiple = client.AccessMultiple
+	AccessSieve    = client.AccessSieve
+	AccessList     = client.AccessList
+	AccessDatatype = client.AccessDatatype
+	AccessHybrid   = client.AccessHybrid
 )
 
 // Noncontiguous access methods (§3).
@@ -115,6 +147,12 @@ const DefaultDatatypeWindow = client.DefaultDatatypeWindowBytes
 
 // Connect opens a client session against a manager daemon address.
 func Connect(mgrAddr string) (*FS, error) { return client.Connect(mgrAddr) }
+
+// ConnectContext is Connect honoring the context's deadline and
+// cancellation for the TCP connect to the manager.
+func ConnectContext(ctx context.Context, mgrAddr string) (*FS, error) {
+	return client.ConnectContext(ctx, mgrAddr)
+}
 
 // StdFS wraps a client session as a read-only io/fs.FS — the Go
 // analogue of §2's "existing binaries operate on PVFS files without
