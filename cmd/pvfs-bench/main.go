@@ -20,6 +20,7 @@ import (
 
 	"pvfs/internal/client"
 	"pvfs/internal/cluster"
+	"pvfs/internal/faultnet"
 	"pvfs/internal/ioseg"
 	"pvfs/internal/patterns"
 	"pvfs/internal/striping"
@@ -37,6 +38,7 @@ func main() {
 	gran := flag.String("granularity", "file", "list entry granularity: file | intersect")
 	methodsFlag := flag.String("methods", "", "comma list of multiple,datasieve,list (default: paper's set)")
 	async := flag.Int("async", 1, "nonblocking ops in flight per rank (File.Start); applies to multiple/list, 1 = blocking calls")
+	chaosSeed := flag.Int64("chaos", 0, "run over a faulty wire: seed for a faultnet chaos script (0 = healthy); clients retry with backoff")
 	flag.Parse()
 
 	pat, err := buildPattern(*pattern, *clients, *accesses, *total, *blocks)
@@ -56,7 +58,15 @@ func main() {
 		}
 	}
 
-	c, err := cluster.Start(cluster.Options{NumIOD: *iods})
+	copts := cluster.Options{NumIOD: *iods}
+	var script *faultnet.Script
+	var retry *client.RetryPolicy
+	if *chaosSeed != 0 {
+		script = faultnet.NewScript(faultnet.DefaultChaos(*chaosSeed))
+		copts.FaultScript = script
+		retry = &client.RetryPolicy{Max: 12, Backoff: 2 * time.Millisecond, MaxBackoff: 250 * time.Millisecond}
+	}
+	c, err := cluster.Start(copts)
 	if err != nil {
 		fatal(err)
 	}
@@ -68,15 +78,21 @@ func main() {
 	}
 	fmt.Printf("# pattern=%s clients=%d iods=%d ssize=%d direction=%s granularity=%v async=%d\n",
 		pat.Name(), pat.Ranks(), *iods, *ssize, dir, g, *async)
+	if script != nil {
+		fmt.Printf("# chaos seed=%d (scripted wire faults; clients retry with backoff)\n", *chaosSeed)
+	}
 	fmt.Printf("%-12s %12s %12s %12s %14s\n", "method", "seconds", "requests", "regions", "bytes")
 
 	for _, m := range methods {
-		secs, stats, err := runMethod(c, pat, m, *write, *ssize, g, *async)
+		secs, stats, err := runMethod(c, pat, m, *write, *ssize, g, *async, retry)
 		if err != nil {
 			fatal(fmt.Errorf("%v: %w", m, err))
 		}
 		fmt.Printf("%-12s %12.4f %12d %12d %14d\n",
 			m, secs, stats.Requests, stats.Regions, stats.BytesRead+stats.BytesWritten)
+	}
+	if script != nil {
+		fmt.Printf("# chaos: %d structural wire faults injected and absorbed\n", script.Injected())
 	}
 }
 
@@ -197,12 +213,15 @@ func splitWork(mem, file ioseg.List, n int) []workChunk {
 // pattern into async chunks started as concurrent nonblocking Ops
 // (File.Start); data sieving keeps blocking calls (its
 // read-modify-write needs serialization).
-func runMethod(c *cluster.Cluster, pat patterns.Pattern, m client.Method, write bool, ssize int64, g client.Granularity, async int) (float64, statsDelta, error) {
+func runMethod(c *cluster.Cluster, pat patterns.Pattern, m client.Method, write bool, ssize int64, g client.Granularity, async int, retry *client.RetryPolicy) (float64, statsDelta, error) {
 	fs0, err := c.Connect()
 	if err != nil {
 		return 0, statsDelta{}, err
 	}
 	defer fs0.Close()
+	if retry != nil {
+		fs0.SetRetryPolicy(*retry)
+	}
 	name := fmt.Sprintf("bench-%s-%v-%d", pat.Name(), m, time.Now().UnixNano())
 	cfg := striping.Config{PCount: len(c.IODs), StripeSize: ssize}
 	if _, err := fs0.Create(name, cfg); err != nil {
@@ -244,6 +263,9 @@ func runMethod(c *cluster.Cluster, pat patterns.Pattern, m client.Method, write 
 			return err
 		}
 		defer fs.Close()
+		if retry != nil {
+			fs.SetRetryPolicy(*retry)
+		}
 		f, err := fs.Open(name)
 		if err != nil {
 			return err

@@ -3,6 +3,11 @@ package pvfs_test
 // Process-level integration: build the real binaries, run manager and
 // I/O daemons as separate OS processes (as on a cluster), and drive
 // them with the pvfs CLI — the full deployment path of README.md.
+//
+// The binaries are built once per test package run (TestMain owns the
+// shared build directory), not once per test; each daemon's output is
+// captured and dumped — with its exit state — only when the test
+// fails.
 
 import (
 	"bytes"
@@ -12,22 +17,50 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
 	"time"
 )
 
-// buildBinaries compiles the daemons and CLI into dir.
-func buildBinaries(t *testing.T, dir string) map[string]string {
+var (
+	binDir  string
+	binOnce sync.Once
+	binErr  error
+	bins    map[string]string
+)
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if binDir != "" {
+		os.RemoveAll(binDir)
+	}
+	os.Exit(code)
+}
+
+// buildBinaries compiles the daemons and CLI once for the whole test
+// package; every test shares the artifacts.
+func buildBinaries(t *testing.T) map[string]string {
 	t.Helper()
-	bins := map[string]string{}
-	for _, name := range []string{"pvfs-mgr", "pvfs-iod", "pvfs"} {
-		out := filepath.Join(dir, name)
-		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
-		cmd.Dir = "."
-		if b, err := cmd.CombinedOutput(); err != nil {
-			t.Fatalf("building %s: %v\n%s", name, err, b)
+	binOnce.Do(func() {
+		binDir, binErr = os.MkdirTemp("", "pvfs-bins-")
+		if binErr != nil {
+			return
 		}
-		bins[name] = out
+		bins = map[string]string{}
+		for _, name := range []string{"pvfs-mgr", "pvfs-iod", "pvfs"} {
+			out := filepath.Join(binDir, name)
+			cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+			cmd.Dir = "."
+			if b, err := cmd.CombinedOutput(); err != nil {
+				binErr = fmt.Errorf("building %s: %v\n%s", name, err, b)
+				return
+			}
+			bins[name] = out
+		}
+	})
+	if binErr != nil {
+		t.Fatal(binErr)
 	}
 	return bins
 }
@@ -59,19 +92,55 @@ func waitListening(t *testing.T, addr string) {
 	t.Fatalf("daemon on %s never came up", addr)
 }
 
-func startDaemon(t *testing.T, bin string, args ...string) *exec.Cmd {
+// daemon is a started daemon process with captured output.
+type daemon struct {
+	name string
+	cmd  *exec.Cmd
+	out  bytes.Buffer
+	mu   sync.Mutex
+}
+
+// startDaemon launches bin and registers cleanup that kills it and —
+// only on test failure — dumps its captured output and exit state, so
+// a daemon that crashed mid-test is diagnosable from the test log.
+func startDaemon(t *testing.T, name, bin string, args ...string) *daemon {
 	t.Helper()
-	cmd := exec.Command(bin, args...)
-	cmd.Stdout = os.Stderr
-	cmd.Stderr = os.Stderr
-	if err := cmd.Start(); err != nil {
+	d := &daemon{name: name, cmd: exec.Command(bin, args...)}
+	d.cmd.Stdout = &lockedWriter{d: d}
+	d.cmd.Stderr = &lockedWriter{d: d}
+	if err := d.cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() {
-		cmd.Process.Kill()
-		cmd.Wait()
+		d.cmd.Process.Kill()
+		d.cmd.Wait()
+		if t.Failed() {
+			d.mu.Lock()
+			out := d.out.String()
+			d.mu.Unlock()
+			t.Logf("--- %s (%s) exit: %v ---\n%s", d.name, strings.Join(args, " "),
+				d.cmd.ProcessState, out)
+		}
 	})
-	return cmd
+	return d
+}
+
+// lockedWriter serializes a daemon's stdout/stderr into one buffer.
+type lockedWriter struct{ d *daemon }
+
+func (w *lockedWriter) Write(p []byte) (int, error) {
+	w.d.mu.Lock()
+	defer w.d.mu.Unlock()
+	return w.d.out.Write(p)
+}
+
+// kill delivers SIGKILL — the abrupt crash, no shutdown path.
+func (d *daemon) kill(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("killing %s: %v", d.name, err)
+	}
+	d.cmd.Wait()
 }
 
 func TestProcessLevelDeployment(t *testing.T) {
@@ -79,16 +148,16 @@ func TestProcessLevelDeployment(t *testing.T) {
 		t.Skip("builds and runs real binaries")
 	}
 	dir := t.TempDir()
-	bins := buildBinaries(t, dir)
+	bins := buildBinaries(t)
 
 	// Two I/O daemons with on-disk stores, one manager.
 	iod1, iod2 := freePort(t), freePort(t)
 	mgrAddr := freePort(t)
-	startDaemon(t, bins["pvfs-iod"], "-addr", iod1, "-data", filepath.Join(dir, "iod0"), "-quiet")
-	startDaemon(t, bins["pvfs-iod"], "-addr", iod2, "-data", filepath.Join(dir, "iod1"), "-quiet")
+	startDaemon(t, "iod0", bins["pvfs-iod"], "-addr", iod1, "-data", filepath.Join(dir, "iod0"), "-quiet")
+	startDaemon(t, "iod1", bins["pvfs-iod"], "-addr", iod2, "-data", filepath.Join(dir, "iod1"), "-quiet")
 	waitListening(t, iod1)
 	waitListening(t, iod2)
-	startDaemon(t, bins["pvfs-mgr"], "-addr", mgrAddr, "-iods", iod1+","+iod2, "-quiet")
+	startDaemon(t, "mgr", bins["pvfs-mgr"], "-addr", mgrAddr, "-iods", iod1+","+iod2, "-quiet")
 	waitListening(t, mgrAddr)
 
 	cli := func(args ...string) string {
@@ -151,5 +220,60 @@ func TestProcessLevelDeployment(t *testing.T) {
 	cli("rm", "payload")
 	if out := cli("ls"); strings.Contains(out, "payload") {
 		t.Fatalf("ls after rm = %q", out)
+	}
+}
+
+// TestProcessLevelDaemonRestart is the OS-process form of the chaos
+// suite's kill/restart contract: SIGKILL a pvfs-iod mid-deployment,
+// restart it on the same address over the same data directory, and
+// verify the stored bytes survived intact.
+func TestProcessLevelDaemonRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs real binaries")
+	}
+	dir := t.TempDir()
+	bins := buildBinaries(t)
+
+	iod1, iod2 := freePort(t), freePort(t)
+	mgrAddr := freePort(t)
+	data1 := filepath.Join(dir, "iod1")
+	startDaemon(t, "iod0", bins["pvfs-iod"], "-addr", iod1, "-data", filepath.Join(dir, "iod0"), "-quiet")
+	victim := startDaemon(t, "iod1", bins["pvfs-iod"], "-addr", iod2, "-data", data1, "-quiet")
+	waitListening(t, iod1)
+	waitListening(t, iod2)
+	startDaemon(t, "mgr", bins["pvfs-mgr"], "-addr", mgrAddr, "-iods", iod1+","+iod2, "-quiet")
+	waitListening(t, mgrAddr)
+
+	cli := func(args ...string) string {
+		t.Helper()
+		cmd := exec.Command(bins["pvfs"], append([]string{"-mgr", mgrAddr}, args...)...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("pvfs %s: %v\n%s", strings.Join(args, " "), err, out)
+		}
+		return string(out)
+	}
+
+	local := filepath.Join(dir, "payload.bin")
+	payload := bytes.Repeat([]byte("survivor"), 8192) // 64 KiB
+	if err := os.WriteFile(local, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cli("put", local, "payload")
+
+	// Crash the daemon the way the kernel would: SIGKILL, then bring
+	// it back on the same address over the same data directory.
+	victim.kill(t)
+	startDaemon(t, "iod1-restarted", bins["pvfs-iod"], "-addr", iod2, "-data", data1, "-quiet")
+	waitListening(t, iod2)
+
+	back := filepath.Join(dir, "back.bin")
+	cli("get", "payload", back)
+	got, err := os.ReadFile(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("data corrupted across daemon restart (%d vs %d bytes)", len(got), len(payload))
 	}
 }

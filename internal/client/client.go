@@ -23,6 +23,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -136,7 +137,7 @@ type FS struct {
 	mgr     *pvfsnet.Conn
 	pool    *pvfsnet.Pool
 	stats   Counters
-	retries atomic.Int32
+	retry   atomic.Pointer[RetryPolicy]
 }
 
 // Connect dials the manager.
@@ -154,12 +155,90 @@ func ConnectContext(ctx context.Context, mgrAddr string) (*FS, error) {
 	return &FS{mgrAddr: mgrAddr, mgr: c, pool: pvfsnet.NewPool()}, nil
 }
 
+// RetryPolicy bounds transparent retry of I/O daemon calls that fail
+// in a retry-safe way: transport-level failures (broken or
+// unreachable connection) and StatusUnavailable answers from a
+// draining daemon. Server verdicts on the request itself (bad
+// geometry, missing handle) are never retried, and neither are
+// context cancellations or per-call deadlines.
+//
+// Replay is safe by request identity: every PVFS data operation
+// addresses absolute physical offsets, so re-issuing the identical
+// request is idempotent — a read returns the same bytes, a write
+// re-applies the same image. Partially-acked pipelined windows are
+// re-driven per tag: only the requests whose responses never arrived
+// are re-issued (DESIGN.md §9).
+type RetryPolicy struct {
+	// Max is the number of retries after the first attempt; 0 disables
+	// retry (the original PVFS behaviour — a died daemon fails the job).
+	Max int
+	// Backoff is the delay before the first retry, doubling on each
+	// subsequent one; 0 retries immediately.
+	Backoff time.Duration
+	// MaxBackoff caps the doubling; 0 means uncapped.
+	MaxBackoff time.Duration
+}
+
+// delay returns the backoff before the i-th retry (1-based).
+func (p RetryPolicy) delay(i int) time.Duration {
+	if p.Backoff <= 0 {
+		return 0
+	}
+	shift := i - 1
+	if shift > 20 { // 2^20× the base is past any sane MaxBackoff
+		shift = 20
+	}
+	d := p.Backoff << shift
+	if d <= 0 || (p.MaxBackoff > 0 && d > p.MaxBackoff) {
+		d = p.MaxBackoff
+		if d <= 0 {
+			d = p.Backoff
+		}
+	}
+	return d
+}
+
+// sleep blocks for the i-th retry's backoff, honoring ctx.
+func (p RetryPolicy) sleep(ctx context.Context, i int) error {
+	d := p.delay(i)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// RetryError is the typed exhaustion error: the retry policy ran out
+// of attempts against one daemon address. Err holds the final
+// attempt's failure; errors.Is/As reach through it.
+type RetryError struct {
+	Addr     string
+	Attempts int
+	Err      error
+}
+
+func (e *RetryError) Error() string {
+	return fmt.Sprintf("pvfs: %s still failing after %d attempts: %v", e.Addr, e.Attempts, e.Err)
+}
+
+func (e *RetryError) Unwrap() error { return e.Err }
+
 // ctxKey keys request-scoped knobs carried through the datapath.
 type ctxKey int
 
 // callTimeoutKey carries Request.CallTimeout: a deadline applied to
 // each individual wire call rather than the whole operation.
 const callTimeoutKey ctxKey = iota
+
+// retryPolicyKey carries Request.Retry: a per-operation retry policy
+// overriding the FS-wide default for the calls it spans.
+const retryPolicyKey ctxKey = iota + 1
 
 // withCallTimeout attaches a per-wire-call deadline to ctx; d <= 0 is
 // a no-op.
@@ -192,29 +271,71 @@ func ctxFailed(err error) bool {
 func (fs *FS) Counters() *Counters { return &fs.stats }
 
 // SetRetries enables transparent retry of I/O daemon calls that fail
-// at the transport level (broken or unreachable connection): each call
-// is attempted up to 1+n times, redialing through the pool between
-// attempts. Server-reported errors (bad request, missing handle) are
-// never retried. The original PVFS client had no retry — a died daemon
-// failed the job — so the default is 0; deployments that restart
-// daemons in place (see internal/fsck and the recovery tests) turn it
+// in a retry-safe way, attempting each call up to 1+n times with no
+// backoff — shorthand for SetRetryPolicy(RetryPolicy{Max: n}). The
+// original PVFS client had no retry — a died daemon failed the job —
+// so the default is 0; deployments that restart daemons in place (see
+// internal/fsck, cluster.RestartIOD and the recovery tests) turn it
 // on. All PVFS data operations are idempotent (absolute offsets), so
 // retrying a possibly-applied write is safe.
 func (fs *FS) SetRetries(n int) {
-	if n < 0 {
-		n = 0
-	}
-	fs.retries.Store(int32(n))
+	fs.SetRetryPolicy(RetryPolicy{Max: n})
 }
 
+// SetRetryPolicy installs the FS-wide default retry policy; a
+// Request.Retry overrides it per operation.
+func (fs *FS) SetRetryPolicy(p RetryPolicy) {
+	if p.Max < 0 {
+		p.Max = 0
+	}
+	fs.retry.Store(&p)
+}
+
+// retryPolicy resolves the policy governing calls under ctx: the
+// per-request override when one rode in, the FS default otherwise.
+func (fs *FS) retryPolicy(ctx context.Context) RetryPolicy {
+	if p, ok := ctx.Value(retryPolicyKey).(RetryPolicy); ok {
+		return p
+	}
+	if p := fs.retry.Load(); p != nil {
+		return *p
+	}
+	return RetryPolicy{}
+}
+
+// withRetryPolicy attaches a per-operation retry policy to ctx.
+func withRetryPolicy(ctx context.Context, p *RetryPolicy) context.Context {
+	if p == nil {
+		return ctx
+	}
+	q := *p
+	if q.Max < 0 {
+		q.Max = 0
+	}
+	return context.WithValue(ctx, retryPolicyKey, q)
+}
+
+// SetConnWrap installs a raw-connection wrapper on the I/O daemon
+// connection pool: every subsequently dialed connection passes through
+// it before the tagged transport takes over. Fault-injection harnesses
+// (internal/faultnet) use it to run a client over a scripted faulty
+// wire; nil removes the hook.
+func (fs *FS) SetConnWrap(w func(net.Conn) net.Conn) { fs.pool.SetConnWrap(w) }
+
 // iodCall issues one request on the pooled connection for addr,
-// redialing and retrying on transport failures when retries are
-// enabled. Context failures — the operation's cancellation or the
-// per-call deadline of withCallTimeout — are never retried and never
-// discard the connection: the call's tag is abandoned, every other
-// tag on the connection proceeds.
+// redialing and retrying per the governing RetryPolicy on retry-safe
+// failures: transport errors (broken or unreachable connection, which
+// also evict the pooled connection) and StatusUnavailable answers
+// (the daemon is draining; the connection stays). Other
+// server-reported errors are verdicts and fail immediately. Context
+// failures — the operation's cancellation or the per-call deadline of
+// withCallTimeout — are never retried and never discard the
+// connection: the call's tag is abandoned, every other tag on the
+// connection proceeds. When the policy is exhausted the last failure
+// is wrapped in *RetryError.
 func (fs *FS) iodCall(ctx context.Context, addr string, msg wire.Message) (wire.Message, error) {
-	attempts := 1 + int(fs.retries.Load())
+	pol := fs.retryPolicy(ctx)
+	attempts := 1 + pol.Max
 	var lastErr error
 	for i := 0; i < attempts; i++ {
 		if err := ctx.Err(); err != nil {
@@ -222,6 +343,9 @@ func (fs *FS) iodCall(ctx context.Context, addr string, msg wire.Message) (wire.
 		}
 		if i > 0 {
 			fs.stats.Retries.Add(1)
+			if err := pol.sleep(ctx, i); err != nil {
+				return wire.Message{}, err
+			}
 		}
 		conn, err := fs.pool.GetContext(ctx, addr)
 		if err != nil {
@@ -239,13 +363,20 @@ func (fs *FS) iodCall(ctx context.Context, addr string, msg wire.Message) (wire.
 		}
 		var se *wire.StatusError
 		if errors.As(err, &se) {
-			return resp, err // the server answered; retrying cannot help
+			if se.Status.Retryable() {
+				lastErr = err // the daemon asked for a retry; the connection is fine
+				continue
+			}
+			return resp, err // the server answered with a verdict; retrying cannot help
 		}
 		if ctxFailed(err) {
 			return wire.Message{}, err // canceled/timed out; the connection is fine
 		}
 		fs.pool.Discard(addr)
 		lastErr = err
+	}
+	if attempts > 1 {
+		lastErr = &RetryError{Addr: addr, Attempts: attempts, Err: lastErr}
 	}
 	return wire.Message{}, lastErr
 }
@@ -561,6 +692,7 @@ func (fs *FS) pipelineCalls(ctx context.Context, addr string, n, window int, bui
 	if n == 0 {
 		return nil
 	}
+	pol := fs.retryPolicy(ctx)
 	if window <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
 			msg, err := build(i)
@@ -614,7 +746,7 @@ func (fs *FS) pipelineCalls(ctx context.Context, addr string, n, window int, bui
 			// owed. Recover serially when retries are enabled (the
 			// whole window may have failed with it; each request
 			// re-issues independently and Pool.Get dedups the redial).
-			if fs.retries.Load() == 0 {
+			if pol.Max == 0 {
 				wire.PutBuf(msg.Body)
 				return cerr
 			}
@@ -638,15 +770,24 @@ func (fs *FS) pipelineCalls(ctx context.Context, addr string, n, window int, bui
 		cancel()
 		if err != nil {
 			var se *wire.StatusError
+			answered := errors.As(err, &se)
 			switch {
-			case errors.As(err, &se):
-				// The server answered; retrying cannot help.
+			case answered && !se.Status.Retryable():
+				// The server answered with a verdict; retrying cannot
+				// help.
 			case ctxFailed(err):
 				// Canceled or per-call deadline: the tag is already
 				// abandoned; fail the operation, keep the connection.
-			case fs.retries.Load() > 0:
+			case pol.Max > 0:
+				// Per-tag re-drive: only this slot's request is
+				// re-issued; acked requests in the window stay applied
+				// (idempotent replay, DESIGN.md §9). A StatusUnavailable
+				// answer keeps the healthy connection; a transport
+				// failure evicts it first.
 				fs.stats.Retries.Add(1)
-				fs.pool.Discard(addr)
+				if !answered {
+					fs.pool.Discard(addr)
+				}
 				resp, err = fs.iodCall(ctx, addr, s.msg)
 			}
 			if err != nil {

@@ -1,6 +1,7 @@
 package client_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"pvfs/internal/client"
 	"pvfs/internal/cluster"
 	"pvfs/internal/iod"
+	"pvfs/internal/ioseg"
 	"pvfs/internal/mgr"
 	"pvfs/internal/pvfsnet"
 	"pvfs/internal/store"
@@ -249,5 +251,178 @@ func TestFaultDelayOnlySlowsCalls(t *testing.T) {
 	}
 	if d := time.Since(start); d < 5*time.Millisecond {
 		t.Errorf("read completed in %v despite a 5ms injected delay", d)
+	}
+}
+
+// TestUnavailableIsRetrySafe: StatusUnavailable is the one
+// server-reported status a retry policy may re-issue on — the daemon
+// answered but refused service (draining). Other statuses remain
+// verdicts (TestServerErrorsAreNotRetried).
+func TestUnavailableIsRetrySafe(t *testing.T) {
+	c, err := cluster.Start(cluster.Options{NumIOD: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fs, err := c.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	want := writeSeeded(t, fs, "unav.dat", 256, 2)
+	f, err := fs.Open("unav.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	var faults pvfsnet.Faults
+	c.IODs[0].Net().SetFaults(&faults)
+
+	// Without a policy the refusal surfaces as a StatusError.
+	faults.UnavailableRequests(1)
+	buf := make([]byte, 8)
+	_, err = f.ReadAt(buf, 0)
+	var se *wire.StatusError
+	if !errors.As(err, &se) || se.Status != wire.StatusUnavailable {
+		t.Fatalf("unretried unavailable = %v, want StatusUnavailable", err)
+	}
+
+	// With a policy the refusals are absorbed, with backoff, on the
+	// same healthy connection.
+	fs.SetRetryPolicy(client.RetryPolicy{Max: 3, Backoff: time.Millisecond})
+	faults.UnavailableRequests(2)
+	got := make([]byte, len(want))
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatalf("read through two unavailable answers: %v", err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("byte %d = %#x, want %#x", i, got[i], want[i])
+		}
+	}
+	if r := fs.Counters().Retries.Load(); r != 2 {
+		t.Errorf("retries = %d, want 2", r)
+	}
+}
+
+// TestRequestRetryOverridesFSPolicy: a per-Request policy governs its
+// own calls even when the FS default is no-retry.
+func TestRequestRetryOverridesFSPolicy(t *testing.T) {
+	c, err := cluster.Start(cluster.Options{NumIOD: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fs, err := c.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	want := writeSeeded(t, fs, "override.dat", 256, 2)
+	f, err := fs.Open("override.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	var faults pvfsnet.Faults
+	c.IODs[0].Net().SetFaults(&faults)
+	faults.DropConnections(1)
+
+	got := make([]byte, len(want))
+	_, err = f.Run(context.Background(), client.Request{
+		Arena: got,
+		File:  ioseg.List{{Offset: 0, Length: int64(len(want))}},
+		Retry: &client.RetryPolicy{Max: 2, Backoff: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("read with per-request retries failed: %v", err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("byte %d = %#x, want %#x", i, got[i], want[i])
+		}
+	}
+
+	// The FS default is still no-retry: the next drop fails.
+	faults.DropConnections(1)
+	if _, err := f.ReadAt(got, 0); err == nil {
+		t.Fatal("FS-level call inherited the per-request policy")
+	}
+}
+
+// TestRetryExhaustionReturnsTypedError: the bounded policy surfaces
+// *client.RetryError with the attempt count, wrapping the final
+// transport failure.
+func TestRetryExhaustionReturnsTypedError(t *testing.T) {
+	c, err := cluster.Start(cluster.Options{NumIOD: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fs, err := c.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	writeSeeded(t, fs, "typed.dat", 256, 2)
+	f, err := fs.Open("typed.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	var faults pvfsnet.Faults
+	c.IODs[0].Net().SetFaults(&faults)
+	fs.SetRetryPolicy(client.RetryPolicy{Max: 2, Backoff: time.Millisecond})
+	faults.DropConnections(10)
+
+	buf := make([]byte, 8)
+	_, err = f.ReadAt(buf, 0)
+	var re *client.RetryError
+	if !errors.As(err, &re) {
+		t.Fatalf("exhaustion error %v (%T) is not *client.RetryError", err, err)
+	}
+	if re.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3", re.Attempts)
+	}
+	if re.Err == nil {
+		t.Error("RetryError does not wrap the final failure")
+	}
+}
+
+// TestBackoffDelaysRetries: exponential backoff actually spaces the
+// attempts out.
+func TestBackoffDelaysRetries(t *testing.T) {
+	c, err := cluster.Start(cluster.Options{NumIOD: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fs, err := c.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	writeSeeded(t, fs, "backoff.dat", 64, 1)
+	f, err := fs.Open("backoff.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	var faults pvfsnet.Faults
+	c.IODs[0].Net().SetFaults(&faults)
+	fs.SetRetryPolicy(client.RetryPolicy{Max: 2, Backoff: 20 * time.Millisecond})
+	faults.UnavailableRequests(2) // retries at +20ms and +40ms
+
+	start := time.Now()
+	buf := make([]byte, 8)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatalf("read failed: %v", err)
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Errorf("two backoff retries completed in %v, want >= 60ms-ish", d)
 	}
 }

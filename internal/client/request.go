@@ -137,6 +137,14 @@ type Request struct {
 	// the operation forever, and only the affected tags are abandoned
 	// — the pooled connection stays usable. 0 means no per-call bound.
 	CallTimeout time.Duration
+
+	// Retry overrides the FS-wide retry policy (FS.SetRetryPolicy)
+	// for this operation's wire calls: bounded retries with
+	// exponential backoff on retry-safe failures (transport errors,
+	// StatusUnavailable), per-tag replay of unacked pipelined
+	// requests, typed *RetryError on exhaustion. nil inherits the FS
+	// default (DESIGN.md §9).
+	Retry *RetryPolicy
 }
 
 // Result summarizes a completed operation.
@@ -342,6 +350,7 @@ func (f *File) exec(ctx context.Context, req Request) (Result, error) {
 		return Result{}, err
 	}
 	ctx = withCallTimeout(ctx, req.CallTimeout)
+	ctx = withRetryPolicy(ctx, req.Retry)
 	res := Result{Method: rv.method, Bytes: rv.mem.TotalLength()}
 
 	if err := ctx.Err(); err != nil {

@@ -10,10 +10,13 @@ package cluster
 import (
 	"fmt"
 	"log"
+	"net"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"pvfs/internal/client"
+	"pvfs/internal/faultnet"
 	"pvfs/internal/iod"
 	"pvfs/internal/mgr"
 	"pvfs/internal/store"
@@ -30,6 +33,12 @@ type Options struct {
 	// Cache, when non-nil, wraps each daemon's store in a write-back
 	// block cache (store.Cached) with these options.
 	Cache *store.CacheOptions
+	// FaultScript, when non-nil, wraps every I/O daemon listener so
+	// accepted connections run over a scripted faulty wire
+	// (faultnet.WrapListener); the manager stays healthy. Any test or
+	// bench using the cluster then exercises the client's recovery
+	// path without further plumbing.
+	FaultScript *faultnet.Script
 	// Logger receives daemon diagnostics; nil silences them.
 	Logger *log.Logger
 }
@@ -38,6 +47,41 @@ type Options struct {
 type Cluster struct {
 	Mgr  *mgr.Server
 	IODs []*iod.Server
+
+	opts Options
+	mems []*store.Mem // per-daemon memory stores, surviving KillIOD
+	mu   sync.Mutex   // guards IODs slots across Kill/Restart
+}
+
+// iodStore builds (or rebuilds) daemon i's store: Dir-backed under
+// DataDir, else the daemon's persistent Mem store, optionally wrapped
+// in a write-back cache. Durable state lives below the cache, so a
+// rebuilt store sees everything a killed daemon had flushed.
+func (c *Cluster) iodStore(i int) (store.Store, error) {
+	var st store.Store
+	if c.opts.DataDir != "" {
+		ds, err := store.NewDir(filepath.Join(c.opts.DataDir, fmt.Sprintf("iod%d", i)))
+		if err != nil {
+			return nil, err
+		}
+		st = ds
+	} else {
+		st = c.mems[i]
+	}
+	if c.opts.Cache != nil {
+		st = store.Cached(st, *c.opts.Cache)
+	}
+	return st, nil
+}
+
+// listenIOD starts daemon i's server on addr over st, applying the
+// cluster's fault script to the listener.
+func (c *Cluster) listenIOD(addr string, st store.Store) (*iod.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return iod.New(faultnet.WrapListener(ln, c.opts.FaultScript), st, c.opts.Logger), nil
 }
 
 // Start launches the daemons on ephemeral loopback ports.
@@ -45,25 +89,23 @@ func Start(opts Options) (*Cluster, error) {
 	if opts.NumIOD <= 0 {
 		opts.NumIOD = 8
 	}
-	c := &Cluster{}
+	c := &Cluster{opts: opts}
+	if opts.DataDir == "" {
+		c.mems = make([]*store.Mem, opts.NumIOD)
+		for i := range c.mems {
+			c.mems[i] = store.NewMem()
+		}
+	}
 	addrs := make([]string, 0, opts.NumIOD)
 	for i := 0; i < opts.NumIOD; i++ {
-		var st store.Store
-		if opts.DataDir != "" {
-			ds, err := store.NewDir(filepath.Join(opts.DataDir, fmt.Sprintf("iod%d", i)))
-			if err != nil {
-				c.Close()
-				return nil, err
-			}
-			st = ds
-		} else {
-			st = store.NewMem()
-		}
-		if opts.Cache != nil {
-			st = store.Cached(st, *opts.Cache)
-		}
-		srv, err := iod.Listen("127.0.0.1:0", st, opts.Logger)
+		st, err := c.iodStore(i)
 		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		srv, err := c.listenIOD("127.0.0.1:0", st)
+		if err != nil {
+			st.Close()
 			c.Close()
 			return nil, err
 		}
@@ -79,11 +121,57 @@ func Start(opts Options) (*Cluster, error) {
 	return c, nil
 }
 
+// KillIOD abruptly kills I/O daemon i, as a crashed process: in-flight
+// calls see broken connections, a write-back cache loses its unflushed
+// blocks (the documented loss window, DESIGN.md §7), durable state
+// survives. The daemon's address stays reserved for RestartIOD.
+func (c *Cluster) KillIOD(i int) error {
+	c.mu.Lock()
+	srv := c.IODs[i]
+	c.mu.Unlock()
+	return srv.Kill()
+}
+
+// RestartIOD brings daemon i back on its original address over its
+// surviving state — the restart an init system performs. Mem-backed
+// daemons keep their store instance (its Close is a no-op);
+// Dir-backed daemons re-open their directory and recover everything
+// that was flushed before the kill. The listen is retried briefly in
+// case the kernel has not yet released the address.
+func (c *Cluster) RestartIOD(i int) error {
+	c.mu.Lock()
+	addr := c.IODs[i].Addr()
+	c.mu.Unlock()
+	st, err := c.iodStore(i)
+	if err != nil {
+		return err
+	}
+	var srv *iod.Server
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		srv, err = c.listenIOD(addr, st)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			st.Close()
+			return fmt.Errorf("cluster: restarting iod %d on %s: %w", i, addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	c.mu.Lock()
+	c.IODs[i] = srv
+	c.mu.Unlock()
+	return nil
+}
+
 // MgrAddr returns the manager's address.
 func (c *Cluster) MgrAddr() string { return c.Mgr.Addr() }
 
 // IODAddrs returns the I/O daemon addresses in stripe order.
 func (c *Cluster) IODAddrs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make([]string, len(c.IODs))
 	for i, s := range c.IODs {
 		out[i] = s.Addr()
@@ -98,10 +186,15 @@ func (c *Cluster) Connect() (*client.FS, error) {
 	return client.Connect(c.MgrAddr())
 }
 
-// Stats snapshots each I/O daemon's request accounting.
+// Stats snapshots each I/O daemon's request accounting. Accounting
+// does not survive KillIOD (the restarted daemon counts from zero, as
+// a real restart would).
 func (c *Cluster) Stats() []wire.ServerStats {
-	out := make([]wire.ServerStats, len(c.IODs))
-	for i, s := range c.IODs {
+	c.mu.Lock()
+	iods := append([]*iod.Server(nil), c.IODs...)
+	c.mu.Unlock()
+	out := make([]wire.ServerStats, len(iods))
+	for i, s := range iods {
 		out[i] = s.Stats()
 	}
 	return out
@@ -122,7 +215,10 @@ func (c *Cluster) Close() error {
 	if c.Mgr != nil {
 		first = c.Mgr.Close()
 	}
-	for _, s := range c.IODs {
+	c.mu.Lock()
+	iods := append([]*iod.Server(nil), c.IODs...)
+	c.mu.Unlock()
+	for _, s := range iods {
 		if err := s.Close(); err != nil && first == nil {
 			first = err
 		}

@@ -119,3 +119,58 @@ func TestBarrierPanicsOnZero(t *testing.T) {
 	}()
 	cluster.NewBarrier(0)
 }
+
+// TestKillRestartIOD is the daemon lifecycle contract: a killed daemon
+// loses its listener abruptly, a restarted one comes back on the same
+// address over its Dir-backed state, and a retrying client rides
+// through the whole episode.
+func TestKillRestartIOD(t *testing.T) {
+	c, err := cluster.Start(cluster.Options{NumIOD: 2, DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fs, err := c.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	fs.SetRetries(3)
+
+	f, err := fs.Create("lifecycle.dat", striping.Config{PCount: 2, StripeSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	want := make([]byte, 512)
+	for i := range want {
+		want[i] = byte(i * 13)
+	}
+	if _, err := f.WriteAt(want, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	addrs := c.IODAddrs()
+	if err := c.KillIOD(1); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	if err := c.RestartIOD(1); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	if got := c.IODAddrs(); got[1] != addrs[1] {
+		t.Fatalf("restart moved the daemon: %s -> %s", addrs[1], got[1])
+	}
+
+	got := make([]byte, len(want))
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatalf("read after restart: %v", err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("byte %d = %#x, want %#x after kill/restart", i, got[i], want[i])
+		}
+	}
+	if _, err := f.WriteAt([]byte("alive"), 0); err != nil {
+		t.Fatalf("write after restart: %v", err)
+	}
+}

@@ -1,0 +1,249 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"pvfs/internal/wire"
+)
+
+// pipePair returns the two ends of an in-memory connection with plan
+// applied to the a side.
+func pipePair(plan Plan) (net.Conn, net.Conn) {
+	a, b := net.Pipe()
+	return WrapConn(a, plan), b
+}
+
+func msg(tag uint32, n int) wire.Message {
+	body := make([]byte, n)
+	for i := range body {
+		body[i] = byte(i)
+	}
+	return wire.Message{Header: wire.Header{Type: wire.TWrite, Tag: tag}, Body: body}
+}
+
+func TestZeroPlanIsTransparent(t *testing.T) {
+	a, b := net.Pipe()
+	if c := WrapConn(a, Plan{}); c != a {
+		t.Fatal("zero plan wrapped the connection")
+	}
+	a.Close()
+	b.Close()
+}
+
+func TestFrameTrackerSegmentedStream(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 3; i++ {
+		if err := wire.WriteMessage(&buf, msg(uint32(i), 100+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stream := buf.Bytes()
+	// Feed the stream a byte at a time, then in odd chunks: the frame
+	// count must come out right either way.
+	for _, chunk := range []int{1, 7, 64} {
+		var tr frameTracker
+		for off := 0; off < len(stream); {
+			end := off + chunk
+			if end > len(stream) {
+				end = len(stream)
+			}
+			b := stream[off:end]
+			for len(b) > 0 {
+				n := tr.advance(b)
+				off += n
+				b = b[n:]
+			}
+		}
+		if tr.frames != 3 {
+			t.Fatalf("chunk %d: frames = %d, want 3", chunk, tr.frames)
+		}
+		if _, atStart := tr.current(); !atStart {
+			t.Fatalf("chunk %d: tracker not at frame boundary after full stream", chunk)
+		}
+	}
+}
+
+func TestTruncateFrameTearsMidBody(t *testing.T) {
+	a, b := pipePair(Plan{TruncateFrame: 2})
+	defer b.Close()
+	done := make(chan error, 1)
+	go func() {
+		if err := wire.WriteMessage(a, msg(1, 200)); err != nil {
+			done <- err
+			return
+		}
+		err := wire.WriteMessage(a, msg(2, 200))
+		if !errors.Is(err, ErrInjected) {
+			done <- err
+			return
+		}
+		done <- nil
+	}()
+	// Frame 1 arrives whole.
+	m, err := wire.ReadMessage(b)
+	if err != nil {
+		t.Fatalf("first frame: %v", err)
+	}
+	if m.Tag != 1 || len(m.Body) != 200 {
+		t.Fatalf("first frame = tag %d, %d bytes", m.Tag, len(m.Body))
+	}
+	// Frame 2 is torn mid-body: header parses, body read hits EOF.
+	if _, err := wire.ReadMessage(b); !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+		t.Fatalf("torn frame error = %v, want unexpected EOF", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+}
+
+func TestCloseOnRequestSeversBeforeKthFrame(t *testing.T) {
+	// Wrap the reading side: the 2nd inbound frame must never be
+	// delivered, and the connection dies as it begins.
+	a, b := net.Pipe()
+	wrapped := WrapConn(a, Plan{CloseOnRequest: 2})
+	defer b.Close()
+	go func() {
+		wire.WriteMessage(b, msg(1, 64))
+		wire.WriteMessage(b, msg(2, 64)) // will be discarded
+	}()
+	m, err := wire.ReadMessage(wrapped)
+	if err != nil {
+		t.Fatalf("first frame: %v", err)
+	}
+	if m.Tag != 1 {
+		t.Fatalf("first frame tag = %d", m.Tag)
+	}
+	if _, err := wire.ReadMessage(wrapped); err == nil {
+		t.Fatal("second frame was delivered through CloseOnRequest")
+	}
+}
+
+func TestDropAfterBytesSharedBudget(t *testing.T) {
+	a, b := pipePair(Plan{DropAfterBytes: wire.HeaderSize + 10})
+	defer b.Close()
+	go io.Copy(io.Discard, b)
+	// First frame fits the budget's start but exceeds it mid-body.
+	err := wire.WriteMessage(a, msg(1, 100))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("write within exhausted budget: %v", err)
+	}
+	// The connection is dead for good.
+	if _, err := a.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write after drop: %v", err)
+	}
+}
+
+func TestStallFrameDelaysWithoutClosing(t *testing.T) {
+	const stall = 30 * time.Millisecond
+	a, b := pipePair(Plan{StallFrame: 2, StallFor: stall})
+	defer b.Close()
+	go func() {
+		wire.WriteMessage(a, msg(1, 32))
+		wire.WriteMessage(a, msg(2, 32))
+	}()
+	if _, err := wire.ReadMessage(b); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	m, err := wire.ReadMessage(b)
+	if err != nil {
+		t.Fatalf("stalled frame failed: %v", err)
+	}
+	if m.Tag != 2 {
+		t.Fatalf("tag = %d", m.Tag)
+	}
+	if d := time.Since(start); d < stall/2 {
+		t.Fatalf("second frame arrived in %v despite %v stall", d, stall)
+	}
+}
+
+func TestLatencySlowsEveryCall(t *testing.T) {
+	const lat = 10 * time.Millisecond
+	a, b := pipePair(Plan{Latency: lat})
+	defer b.Close()
+	go wire.WriteMessage(a, msg(1, 8))
+	start := time.Now()
+	if _, err := wire.ReadMessage(b); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < lat/2 {
+		t.Fatalf("frame crossed a %v-latency wire in %v", lat, d)
+	}
+}
+
+func TestScriptDeterministicBySeed(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		s1 := NewScript(DefaultChaos(seed))
+		s2 := NewScript(DefaultChaos(seed))
+		for i := int64(0); i < 64; i++ {
+			if p1, p2 := s1.PlanFor(i), s2.PlanFor(i); p1 != p2 {
+				t.Fatalf("seed %d conn %d: %+v vs %+v", seed, i, p1, p2)
+			}
+		}
+	}
+	// Different seeds must not produce identical schedules.
+	s1, s2 := NewScript(DefaultChaos(1)), NewScript(DefaultChaos(2))
+	same := true
+	for i := int64(0); i < 64; i++ {
+		if s1.PlanFor(i) != s2.PlanFor(i) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical fault schedules")
+	}
+}
+
+func TestScriptDisarm(t *testing.T) {
+	s := Fixed(Plan{TruncateFrame: 1})
+	s.Disarm()
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	if c := s.WrapConn(a); c != a {
+		t.Fatal("disarmed script wrapped the connection")
+	}
+	s.Arm()
+	if c := s.WrapConn(a); c == a {
+		t.Fatal("armed script did not wrap")
+	}
+	if s.Injected() != 1 {
+		t.Fatalf("injected = %d, want 1", s.Injected())
+	}
+}
+
+func TestWrapListener(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Fixed(Plan{CloseOnRequest: 1})
+	wl := WrapListener(ln, s)
+	defer wl.Close()
+	go func() {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			return
+		}
+		wire.WriteMessage(c, msg(1, 16))
+		c.Close()
+	}()
+	c, err := wl.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// The very first request must never be delivered.
+	if _, err := wire.ReadMessage(c); err == nil {
+		t.Fatal("frame delivered through CloseOnRequest(1)")
+	}
+	if WrapListener(ln, nil) != ln {
+		t.Fatal("nil script wrapped the listener")
+	}
+}

@@ -1,0 +1,169 @@
+package faultnet
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ChaosOptions parameterizes a random Script: each probability is the
+// chance (0..1) that a connection draws that fault. A connection draws
+// at most one structural fault (drop, close-on-request, truncate,
+// stall), plus independent latency.
+type ChaosOptions struct {
+	Seed int64
+
+	// PDrop cuts the connection after a random byte budget in
+	// [1, DropBytesMax] (default 64 KiB).
+	PDrop        float64
+	DropBytesMax int64
+
+	// PCloseOnRequest severs the connection as a random inbound frame
+	// in [1, FrameMax] (default 8) begins.
+	PCloseOnRequest float64
+
+	// PTruncate tears a random outbound frame in [1, FrameMax]
+	// mid-body.
+	PTruncate float64
+
+	// PStall stalls a random outbound frame in [1, FrameMax] for
+	// StallFor (default 5ms) without closing.
+	PStall   float64
+	StallFor time.Duration
+
+	// PLatency adds a uniform per-call latency in (0, LatencyMax]
+	// (default 200µs).
+	PLatency   float64
+	LatencyMax time.Duration
+
+	// FrameMax bounds the random frame indices (default 8).
+	FrameMax int
+}
+
+func (o ChaosOptions) withDefaults() ChaosOptions {
+	if o.DropBytesMax <= 0 {
+		o.DropBytesMax = 64 << 10
+	}
+	if o.FrameMax <= 0 {
+		o.FrameMax = 8
+	}
+	if o.StallFor <= 0 {
+		o.StallFor = 5 * time.Millisecond
+	}
+	if o.LatencyMax <= 0 {
+		o.LatencyMax = 200 * time.Microsecond
+	}
+	return o
+}
+
+// DefaultChaos is a moderately hostile mix: roughly a third of
+// connections experience a structural failure, most see some latency.
+func DefaultChaos(seed int64) ChaosOptions {
+	return ChaosOptions{
+		Seed:            seed,
+		PDrop:           0.12,
+		PCloseOnRequest: 0.12,
+		PTruncate:       0.08,
+		PStall:          0.10,
+		PLatency:        0.75,
+	}
+}
+
+// Script hands out a Plan per connection. Plans are derived from the
+// seed and the connection's accept/dial index only, so a given seed
+// reproduces the same fault schedule regardless of goroutine
+// interleaving. A disarmed script hands out transparent plans, letting
+// tests run a healthy verification phase over the same listener.
+type Script struct {
+	opts  ChaosOptions
+	armed atomic.Bool
+
+	mu    sync.Mutex
+	next  int64 // next connection index
+	fixed *Plan // non-nil: every connection gets this plan
+
+	injected atomic.Int64 // structural faults handed out while armed
+}
+
+// NewScript builds a random script from opts (zero probabilities make
+// it transparent). The script starts armed.
+func NewScript(opts ChaosOptions) *Script {
+	s := &Script{opts: opts.withDefaults()}
+	s.armed.Store(true)
+	return s
+}
+
+// Fixed builds a script that applies the same plan to every
+// connection — the targeted, non-random form for unit tests.
+func Fixed(plan Plan) *Script {
+	s := &Script{fixed: &plan}
+	s.armed.Store(true)
+	return s
+}
+
+// Arm enables fault injection; Disarm makes every subsequent
+// connection transparent (existing wrapped connections keep their
+// plans). Tests disarm before the verification read-back.
+func (s *Script) Arm()    { s.armed.Store(true) }
+func (s *Script) Disarm() { s.armed.Store(false) }
+
+// Injected reports how many structural faults (drop, close, truncate,
+// stall) the script has handed out.
+func (s *Script) Injected() int64 { return s.injected.Load() }
+
+// PlanFor returns the deterministic plan for the i-th connection.
+func (s *Script) PlanFor(i int64) Plan {
+	if s.fixed != nil {
+		return *s.fixed
+	}
+	o := s.opts
+	// A per-connection generator keyed on (seed, index) makes the plan
+	// independent of the order concurrent connections are observed in.
+	rng := rand.New(rand.NewSource(o.Seed ^ (i+1)*-0x61C8864680B583EB))
+	var p Plan
+	if o.PLatency > 0 && rng.Float64() < o.PLatency {
+		p.Latency = time.Duration(1 + rng.Int63n(int64(o.LatencyMax)))
+	}
+	// At most one structural fault per connection.
+	draw := rng.Float64()
+	switch {
+	case draw < o.PDrop:
+		p.DropAfterBytes = 1 + rng.Int63n(o.DropBytesMax)
+	case draw < o.PDrop+o.PCloseOnRequest:
+		p.CloseOnRequest = 1 + rng.Intn(o.FrameMax)
+	case draw < o.PDrop+o.PCloseOnRequest+o.PTruncate:
+		p.TruncateFrame = 1 + rng.Intn(o.FrameMax)
+	case draw < o.PDrop+o.PCloseOnRequest+o.PTruncate+o.PStall:
+		p.StallFrame = 1 + rng.Intn(o.FrameMax)
+		p.StallFor = o.StallFor
+	}
+	return p
+}
+
+// WrapConn wraps c in the script's next plan (transparent while
+// disarmed).
+func (s *Script) WrapConn(c net.Conn) net.Conn {
+	s.mu.Lock()
+	i := s.next
+	s.next++
+	s.mu.Unlock()
+	if !s.armed.Load() {
+		return c
+	}
+	p := s.PlanFor(i)
+	if p.DropAfterBytes > 0 || p.CloseOnRequest > 0 || p.TruncateFrame > 0 || p.StallFrame > 0 {
+		s.injected.Add(1)
+	}
+	return WrapConn(c, p)
+}
+
+// String summarizes the script configuration for seed logging.
+func (s *Script) String() string {
+	if s.fixed != nil {
+		return fmt.Sprintf("faultnet.Fixed(%+v)", *s.fixed)
+	}
+	return fmt.Sprintf("faultnet.Script(seed=%d)", s.opts.Seed)
+}

@@ -79,9 +79,27 @@ func (s *Server) Stats() wire.ServerStats {
 	return st
 }
 
-// Close stops the daemon and closes its store.
+// Close stops the daemon and closes its store (an orderly shutdown: a
+// write-back cache flushes its dirty blocks on Close).
 func (s *Server) Close() error {
 	err := s.srv.Close()
+	if cerr := s.st.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Kill stops the daemon the way a crash would: the transport closes
+// (clients see broken connections mid-call), a write-back cache is
+// abandoned WITHOUT flushing — unflushed writes inside the documented
+// loss window are gone (DESIGN.md §7) — and backend file handles are
+// released with no final sync. Durable state (a store.Dir directory)
+// survives for a restart on the same address; see cluster.RestartIOD.
+func (s *Server) Kill() error {
+	err := s.srv.Close()
+	if c, ok := s.st.(*store.Cache); ok {
+		c.Abandon()
+	}
 	if cerr := s.st.Close(); err == nil {
 		err = cerr
 	}

@@ -14,6 +14,7 @@ type Faults struct {
 	mu       sync.Mutex
 	failNext int
 	dropNext int
+	unavNext int
 	delay    time.Duration
 
 	failed  int
@@ -37,6 +38,16 @@ func (f *Faults) DropConnections(n int) {
 	f.mu.Unlock()
 }
 
+// UnavailableRequests arms the injector to answer the next n requests
+// with StatusUnavailable, the retry-safe status a draining daemon
+// reports (wire.Status.Retryable): the daemon is alive but refuses
+// service, and a client with a retry policy re-issues after backoff.
+func (f *Faults) UnavailableRequests(n int) {
+	f.mu.Lock()
+	f.unavNext = n
+	f.mu.Unlock()
+}
+
 // SetDelay makes every request sleep d before being handled.
 func (f *Faults) SetDelay(d time.Duration) {
 	f.mu.Lock()
@@ -57,6 +68,7 @@ const (
 	faultNone faultAction = iota
 	faultFail
 	faultDrop
+	faultUnavailable
 )
 
 // next consumes one injection decision.
@@ -73,6 +85,11 @@ func (f *Faults) next() (faultAction, time.Duration) {
 		f.failNext--
 		f.failed++
 		return faultFail, d
+	}
+	if f.unavNext > 0 {
+		f.unavNext--
+		f.failed++
+		return faultUnavailable, d
 	}
 	return faultNone, d
 }

@@ -130,13 +130,17 @@ func (s *Server) serveConn(c net.Conn) {
 					time.Sleep(delay)
 				}
 				return // deferred close severs the connection mid-call
-			case faultFail:
+			case faultFail, faultUnavailable:
 				if delay > 0 {
 					time.Sleep(delay)
 				}
+				status := wire.StatusIOError
+				if action == faultUnavailable {
+					status = wire.StatusUnavailable
+				}
 				resp := wire.Message{Header: wire.Header{
 					Type:   req.Type.Response(),
-					Status: wire.StatusIOError,
+					Status: status,
 					Tag:    req.Tag,
 				}}
 				wire.PutBuf(req.Body)
@@ -276,6 +280,14 @@ func DialContext(ctx context.Context, addr string) (*Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pvfsnet: dial %s: %w", addr, err)
 	}
+	return NewConn(addr, c), nil
+}
+
+// NewConn builds a client connection over an already-established
+// net.Conn and starts its response demultiplexer. Fault-injection
+// setups use it to slip a wrapped connection (faultnet) under the
+// tagged transport; addr is only used for error reporting.
+func NewConn(addr string, c net.Conn) *Conn {
 	conn := &Conn{
 		addr:      addr,
 		c:         c,
@@ -283,7 +295,7 @@ func DialContext(ctx context.Context, addr string) (*Conn, error) {
 		abandoned: make(map[uint32]struct{}),
 	}
 	go conn.readLoop()
-	return conn, nil
+	return conn
 }
 
 // readLoop demultiplexes responses to pending calls by tag until the
@@ -497,6 +509,18 @@ type Pool struct {
 	dialing map[string]*poolDial
 	closed  bool
 	dial    func(string) (*Conn, error) // test seam; nil selects Dial
+	wrap    func(net.Conn) net.Conn     // applied to every dialed net.Conn
+}
+
+// SetConnWrap installs w on the pool: every subsequently dialed TCP
+// connection is passed through it before the tagged transport takes
+// over. Fault-injection harnesses (internal/faultnet) use it to run a
+// client over a scripted faulty wire; nil removes the hook. Existing
+// pooled connections are unaffected.
+func (p *Pool) SetConnWrap(w func(net.Conn) net.Conn) {
+	p.mu.Lock()
+	p.wrap = w
+	p.mu.Unlock()
 }
 
 // poolDial tracks one in-progress dial so concurrent Gets for the same
@@ -548,11 +572,20 @@ func (p *Pool) GetContext(ctx context.Context, addr string) (*Conn, error) {
 		d = &poolDial{done: make(chan struct{})}
 		p.dialing[addr] = d
 		dial := p.dial
+		wrap := p.wrap
 		if dial == nil {
 			dial = func(a string) (*Conn, error) {
 				dctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), poolDialTimeout)
 				defer cancel()
-				return DialContext(dctx, a)
+				var nd net.Dialer
+				nc, err := nd.DialContext(dctx, "tcp", a)
+				if err != nil {
+					return nil, fmt.Errorf("pvfsnet: dial %s: %w", a, err)
+				}
+				if wrap != nil {
+					nc = wrap(nc)
+				}
+				return NewConn(a, nc), nil
 			}
 		}
 		go func() {

@@ -43,11 +43,20 @@ package store
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// ErrAbandoned is returned by every operation on an abandoned cache.
+// Abandon models the daemon process dying; a dead process answers
+// nothing, so an operation that slipped in after the crash point must
+// fail rather than silently succeed against state that was just
+// dropped — otherwise a Sync racing the crash could acknowledge
+// durability for data that no longer exists.
+var ErrAbandoned = errors.New("store: cache abandoned (simulated daemon crash)")
 
 // CacheOptions configures Cached.
 type CacheOptions struct {
@@ -145,6 +154,7 @@ type Cache struct {
 	flushWake  chan struct{}
 	closed     chan struct{}
 	closing    bool // guarded by mu; blocks new prefetchers
+	abandoned  atomic.Bool
 	closeOnce  sync.Once
 	flusherWG  sync.WaitGroup
 	prefetchWG sync.WaitGroup
@@ -506,6 +516,9 @@ func (c *Cache) evictIfNeeded() {
 // ReadAt implements Store: it serves p from cached blocks, filling
 // misses from the backend a whole block at a time.
 func (c *Cache) ReadAt(handle uint64, p []byte, off int64) (int, error) {
+	if c.abandoned.Load() {
+		return 0, ErrAbandoned
+	}
 	if err := checkExtent(off, len(p)); err != nil {
 		return 0, err
 	}
@@ -573,6 +586,9 @@ func (c *Cache) readBlocks(f *cacheFile, p []byte, off int64) (first, last int64
 // loss window; a Sync that successfully re-flushes the stuck blocks
 // clears the condition.
 func (c *Cache) WriteAt(handle uint64, p []byte, off int64) (int, error) {
+	if c.abandoned.Load() {
+		return 0, ErrAbandoned
+	}
 	if err := checkExtent(off, len(p)); err != nil {
 		return 0, err
 	}
@@ -716,6 +732,9 @@ func (c *Cache) prefetch(f *cacheFile, idx int64, n int) {
 // Size implements Store, reporting the tracked logical size (the
 // backend size plus any un-flushed extension).
 func (c *Cache) Size(handle uint64) (int64, error) {
+	if c.abandoned.Load() {
+		return 0, ErrAbandoned
+	}
 	f := c.file(handle)
 	f.mu.RLock()
 	defer f.mu.RUnlock()
@@ -735,6 +754,9 @@ func (c *Cache) Size(handle uint64) (int64, error) {
 // straddling block's tail is zeroed, all under the handle's exclusive
 // lock.
 func (c *Cache) Truncate(handle uint64, size int64) error {
+	if c.abandoned.Load() {
+		return ErrAbandoned // write-through: must not mutate the surviving backend
+	}
 	if size < 0 {
 		return fmt.Errorf("store: negative size %d", size)
 	}
@@ -802,6 +824,9 @@ func (c *Cache) dropBlockLocked(f *cacheFile, b *cacheBlock) {
 // backend remove must leave the cached state (including acknowledged
 // dirty writes) untouched, not report an un-removed file as empty.
 func (c *Cache) Remove(handle uint64) error {
+	if c.abandoned.Load() {
+		return ErrAbandoned // write-through: must not mutate the surviving backend
+	}
 	f := c.file(handle)
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -840,6 +865,9 @@ func (c *Cache) clearErrIfDrained() {
 // still not durable, and a pass that drains everything heals the
 // degraded state.
 func (c *Cache) Sync(handle uint64) error {
+	if c.abandoned.Load() {
+		return ErrAbandoned
+	}
 	c.mu.Lock()
 	f, ok := c.files[handle]
 	c.mu.Unlock()
@@ -867,6 +895,14 @@ func (c *Cache) Sync(handle uint64) error {
 		err = c.flushErr
 		c.mu.Unlock()
 	}
+	// Re-check AFTER flushing: if the crash landed mid-Sync, the dirty
+	// set this pass walked may already have been dropped, and success
+	// would acknowledge durability for vanished data. (If the flag is
+	// still down here, the batch was collected from intact state and
+	// its flushes really landed.)
+	if err == nil && c.abandoned.Load() {
+		err = ErrAbandoned
+	}
 	return err
 }
 
@@ -874,6 +910,9 @@ func (c *Cache) Sync(handle uint64) error {
 // every pending block — including any whose background flush failed
 // earlier (they stay dirty) — so it heals the degraded state.
 func (c *Cache) SyncAll() error {
+	if c.abandoned.Load() {
+		return ErrAbandoned
+	}
 	err := c.flushDirty()
 	c.mu.Lock()
 	if err == nil {
@@ -882,6 +921,9 @@ func (c *Cache) SyncAll() error {
 		c.flushErr = err
 	}
 	c.mu.Unlock()
+	if err == nil && c.abandoned.Load() {
+		err = ErrAbandoned // see Sync: never ack past the crash point
+	}
 	return err
 }
 
@@ -919,6 +961,10 @@ func (c *Cache) Close() error {
 // use it to exercise the crash consistency model; the inner store is
 // left untouched and still open.
 func (c *Cache) Abandon() {
+	// The flag goes up before any state is dropped: an operation that
+	// observes intact state completed before the crash point; one that
+	// runs after fails with ErrAbandoned (see Sync's closing check).
+	c.abandoned.Store(true)
 	c.closeOnce.Do(func() {
 		c.mu.Lock()
 		c.closing = true

@@ -117,3 +117,69 @@ func FuzzStridedReq(f *testing.F) {
 		}
 	})
 }
+
+// FuzzReadMessage aims arbitrary bytes — truncated headers, torn
+// bodies, corrupt magic, oversized declared lengths — at the frame
+// decoder that faces the network (faultnet produces exactly these
+// shapes). Invariants: no panic, declared and actual body lengths
+// agree on success, oversized frames are rejected before allocation,
+// and buffer-pool ownership stays sound (an error path must never
+// PutBuf a buffer it did not fully own — pool poisoning would hand
+// one backing array to two owners).
+func FuzzReadMessage(f *testing.F) {
+	var good bytes.Buffer
+	_ = WriteMessage(&good, Message{Header: Header{Type: TWriteList, Handle: 9, Tag: 7}, Body: []byte("payload")})
+	f.Add(good.Bytes())
+	f.Add(good.Bytes()[:HeaderSize-3]) // torn header
+	f.Add(good.Bytes()[:HeaderSize+2]) // torn body
+	f.Add([]byte{})
+	huge := append([]byte(nil), good.Bytes()...)
+	huge[20], huge[21], huge[22], huge[23] = 0xFF, 0xFF, 0xFF, 0xFF // BodyLen past MaxBodyLen
+	f.Add(huge)
+	corrupt := append([]byte(nil), good.Bytes()...)
+	corrupt[0] ^= 0x40 // bad magic
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		gets0, puts0 := BufStats()
+		m, err := ReadMessage(bytes.NewReader(data))
+		gets1, puts1 := BufStats()
+		if puts1 != puts0 {
+			t.Fatalf("ReadMessage returned %d buffers to the pool mid-parse", puts1-puts0)
+		}
+		if err != nil {
+			// Errors may have allocated (and dropped) at most the one
+			// body buffer; dropping is always pool-safe.
+			if gets1-gets0 > 1 {
+				t.Fatalf("failed parse took %d pool buffers", gets1-gets0)
+			}
+			return
+		}
+		if int(m.BodyLen) != len(m.Body) {
+			t.Fatalf("declared body %d bytes, delivered %d", m.BodyLen, len(m.Body))
+		}
+		if len(m.Body) > MaxBodyLen {
+			t.Fatalf("accepted %d-byte body past MaxBodyLen", len(m.Body))
+		}
+		if len(data) < HeaderSize+len(m.Body) {
+			t.Fatalf("parsed a %d-byte body from %d input bytes", len(m.Body), len(data))
+		}
+		if !bytes.Equal(m.Body, data[HeaderSize:HeaderSize+len(m.Body)]) {
+			t.Fatal("delivered body diverges from the wire bytes")
+		}
+		// Recycling the consumed body must hand out intact, unaliased
+		// buffers afterwards.
+		n := len(m.Body)
+		m.Release()
+		if n > 0 {
+			b1, b2 := GetBuf(n), GetBuf(n)
+			if len(b1) != n || len(b2) != n {
+				t.Fatalf("pool poisoned: GetBuf(%d) returned %d/%d bytes", n, len(b1), len(b2))
+			}
+			if &b1[0] == &b2[0] {
+				t.Fatal("pool poisoned: one backing array handed to two owners")
+			}
+			PutBuf(b1)
+			PutBuf(b2)
+		}
+	})
+}

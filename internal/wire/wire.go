@@ -124,6 +124,14 @@ const (
 	StatusIOError
 	StatusTooManyRegions
 	StatusProtocol
+	// StatusUnavailable is the retry-safe failure: the daemon answered
+	// but could not service the request right now (draining for
+	// shutdown, resource exhaustion). Unlike every other non-OK status
+	// it carries no verdict about the request itself, so a client with
+	// a retry policy may safely re-issue the identical request — all
+	// PVFS data operations address absolute physical offsets and are
+	// idempotent (DESIGN.md §9).
+	StatusUnavailable
 )
 
 func (s Status) String() string {
@@ -142,6 +150,8 @@ func (s Status) String() string {
 		return "too many regions in trailing data"
 	case StatusProtocol:
 		return "protocol error"
+	case StatusUnavailable:
+		return "temporarily unavailable"
 	default:
 		return fmt.Sprintf("status(%d)", uint32(s))
 	}
@@ -159,6 +169,12 @@ func (s Status) Err() error {
 type StatusError struct{ Status Status }
 
 func (e *StatusError) Error() string { return "pvfs: " + e.Status.String() }
+
+// Retryable reports whether the status permits safe re-issue of the
+// identical request. Only StatusUnavailable qualifies: every other
+// server-reported error is a verdict on the request (bad geometry,
+// missing handle) that a retry cannot change.
+func (s Status) Retryable() bool { return s == StatusUnavailable }
 
 // Errors returned by the codec.
 var (

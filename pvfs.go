@@ -38,6 +38,7 @@ import (
 	"pvfs/internal/cluster"
 	"pvfs/internal/collective"
 	"pvfs/internal/datatype"
+	"pvfs/internal/faultnet"
 	"pvfs/internal/ioseg"
 	"pvfs/internal/mpiio"
 	"pvfs/internal/stdfs"
@@ -104,6 +105,16 @@ type (
 	// StridedSpec is the vector-pattern shorthand file layout of a
 	// Request.
 	StridedSpec = client.Strided
+
+	// RetryPolicy bounds transparent retry of retry-safe daemon-call
+	// failures (transport errors, StatusUnavailable): Max attempts
+	// beyond the first, exponential backoff from Backoff capped at
+	// MaxBackoff. Install FS-wide with FS.SetRetryPolicy or per
+	// operation via Request.Retry (DESIGN.md §9).
+	RetryPolicy = client.RetryPolicy
+	// RetryError is the typed exhaustion error a failed retry surfaces
+	// (errors.As reaches it through wrapping).
+	RetryError = client.RetryError
 )
 
 // Request access methods (DESIGN.md §8). AccessAuto routes encodable
@@ -177,6 +188,31 @@ type (
 
 // StartCluster launches a manager and N I/O daemons on loopback TCP.
 func StartCluster(opts ClusterOptions) (*Cluster, error) { return cluster.Start(opts) }
+
+// Fault injection (DESIGN.md §9): wrap an in-process cluster's daemon
+// listeners (ClusterOptions.FaultScript) or a client's connection pool
+// (FS.SetConnWrap) with scriptable, seed-deterministic wire faults, so
+// any test or bench runs over a faulty wire.
+type (
+	// FaultPlan scripts one connection's faults: latency, drop after
+	// N bytes, stall, truncate a frame mid-body, close on the Kth
+	// request.
+	FaultPlan = faultnet.Plan
+	// FaultScript hands out deterministic per-connection FaultPlans.
+	FaultScript = faultnet.Script
+	// FaultChaosOptions parameterizes a random FaultScript.
+	FaultChaosOptions = faultnet.ChaosOptions
+)
+
+// NewFaultScript builds a seed-deterministic random fault script.
+func NewFaultScript(opts FaultChaosOptions) *FaultScript { return faultnet.NewScript(opts) }
+
+// FixedFaults builds a script applying the same plan to every
+// connection.
+func FixedFaults(plan FaultPlan) *FaultScript { return faultnet.Fixed(plan) }
+
+// DefaultFaultChaos is a moderately hostile random fault mix.
+func DefaultFaultChaos(seed int64) FaultChaosOptions { return faultnet.DefaultChaos(seed) }
 
 // NewBarrier creates an n-party reusable barrier.
 func NewBarrier(n int) *Barrier { return cluster.NewBarrier(n) }
