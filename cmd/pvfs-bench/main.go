@@ -13,6 +13,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,11 +21,28 @@ import (
 
 	"pvfs/internal/client"
 	"pvfs/internal/cluster"
+	"pvfs/internal/datatype"
 	"pvfs/internal/faultnet"
 	"pvfs/internal/ioseg"
 	"pvfs/internal/patterns"
 	"pvfs/internal/striping"
 )
+
+// benchRow is one method's measured result, mirrored into -json
+// output (BENCH_6.json rows are built from these).
+type benchRow struct {
+	Pattern       string  `json:"pattern"`
+	Method        string  `json:"method"`
+	Direction     string  `json:"direction"`
+	Vectored      bool    `json:"vectored"`
+	Seconds       float64 `json:"seconds"`
+	Requests      int64   `json:"requests"`
+	Regions       int64   `json:"regions"`
+	Bytes         int64   `json:"bytes"`
+	StoreSyscalls int64   `json:"store_syscalls"`
+	SyscallsPerOp float64 `json:"syscalls_per_op"`
+	MBPerS        float64 `json:"mb_per_s"`
+}
 
 func main() {
 	pattern := flag.String("pattern", "cyclic", "cyclic | blockblock | flash | tiled")
@@ -39,6 +57,9 @@ func main() {
 	methodsFlag := flag.String("methods", "", "comma list of multiple,datasieve,list (default: paper's set)")
 	async := flag.Int("async", 1, "nonblocking ops in flight per rank (File.Start); applies to multiple/list, 1 = blocking calls")
 	chaosSeed := flag.Int64("chaos", 0, "run over a faulty wire: seed for a faultnet chaos script (0 = healthy); clients retry with backoff")
+	dataDir := flag.String("data", "", "back each daemon with a directory store under DIR (empty = in-memory); Dir stores bear real syscalls, so the store-syscall columns measure the vectored datapath")
+	novec := flag.Bool("novec", false, "hide VectorIO/SpanIO from the daemons: the pre-vectoring per-fragment baseline")
+	jsonOut := flag.String("json", "", "append result rows as JSON to FILE")
 	flag.Parse()
 
 	pat, err := buildPattern(*pattern, *clients, *accesses, *total, *blocks)
@@ -58,7 +79,7 @@ func main() {
 		}
 	}
 
-	copts := cluster.Options{NumIOD: *iods}
+	copts := cluster.Options{NumIOD: *iods, DataDir: *dataDir, PlainStore: *novec}
 	var script *faultnet.Script
 	var retry *client.RetryPolicy
 	if *chaosSeed != 0 {
@@ -76,24 +97,79 @@ func main() {
 	if *write {
 		dir = "write"
 	}
-	fmt.Printf("# pattern=%s clients=%d iods=%d ssize=%d direction=%s granularity=%v async=%d\n",
-		pat.Name(), pat.Ranks(), *iods, *ssize, dir, g, *async)
+	fmt.Printf("# pattern=%s clients=%d iods=%d ssize=%d direction=%s granularity=%v async=%d store=%s vectored=%v\n",
+		pat.Name(), pat.Ranks(), *iods, *ssize, dir, g, *async, dataOrMem(*dataDir), !*novec)
 	if script != nil {
 		fmt.Printf("# chaos seed=%d (scripted wire faults; clients retry with backoff)\n", *chaosSeed)
 	}
-	fmt.Printf("%-12s %12s %12s %12s %14s\n", "method", "seconds", "requests", "regions", "bytes")
+	fmt.Printf("%-12s %10s %10s %10s %14s %10s %10s %10s\n",
+		"method", "seconds", "requests", "regions", "bytes", "storesysc", "sysc/op", "MB/s")
 
+	var rows []benchRow
 	for _, m := range methods {
 		secs, stats, err := runMethod(c, pat, m, *write, *ssize, g, *async, retry)
 		if err != nil {
 			fatal(fmt.Errorf("%v: %w", m, err))
 		}
-		fmt.Printf("%-12s %12.4f %12d %12d %14d\n",
-			m, secs, stats.Requests, stats.Regions, stats.BytesRead+stats.BytesWritten)
+		row := benchRow{
+			Pattern:   pat.Name(),
+			Method:    m,
+			Direction: dir,
+			Vectored:  !*novec,
+			Seconds:   secs,
+			Requests:  stats.Requests,
+			Regions:   stats.Regions,
+			Bytes:     stats.BytesRead + stats.BytesWritten,
+			StoreSyscalls: stats.StoreSyscallsRead +
+				stats.StoreSyscallsWrite,
+		}
+		// syscalls/op: store submissions per I/O request window — the
+		// quantity the vectored datapath exists to shrink (one per
+		// window instead of one per fragment).
+		if row.Requests > 0 {
+			row.SyscallsPerOp = float64(row.StoreSyscalls) / float64(row.Requests)
+		}
+		if secs > 0 {
+			row.MBPerS = float64(row.Bytes) / secs / 1e6
+		}
+		rows = append(rows, row)
+		fmt.Printf("%-12s %10.4f %10d %10d %14d %10d %10.2f %10.2f\n",
+			row.Method, row.Seconds, row.Requests, row.Regions, row.Bytes,
+			row.StoreSyscalls, row.SyscallsPerOp, row.MBPerS)
 	}
 	if script != nil {
 		fmt.Printf("# chaos: %d structural wire faults injected and absorbed\n", script.Injected())
 	}
+	if *jsonOut != "" {
+		if err := appendJSON(*jsonOut, rows); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// appendJSON appends rows, one JSON object per line, so a sweep of
+// pvfs-bench invocations accumulates into a single machine-readable
+// file.
+func appendJSON(path string, rows []benchRow) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	for _, r := range rows {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func dataOrMem(dir string) string {
+	if dir == "" {
+		return "memory"
+	}
+	return dir
 }
 
 func buildPattern(name string, clients, accesses int, total int64, blocks int) (patterns.Pattern, error) {
@@ -113,30 +189,63 @@ func buildPattern(name string, clients, accesses int, total int64, blocks int) (
 	}
 }
 
-func defaultMethods(write bool) []client.Method {
+func defaultMethods(write bool) []string {
 	if write {
 		// The paper omits data sieving from the artificial parallel
 		// writes (it needs serialization); include it only for reads.
-		return []client.Method{client.MethodMultiple, client.MethodList}
+		return []string{"multiple", "list"}
 	}
-	return []client.Method{client.MethodMultiple, client.MethodSieve, client.MethodList}
+	return []string{"multiple", "datasieve", "list"}
 }
 
-func parseMethods(s string) ([]client.Method, error) {
-	var out []client.Method
+// parseMethods validates a comma list of method names. Besides the
+// paper's matrix (multiple, datasieve, list) it accepts "datatype":
+// the same access expressed as a vector datatype (one descriptor per
+// window on the wire), valid for regularly strided patterns.
+func parseMethods(s string) ([]string, error) {
+	var out []string
 	for _, name := range splitComma(s) {
 		switch name {
-		case "multiple":
-			out = append(out, client.MethodMultiple)
-		case "datasieve":
-			out = append(out, client.MethodSieve)
-		case "list":
-			out = append(out, client.MethodList)
+		case "multiple", "datasieve", "list", "datatype":
+			out = append(out, name)
 		default:
 			return nil, fmt.Errorf("unknown method %q", name)
 		}
 	}
 	return out, nil
+}
+
+func clientMethod(name string) client.Method {
+	switch name {
+	case "multiple":
+		return client.MethodMultiple
+	case "datasieve":
+		return client.MethodSieve
+	default:
+		return client.MethodList
+	}
+}
+
+// patternVector derives the vector-datatype description of one rank's
+// file access: base offset plus (count, blocklen, stride). It fails
+// for ranks whose region list is not an arithmetic progression of
+// equal-length fragments — the only shape a single vector type can
+// express.
+func patternVector(file ioseg.List) (base, count, blockLen, stride int64, err error) {
+	if len(file) == 0 {
+		return 0, 0, 0, 0, fmt.Errorf("empty file list")
+	}
+	base, blockLen = file[0].Offset, file[0].Length
+	if len(file) == 1 {
+		return base, 1, blockLen, blockLen, nil
+	}
+	stride = file[1].Offset - file[0].Offset
+	for i, s := range file {
+		if s.Length != blockLen || s.Offset != base+int64(i)*stride {
+			return 0, 0, 0, 0, fmt.Errorf("pattern is not a single vector (region %d breaks the progression)", i)
+		}
+	}
+	return base, int64(len(file)), blockLen, stride, nil
 }
 
 func splitComma(s string) []string {
@@ -212,8 +321,9 @@ func splitWork(mem, file ioseg.List, n int) []workChunk {
 // the server-side accounting delta. async > 1 splits each rank's
 // pattern into async chunks started as concurrent nonblocking Ops
 // (File.Start); data sieving keeps blocking calls (its
-// read-modify-write needs serialization).
-func runMethod(c *cluster.Cluster, pat patterns.Pattern, m client.Method, write bool, ssize int64, g client.Granularity, async int, retry *client.RetryPolicy) (float64, statsDelta, error) {
+// read-modify-write needs serialization), and the datatype method
+// ships one descriptor per window instead of a region list.
+func runMethod(c *cluster.Cluster, pat patterns.Pattern, method string, write bool, ssize int64, g client.Granularity, async int, retry *client.RetryPolicy) (float64, statsDelta, error) {
 	fs0, err := c.Connect()
 	if err != nil {
 		return 0, statsDelta{}, err
@@ -222,7 +332,7 @@ func runMethod(c *cluster.Cluster, pat patterns.Pattern, m client.Method, write 
 	if retry != nil {
 		fs0.SetRetryPolicy(*retry)
 	}
-	name := fmt.Sprintf("bench-%s-%v-%d", pat.Name(), m, time.Now().UnixNano())
+	name := fmt.Sprintf("bench-%s-%s-%d", pat.Name(), method, time.Now().UnixNano())
 	cfg := striping.Config{PCount: len(c.IODs), StripeSize: ssize}
 	if _, err := fs0.Create(name, cfg); err != nil {
 		return 0, statsDelta{}, err
@@ -277,6 +387,18 @@ func runMethod(c *cluster.Cluster, pat patterns.Pattern, m client.Method, write 
 			arena[i] = byte(rank)
 		}
 		opts := client.Options{List: client.ListOptions{Granularity: g}}
+		if method == "datatype" {
+			base, count, blockLen, stride, err := patternVector(file)
+			if err != nil {
+				return fmt.Errorf("datatype method: %w", err)
+			}
+			typ := datatype.Vector(count, blockLen, stride, datatype.Bytes(1))
+			if write {
+				return f.WriteDatatype(arena, mem, typ, base, 1, client.DatatypeOptions{})
+			}
+			return f.ReadDatatype(arena, mem, typ, base, 1, client.DatatypeOptions{})
+		}
+		m := clientMethod(method)
 		if write && m == client.MethodSieve {
 			// Serialized as in §4.2.1: one writer at a time.
 			for k := 0; k < pat.Ranks(); k++ {
@@ -321,15 +443,19 @@ func runMethod(c *cluster.Cluster, pat patterns.Pattern, m client.Method, write 
 	}
 	after := c.TotalStats()
 	return secs, statsDelta{
-		Requests:     after.Requests - before.Requests,
-		Regions:      after.Regions - before.Regions,
-		BytesRead:    after.BytesRead - before.BytesRead,
-		BytesWritten: after.BytesWritten - before.BytesWritten,
+		Requests:          after.Requests - before.Requests,
+		Regions:           after.Regions - before.Regions,
+		BytesRead:         after.BytesRead - before.BytesRead,
+		BytesWritten:      after.BytesWritten - before.BytesWritten,
+		StoreSyscallsRead: after.StoreSyscallsRead - before.StoreSyscallsRead,
+		StoreSyscallsWrite: after.StoreSyscallsWrite -
+			before.StoreSyscallsWrite,
 	}, nil
 }
 
 type statsDelta struct {
 	Requests, Regions, BytesRead, BytesWritten int64
+	StoreSyscallsRead, StoreSyscallsWrite      int64
 }
 
 func fatal(err error) {

@@ -72,6 +72,9 @@ func main() {
 	stats := srv.Stats()
 	fmt.Printf("pvfs-iod: shutting down; served %d requests (%d list), %d regions, %d B read, %d B written\n",
 		stats.Requests, stats.ListRequests, stats.Regions, stats.BytesRead, stats.BytesWritten)
+	fmt.Printf("pvfs-iod: store: %d read syscalls (%d B), %d write syscalls (%d B)\n",
+		stats.StoreSyscallsRead, stats.StoreBytesRead,
+		stats.StoreSyscallsWrite, stats.StoreBytesWritten)
 	if *cache {
 		fmt.Printf("pvfs-iod: cache: %d hits, %d misses, %d flushes\n",
 			stats.CacheHits, stats.CacheMisses, stats.CacheFlushes)

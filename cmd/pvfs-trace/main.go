@@ -57,7 +57,7 @@ func usage() {
   gen     -pattern cyclic|blockblock|flash|tiled -ranks N [-accesses N] [-total BYTES] [-write] [-chunk N] -o FILE
   summary FILE
   cat     [-n MAX] FILE
-  replay  (-inproc [-iods N] | -mgr ADDR) [-method multiple|datasieve|list] [-granularity file|intersect]
+  replay  (-inproc [-iods N] [-data DIR] | -mgr ADDR) [-method multiple|datasieve|list] [-granularity file|intersect]
           [-file NAME] [-seed N] [-verify] [-no-create] FILE`)
 }
 
@@ -231,6 +231,7 @@ func replayCmd(args []string) error {
 	seed := fs.Uint64("seed", 1, "payload synthesis seed")
 	verify := fs.Bool("verify", false, "verify data after the replay")
 	noCreate := fs.Bool("no-create", false, "do not create the file (replay against an existing one)")
+	dataDir := fs.String("data", "", "back the -inproc daemons with directory stores under DIR (empty = in-memory)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("replay: exactly one trace file required")
@@ -263,13 +264,14 @@ func replayCmd(args []string) error {
 	}
 
 	mgrAddr := *mgr
+	var clu *cluster.Cluster
 	if *inproc {
-		c, err := cluster.Start(cluster.Options{NumIOD: *iods})
+		clu, err = cluster.Start(cluster.Options{NumIOD: *iods, DataDir: *dataDir})
 		if err != nil {
 			return err
 		}
-		defer c.Close()
-		mgrAddr = c.MgrAddr()
+		defer clu.Close()
+		mgrAddr = clu.MgrAddr()
 	}
 	cfs, err := client.Connect(mgrAddr)
 	if err != nil {
@@ -297,6 +299,14 @@ func replayCmd(args []string) error {
 		pathLine("list", res.Requests.List),
 		pathLine("strided", res.Requests.Strided),
 		pathLine("datatype", res.Requests.Datatype))
+	if clu != nil {
+		// Daemon-side store accounting (DESIGN.md §10): how many
+		// backend submissions the replayed windows actually cost.
+		st := clu.TotalStats()
+		fmt.Printf("store: %d read syscalls (%d B), %d write syscalls (%d B)\n",
+			st.StoreSyscallsRead, st.StoreBytesRead,
+			st.StoreSyscallsWrite, st.StoreBytesWritten)
+	}
 	for _, rr := range res.PerRank {
 		fmt.Printf("  rank %d: %d ops, %d bytes, %v\n", rr.Rank, rr.Ops, rr.Bytes, rr.Elapsed)
 	}

@@ -175,11 +175,13 @@ func main() {
 			fatal(err)
 		}
 		for i, s := range per {
-			fmt.Printf("iod%d: requests=%d list=%d regions=%d read=%dB written=%dB trailing=%dB\n",
-				i, s.Requests, s.ListRequests, s.Regions, s.BytesRead, s.BytesWritten, s.TrailingBytes)
+			fmt.Printf("iod%d: requests=%d list=%d regions=%d read=%dB written=%dB trailing=%dB storesysc=%d/%d\n",
+				i, s.Requests, s.ListRequests, s.Regions, s.BytesRead, s.BytesWritten, s.TrailingBytes,
+				s.StoreSyscallsRead, s.StoreSyscallsWrite)
 		}
-		fmt.Printf("total: requests=%d list=%d regions=%d read=%dB written=%dB\n",
-			total.Requests, total.ListRequests, total.Regions, total.BytesRead, total.BytesWritten)
+		fmt.Printf("total: requests=%d list=%d regions=%d read=%dB written=%dB storesysc=%d/%d\n",
+			total.Requests, total.ListRequests, total.Regions, total.BytesRead, total.BytesWritten,
+			total.StoreSyscallsRead, total.StoreSyscallsWrite)
 	default:
 		usage()
 		os.Exit(2)

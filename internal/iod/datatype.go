@@ -18,6 +18,7 @@ package iod
 import (
 	"pvfs/internal/datatype"
 	"pvfs/internal/ioseg"
+	"pvfs/internal/store"
 	"pvfs/internal/striping"
 	"pvfs/internal/wire"
 )
@@ -125,6 +126,87 @@ func ownedBytes(t datatype.Type, base, count int64, cfg striping.Config, rel int
 	return total, st
 }
 
+// vecBatchSegs bounds the physical extents a pattern evaluation
+// batches before submitting to the store. Memory stays O(batch) — the
+// region list the pattern flattens to is still never materialized —
+// while the store sees one submission per batch instead of one per
+// fragment. Exactly-adjacent extents merge as they arrive, so dense
+// windows (the FLASH shapes) usually collapse far below the cap.
+const vecBatchSegs = 2048
+
+// vecApplier accumulates the physical extents a pattern walk emits in
+// logical order and applies them against the store in batched,
+// vectored submissions (DESIGN.md §10). data is the packed stream the
+// window moves (read target or write source); extents are applied in
+// arrival order across batches, so the exact per-fragment semantics —
+// including overlapping writes, later wins — are preserved.
+type vecApplier struct {
+	s       *Server
+	handle  uint64
+	data    []byte
+	isWrite bool
+	segs    ioseg.List
+	pos     int64 // stream position where segs[0] begins
+	next    int64 // stream position past the last batched byte
+}
+
+// add batches one emitted extent, flushing when the batch is full. It
+// returns false when a flush failed (the walk then aborts).
+func (a *vecApplier) add(phys ioseg.Segment) bool {
+	if n := len(a.segs); n > 0 && a.segs[n-1].End() == phys.Offset {
+		a.segs[n-1].Length += phys.Length
+	} else {
+		if len(a.segs) == vecBatchSegs && !a.flush() {
+			return false
+		}
+		a.segs = append(a.segs, phys)
+	}
+	a.next += phys.Length
+	return true
+}
+
+// flush submits the pending batch. It must also be called once after
+// the walk completes.
+func (a *vecApplier) flush() bool {
+	if len(a.segs) == 0 {
+		return true
+	}
+	ok := a.s.applyVector(a.handle, a.segs, a.data[a.pos:a.next], a.isWrite)
+	a.segs = a.segs[:0]
+	a.pos = a.next
+	return ok
+}
+
+// applyVector runs one packed vector against the store: a single
+// vectored submission when the store supports it, a per-run loop
+// otherwise (the caller has already merged adjacent extents, so each
+// entry is a maximal contiguous run).
+func (s *Server) applyVector(handle uint64, segs ioseg.List, data []byte, isWrite bool) bool {
+	if v, ok := s.st.(store.VectorIO); ok {
+		var err error
+		if isWrite {
+			_, err = v.WriteAtv(handle, segs, data)
+		} else {
+			_, err = v.ReadAtv(handle, segs, data)
+		}
+		return err == nil
+	}
+	var pos int64
+	for _, r := range segs {
+		var err error
+		if isWrite {
+			_, err = s.st.WriteAt(handle, data[pos:pos+r.Length], r.Offset)
+		} else {
+			_, err = s.st.ReadAt(handle, data[pos:pos+r.Length], r.Offset)
+		}
+		if err != nil {
+			return false
+		}
+		pos += r.Length
+	}
+	return true
+}
+
 func (s *Server) readDatatype(req wire.Message) wire.Message {
 	var body wire.ReadDatatypeReq
 	if err := body.Unmarshal(req.Body); err != nil {
@@ -135,15 +217,12 @@ func (s *Server) readDatatype(req wire.Message) wire.Message {
 		return fail(st)
 	}
 	out := wire.GetBuf(int(body.Want))
-	var filled int64
-	_, pieces, st := evalWindow(t, body.Base, body.Count, body.Striping, body.RelIndex,
-		body.DataPos, body.Want, func(phys ioseg.Segment) bool {
-			if _, err := s.st.ReadAt(req.Handle, out[filled:filled+phys.Length], phys.Offset); err != nil {
-				return false
-			}
-			filled += phys.Length
-			return true
-		})
+	ap := &vecApplier{s: s, handle: req.Handle, data: out}
+	filled, pieces, st := evalWindow(t, body.Base, body.Count, body.Striping, body.RelIndex,
+		body.DataPos, body.Want, ap.add)
+	if st == wire.StatusOK && !ap.flush() {
+		st = wire.StatusIOError
+	}
 	if st != wire.StatusOK {
 		wire.PutBuf(out)
 		return fail(st)
@@ -167,15 +246,12 @@ func (s *Server) writeDatatype(req wire.Message) wire.Message {
 	if st != wire.StatusOK {
 		return fail(st)
 	}
-	var pos int64
+	ap := &vecApplier{s: s, handle: req.Handle, data: body.Data, isWrite: true}
 	filled, pieces, st := evalWindow(t, body.Base, body.Count, body.Striping, body.RelIndex,
-		body.DataPos, body.Want, func(phys ioseg.Segment) bool {
-			if _, err := s.st.WriteAt(req.Handle, body.Data[pos:pos+phys.Length], phys.Offset); err != nil {
-				return false
-			}
-			pos += phys.Length
-			return true
-		})
+		body.DataPos, body.Want, ap.add)
+	if st == wire.StatusOK && !ap.flush() {
+		st = wire.StatusIOError
+	}
 	if st != wire.StatusOK {
 		return fail(st)
 	}
@@ -228,15 +304,11 @@ func (s *Server) readStrided(req wire.Message) wire.Message {
 		return fail(wire.StatusInvalid)
 	}
 	out := wire.GetBuf(int(owned))
-	var filled int64
-	_, pieces, st := evalWindow(t, base, 1, body.Striping, body.RelIndex, 0, owned,
-		func(phys ioseg.Segment) bool {
-			if _, err := s.st.ReadAt(req.Handle, out[filled:filled+phys.Length], phys.Offset); err != nil {
-				return false
-			}
-			filled += phys.Length
-			return true
-		})
+	ap := &vecApplier{s: s, handle: req.Handle, data: out}
+	filled, pieces, st := evalWindow(t, base, 1, body.Striping, body.RelIndex, 0, owned, ap.add)
+	if st == wire.StatusOK && !ap.flush() {
+		st = wire.StatusIOError
+	}
 	if st != wire.StatusOK {
 		wire.PutBuf(out)
 		return fail(st)
@@ -265,15 +337,11 @@ func (s *Server) writeStrided(req wire.Message) wire.Message {
 	if st != wire.StatusOK || owned != int64(len(body.Data)) {
 		return fail(wire.StatusInvalid)
 	}
-	var pos int64
-	filled, pieces, st := evalWindow(t, base, 1, body.Striping, body.RelIndex, 0, owned,
-		func(phys ioseg.Segment) bool {
-			if _, err := s.st.WriteAt(req.Handle, body.Data[pos:pos+phys.Length], phys.Offset); err != nil {
-				return false
-			}
-			pos += phys.Length
-			return true
-		})
+	ap := &vecApplier{s: s, handle: req.Handle, data: body.Data, isWrite: true}
+	filled, pieces, st := evalWindow(t, base, 1, body.Striping, body.RelIndex, 0, owned, ap.add)
+	if st == wire.StatusOK && !ap.flush() {
+		st = wire.StatusIOError
+	}
 	if st != wire.StatusOK {
 		return fail(st)
 	}

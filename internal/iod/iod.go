@@ -76,6 +76,13 @@ func (s *Server) Stats() wire.ServerStats {
 		st.CacheMisses = cs.Misses
 		st.CacheFlushes = cs.Flushes
 	}
+	if ip, ok := s.st.(store.IOStatsProvider); ok {
+		is := ip.IOStats()
+		st.StoreSyscallsRead = is.SyscallsRead
+		st.StoreSyscallsWrite = is.SyscallsWrite
+		st.StoreBytesRead = is.BytesRead
+		st.StoreBytesWritten = is.BytesWritten
+	}
 	return st
 }
 
@@ -235,8 +242,24 @@ func (s *Server) applyRegions(handle uint64, regions ioseg.List, data []byte, is
 		if int64(len(data)) != total {
 			return nil, wire.StatusInvalid
 		}
+		if v, ok := s.st.(store.VectorIO); ok {
+			// Vectored fast path: the whole window is one store
+			// submission; the store coalesces adjacent fragments.
+			if _, err := v.WriteAtv(handle, regions, data); err != nil {
+				return nil, wire.StatusIOError
+			}
+			return nil, wire.StatusOK
+		}
+		// Fallback: coalesce adjacent fragments of a sorted list so
+		// even a plain store sees one write per contiguous run; an
+		// unsorted or overlapping list must apply in order (later
+		// overlapping region wins).
+		runs, ok := regions.CoalescePacked()
+		if !ok {
+			runs = regions
+		}
 		var pos int64
-		for _, r := range regions {
+		for _, r := range runs {
 			if _, err := s.st.WriteAt(handle, data[pos:pos+r.Length], r.Offset); err != nil {
 				return nil, wire.StatusIOError
 			}
@@ -245,8 +268,19 @@ func (s *Server) applyRegions(handle uint64, regions ioseg.List, data []byte, is
 		return nil, wire.StatusOK
 	}
 	out := wire.GetBuf(int(total))
+	if v, ok := s.st.(store.VectorIO); ok {
+		if _, err := v.ReadAtv(handle, regions, out); err != nil {
+			wire.PutBuf(out)
+			return nil, wire.StatusIOError
+		}
+		return out, wire.StatusOK
+	}
+	runs, ok := regions.CoalescePacked()
+	if !ok {
+		runs = regions
+	}
 	var pos int64
-	for _, r := range regions {
+	for _, r := range runs {
 		if _, err := s.st.ReadAt(handle, out[pos:pos+r.Length], r.Offset); err != nil {
 			wire.PutBuf(out)
 			return nil, wire.StatusIOError

@@ -248,6 +248,39 @@ func (l List) Coalesce(maxGap int64) List {
 	return out
 }
 
+// CoalescePacked merges exactly-adjacent segments of a list that
+// describes a packed byte stream: segment i's bytes occupy stream
+// positions [sum(len 0..i-1), sum(len 0..i)). Merging is valid only
+// when stream order equals file order — the list is sorted and free of
+// overlaps — because then adjacent file extents are also adjacent in
+// the stream, so the merged list describes the same stream byte for
+// byte and a consumer may service each merged extent with a single
+// contiguous I/O. Empty segments carry no stream bytes and are
+// dropped. The second return value is false when the list is unsorted
+// or self-overlapping; callers then must preserve per-segment order
+// (a later overlapping write wins) and should fall back to sequential
+// application.
+func (l List) CoalescePacked() (List, bool) {
+	out := make(List, 0, len(l))
+	for _, s := range l {
+		if s.Empty() {
+			continue
+		}
+		if n := len(out); n > 0 {
+			last := &out[n-1]
+			if s.Offset == last.End() {
+				last.Length += s.Length
+				continue
+			}
+			if s.Offset < last.End() {
+				return nil, false
+			}
+		}
+		out = append(out, s)
+	}
+	return out, true
+}
+
 // Intersect returns the normalized intersection of two lists.
 func (l List) Intersect(m List) List {
 	a, b := l.Normalize(), m.Normalize()

@@ -377,6 +377,84 @@ func TestSplitLengthProperty(t *testing.T) {
 	}
 }
 
+func TestCoalescePacked(t *testing.T) {
+	cases := []struct {
+		name string
+		in   List
+		want List
+		ok   bool
+	}{
+		{"empty", List{}, List{}, true},
+		{"single", List{seg(4, 8)}, List{seg(4, 8)}, true},
+		{"adjacent-merge", List{seg(0, 4), seg(4, 4), seg(8, 4)}, List{seg(0, 12)}, true},
+		{"gap-preserved", List{seg(0, 4), seg(8, 4)}, List{seg(0, 4), seg(8, 4)}, true},
+		{"mixed-runs", List{seg(0, 2), seg(2, 2), seg(10, 1), seg(11, 1), seg(20, 5)},
+			List{seg(0, 4), seg(10, 2), seg(20, 5)}, true},
+		{"empties-dropped", List{seg(0, 4), seg(4, 0), seg(4, 4), seg(100, 0)}, List{seg(0, 8)}, true},
+		{"all-empty", List{seg(3, 0), seg(9, 0)}, List{}, true},
+		{"unsorted", List{seg(8, 4), seg(0, 4)}, nil, false},
+		{"overlap", List{seg(0, 6), seg(4, 4)}, nil, false},
+		{"overlap-after-merge", List{seg(0, 4), seg(4, 4), seg(6, 2)}, nil, false},
+	}
+	for _, c := range cases {
+		got, ok := c.in.CoalescePacked()
+		if ok != c.ok {
+			t.Errorf("%s: ok=%v, want %v", c.name, ok, c.ok)
+			continue
+		}
+		if ok && !got.Equal(c.want) {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestCoalescePackedPreservesStream checks the defining property on
+// random sorted lists: expanding the merged extents yields exactly the
+// input's byte sequence (same total, same file positions in order).
+func TestCoalescePackedPreservesStream(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		var l List
+		off := int64(r.Intn(64))
+		for i := 0; i < r.Intn(20); i++ {
+			n := int64(r.Intn(5)) // empties included
+			l = append(l, seg(off, n))
+			off += n + int64(r.Intn(3)) // gap 0..2
+		}
+		merged, ok := l.CoalescePacked()
+		if !ok {
+			t.Fatalf("trial %d: sorted non-overlapping list rejected: %v", trial, l)
+		}
+		if got, want := merged.TotalLength(), l.TotalLength(); got != want {
+			t.Fatalf("trial %d: total %d, want %d", trial, got, want)
+		}
+		if !merged.IsNormalized() {
+			t.Fatalf("trial %d: merged list not normalized: %v", trial, merged)
+		}
+		// Byte-for-byte: walking the input stream and the merged stream
+		// must visit identical file offsets.
+		var inOffs, outOffs []int64
+		for _, s := range l {
+			for k := int64(0); k < s.Length; k++ {
+				inOffs = append(inOffs, s.Offset+k)
+			}
+		}
+		for _, s := range merged {
+			for k := int64(0); k < s.Length; k++ {
+				outOffs = append(outOffs, s.Offset+k)
+			}
+		}
+		if len(inOffs) != len(outOffs) {
+			t.Fatalf("trial %d: stream lengths differ", trial)
+		}
+		for i := range inOffs {
+			if inOffs[i] != outOffs[i] {
+				t.Fatalf("trial %d: stream position %d maps to %d, want %d", trial, i, outOffs[i], inOffs[i])
+			}
+		}
+	}
+}
+
 func TestCloneIndependent(t *testing.T) {
 	l := List{seg(0, 5)}
 	c := l.Clone()

@@ -45,9 +45,12 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"pvfs/internal/ioseg"
 )
 
 // ErrAbandoned is returned by every operation on an abandoned cache.
@@ -304,6 +307,35 @@ func (c *Cache) fill(b *cacheBlock) error {
 	return nil
 }
 
+// fillRun loads a run of consecutive uncached blocks from the backend
+// — one vectored read when the inner store scatters (SpanIO), one
+// ReadAt per block otherwise. Callers hold f.mu.R and every run
+// block's bmu, taken in ascending index order (the deadlock rule all
+// multi-block paths share).
+func (c *Cache) fillRun(handle uint64, run []*cacheBlock) error {
+	if len(run) > 1 {
+		if sp, ok := c.inner.(SpanIO); ok {
+			bufs := make([][]byte, len(run))
+			for i, b := range run {
+				bufs[i] = b.data
+			}
+			if _, err := sp.ReadSpanv(handle, run[0].idx*c.opt.BlockSize, bufs); err != nil {
+				return err
+			}
+			for _, b := range run {
+				b.loaded = true
+			}
+			return nil
+		}
+	}
+	for _, b := range run {
+		if err := c.fill(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // markDirty flags the block dirty and accounts its bytes. Callers hold
 // b.bmu.
 func (c *Cache) markDirty(b *cacheBlock) {
@@ -397,24 +429,158 @@ func (c *Cache) flusher() {
 	}
 }
 
-// flushDirty flushes a snapshot of the current dirty set.
+// flushDirty flushes a snapshot of the current dirty set, file by
+// file, with adjacent dirty blocks merged into vectored writes.
 func (c *Cache) flushDirty() error {
 	c.mu.Lock()
-	batch := make([]*cacheBlock, 0, len(c.dirtySet))
+	byFile := make(map[*cacheFile][]*cacheBlock)
 	for b := range c.dirtySet {
-		batch = append(batch, b)
+		byFile[b.file] = append(byFile[b.file], b)
 	}
 	c.mu.Unlock()
 	var first error
-	for _, b := range batch {
-		b.file.mu.RLock()
-		err := c.flushBlock(b)
-		b.file.mu.RUnlock()
+	for f, batch := range byFile {
+		f.mu.RLock()
+		err := c.flushFileRuns(f, batch)
+		f.mu.RUnlock()
 		if err != nil && first == nil {
 			first = err
 		}
 	}
 	return first
+}
+
+// flushFileRuns writes back one file's batch of dirty blocks, merging
+// adjacent block indexes into single vectored writes — the coalesced
+// write-back of DESIGN.md §10. Callers hold f.mu (either mode).
+func (c *Cache) flushFileRuns(f *cacheFile, batch []*cacheBlock) error {
+	sort.Slice(batch, func(i, j int) bool { return batch[i].idx < batch[j].idx })
+	var first error
+	for i := 0; i < len(batch); {
+		j := i + 1
+		for j < len(batch) && batch[j].idx == batch[j-1].idx+1 {
+			j++
+		}
+		if err := c.flushRun(f, batch[i:j]); err != nil && first == nil {
+			first = err
+		}
+		i = j
+	}
+	return first
+}
+
+// flushRun writes back one run of index-adjacent dirty blocks. Block
+// locks are taken in ascending index order; blocks that meanwhile
+// went clean or gone are skipped, and only blocks whose write landed
+// are marked clean (failures stay dirty for a later retry) — exactly
+// the per-block flushBlock contract, minus the per-block syscalls.
+func (c *Cache) flushRun(f *cacheFile, run []*cacheBlock) error {
+	for _, b := range run {
+		b.bmu.Lock()
+	}
+	defer func() {
+		for _, b := range run {
+			b.bmu.Unlock()
+		}
+	}()
+	c.mu.Lock()
+	size := f.size
+	gone := make([]bool, len(run))
+	for i, b := range run {
+		gone[i] = b.gone
+	}
+	c.mu.Unlock()
+	bs := c.opt.BlockSize
+	clipOf := func(b *cacheBlock) int64 {
+		clip := size - b.idx*bs
+		if clip > bs {
+			clip = bs
+		}
+		if clip < 0 {
+			clip = 0
+		}
+		return clip
+	}
+	var first error
+	cleaned := make([]*cacheBlock, 0, len(run))
+	for i := 0; i < len(run); {
+		b := run[i]
+		switch {
+		case gone[i] || !b.dirty:
+			i++
+		case clipOf(b) == 0:
+			// Nothing of this block is below the tracked size; the
+			// data is dropped, matching flushBlock.
+			b.dirty = false
+			cleaned = append(cleaned, b)
+			i++
+		default:
+			// Collect the writable sub-run: consecutive, still-dirty,
+			// present blocks with data below the tracked size. Since
+			// the size clips at one point, every block but the
+			// sub-run's last is written whole and the span stays
+			// file-contiguous.
+			j := i + 1
+			for j < len(run) && run[j].idx == run[j-1].idx+1 &&
+				!gone[j] && run[j].dirty && clipOf(run[j]) > 0 {
+				j++
+			}
+			sub := run[i:j]
+			if err := c.writeRun(f.handle, sub, clipOf); err != nil {
+				if first == nil {
+					first = err
+				}
+			} else {
+				for _, sb := range sub {
+					sb.dirty = false
+					cleaned = append(cleaned, sb)
+				}
+			}
+			i = j
+		}
+	}
+	if len(cleaned) > 0 {
+		c.mu.Lock()
+		for _, b := range cleaned {
+			c.dirtyBytes.Add(-bs)
+			delete(c.dirtySet, b)
+		}
+		c.cleanCond.Broadcast()
+		c.mu.Unlock()
+	}
+	return first
+}
+
+// writeRun issues the backend write for a sub-run of adjacent dirty
+// blocks: one vectored write when the inner store gathers (SpanIO),
+// one WriteAt per block otherwise. Callers hold the blocks' bmu.
+func (c *Cache) writeRun(handle uint64, sub []*cacheBlock, clipOf func(*cacheBlock) int64) error {
+	bs := c.opt.BlockSize
+	if len(sub) > 1 {
+		if sp, ok := c.inner.(SpanIO); ok {
+			bufs := make([][]byte, len(sub))
+			var total int64
+			for i, b := range sub {
+				bufs[i] = b.data[:clipOf(b)]
+				total += int64(len(bufs[i]))
+			}
+			if _, err := sp.WriteSpanv(handle, sub[0].idx*bs, bufs); err != nil {
+				return err
+			}
+			c.flushes.Add(int64(len(sub)))
+			c.flushedBytes.Add(total)
+			return nil
+		}
+	}
+	for _, b := range sub {
+		clip := clipOf(b)
+		if _, err := c.inner.WriteAt(handle, b.data[:clip], b.idx*bs); err != nil {
+			return err
+		}
+		c.flushes.Add(1)
+		c.flushedBytes.Add(clip)
+	}
+	return nil
 }
 
 // waitDirtyRoom stalls until dirty bytes drop below the high-water
@@ -536,7 +702,9 @@ func (c *Cache) ReadAt(handle uint64, p []byte, off int64) (int, error) {
 }
 
 // readBlocks is the locked body of ReadAt; it returns the first and
-// last block indexes touched.
+// last block indexes touched. A run of consecutive uncached blocks is
+// filled with one backend submission (fillRun) instead of one fill
+// per block.
 func (c *Cache) readBlocks(f *cacheFile, p []byte, off int64) (first, last int64, err error) {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
@@ -545,35 +713,64 @@ func (c *Cache) readBlocks(f *cacheFile, p []byte, off int64) (first, last int64
 	}
 	bs := c.opt.BlockSize
 	first, last = off/bs, (off+int64(len(p))-1)/bs
-	for idx := first; idx <= last; idx++ {
-		b := c.block(f, idx)
-		b.bmu.Lock()
-		if !b.loaded {
-			c.mu.Lock()
-			size := f.size
-			c.mu.Unlock()
-			if idx*bs >= size {
-				// Entirely past EOF: the backend holds only zeros
-				// here, and data is already zeroed.
-				b.loaded = true
-				c.hits.Add(1)
-			} else {
-				if err := c.fill(b); err != nil {
-					b.bmu.Unlock()
-					c.put(b)
-					return 0, 0, err
-				}
-				c.misses.Add(1)
-			}
-		} else {
-			c.hits.Add(1)
-		}
-		blockOff := idx * bs
+	copyOut := func(b *cacheBlock) {
+		blockOff := b.idx * bs
 		lo := max(off, blockOff)
 		hi := min(off+int64(len(p)), blockOff+bs)
 		copy(p[lo-off:hi-off], b.data[lo-blockOff:hi-blockOff])
-		b.bmu.Unlock()
-		c.put(b)
+	}
+	for idx := first; idx <= last; {
+		b := c.block(f, idx)
+		b.bmu.Lock()
+		if b.loaded {
+			c.hits.Add(1)
+			copyOut(b)
+			b.bmu.Unlock()
+			c.put(b)
+			idx++
+			continue
+		}
+		c.mu.Lock()
+		size := f.size
+		c.mu.Unlock()
+		if idx*bs >= size {
+			// Entirely past EOF: the backend holds only zeros here,
+			// and data is already zeroed.
+			b.loaded = true
+			c.hits.Add(1)
+			copyOut(b)
+			b.bmu.Unlock()
+			c.put(b)
+			idx++
+			continue
+		}
+		// A fill is needed: greedily extend the run over consecutive
+		// uncached in-file blocks so one vectored read services them
+		// all, taking block locks in ascending index order.
+		run := []*cacheBlock{b}
+		for next := idx + 1; next <= last; next++ {
+			nb := c.block(f, next)
+			nb.bmu.Lock()
+			if nb.loaded || next*bs >= size {
+				nb.bmu.Unlock()
+				c.put(nb)
+				break
+			}
+			run = append(run, nb)
+		}
+		ferr := c.fillRun(f.handle, run)
+		for _, rb := range run {
+			if ferr == nil {
+				c.misses.Add(1)
+				copyOut(rb)
+			}
+			rb.bmu.Unlock()
+			c.put(rb)
+		}
+		if ferr != nil {
+			return 0, 0, ferr
+		}
+		idx += int64(len(run))
 	}
 	return first, last, nil
 }
@@ -662,6 +859,91 @@ func (c *Cache) writeBlocks(f *cacheFile, p []byte, off int64) error {
 	return nil
 }
 
+// ReadAtv implements VectorIO over the cache: the packed vector is
+// served run by run through the block machinery, so the adjacent
+// fragments of a sorted list cost one pass over their blocks — and at
+// most one backend fill per uncached run — instead of one block walk
+// per fragment.
+func (c *Cache) ReadAtv(handle uint64, segs ioseg.List, p []byte) (int, error) {
+	if c.abandoned.Load() {
+		return 0, ErrAbandoned
+	}
+	if err := checkVector(segs, p, MaxFileSize); err != nil {
+		return 0, err
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	runs, ok := segs.CoalescePacked()
+	if !ok {
+		runs = segs
+	}
+	f := c.file(handle)
+	pos := 0
+	for _, s := range runs {
+		if s.Length == 0 {
+			continue
+		}
+		first, last, err := c.readBlocks(f, p[pos:pos+int(s.Length)], s.Offset)
+		if err != nil {
+			return pos, err
+		}
+		c.noteSequential(f, first, last)
+		pos += int(s.Length)
+	}
+	c.evictIfNeeded()
+	return len(p), nil
+}
+
+// WriteAtv implements VectorIO over the cache; segments land in
+// cached blocks in list order, so overlapping segments of an unsorted
+// list keep later-wins semantics.
+func (c *Cache) WriteAtv(handle uint64, segs ioseg.List, p []byte) (int, error) {
+	if c.abandoned.Load() {
+		return 0, ErrAbandoned
+	}
+	if err := checkVector(segs, p, c.limit); err != nil {
+		return 0, err
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	c.waitDirtyRoom()
+	c.mu.Lock()
+	ferr := c.flushErr
+	c.mu.Unlock()
+	if ferr != nil {
+		return 0, fmt.Errorf("store: cache write-back degraded: %w", ferr)
+	}
+	runs, ok := segs.CoalescePacked()
+	if !ok {
+		runs = segs
+	}
+	f := c.file(handle)
+	pos := 0
+	for _, s := range runs {
+		if s.Length == 0 {
+			continue
+		}
+		if err := c.writeBlocks(f, p[pos:pos+int(s.Length)], s.Offset); err != nil {
+			return pos, err
+		}
+		pos += int(s.Length)
+	}
+	c.evictIfNeeded()
+	return len(p), nil
+}
+
+// IOStats implements IOStatsProvider by reporting the backend's
+// counters: the cache's own contribution to the metric is precisely
+// the submissions that do NOT reach the syscall layer.
+func (c *Cache) IOStats() IOStats {
+	if p, ok := c.inner.(IOStatsProvider); ok {
+		return p.IOStats()
+	}
+	return IOStats{}
+}
+
 // noteSequential updates the readahead detector after a read of
 // blocks [first,last] and triggers a prefetch when the handle is
 // being read sequentially.
@@ -690,6 +972,10 @@ func (c *Cache) noteSequential(f *cacheFile, first, last int64) {
 }
 
 // prefetch asynchronously fills up to n blocks of f starting at idx.
+// The whole prefetch span is read as one backend submission: the run
+// of uncached in-file blocks is collected (block locks ascending) and
+// filled by fillRun, instead of the one inner read per block this
+// path used to cost.
 func (c *Cache) prefetch(f *cacheFile, idx int64, n int) {
 	defer func() {
 		c.mu.Lock()
@@ -697,36 +983,42 @@ func (c *Cache) prefetch(f *cacheFile, idx int64, n int) {
 		c.mu.Unlock()
 		c.prefetchWG.Done()
 	}()
+	select {
+	case <-c.closed:
+		return
+	default:
+	}
+	f.mu.RLock()
+	c.mu.Lock()
+	size := f.size
+	c.mu.Unlock()
+	var run []*cacheBlock
 	for i := 0; i < n; i++ {
-		select {
-		case <-c.closed:
-			return
-		default:
-		}
 		target := idx + int64(i)
-		c.mu.Lock()
-		inFile := target*c.opt.BlockSize < f.size
-		c.mu.Unlock()
-		if !inFile {
-			return
+		if target*c.opt.BlockSize >= size {
+			break
 		}
-		f.mu.RLock()
 		b := c.block(f, target)
 		b.bmu.Lock()
-		if !b.loaded {
-			if err := c.fill(b); err != nil {
-				b.bmu.Unlock()
-				c.put(b)
-				f.mu.RUnlock()
-				return
-			}
+		if b.loaded {
+			// The sequential window has caught up with cached data;
+			// stop rather than prefetch past it.
+			b.bmu.Unlock()
+			c.put(b)
+			break
+		}
+		run = append(run, b)
+	}
+	err := c.fillRun(f.handle, run)
+	for _, b := range run {
+		if err == nil {
 			c.readaheads.Add(1)
 		}
 		b.bmu.Unlock()
 		c.put(b)
-		f.mu.RUnlock()
-		c.evictIfNeeded()
 	}
+	f.mu.RUnlock()
+	c.evictIfNeeded()
 }
 
 // Size implements Store, reporting the tracked logical size (the
@@ -882,11 +1174,7 @@ func (c *Cache) Sync(handle uint64) error {
 			}
 		}
 		c.mu.Unlock()
-		for _, b := range batch {
-			if ferr := c.flushBlock(b); ferr != nil && err == nil {
-				err = ferr
-			}
-		}
+		err = c.flushFileRuns(f, batch)
 		f.mu.RUnlock()
 	}
 	c.clearErrIfDrained()

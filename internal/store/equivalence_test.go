@@ -15,14 +15,51 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"pvfs/internal/ioseg"
 )
+
+// noVec hides every optional interface of an inner store — VectorIO,
+// SpanIO, IOStatsProvider — by embedding it as a bare Store, pinning
+// the callers' per-fragment fallback paths to the same semantics as
+// the vectored ones.
+type noVec struct{ Store }
 
 // equivOp is one step of a worker's deterministic script.
 type equivOp struct {
-	kind int // 0 write, 1 read, 2 truncate, 3 sync
+	kind int // 0 write, 1 read, 2 truncate, 3 sync, 4 vector write, 5 vector read
 	off  int64
 	size int64
 	seed int64
+	segs ioseg.List // kinds 4/5
+}
+
+// makeSegs builds a vector op's segment list: runs of adjacent,
+// gapped, and randomly placed (possibly unsorted or overlapping)
+// segments, with occasional zero-length entries — the full envelope
+// the VectorIO contract must keep byte-identical to per-segment
+// application.
+func makeSegs(r *rand.Rand) ioseg.List {
+	n := 1 + r.Intn(6)
+	segs := make(ioseg.List, 0, n)
+	pos := int64(r.Intn(48 << 10))
+	for j := 0; j < n; j++ {
+		if r.Intn(8) == 0 {
+			segs = append(segs, ioseg.Segment{Offset: pos})
+			continue
+		}
+		l := 1 + int64(r.Intn(2048))
+		segs = append(segs, ioseg.Segment{Offset: pos, Length: l})
+		switch r.Intn(3) {
+		case 0: // exactly adjacent: the coalescing case
+			pos += l
+		case 1: // gap
+			pos += l + 1 + int64(r.Intn(4096))
+		default: // random jump: may produce unsorted/overlapping lists
+			pos = int64(r.Intn(64 << 10))
+		}
+	}
+	return segs
 }
 
 // makeScript builds one worker's operation list from a seed.
@@ -30,22 +67,28 @@ func makeScript(seed int64, ops int) []equivOp {
 	r := rand.New(rand.NewSource(seed))
 	out := make([]equivOp, ops)
 	for i := range out {
-		k := r.Intn(10)
+		k := r.Intn(12)
 		op := equivOp{seed: r.Int63()}
 		switch {
-		case k < 5: // write
+		case k < 4: // write
 			op.kind = 0
 			op.off = int64(r.Intn(64 << 10))
 			op.size = 1 + int64(r.Intn(4096))
-		case k < 8: // read
+		case k < 7: // read
 			op.kind = 1
 			op.off = int64(r.Intn(64 << 10))
 			op.size = 1 + int64(r.Intn(4096))
-		case k < 9: // truncate
+		case k < 8: // truncate
 			op.kind = 2
 			op.size = int64(r.Intn(64 << 10))
-		default: // sync
+		case k < 9: // sync
 			op.kind = 3
+		case k < 10: // vector write
+			op.kind = 4
+			op.segs = makeSegs(r)
+		default: // vector read
+			op.kind = 5
+			op.segs = makeSegs(r)
 		}
 		out[i] = op
 	}
@@ -101,6 +144,60 @@ func runScript(s Store, handle uint64, script []equivOp) error {
 					return fmt.Errorf("op %d sync: %w", i, err)
 				}
 			}
+		case 4:
+			total := op.segs.TotalLength()
+			p := make([]byte, total)
+			fillPattern(p, op.seed)
+			if v, ok := s.(VectorIO); ok {
+				if _, err := v.WriteAtv(handle, op.segs, p); err != nil {
+					return fmt.Errorf("op %d vwrite: %w", i, err)
+				}
+			} else {
+				var pos int64
+				for _, sg := range op.segs {
+					if _, err := s.WriteAt(handle, p[pos:pos+sg.Length], sg.Offset); err != nil {
+						return fmt.Errorf("op %d vwrite(fallback): %w", i, err)
+					}
+					pos += sg.Length
+				}
+			}
+			// Shadow update in list order: later overlapping wins, the
+			// contract WriteAtv must preserve.
+			var pos int64
+			for _, sg := range op.segs {
+				if need := sg.End(); need > int64(len(shadow)) {
+					shadow = append(shadow, make([]byte, need-int64(len(shadow)))...)
+				}
+				copy(shadow[sg.Offset:sg.End()], p[pos:pos+sg.Length])
+				pos += sg.Length
+			}
+		case 5:
+			total := op.segs.TotalLength()
+			p := make([]byte, total)
+			if v, ok := s.(VectorIO); ok {
+				if _, err := v.ReadAtv(handle, op.segs, p); err != nil {
+					return fmt.Errorf("op %d vread: %w", i, err)
+				}
+			} else {
+				var pos int64
+				for _, sg := range op.segs {
+					if _, err := s.ReadAt(handle, p[pos:pos+sg.Length], sg.Offset); err != nil {
+						return fmt.Errorf("op %d vread(fallback): %w", i, err)
+					}
+					pos += sg.Length
+				}
+			}
+			want := make([]byte, total)
+			var pos int64
+			for _, sg := range op.segs {
+				if sg.Offset < int64(len(shadow)) {
+					copy(want[pos:pos+sg.Length], shadow[sg.Offset:])
+				}
+				pos += sg.Length
+			}
+			if !bytes.Equal(p, want) {
+				return fmt.Errorf("op %d vector read %v diverges from shadow", i, op.segs)
+			}
 		}
 	}
 	return nil
@@ -147,6 +244,14 @@ func TestCachedStoreEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	novecDir, err := NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedNovecDir, err := NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
 	// 6 blocks of 4 KiB: far smaller than the working set, so every
 	// script evicts (and write-back-flushes) constantly.
 	tiny := CacheOptions{BlockSize: 4096, MaxBytes: 6 * 4096, DirtyHighWater: 2 * 4096,
@@ -156,6 +261,11 @@ func TestCachedStoreEquivalence(t *testing.T) {
 		"dir":        dir,
 		"cached-mem": Cached(NewMem(), tiny),
 		"cached-dir": Cached(cachedDirInner, tiny),
+		// Fallback-path pins: a store with the vectored interfaces
+		// hidden, bare and under the cache (whose span fill/flush then
+		// take the per-block path), must match byte for byte.
+		"novec-dir":        noVec{novecDir},
+		"cached-novec-dir": Cached(noVec{cachedNovecDir}, tiny),
 	}
 
 	for name, s := range backends {
@@ -216,6 +326,8 @@ func TestCachedStoreEquivalence(t *testing.T) {
 	}
 
 	backends["cached-mem"].(*Cache).Close()
+	backends["cached-novec-dir"].(*Cache).Close()
 	backends["mem"].Close()
 	dir.Close()
+	novecDir.Close()
 }

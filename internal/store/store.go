@@ -14,6 +14,9 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
+
+	"pvfs/internal/ioseg"
 )
 
 // Store is the storage interface an I/O daemon requires. Reads past the
@@ -35,6 +38,111 @@ type Store interface {
 	Handles() ([]uint64, error)
 	// Close releases backend resources.
 	Close() error
+}
+
+// VectorIO is implemented by stores that can service a whole region
+// list as one batched submission (DESIGN.md §10). segs describe file
+// extents and p is the packed data stream in segment order: the i-th
+// segment's bytes occupy p at the stream position where the lengths of
+// segments 0..i-1 end, exactly as the list I/O wire format packs
+// trailing data. len(p) must equal the list's total length.
+//
+// Semantics are EXACTLY those of applying ReadAt/WriteAt per segment
+// in list order: reads observe sparse (zero-fill) semantics per
+// extent, and overlapping write segments land later-segment-wins. The
+// value of the interface is purely in submission count — a backend
+// coalesces adjacent extents and issues few large accesses (one
+// pread/pwrite per coalesced run on Dir, one lock round on Mem)
+// instead of one per fragment. Callers feature-test with a type
+// assertion and keep a per-segment loop as fallback.
+type VectorIO interface {
+	ReadAtv(handle uint64, segs ioseg.List, p []byte) (int, error)
+	WriteAtv(handle uint64, segs ioseg.List, p []byte) (int, error)
+}
+
+// SpanIO is implemented by stores that can move one file-contiguous
+// span to or from scattered memory buffers in a single submission —
+// the preadv/pwritev shape, dual to VectorIO (scattered file extents,
+// contiguous memory). The block cache uses it to flush runs of
+// adjacent dirty blocks as one vectored write and to fill multi-block
+// read misses and readahead spans as one vectored read. Reads
+// zero-fill past EOF (sparse semantics); bufs are filled/consumed in
+// order starting at off.
+type SpanIO interface {
+	ReadSpanv(handle uint64, off int64, bufs [][]byte) (int, error)
+	WriteSpanv(handle uint64, off int64, bufs [][]byte) (int, error)
+}
+
+// IOStats counts a store's backend I/O submissions and bytes. For Dir
+// a submission is a real data syscall (pread/pwrite/preadv/pwritev);
+// for Mem it is one locked copy round (the cost analogue of a
+// syscall). Layered stores (Cache) report the submissions of the
+// backend below them, so the counters always describe what reached
+// the syscall layer — the paper's "fewer, larger accesses" metric
+// (syscalls/op in BENCH_6).
+type IOStats struct {
+	SyscallsRead  int64 // read submissions (pread + preadv calls)
+	SyscallsWrite int64 // write submissions (pwrite + pwritev calls)
+	BytesRead     int64 // bytes moved by read submissions
+	BytesWritten  int64 // bytes moved by write submissions
+}
+
+// Sub returns the delta s - o, for before/after windows.
+func (s IOStats) Sub(o IOStats) IOStats {
+	return IOStats{
+		SyscallsRead:  s.SyscallsRead - o.SyscallsRead,
+		SyscallsWrite: s.SyscallsWrite - o.SyscallsWrite,
+		BytesRead:     s.BytesRead - o.BytesRead,
+		BytesWritten:  s.BytesWritten - o.BytesWritten,
+	}
+}
+
+// IOStatsProvider is implemented by stores that report submission
+// counters; the I/O daemon merges them into wire.ServerStats.
+type IOStatsProvider interface {
+	IOStats() IOStats
+}
+
+// ioCounters is the embedded implementation of IOStatsProvider shared
+// by the backends.
+type ioCounters struct {
+	sysRead, sysWrite, bytesRead, bytesWritten atomic.Int64
+}
+
+func (c *ioCounters) IOStats() IOStats {
+	return IOStats{
+		SyscallsRead:  c.sysRead.Load(),
+		SyscallsWrite: c.sysWrite.Load(),
+		BytesRead:     c.bytesRead.Load(),
+		BytesWritten:  c.bytesWritten.Load(),
+	}
+}
+
+func (c *ioCounters) countRead(nsys, bytes int64)  { c.sysRead.Add(nsys); c.bytesRead.Add(bytes) }
+func (c *ioCounters) countWrite(nsys, bytes int64) { c.sysWrite.Add(nsys); c.bytesWritten.Add(bytes) }
+
+// checkVector validates a vector request against a packed buffer:
+// every segment valid, every extent within the limit, and the total
+// exactly len(p). It returns the shared prefix of checks both
+// directions need; callers add direction-specific limits.
+func checkVector(segs ioseg.List, p []byte, limit int64) error {
+	var total int64
+	for i, s := range segs {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("store: segment %d: %w", i, err)
+		}
+		if s.End() > limit {
+			return fmt.Errorf("store: segment %d [%d,+%d) exceeds file limit", i, s.Offset, s.Length)
+		}
+		if total > math.MaxInt64-s.Length {
+			return fmt.Errorf("store: vector total overflows int64")
+		}
+		total += s.Length
+	}
+	if total != int64(len(p)) {
+		return fmt.Errorf("store: vector total %d != buffer %d", total, len(p))
+	}
+	return nil
 }
 
 // Syncer is implemented by stores that buffer writes (Cache): Sync
@@ -86,6 +194,7 @@ const MemMaxFileSize = 8 << 30
 
 // Mem is an in-memory Store.
 type Mem struct {
+	ioCounters
 	mu    sync.RWMutex
 	files map[uint64][]byte
 }
@@ -109,6 +218,7 @@ func (m *Mem) ReadAt(handle uint64, p []byte, off int64) (int, error) {
 	if off < int64(len(f)) {
 		copy(p, f[off:])
 	}
+	m.countRead(1, int64(len(p)))
 	return len(p), nil
 }
 
@@ -130,7 +240,121 @@ func (m *Mem) WriteAt(handle uint64, p []byte, off int64) (int, error) {
 	}
 	copy(f[off:], p)
 	m.files[handle] = f
+	m.countWrite(1, int64(len(p)))
 	return len(p), nil
+}
+
+// ReadAtv implements VectorIO: the whole vector is served under one
+// read lock — one submission regardless of fragment count.
+func (m *Mem) ReadAtv(handle uint64, segs ioseg.List, p []byte) (int, error) {
+	if err := checkVector(segs, p, MaxFileSize); err != nil {
+		return 0, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	f := m.files[handle]
+	pos := 0
+	for _, s := range segs {
+		dst := p[pos : pos+int(s.Length)]
+		for i := range dst {
+			dst[i] = 0
+		}
+		if s.Offset < int64(len(f)) {
+			copy(dst, f[s.Offset:])
+		}
+		pos += int(s.Length)
+	}
+	m.countRead(1, int64(len(p)))
+	return len(p), nil
+}
+
+// WriteAtv implements VectorIO: the whole vector lands under one write
+// lock, segments applied in list order (later overlapping wins).
+func (m *Mem) WriteAtv(handle uint64, segs ioseg.List, p []byte) (int, error) {
+	if err := checkVector(segs, p, MemMaxFileSize); err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.files[handle]
+	var need int64
+	for _, s := range segs {
+		if s.End() > need {
+			need = s.End()
+		}
+	}
+	if need > int64(len(f)) {
+		nf := make([]byte, need)
+		copy(nf, f)
+		f = nf
+	}
+	pos := 0
+	for _, s := range segs {
+		copy(f[s.Offset:s.End()], p[pos:pos+int(s.Length)])
+		pos += int(s.Length)
+	}
+	m.files[handle] = f
+	m.countWrite(1, int64(len(p)))
+	return len(p), nil
+}
+
+// ReadSpanv implements SpanIO.
+func (m *Mem) ReadSpanv(handle uint64, off int64, bufs [][]byte) (int, error) {
+	total := spanLen(bufs)
+	if err := checkExtent(off, total); err != nil {
+		return 0, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	f := m.files[handle]
+	pos := off
+	for _, b := range bufs {
+		for i := range b {
+			b[i] = 0
+		}
+		if pos < int64(len(f)) {
+			copy(b, f[pos:])
+		}
+		pos += int64(len(b))
+	}
+	m.countRead(1, int64(total))
+	return total, nil
+}
+
+// WriteSpanv implements SpanIO.
+func (m *Mem) WriteSpanv(handle uint64, off int64, bufs [][]byte) (int, error) {
+	total := spanLen(bufs)
+	if err := checkExtent(off, total); err != nil {
+		return 0, err
+	}
+	if off+int64(total) > MemMaxFileSize {
+		return 0, fmt.Errorf("store: extent [%d,+%d) exceeds in-memory file limit", off, total)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.files[handle]
+	if need := off + int64(total); need > int64(len(f)) {
+		nf := make([]byte, need)
+		copy(nf, f)
+		f = nf
+	}
+	pos := off
+	for _, b := range bufs {
+		copy(f[pos:], b)
+		pos += int64(len(b))
+	}
+	m.files[handle] = f
+	m.countWrite(1, int64(total))
+	return total, nil
+}
+
+// spanLen sums buffer lengths, the byte count of a span request.
+func spanLen(bufs [][]byte) int {
+	var n int
+	for _, b := range bufs {
+		n += len(b)
+	}
+	return n
 }
 
 // Size implements Store.
@@ -201,6 +425,7 @@ func (m *Mem) MaxSize() int64 { return MemMaxFileSize }
 // syscall, serializing the whole daemon and defeating the tagged
 // request pipelining of the transport.)
 type Dir struct {
+	ioCounters
 	mu   sync.Mutex // guards open; never held across data syscalls
 	root string
 	open map[uint64]*os.File
@@ -244,6 +469,7 @@ func (d *Dir) ReadAt(handle uint64, p []byte, off int64) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	d.countRead(1, int64(len(p)))
 	n, err := f.ReadAt(p, off)
 	if err == io.EOF {
 		// Sparse semantics: zero-fill the tail.
@@ -252,6 +478,119 @@ func (d *Dir) ReadAt(handle uint64, p []byte, off int64) (int, error) {
 		}
 		return len(p), nil
 	}
+	return n, err
+}
+
+// readFull is ReadAt's body against an already-open file: one pread
+// (possibly continued by the runtime on short reads) with sparse
+// zero-fill past EOF.
+func (d *Dir) readFull(f *os.File, p []byte, off int64) error {
+	if len(p) == 0 {
+		return nil
+	}
+	d.countRead(1, int64(len(p)))
+	n, err := f.ReadAt(p, off)
+	if err == io.EOF {
+		for i := n; i < len(p); i++ {
+			p[i] = 0
+		}
+		return nil
+	}
+	return err
+}
+
+// ReadAtv implements VectorIO. A sorted, overlap-free list coalesces
+// into runs of adjacent extents, each served by a single pread (the
+// packed buffer is contiguous, so a coalesced run needs no iovec);
+// otherwise segments are served sequentially in list order, which is
+// the exact per-fragment semantics.
+func (d *Dir) ReadAtv(handle uint64, segs ioseg.List, p []byte) (int, error) {
+	if err := checkVector(segs, p, MaxFileSize); err != nil {
+		return 0, err
+	}
+	f, err := d.file(handle)
+	if err != nil {
+		return 0, err
+	}
+	runs, ok := segs.CoalescePacked()
+	if !ok {
+		runs = segs
+	}
+	pos := 0
+	for _, s := range runs {
+		if err := d.readFull(f, p[pos:pos+int(s.Length)], s.Offset); err != nil {
+			return pos, err
+		}
+		pos += int(s.Length)
+	}
+	return len(p), nil
+}
+
+// WriteAtv implements VectorIO: one pwrite per coalesced adjacent run
+// when the list is sorted and overlap-free, sequential list-order
+// writes (later overlapping segment wins) otherwise.
+func (d *Dir) WriteAtv(handle uint64, segs ioseg.List, p []byte) (int, error) {
+	if err := checkVector(segs, p, MaxFileSize); err != nil {
+		return 0, err
+	}
+	f, err := d.file(handle)
+	if err != nil {
+		return 0, err
+	}
+	runs, ok := segs.CoalescePacked()
+	if !ok {
+		runs = segs
+	}
+	pos := 0
+	for _, s := range runs {
+		if s.Length == 0 {
+			continue
+		}
+		d.countWrite(1, s.Length)
+		if _, err := f.WriteAt(p[pos:pos+int(s.Length)], s.Offset); err != nil {
+			return pos, err
+		}
+		pos += int(s.Length)
+	}
+	return len(p), nil
+}
+
+// ReadSpanv implements SpanIO: one file-contiguous span scattered into
+// bufs via preadv where available (vec_linux.go), a per-buffer loop
+// otherwise (vec_portable.go). Reads past EOF zero-fill.
+func (d *Dir) ReadSpanv(handle uint64, off int64, bufs [][]byte) (int, error) {
+	total := spanLen(bufs)
+	if err := checkExtent(off, total); err != nil {
+		return 0, err
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	f, err := d.file(handle)
+	if err != nil {
+		return 0, err
+	}
+	n, nsys, err := readvAt(f, bufs, off)
+	d.countRead(nsys, int64(n))
+	return n, err
+}
+
+// WriteSpanv implements SpanIO: gathers bufs into one file-contiguous
+// span at off via pwritev where available.
+func (d *Dir) WriteSpanv(handle uint64, off int64, bufs [][]byte) (int, error) {
+	total := spanLen(bufs)
+	if err := checkExtent(off, total); err != nil {
+		return 0, err
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	f, err := d.file(handle)
+	if err != nil {
+		return 0, err
+	}
+	n, nsys, err := writevAt(f, bufs, off)
+	d.countWrite(nsys, int64(n))
 	return n, err
 }
 
@@ -264,6 +603,7 @@ func (d *Dir) WriteAt(handle uint64, p []byte, off int64) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	d.countWrite(1, int64(len(p)))
 	return f.WriteAt(p, off)
 }
 

@@ -1,0 +1,130 @@
+package store
+
+// Benchmarks for the vectored datapath (DESIGN.md §10): one
+// 64-fragment 4 KiB window — the per-daemon shape of the paper's
+// FLASH pattern — submitted the pre-PR way (one syscall per
+// fragment) and the vectored way (one submission per window).
+// BENCH_6.json records the ratio.
+
+import (
+	"fmt"
+	"testing"
+
+	"pvfs/internal/ioseg"
+)
+
+func benchWindow(nfrag int) (ioseg.List, []byte) {
+	const frag = 4096
+	segs := make(ioseg.List, nfrag)
+	for i := range segs {
+		segs[i] = ioseg.Segment{Offset: int64(i) * frag, Length: frag}
+	}
+	p := make([]byte, nfrag*frag)
+	for i := range p {
+		p[i] = byte(i * 17)
+	}
+	return segs, p
+}
+
+// BenchmarkDirWindowSubmission compares the two ways a daemon can
+// apply one 64-fragment adjacent window to store.Dir: "perfrag" is
+// the pre-vectoring datapath (one pwrite/pread per fragment),
+// "vectored" is WriteAtv/ReadAtv (coalesced to one syscall).
+func BenchmarkDirWindowSubmission(b *testing.B) {
+	for _, nfrag := range []int{64, 256} {
+		segs, p := benchWindow(nfrag)
+		total := int64(len(p))
+		for _, dir := range []string{"write", "read"} {
+			b.Run(fmt.Sprintf("perfrag/%s/frags=%d", dir, nfrag), func(b *testing.B) {
+				d, err := NewDir(b.TempDir())
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer d.Close()
+				if _, err := d.WriteAtv(1, segs, p); err != nil {
+					b.Fatal(err)
+				}
+				b.SetBytes(total)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var pos int64
+					for _, s := range segs {
+						buf := p[pos : pos+s.Length]
+						if dir == "write" {
+							_, err = d.WriteAt(1, buf, s.Offset)
+						} else {
+							_, err = d.ReadAt(1, buf, s.Offset)
+						}
+						if err != nil {
+							b.Fatal(err)
+						}
+						pos += s.Length
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("vectored/%s/frags=%d", dir, nfrag), func(b *testing.B) {
+				d, err := NewDir(b.TempDir())
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer d.Close()
+				if _, err := d.WriteAtv(1, segs, p); err != nil {
+					b.Fatal(err)
+				}
+				b.SetBytes(total)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if dir == "write" {
+						_, err = d.WriteAtv(1, segs, p)
+					} else {
+						_, err = d.ReadAtv(1, segs, p)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCacheFlushSubmission compares write-back flushing of 16
+// adjacent dirty 4 KiB blocks: per-block scalar flush (the inner
+// store hides SpanIO) versus one gathered WriteSpanv.
+func BenchmarkCacheFlushSubmission(b *testing.B) {
+	const blocks = 16
+	data := make([]byte, blocks*4096)
+	for i := range data {
+		data[i] = byte(i * 11)
+	}
+	run := func(b *testing.B, inner Store) {
+		c := Cached(inner, CacheOptions{BlockSize: 4096, Readahead: -1, FlushInterval: -1})
+		defer c.Close()
+		b.SetBytes(int64(len(data)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.WriteAt(1, data, 0); err != nil {
+				b.Fatal(err)
+			}
+			if err := c.Sync(1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("perblock", func(b *testing.B) {
+		d, err := NewDir(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer d.Close()
+		run(b, noVec{d})
+	})
+	b.Run("gathered", func(b *testing.B) {
+		d, err := NewDir(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer d.Close()
+		run(b, d)
+	})
+}

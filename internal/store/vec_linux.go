@@ -1,0 +1,150 @@
+//go:build linux && (amd64 || arm64)
+
+// Vectored span I/O via preadv/pwritev. The x/sys module is not a
+// dependency of this repo, so the raw syscalls are issued directly;
+// the numbers are stable parts of the 64-bit Linux ABI on amd64 and
+// arm64, and other platforms take the portable loop in
+// vec_portable.go.
+package store
+
+import (
+	"io"
+	"os"
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// uioMaxIOV is the kernel's IOV_MAX: the most iovecs one
+// preadv/pwritev call accepts. Larger spans are issued in chunks.
+const uioMaxIOV = 1024
+
+// iovec mirrors struct iovec on linux/amd64 and linux/arm64.
+type iovec struct {
+	base *byte
+	len  uint64
+}
+
+// buildIovecs fills iovs from bufs starting at buffer index bi with
+// byte skip within that buffer, up to the iovec limit. It returns the
+// populated prefix and the total bytes it describes.
+func buildIovecs(iovs []iovec, bufs [][]byte, bi, skip int) ([]iovec, int64) {
+	iovs = iovs[:0]
+	var total int64
+	for i := bi; i < len(bufs) && len(iovs) < uioMaxIOV; i++ {
+		b := bufs[i]
+		if i == bi {
+			b = b[skip:]
+		}
+		if len(b) == 0 {
+			continue
+		}
+		iovs = append(iovs, iovec{base: &b[0], len: uint64(len(b))})
+		total += int64(len(b))
+	}
+	return iovs, total
+}
+
+// advance moves the (buffer index, intra-buffer skip) cursor n bytes
+// forward across bufs.
+func advance(bufs [][]byte, bi, skip, n int) (int, int) {
+	for n > 0 && bi < len(bufs) {
+		rem := len(bufs[bi]) - skip
+		if n < rem {
+			return bi, skip + n
+		}
+		n -= rem
+		bi, skip = bi+1, 0
+	}
+	return bi, skip
+}
+
+// zeroFrom zero-fills bufs from the cursor to the end (sparse reads
+// past EOF).
+func zeroFrom(bufs [][]byte, bi, skip int) {
+	for ; bi < len(bufs); bi, skip = bi+1, 0 {
+		b := bufs[bi][skip:]
+		for i := range b {
+			b[i] = 0
+		}
+	}
+}
+
+// vectorAt issues one preadv or pwritev (by trap number) over as many
+// of bufs as fit in one iovec array, at file offset off. It retries on
+// EINTR and returns the byte count moved.
+func vectorAt(trap uintptr, f *os.File, iovs []iovec, off int64) (int, error) {
+	if len(iovs) == 0 {
+		return 0, nil
+	}
+	for {
+		// The kernel assembles the offset as pos_low | pos_high<<32
+		// (pos_from_hilo); on 64-bit passing the full offset as low
+		// and its high half again is the convention x/sys uses.
+		n, _, errno := syscall.Syscall6(trap, f.Fd(),
+			uintptr(unsafe.Pointer(&iovs[0])), uintptr(len(iovs)),
+			uintptr(off), uintptr(uint64(off)>>32), 0)
+		if errno == syscall.EINTR {
+			continue
+		}
+		runtime.KeepAlive(iovs)
+		if errno != 0 {
+			return 0, &os.PathError{Op: "vectorio", Path: f.Name(), Err: errno}
+		}
+		return int(n), nil
+	}
+}
+
+// readvAt scatters the file span starting at off into bufs with
+// preadv, zero-filling past EOF. It returns the bytes delivered
+// (always the full span on success) and the syscall count.
+func readvAt(f *os.File, bufs [][]byte, off int64) (int, int64, error) {
+	total := spanLen(bufs)
+	bi, skip := 0, 0
+	pos := off
+	var nsys int64
+	for bi < len(bufs) {
+		iovs, want := buildIovecs(make([]iovec, 0, min(len(bufs), uioMaxIOV)), bufs, bi, skip)
+		if want == 0 {
+			break
+		}
+		nsys++
+		n, err := vectorAt(syscall.SYS_PREADV, f, iovs, pos)
+		if err != nil {
+			return int(pos - off), nsys, err
+		}
+		if n == 0 {
+			// EOF inside the span: the rest reads as zeros.
+			zeroFrom(bufs, bi, skip)
+			return total, nsys, nil
+		}
+		pos += int64(n)
+		bi, skip = advance(bufs, bi, skip, n)
+	}
+	return total, nsys, nil
+}
+
+// writevAt gathers bufs into the file span starting at off with
+// pwritev, continuing across short writes.
+func writevAt(f *os.File, bufs [][]byte, off int64) (int, int64, error) {
+	bi, skip := 0, 0
+	pos := off
+	var nsys int64
+	for bi < len(bufs) {
+		iovs, want := buildIovecs(make([]iovec, 0, min(len(bufs), uioMaxIOV)), bufs, bi, skip)
+		if want == 0 {
+			break
+		}
+		nsys++
+		n, err := vectorAt(syscall.SYS_PWRITEV, f, iovs, pos)
+		if err != nil {
+			return int(pos - off), nsys, err
+		}
+		if n == 0 {
+			return int(pos - off), nsys, io.ErrShortWrite
+		}
+		pos += int64(n)
+		bi, skip = advance(bufs, bi, skip, n)
+	}
+	return int(pos - off), nsys, nil
+}

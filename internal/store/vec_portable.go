@@ -1,0 +1,64 @@
+//go:build !(linux && (amd64 || arm64))
+
+// Portable span I/O fallback: platforms without the raw
+// preadv/pwritev path issue one pread/pwrite per buffer. The
+// semantics — sparse zero-fill past EOF on reads, full-span writes —
+// are identical to vec_linux.go; only the syscall count differs, and
+// the IOStats counters report it honestly.
+package store
+
+import (
+	"io"
+	"os"
+)
+
+// readvAt fills bufs from the file span starting at off, zero-filling
+// past EOF. It returns the bytes delivered (the full span on success)
+// and the syscall count.
+func readvAt(f *os.File, bufs [][]byte, off int64) (int, int64, error) {
+	total := spanLen(bufs)
+	pos := off
+	var nsys int64
+	eof := false
+	for _, b := range bufs {
+		if len(b) == 0 {
+			continue
+		}
+		if eof {
+			for i := range b {
+				b[i] = 0
+			}
+			pos += int64(len(b))
+			continue
+		}
+		nsys++
+		n, err := f.ReadAt(b, pos)
+		if err == io.EOF {
+			for i := n; i < len(b); i++ {
+				b[i] = 0
+			}
+			eof = true
+		} else if err != nil {
+			return int(pos - off), nsys, err
+		}
+		pos += int64(len(b))
+	}
+	return total, nsys, nil
+}
+
+// writevAt gathers bufs into the file span starting at off.
+func writevAt(f *os.File, bufs [][]byte, off int64) (int, int64, error) {
+	pos := off
+	var nsys int64
+	for _, b := range bufs {
+		if len(b) == 0 {
+			continue
+		}
+		nsys++
+		if _, err := f.WriteAt(b, pos); err != nil {
+			return int(pos - off), nsys, err
+		}
+		pos += int64(len(b))
+	}
+	return int(pos - off), nsys, nil
+}

@@ -342,6 +342,13 @@ type ServerStats struct {
 	CacheHits    int64 // block lookups served from cache memory
 	CacheMisses  int64 // block fills from the backing store
 	CacheFlushes int64 // dirty blocks written back
+	// Storage-syscall accounting (DESIGN.md §10): the submissions and
+	// bytes that reached the daemon's storage backend, the denominator
+	// of the vectored datapath's syscalls/op metric.
+	StoreSyscallsRead  int64 // backend read submissions
+	StoreSyscallsWrite int64 // backend write submissions
+	StoreBytesRead     int64 // bytes moved by backend reads
+	StoreBytesWritten  int64 // bytes moved by backend writes
 }
 
 func (m *ServerStats) Marshal() []byte {
@@ -357,6 +364,10 @@ func (m *ServerStats) Marshal() []byte {
 	e.i64(m.CacheHits)
 	e.i64(m.CacheMisses)
 	e.i64(m.CacheFlushes)
+	e.i64(m.StoreSyscallsRead)
+	e.i64(m.StoreSyscallsWrite)
+	e.i64(m.StoreBytesRead)
+	e.i64(m.StoreBytesWritten)
 	return e.buf
 }
 
@@ -373,6 +384,10 @@ func (m *ServerStats) Unmarshal(b []byte) error {
 	m.CacheHits = d.i64()
 	m.CacheMisses = d.i64()
 	m.CacheFlushes = d.i64()
+	m.StoreSyscallsRead = d.i64()
+	m.StoreSyscallsWrite = d.i64()
+	m.StoreBytesRead = d.i64()
+	m.StoreBytesWritten = d.i64()
 	return d.err
 }
 
@@ -429,4 +444,8 @@ func (m *ServerStats) Add(other ServerStats) {
 	m.CacheHits += other.CacheHits
 	m.CacheMisses += other.CacheMisses
 	m.CacheFlushes += other.CacheFlushes
+	m.StoreSyscallsRead += other.StoreSyscallsRead
+	m.StoreSyscallsWrite += other.StoreSyscallsWrite
+	m.StoreBytesRead += other.StoreBytesRead
+	m.StoreBytesWritten += other.StoreBytesWritten
 }
