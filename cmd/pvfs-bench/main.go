@@ -35,12 +35,16 @@ type benchRow struct {
 	Method        string  `json:"method"`
 	Direction     string  `json:"direction"`
 	Vectored      bool    `json:"vectored"`
+	Ring          bool    `json:"ring"`
 	Seconds       float64 `json:"seconds"`
 	Requests      int64   `json:"requests"`
 	Regions       int64   `json:"regions"`
 	Bytes         int64   `json:"bytes"`
 	StoreSyscalls int64   `json:"store_syscalls"`
 	SyscallsPerOp float64 `json:"syscalls_per_op"`
+	Submissions   int64   `json:"store_submissions"`
+	SubsPerOp     float64 `json:"subs_per_op"`
+	BytesCopied   int64   `json:"store_bytes_copied"`
 	MBPerS        float64 `json:"mb_per_s"`
 }
 
@@ -59,6 +63,7 @@ func main() {
 	chaosSeed := flag.Int64("chaos", 0, "run over a faulty wire: seed for a faultnet chaos script (0 = healthy); clients retry with backoff")
 	dataDir := flag.String("data", "", "back each daemon with a directory store under DIR (empty = in-memory); Dir stores bear real syscalls, so the store-syscall columns measure the vectored datapath")
 	novec := flag.Bool("novec", false, "hide VectorIO/SpanIO from the daemons: the pre-vectoring per-fragment baseline")
+	nouring := flag.Bool("nouring", false, "hide BatchIO/FileStreamer from the daemons: the vectored (pre-ring) baseline; the store-submission columns then count one submission per run instead of one per window")
 	jsonOut := flag.String("json", "", "append result rows as JSON to FILE")
 	flag.Parse()
 
@@ -79,7 +84,7 @@ func main() {
 		}
 	}
 
-	copts := cluster.Options{NumIOD: *iods, DataDir: *dataDir, PlainStore: *novec}
+	copts := cluster.Options{NumIOD: *iods, DataDir: *dataDir, PlainStore: *novec, NoURing: *nouring}
 	var script *faultnet.Script
 	var retry *client.RetryPolicy
 	if *chaosSeed != 0 {
@@ -97,13 +102,14 @@ func main() {
 	if *write {
 		dir = "write"
 	}
-	fmt.Printf("# pattern=%s clients=%d iods=%d ssize=%d direction=%s granularity=%v async=%d store=%s vectored=%v\n",
-		pat.Name(), pat.Ranks(), *iods, *ssize, dir, g, *async, dataOrMem(*dataDir), !*novec)
+	fmt.Printf("# pattern=%s clients=%d iods=%d ssize=%d direction=%s granularity=%v async=%d store=%s vectored=%v ring=%v\n",
+		pat.Name(), pat.Ranks(), *iods, *ssize, dir, g, *async, dataOrMem(*dataDir), !*novec, !*novec && !*nouring)
 	if script != nil {
 		fmt.Printf("# chaos seed=%d (scripted wire faults; clients retry with backoff)\n", *chaosSeed)
 	}
-	fmt.Printf("%-12s %10s %10s %10s %14s %10s %10s %10s\n",
-		"method", "seconds", "requests", "regions", "bytes", "storesysc", "sysc/op", "MB/s")
+	fmt.Printf("%-12s %10s %10s %10s %14s %10s %10s %10s %10s %12s %10s\n",
+		"method", "seconds", "requests", "regions", "bytes", "storesysc", "sysc/op",
+		"subs", "subs/op", "copied", "MB/s")
 
 	var rows []benchRow
 	for _, m := range methods {
@@ -116,26 +122,35 @@ func main() {
 			Method:    m,
 			Direction: dir,
 			Vectored:  !*novec,
+			Ring:      !*novec && !*nouring,
 			Seconds:   secs,
 			Requests:  stats.Requests,
 			Regions:   stats.Regions,
 			Bytes:     stats.BytesRead + stats.BytesWritten,
 			StoreSyscalls: stats.StoreSyscallsRead +
 				stats.StoreSyscallsWrite,
+			Submissions: stats.StoreSubmissions,
+			BytesCopied: stats.StoreBytesCopied,
 		}
-		// syscalls/op: store submissions per I/O request window — the
-		// quantity the vectored datapath exists to shrink (one per
-		// window instead of one per fragment).
+		// syscalls/op: store kernel crossings per I/O request window —
+		// the quantity the vectored datapath exists to shrink.
+		// subs/op: batched submissions per window — the quantity the
+		// ring datapath (§11) shrinks further: a whole gapped window
+		// becomes ONE submission instead of one per run. copied: bytes
+		// that crossed a user/kernel copy; zero-copy streamed reads
+		// are excluded, so ring runs report fewer copied bytes.
 		if row.Requests > 0 {
 			row.SyscallsPerOp = float64(row.StoreSyscalls) / float64(row.Requests)
+			row.SubsPerOp = float64(row.Submissions) / float64(row.Requests)
 		}
 		if secs > 0 {
 			row.MBPerS = float64(row.Bytes) / secs / 1e6
 		}
 		rows = append(rows, row)
-		fmt.Printf("%-12s %10.4f %10d %10d %14d %10d %10.2f %10.2f\n",
+		fmt.Printf("%-12s %10.4f %10d %10d %14d %10d %10.2f %10d %10.2f %12d %10.2f\n",
 			row.Method, row.Seconds, row.Requests, row.Regions, row.Bytes,
-			row.StoreSyscalls, row.SyscallsPerOp, row.MBPerS)
+			row.StoreSyscalls, row.SyscallsPerOp, row.Submissions, row.SubsPerOp,
+			row.BytesCopied, row.MBPerS)
 	}
 	if script != nil {
 		fmt.Printf("# chaos: %d structural wire faults injected and absorbed\n", script.Injected())
@@ -450,12 +465,15 @@ func runMethod(c *cluster.Cluster, pat patterns.Pattern, method string, write bo
 		StoreSyscallsRead: after.StoreSyscallsRead - before.StoreSyscallsRead,
 		StoreSyscallsWrite: after.StoreSyscallsWrite -
 			before.StoreSyscallsWrite,
+		StoreSubmissions: after.StoreSubmissions - before.StoreSubmissions,
+		StoreBytesCopied: after.StoreBytesCopied - before.StoreBytesCopied,
 	}, nil
 }
 
 type statsDelta struct {
 	Requests, Regions, BytesRead, BytesWritten int64
 	StoreSyscallsRead, StoreSyscallsWrite      int64
+	StoreSubmissions, StoreBytesCopied         int64
 }
 
 func fatal(err error) {

@@ -33,7 +33,13 @@ func main() {
 	cache := flag.Bool("cache", false, "enable the write-back, readahead block cache")
 	cacheSize := flag.Int64("cache-size", 64<<20, "cache capacity in bytes (with -cache)")
 	cacheBlock := flag.Int64("cache-block", 64<<10, "cache block size in bytes (with -cache); pick a divisor of the stripe unit")
+	nouring := flag.Bool("nouring", false, "disable io_uring batched submission (DESIGN.md §11); the store falls back to vectored preadv/pwritev")
 	flag.Parse()
+
+	if *nouring {
+		// The Dir store reads this once, before creating its ring.
+		os.Setenv("PVFS_NO_URING", "1")
+	}
 
 	logger := log.New(os.Stderr, "pvfs-iod: ", log.LstdFlags)
 	if *quiet {
@@ -63,8 +69,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pvfs-iod: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("pvfs-iod serving on %s (data: %s, cache: %s)\n",
-		srv.Addr(), dataOrMem(*dataDir), cacheDesc(*cache, *cacheSize, *cacheBlock))
+	fmt.Printf("pvfs-iod serving on %s (data: %s, cache: %s, uring: %s)\n",
+		srv.Addr(), dataOrMem(*dataDir), cacheDesc(*cache, *cacheSize, *cacheBlock),
+		uringDesc(*nouring))
 
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
@@ -75,6 +82,8 @@ func main() {
 	fmt.Printf("pvfs-iod: store: %d read syscalls (%d B), %d write syscalls (%d B)\n",
 		stats.StoreSyscallsRead, stats.StoreBytesRead,
 		stats.StoreSyscallsWrite, stats.StoreBytesWritten)
+	fmt.Printf("pvfs-iod: store: %d batched submissions, %d B copied through user space\n",
+		stats.StoreSubmissions, stats.StoreBytesCopied)
 	if *cache {
 		fmt.Printf("pvfs-iod: cache: %d hits, %d misses, %d flushes\n",
 			stats.CacheHits, stats.CacheMisses, stats.CacheFlushes)
@@ -83,6 +92,17 @@ func main() {
 	if err := srv.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "pvfs-iod: close: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+func uringDesc(disabled bool) string {
+	switch {
+	case disabled:
+		return "disabled"
+	case store.RingAvailable():
+		return "on"
+	default:
+		return "unavailable"
 	}
 }
 

@@ -306,6 +306,8 @@ func replayCmd(args []string) error {
 		fmt.Printf("store: %d read syscalls (%d B), %d write syscalls (%d B)\n",
 			st.StoreSyscallsRead, st.StoreBytesRead,
 			st.StoreSyscallsWrite, st.StoreBytesWritten)
+		fmt.Printf("store: %d batched submissions, %d B copied through user space\n",
+			st.StoreSubmissions, st.StoreBytesCopied)
 	}
 	for _, rr := range res.PerRank {
 		fmt.Printf("  rank %d: %d ops, %d bytes, %v\n", rr.Rank, rr.Ops, rr.Bytes, rr.Elapsed)

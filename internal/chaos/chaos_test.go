@@ -127,6 +127,31 @@ func TestChaosStartAsync(t *testing.T) {
 	})
 }
 
+// TestChaosStreamedReads drives the zero-copy stream framing (§11):
+// per-region reads large enough to stream (≥64 KiB) over a chaotic
+// wire with kills, Dir-backed so the ring datapath serves the fills.
+// The faulty wire is not a *net.TCPConn, so the server exercises the
+// stream's buffered fallback — the framing and failure paths the
+// stream contract (exact promised length or broken connection) pins.
+func TestChaosStreamedReads(t *testing.T) {
+	runScenario(t, chaos.Scenario{
+		Name: "streamed", Method: client.AccessMultiple,
+		Ranks: 2, Blocks: 8, BlockLen: 96 << 10, Kill: true,
+		DataDir: t.TempDir(),
+	})
+}
+
+// TestChaosRingFallback forces PVFS_NO_URING so the same Dir-backed
+// list scenario runs on the vectored rung of the §11 fallback ladder.
+func TestChaosRingFallback(t *testing.T) {
+	t.Setenv("PVFS_NO_URING", "1")
+	runScenario(t, chaos.Scenario{
+		Name: "ring-fallback", Method: client.AccessList,
+		Ranks: 2, Blocks: 48, Kill: true,
+		DataDir: t.TempDir(),
+	})
+}
+
 // TestChaosPinnedKill pins the killer to daemon 0 so the same stripe
 // server dies repeatedly — the repeated-crash-of-one-node profile.
 func TestChaosPinnedKill(t *testing.T) {

@@ -177,11 +177,22 @@ func (a *vecApplier) flush() bool {
 	return ok
 }
 
-// applyVector runs one packed vector against the store: a single
-// vectored submission when the store supports it, a per-run loop
-// otherwise (the caller has already merged adjacent extents, so each
-// entry is a maximal contiguous run).
+// applyVector runs one packed vector against the store, descending the
+// fallback ladder (DESIGN.md §11): one BatchIO submission for the
+// whole gapped window where the store batches, one VectorIO submission
+// otherwise, a per-run loop at the bottom (the caller has already
+// merged adjacent extents, so each entry is a maximal contiguous run).
 func (s *Server) applyVector(handle uint64, segs ioseg.List, data []byte, isWrite bool) bool {
+	if spans, ok := s.batchSpans(segs, data); ok {
+		b := s.st.(store.BatchIO)
+		var err error
+		if isWrite {
+			_, err = b.WriteBatch(handle, spans)
+		} else {
+			_, err = b.ReadBatch(handle, spans)
+		}
+		return err == nil
+	}
 	if v, ok := s.st.(store.VectorIO); ok {
 		var err error
 		if isWrite {

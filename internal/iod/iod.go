@@ -82,6 +82,8 @@ func (s *Server) Stats() wire.ServerStats {
 		st.StoreSyscallsWrite = is.SyscallsWrite
 		st.StoreBytesRead = is.BytesRead
 		st.StoreBytesWritten = is.BytesWritten
+		st.StoreSubmissions = is.Submissions
+		st.StoreBytesCopied = is.BytesCopied
 	}
 	return st
 }
@@ -176,6 +178,35 @@ func (s *Server) handle(req wire.Message) wire.Message {
 	}
 }
 
+// zeroCopyMinBytes gates the sendfile streaming path: below it the
+// fixed cost of the readiness loop and the lost pipelining (the stream
+// holds the connection's write lock for its whole transfer) outweigh
+// the avoided copy. 64 KiB is one cache block — the smallest read for
+// which BENCH_7 shows the copy dominating.
+const zeroCopyMinBytes = 64 << 10
+
+// streamRead returns a zero-copy streamed response for a contiguous
+// read when the store can hand out a file-range stream (uncached Dir
+// only — a cache must never let the socket bypass dirty blocks) and
+// the transfer is large enough to profit. ok=false means the caller
+// takes the buffered path.
+func (s *Server) streamRead(handle uint64, off, length int64) (wire.Message, bool) {
+	if length < zeroCopyMinBytes {
+		return wire.Message{}, false
+	}
+	fsr, ok := s.st.(store.FileStreamer)
+	if !ok {
+		return wire.Message{}, false
+	}
+	fs, err := fsr.StreamReader(handle, off, length)
+	if err != nil {
+		// Fall back to the buffered path, which surfaces real I/O
+		// errors as a proper status response.
+		return wire.Message{}, false
+	}
+	return wire.Message{Header: wire.Header{Handle: handle}, BodyStream: fs}, true
+}
+
 func (s *Server) read(req wire.Message) wire.Message {
 	var body wire.ReadReq
 	if err := body.Unmarshal(req.Body); err != nil {
@@ -183,6 +214,14 @@ func (s *Server) read(req wire.Message) wire.Message {
 	}
 	if body.Length < 0 || body.Length > wire.MaxBodyLen || body.Offset < 0 {
 		return fail(wire.StatusInvalid)
+	}
+	if resp, ok := s.streamRead(req.Handle, body.Offset, body.Length); ok {
+		s.account(func(st *wire.ServerStats) {
+			st.Requests++
+			st.Regions++
+			st.BytesRead += body.Length
+		})
+		return resp
 	}
 	p := wire.GetBuf(int(body.Length))
 	if _, err := s.st.ReadAt(req.Handle, p, body.Offset); err != nil {
@@ -242,6 +281,15 @@ func (s *Server) applyRegions(handle uint64, regions ioseg.List, data []byte, is
 		if int64(len(data)) != total {
 			return nil, wire.StatusInvalid
 		}
+		if spans, ok := s.batchSpans(regions, data); ok {
+			// Ring fast path: the whole gapped window — every
+			// coalesced run, gaps included — is ONE batch submission.
+			b := s.st.(store.BatchIO)
+			if _, err := b.WriteBatch(handle, spans); err != nil {
+				return nil, wire.StatusIOError
+			}
+			return nil, wire.StatusOK
+		}
 		if v, ok := s.st.(store.VectorIO); ok {
 			// Vectored fast path: the whole window is one store
 			// submission; the store coalesces adjacent fragments.
@@ -268,6 +316,14 @@ func (s *Server) applyRegions(handle uint64, regions ioseg.List, data []byte, is
 		return nil, wire.StatusOK
 	}
 	out := wire.GetBuf(int(total))
+	if spans, ok := s.batchSpans(regions, out); ok {
+		b := s.st.(store.BatchIO)
+		if _, err := b.ReadBatch(handle, spans); err != nil {
+			wire.PutBuf(out)
+			return nil, wire.StatusIOError
+		}
+		return out, wire.StatusOK
+	}
 	if v, ok := s.st.(store.VectorIO); ok {
 		if _, err := v.ReadAtv(handle, regions, out); err != nil {
 			wire.PutBuf(out)
@@ -290,6 +346,31 @@ func (s *Server) applyRegions(handle uint64, regions ioseg.List, data []byte, is
 	return out, wire.StatusOK
 }
 
+// batchSpans maps a region list and its packed data stream onto
+// store.Span values, one per coalesced run, when the batch path is
+// worth taking: the store implements BatchIO, the list is sorted and
+// overlap-free (CoalesceRuns ok), and there is more than one run —
+// a single run is already one syscall on the vectored path, and an
+// unsorted or overlapping list must apply sequentially for
+// later-wins semantics.
+func (s *Server) batchSpans(regions ioseg.List, data []byte) ([]store.Span, bool) {
+	if _, ok := s.st.(store.BatchIO); !ok {
+		return nil, false
+	}
+	runs, pos, ok := regions.CoalesceRuns()
+	if !ok || len(runs) < 2 {
+		return nil, false
+	}
+	spans := make([]store.Span, len(runs))
+	for i, r := range runs {
+		spans[i] = store.Span{
+			Off:  r.Offset,
+			Bufs: [][]byte{data[pos[i] : pos[i]+r.Length]},
+		}
+	}
+	return spans, true
+}
+
 func (s *Server) readList(req wire.Message) wire.Message {
 	var body wire.ListReq
 	if err := body.Unmarshal(req.Body); err != nil {
@@ -300,6 +381,23 @@ func (s *Server) readList(req wire.Message) wire.Message {
 			return fail(wire.StatusInvalid)
 		}
 		return fail(wire.StatusProtocol)
+	}
+	// A list that coalesces to one large contiguous run can skip the
+	// response buffer entirely and stream file-to-socket (zero-copy),
+	// like a plain large TRead.
+	if body.Regions.Validate() == nil {
+		if runs, _, ok := body.Regions.CoalesceRuns(); ok && len(runs) == 1 {
+			if resp, ok := s.streamRead(req.Handle, runs[0].Offset, runs[0].Length); ok {
+				s.account(func(stats *wire.ServerStats) {
+					stats.Requests++
+					stats.ListRequests++
+					stats.Regions += int64(len(body.Regions))
+					stats.BytesRead += runs[0].Length
+					stats.TrailingBytes += int64(wire.TrailingDataSize(len(body.Regions)))
+				})
+				return resp
+			}
+		}
 	}
 	out, st := s.applyRegions(req.Handle, body.Regions, nil, false)
 	if st != wire.StatusOK {

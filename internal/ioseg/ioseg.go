@@ -281,6 +281,27 @@ func (l List) CoalescePacked() (List, bool) {
 	return out, true
 }
 
+// CoalesceRuns is CoalescePacked plus the stream-position bookkeeping
+// a batch builder needs: it returns the coalesced runs and, aligned
+// with them, each run's starting position in the packed byte stream.
+// ok is false under the same conditions as CoalescePacked (unsorted or
+// overlapping list), in which case both returns are nil. A consumer
+// submitting the whole gapped window as one batch (store.BatchIO) maps
+// run i to the stream bytes [pos[i], pos[i]+runs[i].Length).
+func (l List) CoalesceRuns() (runs List, pos []int64, ok bool) {
+	runs, ok = l.CoalescePacked()
+	if !ok {
+		return nil, nil, false
+	}
+	pos = make([]int64, len(runs))
+	var p int64
+	for i, r := range runs {
+		pos[i] = p
+		p += r.Length
+	}
+	return runs, pos, true
+}
+
 // Intersect returns the normalized intersection of two lists.
 func (l List) Intersect(m List) List {
 	a, b := l.Normalize(), m.Normalize()

@@ -307,6 +307,43 @@ func (c *Cache) fill(b *cacheBlock) error {
 	return nil
 }
 
+// fillRuns loads several GAPPED runs of consecutive uncached blocks in
+// one backend submission when the inner store batches (BatchIO), one
+// fillRun per run otherwise. Callers hold f.mu.R and every block's bmu
+// across all runs, taken in ascending index order (the deadlock rule
+// all multi-block paths share). On success every block is marked
+// loaded; on error none is (the blocks stay unloaded and the read
+// fails, matching fillRun).
+func (c *Cache) fillRuns(handle uint64, runs [][]*cacheBlock) error {
+	if len(runs) > 1 {
+		if bio, ok := c.inner.(BatchIO); ok {
+			spans := make([]Span, len(runs))
+			for i, run := range runs {
+				bufs := make([][]byte, len(run))
+				for j, b := range run {
+					bufs[j] = b.data
+				}
+				spans[i] = Span{Off: run[0].idx * c.opt.BlockSize, Bufs: bufs}
+			}
+			if _, err := bio.ReadBatch(handle, spans); err != nil {
+				return err
+			}
+			for _, run := range runs {
+				for _, b := range run {
+					b.loaded = true
+				}
+			}
+			return nil
+		}
+	}
+	for _, run := range runs {
+		if err := c.fillRun(handle, run); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // fillRun loads a run of consecutive uncached blocks from the backend
 // — one vectored read when the inner store scatters (SpanIO), one
 // ReadAt per block otherwise. Callers hold f.mu.R and every run
@@ -451,42 +488,28 @@ func (c *Cache) flushDirty() error {
 }
 
 // flushFileRuns writes back one file's batch of dirty blocks, merging
-// adjacent block indexes into single vectored writes — the coalesced
-// write-back of DESIGN.md §10. Callers hold f.mu (either mode).
+// adjacent block indexes into vectored writes — the coalesced
+// write-back of DESIGN.md §10 — and, when the inner store batches
+// (BatchIO), submitting ALL the file's gapped sub-runs as ONE backend
+// submission (§11). Callers hold f.mu (either mode). Block locks are
+// taken in ascending index order; blocks that meanwhile went clean or
+// gone are skipped, and only blocks whose write landed are marked
+// clean (failures stay dirty for a later retry) — exactly the
+// per-block flushBlock contract, minus the per-block syscalls.
 func (c *Cache) flushFileRuns(f *cacheFile, batch []*cacheBlock) error {
 	sort.Slice(batch, func(i, j int) bool { return batch[i].idx < batch[j].idx })
-	var first error
-	for i := 0; i < len(batch); {
-		j := i + 1
-		for j < len(batch) && batch[j].idx == batch[j-1].idx+1 {
-			j++
-		}
-		if err := c.flushRun(f, batch[i:j]); err != nil && first == nil {
-			first = err
-		}
-		i = j
-	}
-	return first
-}
-
-// flushRun writes back one run of index-adjacent dirty blocks. Block
-// locks are taken in ascending index order; blocks that meanwhile
-// went clean or gone are skipped, and only blocks whose write landed
-// are marked clean (failures stay dirty for a later retry) — exactly
-// the per-block flushBlock contract, minus the per-block syscalls.
-func (c *Cache) flushRun(f *cacheFile, run []*cacheBlock) error {
-	for _, b := range run {
+	for _, b := range batch {
 		b.bmu.Lock()
 	}
 	defer func() {
-		for _, b := range run {
+		for _, b := range batch {
 			b.bmu.Unlock()
 		}
 	}()
 	c.mu.Lock()
 	size := f.size
-	gone := make([]bool, len(run))
-	for i, b := range run {
+	gone := make([]bool, len(batch))
+	for i, b := range batch {
 		gone[i] = b.gone
 	}
 	c.mu.Unlock()
@@ -502,9 +525,10 @@ func (c *Cache) flushRun(f *cacheFile, run []*cacheBlock) error {
 		return clip
 	}
 	var first error
-	cleaned := make([]*cacheBlock, 0, len(run))
-	for i := 0; i < len(run); {
-		b := run[i]
+	cleaned := make([]*cacheBlock, 0, len(batch))
+	var subs [][]*cacheBlock
+	for i := 0; i < len(batch); {
+		b := batch[i]
 		switch {
 		case gone[i] || !b.dirty:
 			i++
@@ -515,28 +539,63 @@ func (c *Cache) flushRun(f *cacheFile, run []*cacheBlock) error {
 			cleaned = append(cleaned, b)
 			i++
 		default:
-			// Collect the writable sub-run: consecutive, still-dirty,
+			// Collect a writable sub-run: consecutive, still-dirty,
 			// present blocks with data below the tracked size. Since
 			// the size clips at one point, every block but the
 			// sub-run's last is written whole and the span stays
 			// file-contiguous.
 			j := i + 1
-			for j < len(run) && run[j].idx == run[j-1].idx+1 &&
-				!gone[j] && run[j].dirty && clipOf(run[j]) > 0 {
+			for j < len(batch) && batch[j].idx == batch[j-1].idx+1 &&
+				!gone[j] && batch[j].dirty && clipOf(batch[j]) > 0 {
 				j++
 			}
-			sub := run[i:j]
-			if err := c.writeRun(f.handle, sub, clipOf); err != nil {
-				if first == nil {
-					first = err
+			subs = append(subs, batch[i:j])
+			i = j
+		}
+	}
+	if len(subs) > 1 {
+		if bio, ok := c.inner.(BatchIO); ok {
+			// One submission for every gapped sub-run. All-or-nothing:
+			// on error every batched block stays dirty for retry — the
+			// §7 crash contract is per-run, and a batch is just a set
+			// of runs that fail or land together.
+			spans := make([]Span, len(subs))
+			var total int64
+			nblocks := 0
+			for si, sub := range subs {
+				bufs := make([][]byte, len(sub))
+				for bi, b := range sub {
+					bufs[bi] = b.data[:clipOf(b)]
+					total += int64(len(bufs[bi]))
 				}
+				spans[si] = Span{Off: sub[0].idx * bs, Bufs: bufs}
+				nblocks += len(sub)
+			}
+			if _, err := bio.WriteBatch(f.handle, spans); err != nil {
+				first = err
 			} else {
-				for _, sb := range sub {
-					sb.dirty = false
-					cleaned = append(cleaned, sb)
+				c.flushes.Add(int64(nblocks))
+				c.flushedBytes.Add(total)
+				for _, sub := range subs {
+					for _, sb := range sub {
+						sb.dirty = false
+						cleaned = append(cleaned, sb)
+					}
 				}
 			}
-			i = j
+			subs = nil
+		}
+	}
+	for _, sub := range subs {
+		if err := c.writeRun(f.handle, sub, clipOf); err != nil {
+			if first == nil {
+				first = err
+			}
+		} else {
+			for _, sb := range sub {
+				sb.dirty = false
+				cleaned = append(cleaned, sb)
+			}
 		}
 	}
 	if len(cleaned) > 0 {
@@ -702,9 +761,13 @@ func (c *Cache) ReadAt(handle uint64, p []byte, off int64) (int, error) {
 }
 
 // readBlocks is the locked body of ReadAt; it returns the first and
-// last block indexes touched. A run of consecutive uncached blocks is
-// filled with one backend submission (fillRun) instead of one fill
-// per block.
+// last block indexes touched. The walk is two-phase: loaded and
+// past-EOF blocks are served and released as they are met, while
+// blocks needing a backend fill stay locked and accumulate into runs
+// of consecutive indexes — then ALL the runs, gaps included, fill with
+// one batched backend submission (fillRuns). Block locks are taken in
+// ascending index order, the deadlock rule all multi-block paths
+// share; a fill run's locks are held until its data arrives.
 func (c *Cache) readBlocks(f *cacheFile, p []byte, off int64) (first, last int64, err error) {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
@@ -719,7 +782,8 @@ func (c *Cache) readBlocks(f *cacheFile, p []byte, off int64) (first, last int64
 		hi := min(off+int64(len(p)), blockOff+bs)
 		copy(p[lo-off:hi-off], b.data[lo-blockOff:hi-blockOff])
 	}
-	for idx := first; idx <= last; {
+	var runs [][]*cacheBlock
+	for idx := first; idx <= last; idx++ {
 		b := c.block(f, idx)
 		b.bmu.Lock()
 		if b.loaded {
@@ -727,7 +791,6 @@ func (c *Cache) readBlocks(f *cacheFile, p []byte, off int64) (first, last int64
 			copyOut(b)
 			b.bmu.Unlock()
 			c.put(b)
-			idx++
 			continue
 		}
 		c.mu.Lock()
@@ -741,36 +804,31 @@ func (c *Cache) readBlocks(f *cacheFile, p []byte, off int64) (first, last int64
 			copyOut(b)
 			b.bmu.Unlock()
 			c.put(b)
-			idx++
 			continue
 		}
-		// A fill is needed: greedily extend the run over consecutive
-		// uncached in-file blocks so one vectored read services them
-		// all, taking block locks in ascending index order.
-		run := []*cacheBlock{b}
-		for next := idx + 1; next <= last; next++ {
-			nb := c.block(f, next)
-			nb.bmu.Lock()
-			if nb.loaded || next*bs >= size {
-				nb.bmu.Unlock()
-				c.put(nb)
-				break
-			}
-			run = append(run, nb)
+		// A fill is needed: keep the block locked and extend the
+		// current run, or start a new (gapped) one.
+		if n := len(runs); n > 0 && runs[n-1][len(runs[n-1])-1].idx == idx-1 {
+			runs[n-1] = append(runs[n-1], b)
+		} else {
+			runs = append(runs, []*cacheBlock{b})
 		}
-		ferr := c.fillRun(f.handle, run)
-		for _, rb := range run {
-			if ferr == nil {
-				c.misses.Add(1)
-				copyOut(rb)
+	}
+	if len(runs) > 0 {
+		ferr := c.fillRuns(f.handle, runs)
+		for _, run := range runs {
+			for _, rb := range run {
+				if ferr == nil {
+					c.misses.Add(1)
+					copyOut(rb)
+				}
+				rb.bmu.Unlock()
+				c.put(rb)
 			}
-			rb.bmu.Unlock()
-			c.put(rb)
 		}
 		if ferr != nil {
 			return 0, 0, ferr
 		}
-		idx += int64(len(run))
 	}
 	return first, last, nil
 }
@@ -932,6 +990,82 @@ func (c *Cache) WriteAtv(handle uint64, segs ioseg.List, p []byte) (int, error) 
 	}
 	c.evictIfNeeded()
 	return len(p), nil
+}
+
+// ReadBatch implements BatchIO over the cache: each span is served
+// through the block machinery (hits stay in memory; misses coalesce
+// into batched backend fills via readBlocks), so callers that batch
+// gapped runs keep one code path whether or not a cache interposes.
+func (c *Cache) ReadBatch(handle uint64, spans []Span) (int, error) {
+	if c.abandoned.Load() {
+		return 0, ErrAbandoned
+	}
+	total, err := checkSpans(spans, MaxFileSize)
+	if err != nil {
+		return 0, err
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	f := c.file(handle)
+	moved := 0
+	for _, s := range spans {
+		off := s.Off
+		for _, buf := range s.Bufs {
+			if len(buf) == 0 {
+				continue
+			}
+			first, last, err := c.readBlocks(f, buf, off)
+			if err != nil {
+				return moved, err
+			}
+			c.noteSequential(f, first, last)
+			off += int64(len(buf))
+			moved += len(buf)
+		}
+	}
+	c.evictIfNeeded()
+	return moved, nil
+}
+
+// WriteBatch implements BatchIO over the cache; the data lands in
+// cached blocks and is flushed later — batched back out through
+// flushFileRuns when the backend batches.
+func (c *Cache) WriteBatch(handle uint64, spans []Span) (int, error) {
+	if c.abandoned.Load() {
+		return 0, ErrAbandoned
+	}
+	total, err := checkSpans(spans, c.limit)
+	if err != nil {
+		return 0, err
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	c.waitDirtyRoom()
+	c.mu.Lock()
+	ferr := c.flushErr
+	c.mu.Unlock()
+	if ferr != nil {
+		return 0, fmt.Errorf("store: cache write-back degraded: %w", ferr)
+	}
+	f := c.file(handle)
+	moved := 0
+	for _, s := range spans {
+		off := s.Off
+		for _, buf := range s.Bufs {
+			if len(buf) == 0 {
+				continue
+			}
+			if err := c.writeBlocks(f, buf, off); err != nil {
+				return moved, err
+			}
+			off += int64(len(buf))
+			moved += len(buf)
+		}
+	}
+	c.evictIfNeeded()
+	return moved, nil
 }
 
 // IOStats implements IOStatsProvider by reporting the backend's

@@ -20,18 +20,18 @@ import (
 )
 
 // noVec hides every optional interface of an inner store — VectorIO,
-// SpanIO, IOStatsProvider — by embedding it as a bare Store, pinning
-// the callers' per-fragment fallback paths to the same semantics as
-// the vectored ones.
+// SpanIO, BatchIO, FileStreamer, IOStatsProvider — by embedding it as
+// a bare Store, pinning the callers' per-fragment fallback paths to
+// the same semantics as the vectored and batched ones.
 type noVec struct{ Store }
 
 // equivOp is one step of a worker's deterministic script.
 type equivOp struct {
-	kind int // 0 write, 1 read, 2 truncate, 3 sync, 4 vector write, 5 vector read
+	kind int // 0 write, 1 read, 2 truncate, 3 sync, 4 vector write, 5 vector read, 6 batch write, 7 batch read
 	off  int64
 	size int64
 	seed int64
-	segs ioseg.List // kinds 4/5
+	segs ioseg.List // kinds 4/5: packed vector; kinds 6/7: disjoint gapped spans
 }
 
 // makeSegs builds a vector op's segment list: runs of adjacent,
@@ -62,12 +62,28 @@ func makeSegs(r *rand.Rand) ioseg.List {
 	return segs
 }
 
+// makeBatchSegs builds a batch op's span list: several runs kept
+// sorted and DISJOINT by construction (gaps between runs), the shape
+// the BatchIO contract requires — and the shape the ring submits as
+// one batch.
+func makeBatchSegs(r *rand.Rand) ioseg.List {
+	n := 2 + r.Intn(6)
+	segs := make(ioseg.List, 0, n)
+	pos := int64(r.Intn(16 << 10))
+	for j := 0; j < n; j++ {
+		l := 1 + int64(r.Intn(2048))
+		segs = append(segs, ioseg.Segment{Offset: pos, Length: l})
+		pos += l + 1 + int64(r.Intn(4096))
+	}
+	return segs
+}
+
 // makeScript builds one worker's operation list from a seed.
 func makeScript(seed int64, ops int) []equivOp {
 	r := rand.New(rand.NewSource(seed))
 	out := make([]equivOp, ops)
 	for i := range out {
-		k := r.Intn(12)
+		k := r.Intn(14)
 		op := equivOp{seed: r.Int63()}
 		switch {
 		case k < 4: // write
@@ -86,13 +102,44 @@ func makeScript(seed int64, ops int) []equivOp {
 		case k < 10: // vector write
 			op.kind = 4
 			op.segs = makeSegs(r)
-		default: // vector read
+		case k < 12: // vector read
 			op.kind = 5
 			op.segs = makeSegs(r)
+		case k < 13: // batch write
+			op.kind = 6
+			op.segs = makeBatchSegs(r)
+		default: // batch read
+			op.kind = 7
+			op.segs = makeBatchSegs(r)
 		}
 		out[i] = op
 	}
 	return out
+}
+
+// batchSpansOf turns a batch op's disjoint segments into Spans over p,
+// splitting each run into one to three buffers so the scatter-gather
+// shape varies deterministically with the op seed.
+func batchSpansOf(op equivOp, p []byte) []Span {
+	r := rand.New(rand.NewSource(op.seed ^ 0x5a5a))
+	spans := make([]Span, len(op.segs))
+	var pos int64
+	for i, sg := range op.segs {
+		run := p[pos : pos+sg.Length]
+		var bufs [][]byte
+		for len(run) > 0 {
+			cut := 1 + r.Intn(len(run))
+			bufs = append(bufs, run[:cut])
+			run = run[cut:]
+			if len(bufs) == 2 && len(run) > 0 {
+				bufs = append(bufs, run)
+				break
+			}
+		}
+		spans[i] = Span{Off: sg.Offset, Bufs: bufs}
+		pos += sg.Length
+	}
+	return spans
 }
 
 // fillPattern fills p deterministically from a seed.
@@ -197,6 +244,58 @@ func runScript(s Store, handle uint64, script []equivOp) error {
 			}
 			if !bytes.Equal(p, want) {
 				return fmt.Errorf("op %d vector read %v diverges from shadow", i, op.segs)
+			}
+		case 6:
+			total := op.segs.TotalLength()
+			p := make([]byte, total)
+			fillPattern(p, op.seed)
+			if b, ok := s.(BatchIO); ok {
+				if _, err := b.WriteBatch(handle, batchSpansOf(op, p)); err != nil {
+					return fmt.Errorf("op %d bwrite: %w", i, err)
+				}
+			} else {
+				var pos int64
+				for _, sg := range op.segs {
+					if _, err := s.WriteAt(handle, p[pos:pos+sg.Length], sg.Offset); err != nil {
+						return fmt.Errorf("op %d bwrite(fallback): %w", i, err)
+					}
+					pos += sg.Length
+				}
+			}
+			var pos int64
+			for _, sg := range op.segs {
+				if need := sg.End(); need > int64(len(shadow)) {
+					shadow = append(shadow, make([]byte, need-int64(len(shadow)))...)
+				}
+				copy(shadow[sg.Offset:sg.End()], p[pos:pos+sg.Length])
+				pos += sg.Length
+			}
+		case 7:
+			total := op.segs.TotalLength()
+			p := make([]byte, total)
+			if b, ok := s.(BatchIO); ok {
+				if _, err := b.ReadBatch(handle, batchSpansOf(op, p)); err != nil {
+					return fmt.Errorf("op %d bread: %w", i, err)
+				}
+			} else {
+				var pos int64
+				for _, sg := range op.segs {
+					if _, err := s.ReadAt(handle, p[pos:pos+sg.Length], sg.Offset); err != nil {
+						return fmt.Errorf("op %d bread(fallback): %w", i, err)
+					}
+					pos += sg.Length
+				}
+			}
+			want := make([]byte, total)
+			var pos int64
+			for _, sg := range op.segs {
+				if sg.Offset < int64(len(shadow)) {
+					copy(want[pos:pos+sg.Length], shadow[sg.Offset:])
+				}
+				pos += sg.Length
+			}
+			if !bytes.Equal(p, want) {
+				return fmt.Errorf("op %d batch read %v diverges from shadow", i, op.segs)
 			}
 		}
 	}

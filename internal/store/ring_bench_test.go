@@ -1,0 +1,159 @@
+package store
+
+// Benchmarks for the ring-submission datapath (DESIGN.md §11): one
+// GAPPED N-fragment 4 KiB window — every fragment its own run, the
+// shape interleaved ranks leave on a daemon's stripe file — submitted
+// three ways: one syscall per fragment (perfrag), one preadv/pwritev
+// per run (vectored: gaps break the iovec chain, so N runs = N
+// syscalls), and one io_uring batch for the whole window (ring).
+// BENCH_7.json records the sweep.
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchGappedSpans builds n single-buffer spans of width bytes with a
+// width-sized hole between consecutive spans.
+func benchGappedSpans(n int, width int64) ([]Span, int64) {
+	spans := make([]Span, n)
+	var total int64
+	for i := range spans {
+		buf := make([]byte, width)
+		for j := range buf {
+			buf[j] = byte(i*31 + j)
+		}
+		spans[i] = Span{Off: int64(i) * 2 * width, Bufs: [][]byte{buf}}
+		total += width
+	}
+	return spans, total
+}
+
+// BenchmarkDirGappedSubmission sweeps fragment count over the three
+// rungs of the §11 fallback ladder against store.Dir.
+func BenchmarkDirGappedSubmission(b *testing.B) {
+	const width = 4096
+	for _, nfrag := range []int{16, 64, 256} {
+		spans, total := benchGappedSpans(nfrag, width)
+		for _, dir := range []string{"write", "read"} {
+			newDir := func(b *testing.B) *Dir {
+				d, err := NewDir(b.TempDir())
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(func() { d.Close() })
+				if _, err := d.WriteBatch(1, spans); err != nil {
+					b.Fatal(err)
+				}
+				return d
+			}
+			b.Run(fmt.Sprintf("perfrag/%s/frags=%d", dir, nfrag), func(b *testing.B) {
+				d := newDir(b)
+				b.SetBytes(total)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for _, s := range spans {
+						var err error
+						if dir == "write" {
+							_, err = d.WriteAt(1, s.Bufs[0], s.Off)
+						} else {
+							_, err = d.ReadAt(1, s.Bufs[0], s.Off)
+						}
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("vectored/%s/frags=%d", dir, nfrag), func(b *testing.B) {
+				d := newDir(b)
+				b.SetBytes(total)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					// One pwritev/preadv per gapped run: the rung the
+					// ladder lands on when the ring is unavailable.
+					f, err := d.file(1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, s := range spans {
+						if dir == "write" {
+							_, _, err = writevAt(f, s.Bufs, s.Off)
+						} else {
+							_, _, err = readvAt(f, s.Bufs, s.Off)
+						}
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("ring/%s/frags=%d", dir, nfrag), func(b *testing.B) {
+				d := newDir(b)
+				if d.ringGet() == nil {
+					b.Skip("io_uring unavailable")
+				}
+				b.SetBytes(total)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var err error
+					if dir == "write" {
+						_, err = d.WriteBatch(1, spans)
+					} else {
+						_, err = d.ReadBatch(1, spans)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCacheGappedFlush compares write-back flushing of 8 dirty
+// two-block runs separated by clean gaps: vectored submits one
+// pwritev per run, ring submits the whole gapped batch at once.
+func BenchmarkCacheGappedFlush(b *testing.B) {
+	const bs = 4096
+	block := make([]byte, 2*bs)
+	for i := range block {
+		block[i] = byte(i * 11)
+	}
+	run := func(b *testing.B, inner Store) {
+		c := Cached(inner, CacheOptions{BlockSize: bs, Readahead: -1, FlushInterval: -1})
+		defer c.Close()
+		b.SetBytes(int64(8 * len(block)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for r := int64(0); r < 8; r++ {
+				if _, err := c.WriteAt(1, block, r*4*bs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := c.Sync(1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("vectored", func(b *testing.B) {
+		d, err := NewDir(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer d.Close()
+		b.Setenv("PVFS_NO_URING", "1")
+		run(b, d)
+	})
+	b.Run("ring", func(b *testing.B) {
+		d, err := NewDir(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer d.Close()
+		if d.ringGet() == nil {
+			b.Skip("io_uring unavailable")
+		}
+		run(b, d)
+	})
+}

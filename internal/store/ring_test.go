@@ -1,0 +1,273 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// gappedSpans builds n disjoint spans of width bytes separated by gap
+// bytes, each scattered across scatter buffers, with deterministic
+// content for writes.
+func gappedSpans(n, width, gap, scatter int, fill byte) []Span {
+	spans := make([]Span, n)
+	off := int64(0)
+	for i := range spans {
+		bufs := make([][]byte, scatter)
+		per := width / scatter
+		for j := range bufs {
+			b := make([]byte, per)
+			for k := range b {
+				b[k] = fill + byte(i*7+j*3+k)
+			}
+			bufs[j] = b
+		}
+		spans[i] = Span{Off: off, Bufs: bufs}
+		off += int64(width + gap)
+	}
+	return spans
+}
+
+// flattenSpans returns the spans' buffer bytes concatenated in span
+// order — the packed image of the batch.
+func flattenSpans(spans []Span) []byte {
+	var out []byte
+	for _, sp := range spans {
+		for _, b := range sp.Bufs {
+			out = append(out, b...)
+		}
+	}
+	return out
+}
+
+// TestDirBatchGappedSubmission pins the tentpole claim: a gapped
+// 64-fragment window is ONE ring submission (one io_uring_enter, so
+// one write syscall) where the vectored path needed one pwritev per
+// fragment.
+func TestDirBatchGappedSubmission(t *testing.T) {
+	if !RingAvailable() {
+		t.Skip("io_uring unavailable")
+	}
+	d, err := NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	const frags = 64
+	spans := gappedSpans(frags, 4096, 512, 4, 1)
+	before := d.IOStats()
+	n, err := d.WriteBatch(1, spans)
+	if err != nil {
+		t.Fatalf("WriteBatch: %v", err)
+	}
+	if want := frags * 4096; n != want {
+		t.Fatalf("WriteBatch moved %d bytes, want %d", n, want)
+	}
+	delta := d.IOStats().Sub(before)
+	if delta.Submissions != 1 {
+		t.Errorf("gapped %d-fragment write = %d submissions, want 1", frags, delta.Submissions)
+	}
+	if delta.SyscallsWrite != 1 {
+		t.Errorf("gapped %d-fragment write = %d write syscalls, want 1 ring enter", frags, delta.SyscallsWrite)
+	}
+
+	// Read the same gapped window back as one submission and verify
+	// byte identity with per-fragment reads.
+	rspans := gappedSpans(frags, 4096, 512, 4, 0)
+	for _, sp := range rspans {
+		for _, b := range sp.Bufs {
+			for i := range b {
+				b[i] = 0xee
+			}
+		}
+	}
+	before = d.IOStats()
+	if _, err := d.ReadBatch(1, rspans); err != nil {
+		t.Fatalf("ReadBatch: %v", err)
+	}
+	delta = d.IOStats().Sub(before)
+	if delta.Submissions != 1 || delta.SyscallsRead != 1 {
+		t.Errorf("gapped read = %d submissions, %d syscalls; want 1, 1",
+			delta.Submissions, delta.SyscallsRead)
+	}
+	if !bytes.Equal(flattenSpans(rspans), flattenSpans(spans)) {
+		t.Fatal("ring read-back differs from written image")
+	}
+}
+
+// TestRingFallbackEquivalence drives identical random gapped batches
+// through the ring, the vectored ladder (PVFS_NO_URING), and the
+// per-fragment scalar path, and requires byte-identical stored images
+// and read-backs on all three.
+func TestRingFallbackEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+
+	type path struct {
+		name string
+		dir  func(t *testing.T) *Dir
+	}
+	newDir := func(t *testing.T) *Dir {
+		d, err := NewDir(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { d.Close() })
+		return d
+	}
+	paths := []path{
+		{"ring", newDir},
+		{"vectored", func(t *testing.T) *Dir {
+			t.Setenv("PVFS_NO_URING", "1")
+			return newDir(t)
+		}},
+	}
+
+	for round := 0; round < 8; round++ {
+		// Random disjoint gapped batch.
+		nspans := 1 + rng.Intn(90)
+		spans := make([]Span, nspans)
+		ref := NewMem()
+		off := int64(rng.Intn(1000))
+		for i := range spans {
+			width := 1 + rng.Intn(9000)
+			scatter := 1 + rng.Intn(5)
+			bufs := make([][]byte, scatter)
+			rem := width
+			for j := range bufs {
+				l := rem / (scatter - j)
+				b := make([]byte, l)
+				rng.Read(b)
+				bufs[j] = b
+				rem -= l
+			}
+			spans[i] = Span{Off: off, Bufs: bufs}
+			off += int64(width + rng.Intn(5000))
+		}
+		// Reference image: per-fragment scalar writes into Mem.
+		for _, sp := range spans {
+			pos := sp.Off
+			for _, b := range sp.Bufs {
+				if _, err := ref.WriteAt(42, b, pos); err != nil {
+					t.Fatal(err)
+				}
+				pos += int64(len(b))
+			}
+		}
+		size, _ := ref.Size(42)
+		want := make([]byte, size)
+		if _, err := ref.ReadAt(42, want, 0); err != nil {
+			t.Fatal(err)
+		}
+
+		for _, p := range paths {
+			t.Run(fmt.Sprintf("round%d/%s", round, p.name), func(t *testing.T) {
+				d := p.dir(t)
+				if _, err := d.WriteBatch(42, spans); err != nil {
+					t.Fatalf("WriteBatch: %v", err)
+				}
+				got := make([]byte, size)
+				if _, err := d.ReadAt(42, got, 0); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("stored image differs from per-fragment reference")
+				}
+				// Read the batch back through ReadBatch too.
+				rspans := make([]Span, len(spans))
+				for i, sp := range spans {
+					bufs := make([][]byte, len(sp.Bufs))
+					for j, b := range sp.Bufs {
+						bufs[j] = make([]byte, len(b))
+					}
+					rspans[i] = Span{Off: sp.Off, Bufs: bufs}
+				}
+				if _, err := d.ReadBatch(42, rspans); err != nil {
+					t.Fatalf("ReadBatch: %v", err)
+				}
+				if !bytes.Equal(flattenSpans(rspans), flattenSpans(spans)) {
+					t.Fatal("batch read-back differs from written data")
+				}
+			})
+		}
+	}
+}
+
+// TestRingBatchEOFZeroFill checks sparse semantics through the ring: a
+// batch whose spans straddle and exceed EOF zero-fills the tails.
+func TestRingBatchEOFZeroFill(t *testing.T) {
+	d, err := NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	// 1000 bytes of 0xaa, then read spans at [500,+300), [900,+300),
+	// [5000,+200): in-file, straddling, and fully past EOF.
+	data := bytes.Repeat([]byte{0xaa}, 1000)
+	if _, err := d.WriteAt(9, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(n int) [][]byte {
+		a := make([]byte, n/2)
+		b := make([]byte, n-n/2)
+		for i := range a {
+			a[i] = 0xee
+		}
+		for i := range b {
+			b[i] = 0xee
+		}
+		return [][]byte{a, b}
+	}
+	spans := []Span{
+		{Off: 500, Bufs: mk(300)},
+		{Off: 900, Bufs: mk(300)},
+		{Off: 5000, Bufs: mk(200)},
+	}
+	if _, err := d.ReadBatch(9, spans); err != nil {
+		t.Fatal(err)
+	}
+	got := flattenSpans(spans)
+	want := append(bytes.Repeat([]byte{0xaa}, 300), bytes.Repeat([]byte{0xaa}, 100)...)
+	want = append(want, make([]byte, 200)...)
+	want = append(want, make([]byte, 200)...)
+	if !bytes.Equal(got, want) {
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("byte %d: got %#x want %#x", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBatchOverlapRejected pins BatchIO's disjointness contract.
+func TestBatchOverlapRejected(t *testing.T) {
+	d, err := NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	spans := []Span{
+		{Off: 100, Bufs: [][]byte{make([]byte, 50)}},
+		{Off: 120, Bufs: [][]byte{make([]byte, 50)}},
+	}
+	if _, err := d.WriteBatch(1, spans); err == nil {
+		t.Fatal("overlapping batch accepted")
+	}
+	// Out-of-order but disjoint is fine.
+	spans = []Span{
+		{Off: 200, Bufs: [][]byte{make([]byte, 50)}},
+		{Off: 100, Bufs: [][]byte{make([]byte, 50)}},
+	}
+	if _, err := d.WriteBatch(1, spans); err != nil {
+		t.Fatalf("disjoint unsorted batch rejected: %v", err)
+	}
+	m := NewMem()
+	if _, err := m.ReadBatch(1, []Span{
+		{Off: 0, Bufs: [][]byte{make([]byte, 10)}},
+		{Off: 5, Bufs: [][]byte{make([]byte, 10)}},
+	}); err == nil {
+		t.Fatal("Mem accepted overlapping batch")
+	}
+}

@@ -73,6 +73,42 @@ type SpanIO interface {
 	WriteSpanv(handle uint64, off int64, bufs [][]byte) (int, error)
 }
 
+// Span is one file-contiguous extent of a batch: scattered memory
+// buffers applied in order starting at Off, exactly the shape SpanIO
+// moves — but as one element of a larger submission.
+type Span struct {
+	Off  int64
+	Bufs [][]byte
+}
+
+// Len returns the span's total byte count.
+func (s Span) Len() int { return spanLen(s.Bufs) }
+
+// BatchIO is implemented by stores that can submit a whole window of
+// DISJOINT file spans — gaps included — as one batch and collect the
+// completions (DESIGN.md §11). It generalizes both prior optional
+// interfaces: a SpanIO call is a one-span batch, and a coalesced
+// VectorIO run is a span with a single buffer. Where SpanIO turned an
+// adjacent run into one syscall, BatchIO turns a *gapped* window into
+// one ring submission.
+//
+// Spans must be non-overlapping; order is not significant and callers
+// must not rely on inter-span completion order (Dir's ring may
+// complete them in any order). Reads zero-fill past EOF per span
+// (sparse semantics). On error some spans may have fully or partially
+// landed and others not; callers needing all-or-nothing tracking (the
+// cache's flush contract) must treat the whole batch as failed.
+//
+// Dir backs this with an io_uring submission queue on Linux
+// (ring_linux.go) and falls back to one vectored syscall per span
+// elsewhere; Mem serves the whole batch under one lock round. Callers
+// feature-test with a type assertion, one rung above VectorIO/SpanIO
+// in the fallback ladder: ring → vectored → per-fragment.
+type BatchIO interface {
+	ReadBatch(handle uint64, spans []Span) (int, error)
+	WriteBatch(handle uint64, spans []Span) (int, error)
+}
+
 // IOStats counts a store's backend I/O submissions and bytes. For Dir
 // a submission is a real data syscall (pread/pwrite/preadv/pwritev);
 // for Mem it is one locked copy round (the cost analogue of a
@@ -81,10 +117,12 @@ type SpanIO interface {
 // the syscall layer — the paper's "fewer, larger accesses" metric
 // (syscalls/op in BENCH_6).
 type IOStats struct {
-	SyscallsRead  int64 // read submissions (pread + preadv calls)
-	SyscallsWrite int64 // write submissions (pwrite + pwritev calls)
+	SyscallsRead  int64 // read submissions (pread + preadv + ring enters)
+	SyscallsWrite int64 // write submissions (pwrite + pwritev + ring enters)
 	BytesRead     int64 // bytes moved by read submissions
 	BytesWritten  int64 // bytes moved by write submissions
+	Submissions   int64 // multi-span batches submitted through BatchIO
+	BytesCopied   int64 // bytes that crossed a user-space buffer copy
 }
 
 // Sub returns the delta s - o, for before/after windows.
@@ -94,6 +132,8 @@ func (s IOStats) Sub(o IOStats) IOStats {
 		SyscallsWrite: s.SyscallsWrite - o.SyscallsWrite,
 		BytesRead:     s.BytesRead - o.BytesRead,
 		BytesWritten:  s.BytesWritten - o.BytesWritten,
+		Submissions:   s.Submissions - o.Submissions,
+		BytesCopied:   s.BytesCopied - o.BytesCopied,
 	}
 }
 
@@ -107,6 +147,7 @@ type IOStatsProvider interface {
 // by the backends.
 type ioCounters struct {
 	sysRead, sysWrite, bytesRead, bytesWritten atomic.Int64
+	submissions, bytesCopied                   atomic.Int64
 }
 
 func (c *ioCounters) IOStats() IOStats {
@@ -115,11 +156,37 @@ func (c *ioCounters) IOStats() IOStats {
 		SyscallsWrite: c.sysWrite.Load(),
 		BytesRead:     c.bytesRead.Load(),
 		BytesWritten:  c.bytesWritten.Load(),
+		Submissions:   c.submissions.Load(),
+		BytesCopied:   c.bytesCopied.Load(),
 	}
 }
 
-func (c *ioCounters) countRead(nsys, bytes int64)  { c.sysRead.Add(nsys); c.bytesRead.Add(bytes) }
-func (c *ioCounters) countWrite(nsys, bytes int64) { c.sysWrite.Add(nsys); c.bytesWritten.Add(bytes) }
+// countRead/countWrite account a submission that moved bytes through a
+// user-space buffer — every pread/pwrite/preadv/pwritev and every ring
+// READV/WRITEV lands in (or leaves from) a caller buffer, so the bytes
+// count as copied. The zero-copy sendfile path (stream_linux.go) uses
+// countReadZC instead: same syscall and byte accounting, no copy.
+func (c *ioCounters) countRead(nsys, bytes int64) {
+	c.sysRead.Add(nsys)
+	c.bytesRead.Add(bytes)
+	c.bytesCopied.Add(bytes)
+}
+
+func (c *ioCounters) countWrite(nsys, bytes int64) {
+	c.sysWrite.Add(nsys)
+	c.bytesWritten.Add(bytes)
+	c.bytesCopied.Add(bytes)
+}
+
+// countReadZC accounts a zero-copy read submission: the bytes moved
+// kernel-side (file → socket) without visiting a user-space buffer.
+func (c *ioCounters) countReadZC(nsys, bytes int64) {
+	c.sysRead.Add(nsys)
+	c.bytesRead.Add(bytes)
+}
+
+// countSub accounts multi-span batch submissions (BatchIO).
+func (c *ioCounters) countSub(n int64) { c.submissions.Add(n) }
 
 // checkVector validates a vector request against a packed buffer:
 // every segment valid, every extent within the limit, and the total
@@ -143,6 +210,49 @@ func checkVector(segs ioseg.List, p []byte, limit int64) error {
 		return fmt.Errorf("store: vector total %d != buffer %d", total, len(p))
 	}
 	return nil
+}
+
+// checkSpans validates a batch request: every span's extent within
+// [0, limit) with overflow-free arithmetic, and spans pairwise
+// disjoint (BatchIO's contract — a ring completes spans in any order,
+// so overlap would make the result submission-order-dependent). It
+// returns the batch's total byte count. Spans arrive sorted from every
+// internal caller (cache runs, coalesced packed runs), so disjointness
+// is a cheap adjacent check after a sortedness scan.
+func checkSpans(spans []Span, limit int64) (int, error) {
+	var total int64
+	prevEnd := int64(-1)
+	sorted := true
+	for i := range spans {
+		n := spans[i].Len()
+		off := spans[i].Off
+		if err := checkExtent(off, n); err != nil {
+			return 0, fmt.Errorf("store: span %d: %w", i, err)
+		}
+		if off+int64(n) > limit {
+			return 0, fmt.Errorf("store: span %d [%d,+%d) exceeds file limit", i, off, n)
+		}
+		if off < prevEnd {
+			sorted = false
+		}
+		prevEnd = off + int64(n)
+		total += int64(n)
+		if total > math.MaxInt64/2 {
+			return 0, fmt.Errorf("store: batch total overflows")
+		}
+	}
+	if !sorted {
+		// Rare path: verify disjointness on a sorted copy.
+		byOff := make([]Span, len(spans))
+		copy(byOff, spans)
+		sort.Slice(byOff, func(i, j int) bool { return byOff[i].Off < byOff[j].Off })
+		for i := 1; i < len(byOff); i++ {
+			if byOff[i-1].Off+int64(byOff[i-1].Len()) > byOff[i].Off {
+				return 0, fmt.Errorf("store: batch spans overlap")
+			}
+		}
+	}
+	return int(total), nil
 }
 
 // Syncer is implemented by stores that buffer writes (Cache): Sync
@@ -348,6 +458,67 @@ func (m *Mem) WriteSpanv(handle uint64, off int64, bufs [][]byte) (int, error) {
 	return total, nil
 }
 
+// ReadBatch implements BatchIO: the whole gapped batch is served under
+// one read lock — one submission regardless of span count.
+func (m *Mem) ReadBatch(handle uint64, spans []Span) (int, error) {
+	total, err := checkSpans(spans, MaxFileSize)
+	if err != nil {
+		return 0, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	f := m.files[handle]
+	for _, sp := range spans {
+		pos := sp.Off
+		for _, b := range sp.Bufs {
+			for i := range b {
+				b[i] = 0
+			}
+			if pos < int64(len(f)) {
+				copy(b, f[pos:])
+			}
+			pos += int64(len(b))
+		}
+	}
+	m.countRead(1, int64(total))
+	m.countSub(1)
+	return total, nil
+}
+
+// WriteBatch implements BatchIO: the whole gapped batch lands under one
+// write lock.
+func (m *Mem) WriteBatch(handle uint64, spans []Span) (int, error) {
+	total, err := checkSpans(spans, MemMaxFileSize)
+	if err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.files[handle]
+	var need int64
+	for _, sp := range spans {
+		if end := sp.Off + int64(sp.Len()); end > need {
+			need = end
+		}
+	}
+	if need > int64(len(f)) {
+		nf := make([]byte, need)
+		copy(nf, f)
+		f = nf
+	}
+	for _, sp := range spans {
+		pos := sp.Off
+		for _, b := range sp.Bufs {
+			copy(f[pos:], b)
+			pos += int64(len(b))
+		}
+	}
+	m.files[handle] = f
+	m.countWrite(1, int64(total))
+	m.countSub(1)
+	return total, nil
+}
+
 // spanLen sums buffer lengths, the byte count of a span request.
 func spanLen(bufs [][]byte) int {
 	var n int
@@ -429,6 +600,13 @@ type Dir struct {
 	mu   sync.Mutex // guards open; never held across data syscalls
 	root string
 	open map[uint64]*os.File
+
+	// The io_uring submission ring, created lazily by the first batch
+	// (ring_linux.go). nil when unavailable: non-Linux build, old
+	// kernel, seccomp denial, or PVFS_NO_URING set. Ownership:
+	// ringGet() publishes it exactly once; Close tears it down.
+	ringOnce sync.Once
+	ring     *uring
 }
 
 // NewDir opens (creating if needed) a directory-backed store.
@@ -594,6 +772,98 @@ func (d *Dir) WriteSpanv(handle uint64, off int64, bufs [][]byte) (int, error) {
 	return n, err
 }
 
+// ReadBatch implements BatchIO: the whole window of disjoint spans —
+// gaps included — goes down as one io_uring submission of READV SQEs
+// where the ring is available, one preadv per span otherwise. Either
+// way the semantics are exactly per-span ReadSpanv: sparse zero-fill
+// past EOF, buffers filled in order within each span.
+func (d *Dir) ReadBatch(handle uint64, spans []Span) (int, error) {
+	total, err := checkSpans(spans, MaxFileSize)
+	if err != nil {
+		return 0, err
+	}
+	if total == 0 {
+		for _, sp := range spans {
+			zeroSpan(sp.Bufs)
+		}
+		return 0, nil
+	}
+	f, err := d.file(handle)
+	if err != nil {
+		return 0, err
+	}
+	if r := d.ringGet(); r != nil {
+		n, enters, err := r.readSpans(f, spans)
+		d.countRead(enters, int64(n))
+		if err == nil || !ringDegraded(err) {
+			d.countSub(1)
+			return n, err
+		}
+		// The kernel refused the ring op (old kernel, seccomp); the
+		// ring has latched itself dead — redo the batch on the
+		// vectored ladder, which also serves all future batches.
+	}
+	var n int
+	for _, sp := range spans {
+		if sp.Len() == 0 {
+			continue
+		}
+		m, nsys, err := readvAt(f, sp.Bufs, sp.Off)
+		d.countRead(nsys, int64(m))
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// WriteBatch implements BatchIO: one ring submission of WRITEV SQEs
+// for the whole gapped batch, one pwritev per span as fallback.
+func (d *Dir) WriteBatch(handle uint64, spans []Span) (int, error) {
+	total, err := checkSpans(spans, MaxFileSize)
+	if err != nil {
+		return 0, err
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	f, err := d.file(handle)
+	if err != nil {
+		return 0, err
+	}
+	if r := d.ringGet(); r != nil {
+		n, enters, err := r.writeSpans(f, spans)
+		d.countWrite(enters, int64(n))
+		if err == nil || !ringDegraded(err) {
+			d.countSub(1)
+			return n, err
+		}
+	}
+	var n int
+	for _, sp := range spans {
+		if sp.Len() == 0 {
+			continue
+		}
+		m, nsys, err := writevAt(f, sp.Bufs, sp.Off)
+		d.countWrite(nsys, int64(m))
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// zeroSpan zero-fills a span's buffers (all-hole sparse read).
+func zeroSpan(bufs [][]byte) {
+	for _, b := range bufs {
+		for i := range b {
+			b[i] = 0
+		}
+	}
+}
+
 // WriteAt implements Store.
 func (d *Dir) WriteAt(handle uint64, p []byte, off int64) (int, error) {
 	if err := checkExtent(off, len(p)); err != nil {
@@ -683,6 +953,14 @@ func (d *Dir) Handles() ([]uint64, error) {
 
 // Close implements Store.
 func (d *Dir) Close() error {
+	// Ensure the ring can no longer be created after Close, then tear
+	// down the one that exists. close() latches the ring dead under
+	// its own mutex before unmapping, so a racing batch fails cleanly
+	// instead of touching freed ring memory.
+	d.ringOnce.Do(func() {})
+	if d.ring != nil {
+		d.ring.close()
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	var first error

@@ -1,0 +1,82 @@
+//go:build linux
+
+// sendfile(2) zero-copy for FileStream. The Go runtime's own sendfile
+// path (net.TCPConn.ReadFrom) is unusable here: it advances the source
+// file's seek offset, and Dir shares one *os.File per handle across
+// concurrent positioned readers. This implementation passes an
+// explicit offset pointer, so the shared descriptor's position is
+// never touched.
+package store
+
+import (
+	"io"
+	"os"
+	"syscall"
+)
+
+// sendfileMaxChunk bounds one sendfile call; the kernel caps a single
+// transfer around 2 GiB regardless.
+const sendfileMaxChunk = 1 << 30
+
+// sendfileTo moves n bytes of f starting at off into w kernel-side.
+// handled is false when w exposes no socket descriptor (wrapped conns,
+// test writers) and the caller must fall back to a buffered copy; in
+// that case nothing has been written. On handled==true, short
+// transfers without error mean the file ended early (truncate race)
+// and the caller supplies the missing tail.
+func sendfileTo(w io.Writer, f *os.File, off, n int64) (int64, int64, bool, error) {
+	sc, ok := w.(syscall.Conn)
+	if !ok {
+		return 0, 0, false, nil
+	}
+	rc, err := sc.SyscallConn()
+	if err != nil {
+		return 0, 0, false, nil
+	}
+	var (
+		written int64
+		nsys    int64
+		werr    error
+	)
+	srcFd := int(f.Fd())
+	pos := off
+	// RawConn.Write runs the callback with the socket's descriptor;
+	// returning false parks the goroutine until the socket is writable
+	// again (EAGAIN), the runtime poller doing the waiting.
+	err = rc.Write(func(outFd uintptr) bool {
+		for written < n {
+			chunk := n - written
+			if chunk > sendfileMaxChunk {
+				chunk = sendfileMaxChunk
+			}
+			nsys++
+			m, e := syscall.Sendfile(int(outFd), srcFd, &pos, int(chunk))
+			if m > 0 {
+				written += int64(m)
+			}
+			switch e {
+			case nil:
+				if m == 0 {
+					// EOF before the snapshot said so (concurrent
+					// truncate): caller zero-fills the remainder.
+					return true
+				}
+			case syscall.EINTR:
+				// retry
+			case syscall.EAGAIN:
+				return false
+			default:
+				werr = e
+				return true
+			}
+		}
+		return true
+	})
+	if werr == nil && err != nil {
+		werr = err
+	}
+	if werr != nil {
+		return written, nsys, true, &os.PathError{Op: "sendfile", Path: f.Name(), Err: werr}
+	}
+	return written, nsys, true, nil
+}

@@ -1,0 +1,16 @@
+//go:build !linux
+
+// Non-Linux platforms have no raw sendfile path here; FileStream's
+// buffered pooled-chunk copy carries the stream instead. Semantics are
+// identical — only BytesCopied differs, and the counters report it
+// honestly.
+package store
+
+import (
+	"io"
+	"os"
+)
+
+func sendfileTo(w io.Writer, f *os.File, off, n int64) (int64, int64, bool, error) {
+	return 0, 0, false, nil
+}

@@ -95,56 +95,95 @@ func vectorAt(trap uintptr, f *os.File, iovs []iovec, off int64) (int, error) {
 	}
 }
 
+// consumeIovecs advances the iovec cursor start by n transferred bytes,
+// trimming the interrupted iovec in place. It returns the new start
+// index. This is what makes short-transfer continuation allocation-
+// free: the already-built iovec array is reused with the base/len of
+// the partial entry adjusted, instead of rebuilding the whole chain
+// from the buffer list.
+func consumeIovecs(iovs []iovec, start, n int) int {
+	for start < len(iovs) && uint64(n) >= iovs[start].len {
+		n -= int(iovs[start].len)
+		start++
+	}
+	if n > 0 && start < len(iovs) {
+		iovs[start].base = (*byte)(unsafe.Add(unsafe.Pointer(iovs[start].base), n))
+		iovs[start].len -= uint64(n)
+	}
+	return start
+}
+
 // readvAt scatters the file span starting at off into bufs with
 // preadv, zero-filling past EOF. It returns the bytes delivered
-// (always the full span on success) and the syscall count.
+// (always the full span on success) and the syscall count. The iovec
+// array is built once per IOV_MAX chunk; short transfers continue from
+// the interrupted iovec index without reallocating.
 func readvAt(f *os.File, bufs [][]byte, off int64) (int, int64, error) {
 	total := spanLen(bufs)
 	bi, skip := 0, 0
 	pos := off
 	var nsys int64
+	iovs := make([]iovec, 0, min(len(bufs), uioMaxIOV))
 	for bi < len(bufs) {
-		iovs, want := buildIovecs(make([]iovec, 0, min(len(bufs), uioMaxIOV)), bufs, bi, skip)
+		var want int64
+		iovs, want = buildIovecs(iovs, bufs, bi, skip)
 		if want == 0 {
 			break
 		}
-		nsys++
-		n, err := vectorAt(syscall.SYS_PREADV, f, iovs, pos)
-		if err != nil {
-			return int(pos - off), nsys, err
+		start := 0
+		for want > 0 {
+			nsys++
+			n, err := vectorAt(syscall.SYS_PREADV, f, iovs[start:], pos)
+			if err != nil {
+				return int(pos - off), nsys, err
+			}
+			if n == 0 {
+				// EOF inside the span: the rest reads as zeros.
+				zeroFrom(bufs, bi, skip)
+				return total, nsys, nil
+			}
+			pos += int64(n)
+			bi, skip = advance(bufs, bi, skip, n)
+			want -= int64(n)
+			if want > 0 {
+				start = consumeIovecs(iovs, start, n)
+			}
 		}
-		if n == 0 {
-			// EOF inside the span: the rest reads as zeros.
-			zeroFrom(bufs, bi, skip)
-			return total, nsys, nil
-		}
-		pos += int64(n)
-		bi, skip = advance(bufs, bi, skip, n)
 	}
 	return total, nsys, nil
 }
 
 // writevAt gathers bufs into the file span starting at off with
-// pwritev, continuing across short writes.
+// pwritev, continuing across short writes from the interrupted iovec
+// index (no per-continuation allocation).
 func writevAt(f *os.File, bufs [][]byte, off int64) (int, int64, error) {
 	bi, skip := 0, 0
 	pos := off
 	var nsys int64
+	iovs := make([]iovec, 0, min(len(bufs), uioMaxIOV))
 	for bi < len(bufs) {
-		iovs, want := buildIovecs(make([]iovec, 0, min(len(bufs), uioMaxIOV)), bufs, bi, skip)
+		var want int64
+		iovs, want = buildIovecs(iovs, bufs, bi, skip)
 		if want == 0 {
 			break
 		}
-		nsys++
-		n, err := vectorAt(syscall.SYS_PWRITEV, f, iovs, pos)
-		if err != nil {
-			return int(pos - off), nsys, err
+		start := 0
+		for want > 0 {
+			nsys++
+			n, err := vectorAt(syscall.SYS_PWRITEV, f, iovs[start:], pos)
+			if err != nil {
+				return int(pos - off), nsys, err
+			}
+			if n == 0 {
+				return int(pos - off), nsys, io.ErrShortWrite
+			}
+			pos += int64(n)
+			bi, skip = advance(bufs, bi, skip, n)
+			want -= int64(n)
+			if want > 0 {
+				start = consumeIovecs(iovs, start, n)
+			}
 		}
-		if n == 0 {
-			return int(pos - off), nsys, io.ErrShortWrite
-		}
-		pos += int64(n)
-		bi, skip = advance(bufs, bi, skip, n)
 	}
 	return int(pos - off), nsys, nil
 }

@@ -240,8 +240,9 @@ func TestCacheFlushCoalesced(t *testing.T) {
 		t.Fatal("backend image diverges after coalesced flush")
 	}
 
-	// Two dirty runs separated by a clean gap flush as two
-	// submissions, not one and not four.
+	// Two dirty runs separated by a clean gap now flush as ONE
+	// batched submission (§11): Mem implements BatchIO, so
+	// flushFileRuns hands both gapped sub-runs to one WriteBatch.
 	for _, off := range []int64{20 * 4096, 21 * 4096, 40 * 4096, 41 * 4096} {
 		if _, err := c.WriteAt(handle, data[:4096], off); err != nil {
 			t.Fatal(err)
@@ -251,8 +252,13 @@ func TestCacheFlushCoalesced(t *testing.T) {
 	if err := c.Sync(handle); err != nil {
 		t.Fatal(err)
 	}
-	if delta := inner.IOStats().Sub(before); delta.SyscallsWrite != 2 {
-		t.Fatalf("two dirty runs flushed in %d submissions, want 2", delta.SyscallsWrite)
+	delta = inner.IOStats().Sub(before)
+	if delta.SyscallsWrite != 1 || delta.Submissions != 1 {
+		t.Fatalf("two gapped dirty runs flushed in %d syscalls / %d submissions, want 1 / 1",
+			delta.SyscallsWrite, delta.Submissions)
+	}
+	if delta.BytesWritten != 4*4096 {
+		t.Fatalf("batched flush wrote %d bytes, want %d", delta.BytesWritten, 4*4096)
 	}
 }
 

@@ -349,6 +349,12 @@ type ServerStats struct {
 	StoreSyscallsWrite int64 // backend write submissions
 	StoreBytesRead     int64 // bytes moved by backend reads
 	StoreBytesWritten  int64 // bytes moved by backend writes
+	// Ring-submission and zero-copy accounting (DESIGN.md §11): batch
+	// submissions through store.BatchIO and the bytes that crossed a
+	// user-space buffer copy (sendfile-streamed bytes don't), the
+	// numerator of the copies/op metric.
+	StoreSubmissions int64 // multi-span batches submitted (BatchIO)
+	StoreBytesCopied int64 // bytes moved through user-space copies
 }
 
 func (m *ServerStats) Marshal() []byte {
@@ -368,6 +374,8 @@ func (m *ServerStats) Marshal() []byte {
 	e.i64(m.StoreSyscallsWrite)
 	e.i64(m.StoreBytesRead)
 	e.i64(m.StoreBytesWritten)
+	e.i64(m.StoreSubmissions)
+	e.i64(m.StoreBytesCopied)
 	return e.buf
 }
 
@@ -388,6 +396,8 @@ func (m *ServerStats) Unmarshal(b []byte) error {
 	m.StoreSyscallsWrite = d.i64()
 	m.StoreBytesRead = d.i64()
 	m.StoreBytesWritten = d.i64()
+	m.StoreSubmissions = d.i64()
+	m.StoreBytesCopied = d.i64()
 	return d.err
 }
 
@@ -448,4 +458,6 @@ func (m *ServerStats) Add(other ServerStats) {
 	m.StoreSyscallsWrite += other.StoreSyscallsWrite
 	m.StoreBytesRead += other.StoreBytesRead
 	m.StoreBytesWritten += other.StoreBytesWritten
+	m.StoreSubmissions += other.StoreSubmissions
+	m.StoreBytesCopied += other.StoreBytesCopied
 }

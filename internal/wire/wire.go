@@ -235,10 +235,31 @@ func parseHeader(buf []byte) (Header, error) {
 	return h, nil
 }
 
+// BodyStream is a response body produced by streaming instead of a
+// materialized buffer: Len promises the exact byte count and WriteTo
+// delivers it. The storage layer implements it over a file descriptor
+// (sendfile zero-copy, DESIGN.md §11) without importing wire; the
+// transport writes the header and then lets the stream put the bytes
+// on the socket directly.
+//
+// WriteTo MUST deliver exactly Len bytes or fail: the frame header has
+// already promised the length, so a short stream is a broken
+// connection, not a recoverable error.
+type BodyStream interface {
+	Len() int
+	io.WriterTo
+}
+
 // Message is a complete protocol message: header plus raw body.
 type Message struct {
 	Header
 	Body []byte
+
+	// BodyStream, when non-nil, replaces Body as the message payload:
+	// the transport frames BodyStream.Len() bytes and streams them.
+	// Body must be nil. BodyStream never crosses the wire — receivers
+	// always see a materialized Body.
+	BodyStream BodyStream
 
 	// Recycle marks Body as owned by the wire buffer pool: the
 	// transport returns it via PutBuf once the message is written.
@@ -248,8 +269,33 @@ type Message struct {
 }
 
 // WriteMessage frames and writes a message. The frame buffer comes from
-// the message pool, so steady-state writes do not allocate.
+// the message pool, so steady-state writes do not allocate. A message
+// with a BodyStream writes its header and then streams the body
+// straight from the producer (the zero-copy read path); a short or
+// failed stream poisons the connection and surfaces as a write error.
 func WriteMessage(w io.Writer, m Message) error {
+	if m.BodyStream != nil {
+		n := m.BodyStream.Len()
+		if n < 0 || n > MaxBodyLen {
+			return ErrBodyTooLarge
+		}
+		m.BodyLen = uint32(n)
+		hbuf := GetBuf(HeaderSize)
+		putHeader(hbuf, m.Header)
+		_, err := w.Write(hbuf)
+		PutBuf(hbuf)
+		if err != nil {
+			return err
+		}
+		written, err := m.BodyStream.WriteTo(w)
+		if err != nil {
+			return fmt.Errorf("wire: body stream after %d/%d bytes: %w", written, n, err)
+		}
+		if written != int64(n) {
+			return fmt.Errorf("wire: body stream wrote %d of %d promised bytes", written, n)
+		}
+		return nil
+	}
 	if len(m.Body) > MaxBodyLen {
 		return ErrBodyTooLarge
 	}
