@@ -1,0 +1,83 @@
+// Command pvfs-lint machine-checks the invariants the pvfs stack is
+// built on: pooled-buffer ownership (bufown), the cache lock order
+// (lockorder), EINTR retry loops around raw syscalls (eintrloop),
+// checked geometry arithmetic (chkgeom) and context propagation on the
+// client paths (ctxflow). See DESIGN.md §12 for the rule catalogue.
+//
+// Usage:
+//
+//	pvfs-lint [-list] [-only name,name] [packages...]
+//
+// Packages default to ./... and accept the go list pattern syntax.
+// Findings print as file:line: [pvfs/<analyzer>] message; the exit
+// status is 1 when anything fires. Suppress a single finding with a
+// reasoned directive on or above the line:
+//
+//	//lint:ignore pvfs/<analyzer> <reason>
+//
+// Unknown analyzers, missing reasons and stale (non-suppressing)
+// directives are themselves findings, so the suppression inventory
+// cannot rot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pvfs/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	suite := analysis.Analyzers()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("pvfs/%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		want := map[string]bool{}
+		for _, n := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		var sel []*analysis.Analyzer
+		for _, a := range suite {
+			if want[a.Name] {
+				sel = append(sel, a)
+				delete(want, a.Name)
+			}
+		}
+		for n := range want {
+			fmt.Fprintf(os.Stderr, "pvfs-lint: unknown analyzer %q\n", n)
+			os.Exit(2)
+		}
+		suite = sel
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pvfs-lint: %v\n", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, pkg := range pkgs {
+		for _, d := range analysis.Run(pkg, suite) {
+			fmt.Println(d.String())
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

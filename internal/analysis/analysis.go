@@ -1,0 +1,205 @@
+// Package analysis is a self-contained static-analysis framework plus
+// the pvfs analyzer suite: machine-checked versions of the invariants
+// DESIGN.md documents and code review used to enforce by hand
+// (DESIGN.md §12).
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis —
+// an Analyzer owns a Run function over a type-checked Pass and reports
+// position-tagged Diagnostics — but is built only on the standard
+// library: packages are enumerated and compiled by `go list -export`,
+// dependencies are imported from the toolchain's export data, and the
+// target packages themselves are parsed and type-checked from source
+// (see load.go). This keeps the module dependency-free; the tree has
+// no vendored x/tools and the container adds nothing.
+//
+// The suite (Analyzers) encodes the repo's real correctness rules:
+//
+//   - bufown:    pooled wire buffers (wire.GetBuf, pooled message
+//     bodies) must reach PutBuf/Release or a documented ownership
+//     transfer on every path, error returns included.
+//   - lockorder: the §7 cache locking partial order — per-handle →
+//     per-block → cache-wide — and ascending-block-index batch
+//     acquisition.
+//   - eintrloop: raw syscall I/O submissions must sit inside an
+//     EINTR-aware retry loop.
+//   - chkgeom:   arithmetic on wire-derived geometry only after a
+//     bounds check or a checked helper (overflow discipline).
+//   - ctxflow:   no context-less dial/call/sleep on the client and
+//     pvfsnet paths.
+//
+// False positives are silenced in place with a reasoned directive:
+//
+//	//lint:ignore pvfs/<analyzer> <reason>
+//
+// attached to the flagged line (or the line above it). A directive
+// without a reason, for an unknown analyzer, or that suppresses
+// nothing is itself an error, so suppressions cannot rot silently.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name is the short analyzer name; the full diagnostic category and
+	// the //lint:ignore key is "pvfs/<Name>".
+	Name string
+	// Doc is the one-line rule statement shown by pvfs-lint -help.
+	Doc string
+	// Packages, when non-empty, restricts the analyzer to packages
+	// whose import path has one of these suffixes (e.g.
+	// "internal/store"). An empty list runs everywhere.
+	Packages []string
+	// Run reports the package's violations through pass.Report.
+	Run func(pass *Pass)
+}
+
+// AppliesTo reports whether the analyzer runs over pkgPath.
+func (a *Analyzer) AppliesTo(pkgPath string) bool {
+	if len(a.Packages) == 0 {
+		return true
+	}
+	for _, p := range a.Packages {
+		if pkgPath == p || hasPathSuffix(pkgPath, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasPathSuffix(path, suffix string) bool {
+	return len(path) > len(suffix)+1 &&
+		path[len(path)-len(suffix)-1] == '/' &&
+		path[len(path)-len(suffix):] == suffix
+}
+
+// A Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a violation at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string // short name, e.g. "bufown"
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [pvfs/%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Run applies the analyzers that cover pkg and returns their
+// diagnostics with //lint:ignore directives applied (suppressed
+// findings removed, directive misuse added), sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if !a.AppliesTo(pkg.ImportPath) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Syntax,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		a.Run(pass)
+	}
+	diags = applyIgnores(pkg, analyzers, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}
+
+// objectOf resolves an identifier to its object, looking through Uses
+// and Defs.
+func (p *Pass) objectOf(id *ast.Ident) types.Object {
+	if o := p.Info.Uses[id]; o != nil {
+		return o
+	}
+	return p.Info.Defs[id]
+}
+
+// calleeFunc resolves a call expression to the *types.Func it
+// statically invokes, or nil for dynamic calls (function-typed values),
+// conversions and builtins.
+func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.objectOf(id).(*types.Func)
+	return fn
+}
+
+// calleeName returns the fully-qualified name of a call's static
+// callee — "path/pkg.Func" or "(path/pkg.Recv).Method" — or "".
+func (p *Pass) calleeName(call *ast.CallExpr) string {
+	fn := p.calleeFunc(call)
+	if fn == nil {
+		return ""
+	}
+	return funcFullName(fn)
+}
+
+// funcFullName normalizes *types.Func names: package functions as
+// "pkgpath.Name", methods as "(pkgpath.Recv).Name" with any pointer
+// stripped from the receiver.
+func funcFullName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		if fn.Pkg() == nil {
+			return fn.Name()
+		}
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return fn.Name()
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "(" + obj.Name() + ")." + fn.Name()
+	}
+	return "(" + obj.Pkg().Path() + "." + obj.Name() + ")." + fn.Name()
+}

@@ -1,0 +1,156 @@
+package analysis
+
+// The golden-file harness: each analyzer runs over a small package in
+// testdata/<name>/ whose files carry `// want "regexp"` annotations on
+// the lines where a diagnostic must appear (after //lint:ignore
+// processing). Every annotation must be matched by a diagnostic and
+// every diagnostic by an annotation, so the tests pin both the firing
+// and the non-firing cases.
+//
+// Testdata packages type-check against the repo's real export data
+// (LoadFiles), so they import pvfs/internal/wire and friends like any
+// in-tree code; `go list`/`go build` never see them (testdata/ is
+// invisible to the go tool).
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// runTestdata loads testdata/<sub> as one package, runs a over it and
+// checks the diagnostics against the files' want annotations.
+func runTestdata(t *testing.T, a *Analyzer, sub string) {
+	t.Helper()
+	dir := filepath.Join("testdata", sub)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		t.Fatalf("no testdata files under %s", dir)
+	}
+	pkg, err := LoadFiles(".", "pvfs/internal/analysis/"+filepath.ToSlash(dir), files)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Syntax,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		diags:    &diags,
+	}
+	a.Run(pass)
+	diags = applyIgnores(pkg, []*Analyzer{a}, diags)
+
+	type want struct {
+		file string
+		line int
+		re   *regexp.Regexp
+		text string
+		hit  bool
+	}
+	var wants []*want
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				i := strings.Index(c.Text, "// want ")
+				if i < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range quotedStrings(t, pos.Filename, pos.Line, c.Text[i+len("// want "):]) {
+					re, err := regexp.Compile(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, q, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, text: q})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.text)
+		}
+	}
+}
+
+// quotedStrings parses a run of Go-quoted strings ("..." or `...`).
+func quotedStrings(t *testing.T, file string, line int, s string) []string {
+	t.Helper()
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" || (s[0] != '"' && s[0] != '`') {
+			break
+		}
+		q, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			t.Fatalf("%s:%d: malformed want annotation at %q: %v", file, line, s, err)
+		}
+		u, err := strconv.Unquote(q)
+		if err != nil {
+			t.Fatalf("%s:%d: malformed want annotation at %q: %v", file, line, s, err)
+		}
+		out = append(out, u)
+		s = s[len(q):]
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s:%d: want annotation carries no quoted pattern", file, line)
+	}
+	return out
+}
+
+func TestBufOwnTestdata(t *testing.T)    { runTestdata(t, BufOwn, "bufown") }
+func TestLockOrderTestdata(t *testing.T) { runTestdata(t, LockOrder, "lockorder") }
+func TestEintrLoopTestdata(t *testing.T) { runTestdata(t, EintrLoop, "eintrloop") }
+func TestChkGeomTestdata(t *testing.T)   { runTestdata(t, ChkGeom, "chkgeom") }
+func TestCtxFlowTestdata(t *testing.T)   { runTestdata(t, CtxFlow, "ctxflow") }
+
+// The ignore directive mechanics ride on any analyzer; bufown has the
+// simplest leak to suppress.
+func TestIgnoreDirectives(t *testing.T) { runTestdata(t, BufOwn, "ignore") }
+
+func TestRegistryListsEveryAnalyzer(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range Analyzers() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		names[a.Name] = true
+	}
+	for _, n := range []string{"bufown", "lockorder", "eintrloop", "chkgeom", "ctxflow"} {
+		if !names[n] {
+			t.Errorf("registry is missing %s", n)
+		}
+	}
+}

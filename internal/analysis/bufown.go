@@ -1,0 +1,878 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// BufOwn checks the pooled-buffer ownership contract from
+// internal/wire/bufpool.go: every buffer obtained from the pool
+// (wire.GetBuf) and every pooled message produced by the stack
+// (wire.ReadMessage, the client call helpers — anything returning a
+// wire.Message whose Body came from the pool) must, on every path out
+// of the owning function, either be returned to the pool
+// (wire.PutBuf, Message.Release) or have its ownership transferred —
+// handed to a callee whole, stored into a structure, sent on a
+// channel, or returned to the caller. A path that drops the last
+// reference leaks the buffer: under steady load that is unbounded
+// allocation the pool was built to avoid (DESIGN.md §2), and
+// wire.BufStats exists precisely to catch the imbalance in tests.
+//
+// The walk is path-sensitive per function. For each tracked variable:
+//
+//   - transfers: v passed whole to any call (including dynamic
+//     callees and goroutines), placed in a composite literal, stored
+//     into a field/index, sent on a channel, captured by a function
+//     literal, appended into a slice, or contained in a return
+//     expression;
+//   - borrows (ownership retained): v.Body or v[i:j] passed to a
+//     call, len/cap/copy builtins;
+//   - releases: wire.PutBuf(v), wire.PutBuf(v.Body), v.Release(),
+//     including via defer (which covers every subsequent path);
+//   - disowns: v = nil, v.Body = nil (the dispatch idiom after manual
+//     handoff);
+//   - producer error guards: after v, err := producer(...), the
+//     err != nil branch owns nothing (producers release internally on
+//     error) — until err is reassigned by a later call.
+//
+// A variable still owned at a return statement, or at the end of the
+// function body, is reported on that path.
+var BufOwn = &Analyzer{
+	Name: "bufown",
+	Doc:  "pooled buffers must be released or transferred on every path, including error returns",
+	Packages: []string{
+		"internal/iod", "internal/client", "internal/pvfsnet", "internal/fsck",
+	},
+	Run: runBufOwn,
+}
+
+type ownKind int
+
+const (
+	ownBuf ownKind = iota // []byte from wire.GetBuf — error guards irrelevant
+	ownMsg                // wire.Message from a producer — err != nil branch owns nothing
+)
+
+type ownState struct {
+	kind     ownKind
+	live     bool
+	errObj   *types.Var // the err assigned alongside the producer, if any
+	errFresh bool       // err has not been reassigned since the producer
+}
+
+// bufOwnState is the per-path analysis state, copied at branches.
+type bufOwnState map[*types.Var]*ownState
+
+func (s bufOwnState) clone() bufOwnState {
+	out := make(bufOwnState, len(s))
+	for v, st := range s {
+		c := *st
+		out[v] = &c
+	}
+	return out
+}
+
+type bufOwnWalker struct {
+	pass *Pass
+}
+
+func runBufOwn(pass *Pass) {
+	w := &bufOwnWalker{pass: pass}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			end := w.walkStmts(decl.Body.List, bufOwnState{})
+			if end != nil {
+				w.reportLive(decl.Body.Rbrace, end, "function end")
+			}
+		}
+	}
+}
+
+func (w *bufOwnWalker) reportLive(pos token.Pos, s bufOwnState, where string) {
+	for v, st := range s {
+		if !st.live {
+			continue
+		}
+		what := "pooled buffer"
+		fix := "wire.PutBuf it"
+		if st.kind == ownMsg {
+			what = "pooled message"
+			fix = "Release it"
+		}
+		w.pass.Reportf(pos,
+			"%s %q may leak at %s: %s or transfer ownership on this path (wire/bufpool.go contract, DESIGN.md §2)",
+			what, v.Name(), where, fix)
+	}
+}
+
+// walkStmts walks a statement list, returning the outgoing state or
+// nil when every path terminates.
+func (w *bufOwnWalker) walkStmts(stmts []ast.Stmt, s bufOwnState) bufOwnState {
+	for _, stmt := range stmts {
+		s = w.walkStmt(stmt, s)
+		if s == nil {
+			return nil
+		}
+	}
+	return s
+}
+
+func mergeOwn(a, b bufOwnState) bufOwnState {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := a.clone()
+	for v, st := range b {
+		if have, ok := out[v]; ok {
+			have.live = have.live || st.live
+			have.errFresh = have.errFresh && st.errFresh
+		} else {
+			c := *st
+			out[v] = &c
+		}
+	}
+	return out
+}
+
+func (w *bufOwnWalker) walkStmt(stmt ast.Stmt, s bufOwnState) bufOwnState {
+	switch stmt := stmt.(type) {
+	case *ast.AssignStmt:
+		w.walkAssign(stmt, s)
+		return s
+	case *ast.ExprStmt:
+		w.scanExpr(stmt.X, s)
+		return s
+	case *ast.GoStmt:
+		w.scanExpr(stmt.Call, s)
+		return s
+	case *ast.SendStmt:
+		w.scanExpr(stmt.Chan, s)
+		// A send transfers the value to the receiver.
+		w.scanExpr(stmt.Value, s)
+		if v := w.trackedBase(stmt.Value, s); v != nil {
+			s[v].live = false
+		}
+		return s
+	case *ast.DeferStmt:
+		w.walkDefer(stmt, s)
+		return s
+	case *ast.ReturnStmt:
+		for _, e := range stmt.Results {
+			w.scanExpr(e, s)
+			// Only the value itself (or a view of it) returned whole
+			// transfers ownership to the caller; an error message that
+			// mentions len(v.Body) does not.
+			if v := w.trackedBase(e, s); v != nil {
+				s[v].live = false
+			}
+		}
+		w.reportLive(stmt.Pos(), s, "return")
+		return nil
+	case *ast.BranchStmt:
+		return nil
+	case *ast.IfStmt:
+		return w.walkIf(stmt, s)
+	case *ast.BlockStmt:
+		return w.walkStmts(stmt.List, s)
+	case *ast.ForStmt:
+		if stmt.Init != nil {
+			s = w.walkStmt(stmt.Init, s)
+		}
+		if stmt.Cond != nil {
+			w.scanExpr(stmt.Cond, s)
+		}
+		exit := w.walkStmts(stmt.Body.List, s.clone())
+		return mergeOwn(s, exit)
+	case *ast.RangeStmt:
+		w.scanExpr(stmt.X, s)
+		exit := w.walkStmts(stmt.Body.List, s.clone())
+		return mergeOwn(s, exit)
+	case *ast.SwitchStmt:
+		if stmt.Init != nil {
+			s = w.walkStmt(stmt.Init, s)
+		}
+		if stmt.Tag != nil {
+			w.scanExpr(stmt.Tag, s)
+		}
+		return w.walkClauses(stmt.Body, s, hasDefaultClause(stmt.Body))
+	case *ast.TypeSwitchStmt:
+		return w.walkClauses(stmt.Body, s, hasDefaultClause(stmt.Body))
+	case *ast.SelectStmt:
+		return w.walkClauses(stmt.Body, s, true)
+	case *ast.LabeledStmt:
+		return w.walkStmt(stmt.Stmt, s)
+	case *ast.DeclStmt:
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				w.scanExpr(e, s)
+				return false
+			}
+			return true
+		})
+		return s
+	case *ast.IncDecStmt:
+		return s
+	default:
+		return s
+	}
+}
+
+func hasDefaultClause(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+		if cm, ok := c.(*ast.CommClause); ok && cm.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *bufOwnWalker) walkClauses(body *ast.BlockStmt, s bufOwnState, exhaustive bool) bufOwnState {
+	var merged bufOwnState
+	any := false
+	for _, c := range body.List {
+		var list []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.scanExpr(e, s)
+			}
+			list = c.Body
+		case *ast.CommClause:
+			cs := s.clone()
+			if c.Comm != nil {
+				cs = w.walkStmt(c.Comm, cs)
+			}
+			out := w.walkStmts(c.Body, cs)
+			if out != nil {
+				merged = mergeOwn(merged, out)
+			}
+			any = true
+			continue
+		}
+		out := w.walkStmts(list, s.clone())
+		if out != nil {
+			merged = mergeOwn(merged, out)
+		}
+		any = true
+	}
+	if !any {
+		return s
+	}
+	if !exhaustive {
+		// Without a default clause, fallthrough past the switch keeps
+		// the incoming state.
+		merged = mergeOwn(merged, s)
+	}
+	if merged == nil {
+		return nil
+	}
+	return merged
+}
+
+func (w *bufOwnWalker) walkIf(stmt *ast.IfStmt, s bufOwnState) bufOwnState {
+	// Variables introduced by the if's init statement are scoped to the
+	// if: they leave the state when the statement ends, reporting if
+	// still owned then.
+	var initVars []*types.Var
+	if stmt.Init != nil {
+		before := make(map[*types.Var]bool, len(s))
+		for v := range s {
+			before[v] = true
+		}
+		s = w.walkStmt(stmt.Init, s)
+		if s == nil {
+			return nil
+		}
+		for v := range s {
+			if !before[v] {
+				initVars = append(initVars, v)
+			}
+		}
+	}
+	w.scanExpr(stmt.Cond, s)
+
+	thenState := s.clone()
+	elseState := s.clone()
+
+	// Producer guards: in the failure branch (err != nil, or !ok for
+	// comma-ok producers) the producer returned no owned value.
+	if guard, failIsThen := producerGuard(w.pass, stmt.Cond); guard != nil {
+		failBranch := thenState
+		if !failIsThen {
+			failBranch = elseState
+		}
+		for _, st := range failBranch {
+			if st.kind == ownMsg && st.errObj == guard && st.errFresh {
+				st.live = false
+			}
+		}
+	}
+
+	thenOut := w.walkStmts(stmt.Body.List, thenState)
+	var elseOut bufOwnState
+	if stmt.Else != nil {
+		elseOut = w.walkStmt(stmt.Else, elseState)
+	} else {
+		elseOut = elseState
+	}
+	out := mergeOwn(thenOut, elseOut)
+	if out != nil && len(initVars) > 0 {
+		scoped := bufOwnState{}
+		for _, v := range initVars {
+			if st, ok := out[v]; ok {
+				scoped[v] = st
+				delete(out, v)
+			}
+		}
+		w.reportLive(stmt.End(), scoped, "end of if scope")
+	}
+	return out
+}
+
+// producerGuard recognizes the conditions that test a producer's
+// second result — `err != nil`, `err == nil`, `ok`, `!ok` — returning
+// the guard variable and whether the failure path is the then branch.
+func producerGuard(pass *Pass, cond ast.Expr) (guard *types.Var, failIsThen bool) {
+	varOf := func(e ast.Expr) *types.Var {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		v, _ := pass.objectOf(id).(*types.Var)
+		return v
+	}
+	switch cond := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		if cond.Op != token.NEQ && cond.Op != token.EQL {
+			return nil, false
+		}
+		id, nilSide := identAndNil(cond.X, cond.Y)
+		if id == nil || !nilSide {
+			return nil, false
+		}
+		v, _ := pass.objectOf(id).(*types.Var)
+		return v, cond.Op == token.NEQ
+	case *ast.UnaryExpr:
+		if cond.Op == token.NOT {
+			return varOf(cond.X), true // if !ok { ... } — failure is then
+		}
+	case *ast.Ident:
+		return varOf(cond), false // if ok { ... } — failure is else
+	}
+	return nil, false
+}
+
+func identAndNil(x, y ast.Expr) (*ast.Ident, bool) {
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	if id, ok := ast.Unparen(x).(*ast.Ident); ok && isNil(y) {
+		return id, true
+	}
+	if id, ok := ast.Unparen(y).(*ast.Ident); ok && isNil(x) {
+		return id, true
+	}
+	return nil, false
+}
+
+// walkDefer applies deferred releases immediately: a deferred
+// Release/PutBuf covers every path from here to function exit.
+func (w *bufOwnWalker) walkDefer(stmt *ast.DeferStmt, s bufOwnState) {
+	apply := func(call *ast.CallExpr) {
+		if v := w.releaseTarget(call, s); v != nil {
+			s[v].live = false
+		}
+	}
+	apply(stmt.Call)
+	if lit, ok := stmt.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				apply(call)
+			}
+			return true
+		})
+	}
+}
+
+// releaseTarget resolves call to the tracked variable it releases, or
+// nil: wire.PutBuf(v), wire.PutBuf(v.Body), v.Release().
+func (w *bufOwnWalker) releaseTarget(call *ast.CallExpr, s bufOwnState) *types.Var {
+	name := w.pass.calleeName(call)
+	if name == "pvfs/internal/wire.PutBuf" && len(call.Args) == 1 {
+		if v := w.trackedBase(call.Args[0], s); v != nil {
+			return v
+		}
+		return nil
+	}
+	if strings.HasSuffix(name, "internal/wire.Message).Release") {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if v := w.trackedIdent(sel.X, s); v != nil {
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+// trackedIdent resolves e to a tracked variable when e is exactly that
+// identifier.
+func (w *bufOwnWalker) trackedIdent(e ast.Expr, s bufOwnState) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := w.pass.objectOf(id).(*types.Var)
+	if !ok {
+		return nil
+	}
+	if _, tracked := s[v]; !tracked {
+		return nil
+	}
+	return v
+}
+
+// trackedBase resolves e to a tracked variable when e is the variable
+// itself, a slice of it (v[i:j]), or its Body field (v.Body).
+func (w *bufOwnWalker) trackedBase(e ast.Expr, s bufOwnState) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return w.trackedIdent(e, s)
+	case *ast.SliceExpr:
+		return w.trackedBase(e.X, s)
+	case *ast.SelectorExpr:
+		if e.Sel.Name == "Body" {
+			return w.trackedIdent(e.X, s)
+		}
+	}
+	return nil
+}
+
+// transferContained marks every tracked variable referenced anywhere
+// inside n as transferred (return values, composite literals, sends,
+// captures).
+func (w *bufOwnWalker) transferContained(n ast.Node, s bufOwnState) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := w.pass.objectOf(id).(*types.Var); ok {
+				if st, tracked := s[v]; tracked {
+					st.live = false
+				}
+			}
+		}
+		return true
+	})
+}
+
+// scanExpr walks an expression applying consume/release/transfer
+// events to the state.
+func (w *bufOwnWalker) scanExpr(e ast.Expr, s bufOwnState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Capture by a literal escapes the straight-line analysis:
+			// treat captured variables as transferred, then analyze the
+			// literal body as its own scope.
+			w.transferContained(n.Body, s)
+			end := w.walkStmts(n.Body.List, bufOwnState{})
+			if end != nil {
+				w.reportLive(n.Body.Rbrace, end, "function end")
+			}
+			return false
+		case *ast.CompositeLit:
+			w.transferContained(n, s)
+			return false
+		case *ast.CallExpr:
+			w.scanCall(n, s)
+			return false
+		}
+		return true
+	})
+}
+
+// bufOwnBorrowBuiltins are callees that never take ownership of an
+// argument passed whole.
+var bufOwnBorrowBuiltins = map[string]bool{
+	"len": true, "cap": true, "copy": true, "print": true, "println": true,
+}
+
+func (w *bufOwnWalker) scanCall(call *ast.CallExpr, s bufOwnState) {
+	// Release?
+	if v := w.releaseTarget(call, s); v != nil {
+		s[v].live = false
+		// Still scan nested args (rare, but cheap).
+		for _, a := range call.Args {
+			if inner, ok := ast.Unparen(a).(*ast.CallExpr); ok {
+				w.scanCall(inner, s)
+			}
+		}
+		return
+	}
+
+	name := w.pass.calleeName(call)
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && bufOwnBorrowBuiltins[id.Name] {
+		for _, a := range call.Args {
+			w.scanExpr(a, s)
+		}
+		return
+	}
+	if name == "append" || (name == "" && isBuiltinAppend(call)) {
+		// append(dst, v) transfers v into dst; handled below like any
+		// whole-value argument.
+	}
+
+	// Method receiver: v.Release handled above; other methods on a
+	// tracked value borrow it.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		w.scanExpr(sel.X, s)
+	}
+
+	ownsMsgParams := strings.HasSuffix(name, ").pipelineCalls")
+	for _, a := range call.Args {
+		// A tracked value (or a slice of it) passed whole transfers
+		// ownership to the callee — that is the okPooled / dispatch /
+		// writeMsg idiom. Derived views (v.Body) are borrows.
+		if v := w.trackedWholeArg(a, s); v != nil {
+			s[v].live = false
+			continue
+		}
+		// pipelineCalls hands its consume callback ownership of the
+		// response message: the callback must Release it on every path.
+		if lit, ok := ast.Unparen(a).(*ast.FuncLit); ok && ownsMsgParams {
+			w.walkOwnedCallback(lit)
+			w.transferContained(lit.Body, s)
+			continue
+		}
+		w.scanExpr(a, s)
+	}
+}
+
+// walkOwnedCallback analyzes a callback whose wire.Message parameters
+// arrive owned (the pipelineCalls consume contract).
+func (w *bufOwnWalker) walkOwnedCallback(lit *ast.FuncLit) {
+	s := bufOwnState{}
+	if lit.Type.Params != nil {
+		for _, f := range lit.Type.Params.List {
+			for _, name := range f.Names {
+				v, ok := w.pass.objectOf(name).(*types.Var)
+				if ok && isWireMessage(v.Type()) {
+					s[v] = &ownState{kind: ownMsg, live: true}
+				}
+			}
+		}
+	}
+	end := w.walkStmts(lit.Body.List, s)
+	if end != nil {
+		w.reportLive(lit.Body.Rbrace, end, "function end")
+	}
+}
+
+func isBuiltinAppend(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "append"
+}
+
+// trackedWholeArg resolves arg to a tracked variable passed by value
+// or by pointer: v, v[i:j], &v. A slice of a derived view
+// (v.Body[i:j]) is a borrow, not a transfer — only the variable itself
+// sliced whole (the okPooled(out[:n]) idiom) moves ownership.
+func (w *bufOwnWalker) trackedWholeArg(arg ast.Expr, s bufOwnState) *types.Var {
+	x := ast.Unparen(arg)
+	if u, ok := x.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		x = ast.Unparen(u.X)
+	}
+	for {
+		if sl, ok := x.(*ast.SliceExpr); ok {
+			x = ast.Unparen(sl.X)
+			continue
+		}
+		break
+	}
+	if id, ok := x.(*ast.Ident); ok {
+		return w.trackedIdent(id, s)
+	}
+	return nil
+}
+
+func (w *bufOwnWalker) walkAssign(stmt *ast.AssignStmt, s bufOwnState) {
+	// 1. Errors reassigned by this statement lose producer-guard
+	// freshness (checked before the new producer registers below).
+	for _, l := range stmt.Lhs {
+		if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+			if ev, ok := w.pass.objectOf(id).(*types.Var); ok {
+				for _, st := range s {
+					if st.errObj == ev {
+						st.errFresh = false
+					}
+				}
+			}
+		}
+	}
+
+	// 2. Scan RHS for consumes/releases/transfers. A tracked variable
+	// that reappears on the LHS keeps ownership through calls like
+	// body = wire.AppendRegions(body, ...).
+	reassigned := map[*types.Var]bool{}
+	for _, l := range stmt.Lhs {
+		if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+			if v, ok := w.pass.objectOf(id).(*types.Var); ok {
+				reassigned[v] = true
+			}
+		}
+	}
+	for _, r := range stmt.Rhs {
+		if v := w.aliasSource(r, s); v != nil && len(stmt.Lhs) == len(stmt.Rhs) {
+			// w := v — ownership moves to the alias.
+			i := rhsIndex(stmt.Rhs, r)
+			if i >= 0 {
+				if id, ok := ast.Unparen(stmt.Lhs[i]).(*ast.Ident); ok && id.Name != "_" {
+					if nv, ok := w.pass.objectOf(id).(*types.Var); ok {
+						st := *s[v]
+						s[v].live = false
+						s[nv] = &st
+						continue
+					}
+				}
+			}
+		}
+		wasLive := map[*types.Var]bool{}
+		for v, st := range s {
+			wasLive[v] = st.live
+		}
+		w.scanExpr(r, s)
+		// Restore liveness for vars both consumed by and reassigned
+		// from this statement (append/AppendRegions reuse).
+		for v := range reassigned {
+			if st, ok := s[v]; ok && wasLive[v] {
+				st.live = true
+			}
+		}
+	}
+
+	// 3. LHS stores: x.f = v, x[i] = v transfer v; v = nil and
+	// v.Body = nil disown; plain overwrite of a tracked var drops it
+	// from tracking.
+	for i, l := range stmt.Lhs {
+		var rhs ast.Expr
+		if len(stmt.Rhs) == len(stmt.Lhs) {
+			rhs = stmt.Rhs[i]
+		}
+		switch lhs := ast.Unparen(l).(type) {
+		case *ast.SelectorExpr:
+			if rhs != nil {
+				if v := w.trackedWholeArg(rhs, s); v != nil {
+					s[v].live = false // stored into a structure
+				}
+			}
+			if lhs.Sel.Name == "Body" && rhs != nil && isNilIdent(rhs) {
+				if v := w.trackedIdent(lhs.X, s); v != nil {
+					s[v].live = false // dispatch-style disown
+				}
+			}
+		case *ast.IndexExpr:
+			if rhs != nil {
+				if v := w.trackedWholeArg(rhs, s); v != nil {
+					s[v].live = false
+				}
+			}
+		case *ast.Ident:
+			v, ok := w.pass.objectOf(lhs).(*types.Var)
+			if !ok {
+				continue
+			}
+			if st, tracked := s[v]; tracked && rhs != nil && isNilIdent(rhs) {
+				st.live = false
+				continue
+			}
+			if _, tracked := s[v]; tracked && rhs != nil && !exprMentions(w.pass, rhs, v) {
+				// Overwritten with an unrelated value: stop tracking
+				// rather than second-guess (conservative, avoids false
+				// positives on reuse patterns).
+				delete(s, v)
+			}
+		}
+	}
+
+	// 4. Producers: register newly owned values.
+	if len(stmt.Rhs) == 1 {
+		if call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr); ok {
+			w.registerProducer(stmt, call, s)
+		}
+	}
+}
+
+func rhsIndex(rhs []ast.Expr, e ast.Expr) int {
+	for i, r := range rhs {
+		if r == e {
+			return i
+		}
+	}
+	return -1
+}
+
+// aliasSource reports the tracked variable when r is exactly that
+// variable (a pure alias copy), not a derived expression.
+func (w *bufOwnWalker) aliasSource(r ast.Expr, s bufOwnState) *types.Var {
+	return w.trackedIdent(r, s)
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func exprMentions(pass *Pass, e ast.Expr, v *types.Var) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.objectOf(id) == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// registerProducer tracks LHS variables that a producer call hands
+// ownership of: wire.GetBuf (buffers) and any in-repo call returning a
+// wire.Message (messages — ReadMessage, the client call helpers, the
+// request builders).
+func (w *bufOwnWalker) registerProducer(stmt *ast.AssignStmt, call *ast.CallExpr, s bufOwnState) {
+	name := w.pass.calleeName(call)
+
+	// Direct pool get, or a builder fed from the pool inline —
+	// body, err := wire.AppendRegions(wire.GetBuf(n)[:0], ...) — either
+	// way the []byte result carries pool ownership.
+	if name == "pvfs/internal/wire.GetBuf" || containsGetBuf(w.pass, call) {
+		for _, l := range stmt.Lhs {
+			id, ok := ast.Unparen(l).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			v, ok := w.pass.objectOf(id).(*types.Var)
+			if !ok || !isByteSlice(v.Type()) {
+				continue
+			}
+			s[v] = &ownState{kind: ownBuf, live: true}
+		}
+		if name == "pvfs/internal/wire.GetBuf" {
+			return
+		}
+	}
+
+	fn := w.pass.calleeFunc(call)
+	if fn == nil || fn.Pkg() == nil || !strings.HasPrefix(fn.Pkg().Path(), "pvfs") {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	results := sig.Results()
+	if results.Len() != len(stmt.Lhs) {
+		return
+	}
+	// Locate the guard result: an error, or failing that a bool
+	// (comma-ok producers like streamRead).
+	var errObj *types.Var
+	for i := 0; i < results.Len(); i++ {
+		t := results.At(i).Type()
+		if !isErrorType(t) && !isBool(t) {
+			continue
+		}
+		if errObj != nil && !isErrorType(t) {
+			continue // prefer an error over a bool
+		}
+		if id, ok := ast.Unparen(stmt.Lhs[i]).(*ast.Ident); ok && id.Name != "_" {
+			if v, ok := w.pass.objectOf(id).(*types.Var); ok {
+				errObj = v
+			}
+		}
+	}
+	for i := 0; i < results.Len(); i++ {
+		if !isWireMessage(results.At(i).Type()) {
+			continue
+		}
+		id, ok := ast.Unparen(stmt.Lhs[i]).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if id.Name == "_" {
+			// A discarded response still owns its pooled body (the
+			// TWrite WrittenResp leak): force the caller to bind and
+			// Release it even when the payload is unwanted.
+			w.pass.Reportf(id.Pos(), "result of %s discarded; its pooled Body is never released (bind the message and call Release)",
+				fn.Name())
+			continue
+		}
+		v, ok := w.pass.objectOf(id).(*types.Var)
+		if !ok {
+			continue
+		}
+		s[v] = &ownState{kind: ownMsg, live: true, errObj: errObj, errFresh: errObj != nil}
+	}
+}
+
+// containsGetBuf reports whether a wire.GetBuf call appears anywhere
+// inside the expression (a builder consuming a fresh pool buffer).
+func containsGetBuf(pass *Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if pass.calleeName(call) == "pvfs/internal/wire.GetBuf" {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}
+
+func isBool(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}
+
+func isWireMessage(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	o := named.Obj()
+	return o.Name() == "Message" && o.Pkg() != nil &&
+		strings.HasSuffix(o.Pkg().Path(), "internal/wire")
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}

@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow checks that the client and transport paths stay cancellable.
+// PR 4 threaded context.Context through the whole stack — DialContext
+// (a bare net.Dial once blocked for the kernel's connect timeout on a
+// blackholed daemon), CallContext with per-tag abandonment, ctx-aware
+// retry backoff — and every context-less blocking call added since is
+// a regression that can wedge a caller the stack promised to cancel.
+//
+// Rules, applied on the client-side packages (client, pvfsnet, fsck,
+// collective, mpiio):
+//
+//   - no bare net.Dial/net.DialTimeout/(net.Dialer).Dial — use
+//     DialContext;
+//   - no context-less transport shims outside pvfsnet itself:
+//     pvfsnet.Dial, (*Conn).Call, (*Pool).Get and (*Pending).Wait are
+//     compatibility wrappers over their Context forms;
+//   - no time.Sleep in a function that has a context.Context parameter
+//     in scope — sleep with a timer select or ctx-aware backoff so
+//     cancellation does not stall.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "client/pvfsnet paths must use context-aware dial, call and backoff primitives",
+	Packages: []string{
+		"internal/client", "internal/pvfsnet", "internal/fsck",
+		"internal/collective", "internal/mpiio",
+	},
+	Run: runCtxFlow,
+}
+
+// ctxlessShims maps context-less transport entry points to their
+// replacements. Inside pvfsnet they are the definitions themselves
+// (Call delegates to CallContext, and so on); everywhere else a call
+// to one is a lost cancellation point.
+var ctxlessShims = map[string]string{
+	"pvfs/internal/pvfsnet.Dial":           "pvfsnet.DialContext",
+	"(pvfs/internal/pvfsnet.Conn).Call":    "Conn.CallContext",
+	"(pvfs/internal/pvfsnet.Pool).Get":     "Pool.GetContext",
+	"(pvfs/internal/pvfsnet.Pending).Wait": "Pending.WaitContext",
+	"pvfs/internal/client.Connect":         "client.ConnectContext",
+}
+
+var bareDialFns = map[string]bool{
+	"net.Dial":            true,
+	"net.DialTimeout":     true,
+	"(net.Dialer).Dial":   true,
+	"(net.Resolver).Dial": true,
+}
+
+func runCtxFlow(pass *Pass) {
+	inPvfsnet := strings.HasSuffix(pass.Pkg.Path(), "internal/pvfsnet")
+	inClient := strings.HasSuffix(pass.Pkg.Path(), "internal/client")
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if decl, ok := n.(*ast.FuncDecl); ok && decl.Body != nil {
+				hasCtx := funcHasCtxParam(pass, decl)
+				checkCtxBody(pass, decl.Body, hasCtx, inPvfsnet, inClient)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// shimExempt reports whether a call to shim name is the package
+// defining it (the Context-less wrapper legitimately delegating).
+func shimExempt(name string, inPvfsnet, inClient bool) bool {
+	if inPvfsnet && strings.Contains(name, "internal/pvfsnet") {
+		return true
+	}
+	return inClient && strings.Contains(name, "internal/client")
+}
+
+// funcHasCtxParam reports whether the declaration takes a
+// context.Context.
+func funcHasCtxParam(pass *Pass, decl *ast.FuncDecl) bool {
+	if decl.Type.Params == nil {
+		return false
+	}
+	for _, f := range decl.Type.Params.List {
+		if t, ok := pass.Info.Types[f.Type]; ok && isContextType(t.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func checkCtxBody(pass *Pass, body *ast.BlockStmt, hasCtx, inPvfsnet, inClient bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			// A literal inherits cancellability from its enclosing
+			// function: a captured ctx is still in scope.
+			litHasCtx := hasCtx || funcLitHasCtxParam(pass, lit)
+			checkCtxBody(pass, lit.Body, litHasCtx, inPvfsnet, inClient)
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := pass.calleeName(call)
+		switch {
+		case bareDialFns[name]:
+			pass.Reportf(call.Pos(),
+				"bare %s has no cancellation or connect deadline; use DialContext (DESIGN.md §8)", name)
+		case name == "time.Sleep" && hasCtx:
+			pass.Reportf(call.Pos(),
+				"time.Sleep in a context-carrying function stalls cancellation; select on ctx.Done() with a timer instead (DESIGN.md §8)")
+		default:
+			if repl, shim := ctxlessShims[name]; shim && !shimExempt(name, inPvfsnet, inClient) {
+				pass.Reportf(call.Pos(),
+					"context-less %s cannot be canceled; use %s (DESIGN.md §8)", shortShimName(name), repl)
+			}
+		}
+		return true
+	})
+}
+
+func funcLitHasCtxParam(pass *Pass, lit *ast.FuncLit) bool {
+	if lit.Type.Params == nil {
+		return false
+	}
+	for _, f := range lit.Type.Params.List {
+		if t, ok := pass.Info.Types[f.Type]; ok && isContextType(t.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func shortShimName(full string) string {
+	s := strings.ReplaceAll(full, "pvfs/internal/", "")
+	s = strings.ReplaceAll(s, "(", "")
+	return strings.ReplaceAll(s, ")", "")
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	pos      token.Position
+	analyzer string // short name after the pvfs/ prefix
+	reason   string
+	used     bool
+	bad      string // non-empty: the directive itself is malformed
+}
+
+const ignorePrefix = "//lint:ignore "
+
+// parseIgnores collects the package's //lint:ignore directives. A
+// directive suppresses matching diagnostics on its own line and, when
+// it stands alone on its line, on the following line.
+func parseIgnores(pkg *Package, analyzers []*Analyzer) []*ignoreDirective {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var dirs []*ignoreDirective
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				d := &ignoreDirective{pos: pkg.Fset.Position(c.Pos())}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				key, reason, _ := strings.Cut(rest, " ")
+				d.reason = strings.TrimSpace(reason)
+				name, ok := strings.CutPrefix(key, "pvfs/")
+				switch {
+				case !ok:
+					d.bad = "lint:ignore key must be pvfs/<analyzer>, got " + key
+				case !known[name]:
+					d.bad = "lint:ignore names unknown analyzer pvfs/" + name
+				case d.reason == "":
+					d.bad = "lint:ignore pvfs/" + name + " requires a reason"
+				default:
+					d.analyzer = name
+				}
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	return dirs
+}
+
+// applyIgnores filters diags through the package's directives and
+// appends directive-misuse diagnostics (malformed or unused
+// directives), so suppressions stay reasoned and current.
+func applyIgnores(pkg *Package, analyzers []*Analyzer, diags []Diagnostic) []Diagnostic {
+	dirs := parseIgnores(pkg, analyzers)
+	if len(dirs) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for _, dir := range dirs {
+			if dir.bad != "" || dir.analyzer != d.Analyzer || dir.pos.Filename != d.Pos.Filename {
+				continue
+			}
+			if dir.pos.Line == d.Pos.Line || dir.pos.Line == d.Pos.Line-1 {
+				dir.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for _, dir := range dirs {
+		switch {
+		case dir.bad != "":
+			kept = append(kept, Diagnostic{Pos: dir.pos, Analyzer: "ignore", Message: dir.bad})
+		case !dir.used:
+			kept = append(kept, Diagnostic{Pos: dir.pos, Analyzer: "ignore",
+				Message: "lint:ignore pvfs/" + dir.analyzer + " suppresses nothing; remove the stale directive"})
+		}
+	}
+	return kept
+}

@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Fset       *token.FileSet
+	Syntax     []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load enumerates the packages matching patterns (relative to dir, ""
+// = cwd), compiles their dependency export data with the go tool, and
+// type-checks each target package from source.
+//
+// Targets are checked from source — not export data — because the
+// analyzers need syntax trees; their dependencies (each other
+// included) are imported from the compiler's export data, so one
+// `go list -export -deps` invocation supplies everything and the
+// loader needs no network and no third-party machinery.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	metas, exports, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	var pkgs []*Package
+	for _, m := range metas {
+		p, err := checkPackage(fset, imp, m)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// goList runs `go list -export -deps` and splits the result into
+// target metadata and an importpath→exportfile map covering every
+// dependency (targets included, so targets can import one another).
+func goList(dir string, patterns []string) ([]listedPkg, map[string]string, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.Bytes())
+	}
+	exports := make(map[string]string)
+	var targets []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+	return targets, exports, nil
+}
+
+// checkPackage parses and type-checks one target package.
+func checkPackage(fset *token.FileSet, imp types.Importer, m listedPkg) (*Package, error) {
+	var files []*ast.File
+	for _, gf := range m.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(m.Dir, gf), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(m.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", m.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: m.ImportPath,
+		Dir:        m.Dir,
+		GoFiles:    m.GoFiles,
+		Fset:       fset,
+		Syntax:     files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// LoadFiles type-checks a standalone set of Go files as one package
+// (the analysistest harness uses it for testdata packages, which live
+// under testdata/ and are invisible to `go list`). Imports resolve
+// through the same `go list -export` machinery: the files' import
+// paths are collected first, then listed with -deps from dir.
+func LoadFiles(dir, pkgPath string, filenames []string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importSet := make(map[string]bool)
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, im := range f.Imports {
+			importSet[strings.Trim(im.Path.Value, `"`)] = true
+		}
+	}
+	patterns := make([]string, 0, len(importSet))
+	for p := range importSet {
+		patterns = append(patterns, p)
+	}
+	exports := make(map[string]string)
+	if len(patterns) > 0 {
+		_, exp, err := goList(dir, patterns)
+		if err != nil {
+			return nil, err
+		}
+		exports = exp
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", pkgPath, err)
+	}
+	return &Package{
+		ImportPath: pkgPath,
+		Dir:        dir,
+		GoFiles:    filenames,
+		Fset:       fset,
+		Syntax:     files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}

@@ -1,0 +1,6 @@
+package analysis
+
+// Analyzers returns the full pvfs-lint suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{BufOwn, LockOrder, EintrLoop, ChkGeom, CtxFlow}
+}

@@ -1,0 +1,87 @@
+package bufown
+
+import (
+	"errors"
+
+	"pvfs/internal/wire"
+)
+
+// fetch stands in for the client call helpers: an in-repo producer
+// returning a pooled message guarded by an error.
+func fetch() (wire.Message, error) {
+	return wire.Message{}, nil
+}
+
+// leakAtReturn drops a pooled buffer on the early error path.
+func leakAtReturn(fail bool) error {
+	b := wire.GetBuf(64)
+	if fail {
+		return errors.New("boom") // want `pooled buffer "b" may leak at return`
+	}
+	wire.PutBuf(b)
+	return nil
+}
+
+// releasedEveryPath is the contract done right.
+func releasedEveryPath() {
+	b := wire.GetBuf(64)
+	b[0] = 1
+	wire.PutBuf(b)
+}
+
+// deferredRelease covers every later path at once.
+func deferredRelease(fail bool) error {
+	b := wire.GetBuf(64)
+	defer wire.PutBuf(b)
+	if fail {
+		return errors.New("boom")
+	}
+	return nil
+}
+
+// errGuardOwnsNothing: producers release internally on error, so the
+// failure branch returns clean.
+func errGuardOwnsNothing() error {
+	resp, err := fetch()
+	if err != nil {
+		return err
+	}
+	resp.Release()
+	return nil
+}
+
+// leakOnSuccess releases nothing after consuming the body.
+func leakOnSuccess() (int, error) {
+	resp, err := fetch()
+	if err != nil {
+		return 0, err
+	}
+	n := len(resp.Body)
+	return n, nil // want `pooled message "resp" may leak at return`
+}
+
+// discarded binds the producer's message to the blank identifier: the
+// pooled body can never be released.
+func discarded() error {
+	_, err := fetch() // want `result of fetch discarded`
+	return err
+}
+
+// handoff transfers ownership over a channel.
+func handoff(ch chan wire.Message) error {
+	resp, err := fetch()
+	if err != nil {
+		return err
+	}
+	ch <- resp
+	return nil
+}
+
+// returned transfers ownership to the caller.
+func returned() (wire.Message, error) {
+	resp, err := fetch()
+	if err != nil {
+		return wire.Message{}, err
+	}
+	return resp, nil
+}

@@ -1,0 +1,41 @@
+package chkgeom
+
+import "pvfs/internal/wire"
+
+// nakedSum adds wire-derived geometry before any bounds check — the
+// shape behind the PR 3 overflow panic.
+func nakedSum(req wire.WriteReq) int64 {
+	return req.Offset + int64(len(req.Data)) // want `unvalidated wire-derived req.Offset`
+}
+
+// guarded bounds-checks the field first.
+func guarded(req wire.WriteReq) int64 {
+	if req.Offset < 0 {
+		return 0
+	}
+	return req.Offset + 1
+}
+
+// narrowed int-converts unchecked geometry (the conversion that turned
+// a wrapped sum into a negative GetBuf argument).
+func narrowed(req wire.TruncateReq) int {
+	return int(req.Size) // want `int conversion of unvalidated wire-derived req.Size`
+}
+
+// accumulated compounds a tainted field in place.
+func accumulated(req wire.WriteReq) int64 {
+	var total int64
+	total += req.Offset // want `unvalidated wire-derived req.Offset`
+	return total
+}
+
+// helperCleared: passing the carrier to a check* helper validates all
+// of its fields.
+func helperCleared(req wire.WriteReq) int64 {
+	if !checkWrite(&req) {
+		return 0
+	}
+	return req.Offset * 2
+}
+
+func checkWrite(r *wire.WriteReq) bool { return r.Offset >= 0 }

@@ -1,0 +1,53 @@
+package ctxflow
+
+import (
+	"context"
+	"net"
+	"time"
+
+	"pvfs/internal/pvfsnet"
+	"pvfs/internal/wire"
+)
+
+// bareDial loses the connect deadline a blackholed daemon needs.
+func bareDial(addr string) {
+	net.Dial("tcp", addr) // want `bare net.Dial has no cancellation`
+}
+
+// sleepy stalls cancellation in a function that promised it.
+func sleepy(ctx context.Context) {
+	time.Sleep(time.Millisecond) // want `time.Sleep in a context-carrying function`
+	_ = ctx
+}
+
+// sleepNoCtx is allowed: nothing promised cancellation here.
+func sleepNoCtx() {
+	time.Sleep(time.Millisecond)
+}
+
+// dialShim reaches for the context-less compatibility wrapper.
+func dialShim(addr string) {
+	pvfsnet.Dial(addr) // want `use pvfsnet.DialContext`
+}
+
+// callShim does the same one layer up.
+func callShim(c *pvfsnet.Conn, m wire.Message) {
+	c.Call(m) // want `use Conn.CallContext`
+}
+
+// ctxDial is the sanctioned form.
+func ctxDial(ctx context.Context, addr string) {
+	conn, err := pvfsnet.DialContext(ctx, addr)
+	if err != nil {
+		return
+	}
+	conn.Close()
+}
+
+// litInherits: a literal inside a context-carrying function inherits
+// the obligation through the captured ctx.
+func litInherits(ctx context.Context) func() {
+	return func() {
+		time.Sleep(time.Millisecond) // want `time.Sleep in a context-carrying function`
+	}
+}

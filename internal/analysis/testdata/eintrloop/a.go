@@ -1,0 +1,52 @@
+package eintrloop
+
+import "syscall"
+
+// Trap numbers are stand-ins; the analyzer keys on the syscall.Syscall
+// call itself and the spelling of its trap argument.
+const (
+	sysPread = 17
+	sysSetup = 425
+)
+
+// bare submits a raw syscall with no retry loop.
+func bare(fd int) {
+	syscall.Syscall(sysPread, uintptr(fd), 0, 0) // want `outside an EINTR retry loop`
+}
+
+// retried is the sanctioned shape: a for loop whose body consults
+// syscall.EINTR.
+func retried(fd int) {
+	for {
+		_, _, errno := syscall.Syscall(sysPread, uintptr(fd), 0, 0)
+		if errno == syscall.EINTR {
+			continue
+		}
+		break
+	}
+}
+
+// setupOnce: one-shot setup traps either succeed or fail for good; a
+// retry loop around them would be wrong, not missing.
+func setupOnce() {
+	syscall.Syscall(sysSetup, 0, 0, 0)
+}
+
+// wrapped covers the syscall package's own I/O wrappers.
+func wrapped(fd int, p []byte) {
+	syscall.Pread(fd, p, 0) // want `outside an EINTR retry loop`
+}
+
+// litScope: a loop outside a function literal cannot be the retry loop
+// for a syscall inside it, even when the loop body mentions EINTR.
+func litScope(fd int) {
+	for i := 0; i < 1; i++ {
+		fn := func() {
+			syscall.Syscall(sysPread, uintptr(fd), 0, 0) // want `outside an EINTR retry loop`
+		}
+		fn()
+		_ = isEINTR(i)
+	}
+}
+
+func isEINTR(i int) bool { return i == int(syscall.EINTR) }

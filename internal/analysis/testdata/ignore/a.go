@@ -1,0 +1,25 @@
+package ignore
+
+import "pvfs/internal/wire"
+
+// suppressed: a reasoned directive on the line above the diagnostic
+// silences it.
+func suppressed() {
+	b := wire.GetBuf(64)
+	_ = b
+	//lint:ignore pvfs/bufown deliberate leak exercised by the directive test
+	return
+}
+
+// stale: a directive that suppresses nothing is itself an error.
+//
+//lint:ignore pvfs/bufown nothing leaks here // want `suppresses nothing`
+func clean() {
+	b := wire.GetBuf(8)
+	wire.PutBuf(b)
+}
+
+// unknown analyzer keys are flagged rather than silently inert.
+//
+//lint:ignore pvfs/nosuch because // want `unknown analyzer pvfs/nosuch`
+func alsoClean() {}

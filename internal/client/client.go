@@ -409,6 +409,7 @@ func (fs *FS) CreateContext(ctx context.Context, name string, cfg striping.Confi
 	if err != nil {
 		return nil, fmt.Errorf("create %q: %w", name, err)
 	}
+	defer resp.Release()
 	return fs.fileFromInfo(name, resp.Body)
 }
 
@@ -424,6 +425,7 @@ func (fs *FS) OpenContext(ctx context.Context, name string) (*File, error) {
 	if err != nil {
 		return nil, fmt.Errorf("open %q: %w", name, err)
 	}
+	defer resp.Release()
 	return fs.fileFromInfo(name, resp.Body)
 }
 
@@ -455,13 +457,19 @@ func (fs *FS) Remove(name string) error {
 		if err != nil {
 			return err
 		}
-		if _, err := conn.CallContext(ctx, wire.Message{Header: wire.Header{Type: wire.TRemove, Handle: f.info.Handle}}); err != nil {
+		resp, err := conn.CallContext(ctx, wire.Message{Header: wire.Header{Type: wire.TRemove, Handle: f.info.Handle}})
+		if err != nil {
 			return fmt.Errorf("remove %q at %s: %w", name, addr, err)
 		}
+		resp.Release()
 	}
 	req := wire.NameReq{Name: name}
-	_, err = fs.mgrCall(ctx, wire.TRemove, 0, req.Marshal())
-	return err
+	resp, err := fs.mgrCall(ctx, wire.TRemove, 0, req.Marshal())
+	if err != nil {
+		return err
+	}
+	resp.Release()
+	return nil
 }
 
 // List returns all file names known to the manager.
@@ -470,6 +478,7 @@ func (fs *FS) List() ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer resp.Release()
 	var ld wire.ListDirResp
 	if err := ld.Unmarshal(resp.Body); err != nil {
 		return nil, err
@@ -492,8 +501,10 @@ func (fs *FS) ServerStats(f *File) (wire.ServerStats, []wire.ServerStats, error)
 		if err != nil {
 			return total, per, err
 		}
-		if err := per[i].Unmarshal(resp.Body); err != nil {
-			return total, per, err
+		uerr := per[i].Unmarshal(resp.Body)
+		resp.Release()
+		if uerr != nil {
+			return total, per, uerr
 		}
 		total.Add(per[i])
 	}
@@ -549,8 +560,10 @@ func (f *File) size(ctx context.Context) (int64, error) {
 			return 0, err
 		}
 		var sr wire.SizeResp
-		if err := sr.Unmarshal(resp.Body); err != nil {
-			return 0, err
+		uerr := sr.Unmarshal(resp.Body)
+		resp.Release()
+		if uerr != nil {
+			return 0, uerr
 		}
 		phys[rel] = sr.Size
 	}
@@ -574,10 +587,14 @@ func (f *File) SyncContext(ctx context.Context) error {
 		rels[i] = i
 	}
 	return parallel(rels, func(rel int) error {
-		_, err := f.call(ctx, rel, wire.Message{
+		resp, err := f.call(ctx, rel, wire.Message{
 			Header: wire.Header{Type: wire.TSync, Handle: f.info.Handle},
 		})
-		return err
+		if err != nil {
+			return err
+		}
+		resp.Release()
+		return nil
 	})
 }
 
@@ -600,9 +617,11 @@ func (f *File) CloseContext(ctx context.Context) error {
 			return err
 		}
 		req := wire.SetSizeReq{Handle: f.info.Handle, Size: hw}
-		if _, err := f.fs.mgrCall(ctx, wire.TSetSize, f.info.Handle, req.Marshal()); err != nil {
+		resp, err := f.fs.mgrCall(ctx, wire.TSetSize, f.info.Handle, req.Marshal())
+		if err != nil {
 			return err
 		}
+		resp.Release()
 	}
 	return nil
 }
@@ -840,6 +859,7 @@ func (f *File) readContig(ctx context.Context, p []byte, off int64, path *PathCo
 		if err != nil {
 			return err
 		}
+		defer resp.Release()
 		if int64(len(resp.Body)) != span.Length {
 			return fmt.Errorf("pvfs: short read from server %d: %d of %d", j.rel, len(resp.Body), span.Length)
 		}
@@ -847,7 +867,6 @@ func (f *File) readContig(ctx context.Context, p []byte, off int64, path *PathCo
 		for i, ph := range j.phys {
 			copy(p[j.streamPos[i]:j.streamPos[i]+ph.Length], resp.Body[ph.Offset-span.Offset:])
 		}
-		resp.Release()
 		return nil
 	})
 }
@@ -871,11 +890,18 @@ func (f *File) writeContig(ctx context.Context, p []byte, off int64, path *PathC
 			path.Requests.Add(1)
 			path.Bytes.Add(span.Length)
 		}
-		_, err := f.call(ctx, j.rel, wire.Message{
+		resp, err := f.call(ctx, j.rel, wire.Message{
 			Header: wire.Header{Type: wire.TWrite, Handle: f.info.Handle},
 			Body:   req.Marshal(),
 		})
-		return err
+		if err != nil {
+			return err
+		}
+		// The WrittenResp body rides a pooled buffer even though the
+		// payload is advisory; dropping it leaked one buffer per daemon
+		// per WriteAt until pvfs/bufown grew a discard check.
+		resp.Release()
+		return nil
 	})
 	if err == nil {
 		f.noteWritten(off + int64(len(p)))
@@ -927,12 +953,14 @@ func (f *File) Truncate(size int64) error {
 	for rel := 0; rel < cfg.PCount; rel++ {
 		phys := cfg.PhysPrefix(rel, size)
 		req := wire.TruncateReq{Size: phys}
-		if _, err := f.call(ctx, rel, wire.Message{
+		resp, err := f.call(ctx, rel, wire.Message{
 			Header: wire.Header{Type: wire.TTruncate, Handle: f.info.Handle},
 			Body:   req.Marshal(),
-		}); err != nil {
+		})
+		if err != nil {
 			return err
 		}
+		resp.Release()
 	}
 	f.mu.Lock()
 	f.maxWritten = size

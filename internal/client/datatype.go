@@ -223,6 +223,7 @@ func (f *File) readDatatype(ctx context.Context, arena []byte, mem ioseg.List, t
 				}, nil
 			},
 			func(i int, resp wire.Message) error {
+				defer resp.Release()
 				if int64(len(resp.Body)) != wants[i] {
 					return fmt.Errorf("pvfs: datatype read returned %d bytes, want %d", len(resp.Body), wants[i])
 				}
@@ -236,7 +237,6 @@ func (f *File) readDatatype(ctx context.Context, arena []byte, mem ioseg.List, t
 					rpos += p.n
 				}
 				wins[i] = nil
-				resp.Release()
 				return nil
 			})
 	})

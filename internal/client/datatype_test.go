@@ -55,9 +55,9 @@ func datatypeCases(t *testing.T) map[string]struct {
 		t.Fatal(err)
 	}
 	sub, err := datatype.Subarray(
-		[]int64{24, 40},  // full 2-D array
-		[]int64{9, 13},   // sub-block
-		[]int64{5, 17},   // start corner
+		[]int64{24, 40}, // full 2-D array
+		[]int64{9, 13},  // sub-block
+		[]int64{5, 17},  // start corner
 		datatype.Bytes(4),
 	)
 	if err != nil {

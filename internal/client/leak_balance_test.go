@@ -1,0 +1,71 @@
+package client_test
+
+// End-to-end pooled-buffer accounting: a full metadata + I/O workout
+// against an in-process cluster must leave wire.BufStats balanced.
+// This pins the success-path leaks pvfs-lint (pvfs/bufown) found in
+// Create/Open/List/Size/ServerStats — each dropped one manager or
+// daemon response body per call before being fixed.
+
+import (
+	"testing"
+	"time"
+
+	"pvfs/internal/client"
+	"pvfs/internal/ioseg"
+	"pvfs/internal/striping"
+	"pvfs/internal/wire"
+)
+
+func TestClientOpsLeaveBufPoolBalanced(t *testing.T) {
+	_, fs := startCluster(t, 2)
+	gets0, puts0 := wire.BufStats()
+
+	f, err := fs.Create("bal.dat", striping.Config{PCount: 2, StripeSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 1024)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ReadAt(make([]byte, 1024), 0); err != nil {
+		t.Fatal(err)
+	}
+	segs := ioseg.List{{Offset: 0, Length: 512}}
+	if err := f.ReadList(make([]byte, 512), segs, segs, client.ListOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Size(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fs.ServerStats(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open("bal.dat"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.List(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Daemons recycle request bodies after responding; allow the tail
+	// to drain before asserting the balance.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		gets, puts := wire.BufStats()
+		if gets-gets0 == puts-puts0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pooled buffers leaked: %d gets vs %d puts since baseline",
+				gets-gets0, puts-puts0)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -293,6 +293,7 @@ func (f *File) readList(ctx context.Context, arena []byte, mem, file ioseg.List,
 				regions := p.phys[r.lo:r.hi]
 				body, err := wire.AppendRegions(wire.GetBuf(wire.TrailingDataSize(len(regions)))[:0], regions)
 				if err != nil {
+					wire.PutBuf(body)
 					return wire.Message{}, err
 				}
 				f.fs.stats.Requests.Add(1)
@@ -304,6 +305,7 @@ func (f *File) readList(ctx context.Context, arena []byte, mem, file ioseg.List,
 				}, nil
 			},
 			func(i int, resp wire.Message) error {
+				defer resp.Release()
 				r := &p.reqs[i]
 				if int64(len(resp.Body)) != r.bytes {
 					return fmt.Errorf("pvfs: list read returned %d bytes, want %d", len(resp.Body), r.bytes)
@@ -318,7 +320,6 @@ func (f *File) readList(ctx context.Context, arena []byte, mem, file ioseg.List,
 					}
 					rpos += n
 				}
-				resp.Release()
 				return nil
 			})
 	})
@@ -359,11 +360,13 @@ func (f *File) writeList(ctx context.Context, arena []byte, mem, file ioseg.List
 				size := wire.TrailingDataSize(len(regions)) + int(r.bytes)
 				body, err := wire.AppendRegions(wire.GetBuf(size)[:0], regions)
 				if err != nil {
+					wire.PutBuf(body)
 					return wire.Message{}, err
 				}
 				for k := r.lo; k < r.hi; k++ {
 					body, err = smap.AppendOut(body, arena, p.streamPos[k], p.phys[k].Length)
 					if err != nil {
+						wire.PutBuf(body)
 						return wire.Message{}, err
 					}
 				}

@@ -19,6 +19,7 @@
 package fsck
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -144,16 +145,17 @@ type serverView struct {
 }
 
 // listHandles fetches a daemon's inventory.
-func listHandles(addr string) (map[uint64]int64, error) {
-	conn, err := pvfsnet.Dial(addr)
+func listHandles(ctx context.Context, addr string) (map[uint64]int64, error) {
+	conn, err := pvfsnet.DialContext(ctx, addr)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
-	resp, err := conn.Call(wire.Message{Header: wire.Header{Type: wire.TListHandles}})
+	resp, err := conn.CallContext(ctx, wire.Message{Header: wire.Header{Type: wire.TListHandles}})
 	if err != nil {
 		return nil, err
 	}
+	defer resp.Release()
 	var hl wire.HandleListResp
 	if err := hl.Unmarshal(resp.Body); err != nil {
 		return nil, err
@@ -170,7 +172,13 @@ func listHandles(addr string) (map[uint64]int64, error) {
 // daemons referenced by the manager's files is used (which cannot see
 // orphans on daemons no current file is striped over).
 func Check(mgrAddr string, iodAddrs []string) (*Report, error) {
-	fs, err := client.Connect(mgrAddr)
+	return CheckContext(context.Background(), mgrAddr, iodAddrs)
+}
+
+// CheckContext is Check under a context: canceling it abandons the
+// audit between server round trips.
+func CheckContext(ctx context.Context, mgrAddr string, iodAddrs []string) (*Report, error) {
+	fs, err := client.ConnectContext(ctx, mgrAddr)
 	if err != nil {
 		return nil, fmt.Errorf("fsck: manager %s: %w", mgrAddr, err)
 	}
@@ -194,7 +202,7 @@ func Check(mgrAddr string, iodAddrs []string) (*Report, error) {
 	}
 	referenced := make(map[uint64]bool)
 	for _, name := range names {
-		f, err := fs.Open(name)
+		f, err := fs.OpenContext(ctx, name)
 		if err != nil {
 			return nil, fmt.Errorf("fsck: opening %q: %w", name, err)
 		}
@@ -216,7 +224,7 @@ func Check(mgrAddr string, iodAddrs []string) (*Report, error) {
 	}
 	sort.Strings(addrs)
 	for _, a := range addrs {
-		handles, err := listHandles(a)
+		handles, err := listHandles(ctx, a)
 		if err != nil {
 			r.add(Problem{Kind: KindUnreachableServer, Server: a, Detail: err.Error()})
 			continue
@@ -314,18 +322,24 @@ func checkFile(r *Report, name string, f *client.File, views map[string]*serverV
 // RemoveOrphans deletes the orphan stripes named in a report (the
 // repair path). It returns the number of stripe files removed.
 func RemoveOrphans(orphans map[string][]uint64) (int, error) {
+	return RemoveOrphansContext(context.Background(), orphans)
+}
+
+// RemoveOrphansContext is RemoveOrphans under a context.
+func RemoveOrphansContext(ctx context.Context, orphans map[string][]uint64) (int, error) {
 	removed := 0
 	for addr, handles := range orphans {
-		conn, err := pvfsnet.Dial(addr)
+		conn, err := pvfsnet.DialContext(ctx, addr)
 		if err != nil {
 			return removed, fmt.Errorf("fsck: repair %s: %w", addr, err)
 		}
 		for _, h := range handles {
-			_, err := conn.Call(wire.Message{Header: wire.Header{Type: wire.TRemove, Handle: h}})
+			resp, err := conn.CallContext(ctx, wire.Message{Header: wire.Header{Type: wire.TRemove, Handle: h}})
 			if err != nil {
 				conn.Close()
 				return removed, fmt.Errorf("fsck: removing handle %d at %s: %w", h, addr, err)
 			}
+			resp.Release()
 			removed++
 		}
 		conn.Close()

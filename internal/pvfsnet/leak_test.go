@@ -1,0 +1,53 @@
+package pvfsnet
+
+// Regression test for the fault-injection leak pvfs-lint (pvfs/bufown)
+// found in handleConn: a faultDrop severed the connection without
+// recycling the request body ReadMessage had just taken from the pool.
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"pvfs/internal/wire"
+)
+
+func TestFaultDropRecyclesRequestBody(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ln, func(req wire.Message) wire.Message {
+		return wire.Message{}
+	}, nil)
+	defer srv.Close()
+	f := &Faults{}
+	f.DropConnections(1)
+	srv.SetFaults(f)
+
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	gets0, puts0 := wire.BufStats()
+	// A request with a body big enough to be pooled on the server side.
+	body := make([]byte, 2048)
+	if _, err := c.Call(wire.Message{Header: wire.Header{Type: wire.TPing}, Body: body}); err == nil {
+		t.Fatal("call through a dropped connection succeeded")
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		gets, puts := wire.BufStats()
+		if gets-gets0 == puts-puts0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dropped request's pooled body never recycled: %d gets vs %d puts",
+				gets-gets0, puts-puts0)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

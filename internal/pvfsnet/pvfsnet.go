@@ -129,6 +129,7 @@ func (s *Server) serveConn(c net.Conn) {
 				if delay > 0 {
 					time.Sleep(delay)
 				}
+				wire.PutBuf(req.Body)
 				return // deferred close severs the connection mid-call
 			case faultFail, faultUnavailable:
 				if delay > 0 {
@@ -323,6 +324,7 @@ func (c *Conn) readLoop() {
 		if !ok {
 			// A response nothing waits for: the peer is confused, and
 			// the byte stream can no longer be trusted.
+			msg.Release()
 			c.c.Close()
 			c.fail(fmt.Errorf("pvfsnet: unmatched response tag %d from %s", msg.Tag, c.addr))
 			return
