@@ -65,7 +65,21 @@ func main() {
 	novec := flag.Bool("novec", false, "hide VectorIO/SpanIO from the daemons: the pre-vectoring per-fragment baseline")
 	nouring := flag.Bool("nouring", false, "hide BatchIO/FileStreamer from the daemons: the vectored (pre-ring) baseline; the store-submission columns then count one submission per run instead of one per window")
 	jsonOut := flag.String("json", "", "append result rows as JSON to FILE")
+	metaMode := flag.Bool("meta", false, "benchmark the metadata plane (create/open/stat ops/s) instead of the datapath")
+	shards := flag.Int("shards", 2, "metadata shard count (-meta)")
+	files := flag.Int("files", 200, "creates per client (-meta)")
+	failover := flag.Bool("failover", false, "crash-restart the master leader mid-create (-meta); throughput then includes the election pause")
 	flag.Parse()
+
+	if *metaMode {
+		if err := runMetaBench(metaBenchOpts{
+			Shards: *shards, Clients: *clients, Files: *files,
+			IODs: 2, Failover: *failover, JSONOut: *jsonOut,
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	pat, err := buildPattern(*pattern, *clients, *accesses, *total, *blocks)
 	if err != nil {
@@ -165,7 +179,7 @@ func main() {
 // appendJSON appends rows, one JSON object per line, so a sweep of
 // pvfs-bench invocations accumulates into a single machine-readable
 // file.
-func appendJSON(path string, rows []benchRow) error {
+func appendJSON[T any](path string, rows []T) error {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return err

@@ -44,12 +44,15 @@ func main() {
 	}
 	r.Format(os.Stdout)
 	if *repair && len(r.Orphans) > 0 {
-		removed, err := fsck.RemoveOrphans(r.Orphans)
+		removed, spared, err := fsck.RemoveOrphans(*mgr, r.Orphans)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pvfs-fsck: repair:", err)
 			os.Exit(2)
 		}
 		fmt.Printf("fsck: removed %d orphan stripe files\n", removed)
+		if spared > 0 {
+			fmt.Printf("fsck: spared %d suspects still live in the metadata plane\n", spared)
+		}
 		r2, err := fsck.Check(*mgr, addrs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pvfs-fsck: re-check:", err)

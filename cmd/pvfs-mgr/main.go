@@ -1,56 +1,204 @@
-// Command pvfs-mgr runs the PVFS manager daemon: the metadata server
-// that handles file creation, lookup and striping parameters. As in
-// PVFS, the manager never touches file data — clients talk directly to
-// the I/O daemons after open.
+// Command pvfs-mgr runs the PVFS metadata service in one of three
+// roles (DESIGN.md §13).
 //
-// Usage:
+// Classic single manager — the Cluster 2002 paper's topology, one
+// process owning the whole namespace (a solo master replica plus one
+// shard behind a single listener):
 //
 //	pvfs-mgr -addr 127.0.0.1:7000 -iods 127.0.0.1:7001,127.0.0.1:7002
+//
+// Master replica — one member of the leader-elected group that owns
+// the shard map and the replicated metadata log. A fresh deployment
+// bootstraps the map on every replica with identical -shards/-iods; a
+// replica rejoining after a crash omits -shards and is caught up by
+// the current leader:
+//
+//	pvfs-mgr -addr A -replica A,B,C -shards S1,S2 -iods ...
+//	pvfs-mgr -addr B -replica A,B,C                       (rejoin)
+//
+// Metadata shard — serves one hash partition of the namespace with
+// the classic manager grammar, proposing every mutation to the master
+// group and forwarding misrouted requests to the owning sibling:
+//
+//	pvfs-mgr -addr S1 -join A,B,C
+//
+// In every role the manager never touches file data — clients talk
+// directly to the I/O daemons after open.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
+	"pvfs/internal/meta"
 	"pvfs/internal/mgr"
+	"pvfs/internal/pvfsnet"
+	"pvfs/internal/wire"
 )
+
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func indexOf(addr string, addrs []string) int {
+	for i, a := range addrs {
+		if a == addr {
+			return i
+		}
+	}
+	return -1
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pvfs-mgr: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+// waitSignal blocks until SIGINT/SIGTERM.
+func waitSignal() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+}
+
+// printStats is the shutdown accounting line: the metadata-plane
+// counters mirror the Store* pattern the I/O daemon prints.
+func printStats(role string, st wire.ServerStats) {
+	fmt.Printf("pvfs-mgr: %s shutting down; served %d requests\n", role, st.Requests)
+	fmt.Printf("pvfs-mgr: meta: %d creates, %d opens/stats, %d forwards, %d elections\n",
+		st.MetaCreates, st.MetaOpens, st.MetaForwards, st.ElectionCount)
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7000", "listen address")
 	iods := flag.String("iods", "", "comma-separated I/O daemon addresses, stripe order")
+	replica := flag.String("replica", "", "comma-separated master replica addresses, self included: run one master replica of the metadata plane")
+	join := flag.String("join", "", "comma-separated master replica addresses: run a metadata shard that joins that group")
+	shards := flag.String("shards", "", "comma-separated metadata shard addresses; with -replica, bootstraps a fresh deployment's shard map (omit when rejoining)")
 	quiet := flag.Bool("quiet", false, "suppress logging")
 	flag.Parse()
-
-	if *iods == "" {
-		fmt.Fprintln(os.Stderr, "pvfs-mgr: -iods is required")
-		os.Exit(2)
-	}
-	addrs := strings.Split(*iods, ",")
-	for i := range addrs {
-		addrs[i] = strings.TrimSpace(addrs[i])
-	}
 
 	logger := log.New(os.Stderr, "pvfs-mgr: ", log.LstdFlags)
 	if *quiet {
 		logger = nil
 	}
-	srv, err := mgr.Listen(*addr, addrs, logger)
+
+	switch {
+	case *replica != "" && *join != "":
+		fatalf("-replica and -join are mutually exclusive roles")
+	case *replica != "":
+		runMaster(*addr, *replica, *shards, *iods, logger)
+	case *join != "":
+		if *shards != "" {
+			fatalf("-shards only applies to -replica bootstrap")
+		}
+		runShard(*addr, *join, logger)
+	default:
+		runClassic(*addr, *iods, logger)
+	}
+}
+
+// runClassic is the single-manager compatibility role.
+func runClassic(addr, iods string, logger *log.Logger) {
+	if iods == "" {
+		fatalf("-iods is required")
+	}
+	addrs := splitAddrs(iods)
+	srv, err := mgr.Listen(addr, addrs, logger)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pvfs-mgr: %v\n", err)
-		os.Exit(1)
+		fatalf("%v", err)
 	}
 	fmt.Printf("pvfs-mgr serving on %s with %d I/O daemons\n", srv.Addr(), len(addrs))
-
-	ch := make(chan os.Signal, 1)
-	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
-	<-ch
+	waitSignal()
+	st := srv.Stats()
 	if err := srv.Close(); err != nil {
-		fmt.Fprintf(os.Stderr, "pvfs-mgr: close: %v\n", err)
-		os.Exit(1)
+		fatalf("close: %v", err)
 	}
+	printStats("manager", st)
+}
+
+// runMaster runs one master replica.
+func runMaster(addr, replica, shards, iods string, logger *log.Logger) {
+	peers := splitAddrs(replica)
+	id := indexOf(addr, peers)
+	if id < 0 {
+		fatalf("-addr %s is not in -replica %s", addr, replica)
+	}
+	var boot *wire.ShardMap
+	if shards != "" {
+		if iods == "" {
+			fatalf("bootstrap (-replica with -shards) requires -iods")
+		}
+		boot = &wire.ShardMap{
+			Epoch:   1,
+			Masters: peers,
+			Shards:  splitAddrs(shards),
+			IODs:    splitAddrs(iods),
+		}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	node := meta.NewNode(meta.NodeOptions{ID: id, Peers: peers, Bootstrap: boot, Logger: logger})
+	srv := pvfsnet.NewServer(ln, node.Handle, logger)
+	mode := "rejoining"
+	if boot != nil {
+		mode = "bootstrapping"
+	}
+	fmt.Printf("pvfs-mgr master replica %d/%d serving on %s (%s)\n", id, len(peers), srv.Addr(), mode)
+	waitSignal()
+	st := node.Stats()
+	srv.Close()
+	if err := node.Close(); err != nil {
+		fatalf("close: %v", err)
+	}
+	printStats(fmt.Sprintf("master %d", id), st)
+}
+
+// runShard runs one metadata shard. The partition index is discovered
+// from the committed shard map: the listen address must appear in the
+// map's shard list.
+func runShard(addr, join string, logger *log.Logger) {
+	masters := splitAddrs(join)
+	prop := meta.NewGroupProposer(masters, meta.Timing{})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	m, err := prop.FetchMap(ctx)
+	cancel()
+	prop.Close()
+	if err != nil {
+		fatalf("fetching shard map from %s: %v", join, err)
+	}
+	idx := indexOf(addr, m.Shards)
+	if idx < 0 {
+		fatalf("-addr %s is not in the committed shard map %v", addr, m.Shards)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	shard := meta.NewShard(meta.ShardOptions{Index: idx, Masters: masters, Logger: logger})
+	srv := pvfsnet.NewServer(ln, shard.Handle, logger)
+	fmt.Printf("pvfs-mgr shard %d/%d serving on %s\n", idx, len(m.Shards), srv.Addr())
+	waitSignal()
+	st := shard.Stats()
+	srv.Close()
+	if err := shard.Close(); err != nil {
+		fatalf("close: %v", err)
+	}
+	printStats(fmt.Sprintf("shard %d", idx), st)
 }

@@ -44,6 +44,7 @@ var BufOwn = &Analyzer{
 	Doc:  "pooled buffers must be released or transferred on every path, including error returns",
 	Packages: []string{
 		"internal/iod", "internal/client", "internal/pvfsnet", "internal/fsck",
+		"internal/meta",
 	},
 	Run: runBufOwn,
 }

@@ -29,7 +29,7 @@ var CtxFlow = &Analyzer{
 	Doc:  "client/pvfsnet paths must use context-aware dial, call and backoff primitives",
 	Packages: []string{
 		"internal/client", "internal/pvfsnet", "internal/fsck",
-		"internal/collective", "internal/mpiio",
+		"internal/collective", "internal/mpiio", "internal/meta",
 	},
 	Run: runCtxFlow,
 }

@@ -161,6 +161,45 @@ func TestChaosPinnedKill(t *testing.T) {
 	})
 }
 
+// chaosShards returns the metadata shard count for meta scenarios:
+// PVFS_CHAOS_SHARDS when set (the CI matrix leg runs 4), default 2.
+func chaosShards(t *testing.T) int {
+	t.Helper()
+	env := os.Getenv("PVFS_CHAOS_SHARDS")
+	if env == "" {
+		return 2
+	}
+	v, err := strconv.Atoi(env)
+	if err != nil || v <= 0 {
+		t.Fatalf("PVFS_CHAOS_SHARDS=%q: want a positive integer", env)
+	}
+	return v
+}
+
+// TestChaosMetaLeaderFailover is the metadata-plane conformance case
+// (DESIGN.md §13): a seeded create/write/stat storm runs while the
+// master leader is repeatedly crash-restarted. Zero acked creates may
+// be lost, and the surviving namespace must be byte-identical to a
+// healthy shadow cluster's.
+func TestChaosMetaLeaderFailover(t *testing.T) {
+	seed := suiteSeed(t)
+	before := runtime.NumGoroutine()
+	s := chaos.MetaScenario{Name: "meta-failover", Shards: chaosShards(t), Files: 40, Kill: true}
+	rep, err := chaos.RunMeta(seed, s)
+	t.Logf("%s: %v (replay: PVFS_CHAOS_SEED=%d go test -race ./internal/chaos -run %s)",
+		s.Name, rep, seed, t.Name())
+	if err != nil {
+		t.Fatalf("scenario %s failed under seed %d: %v", s.Name, seed, err)
+	}
+	if rep.Kills == 0 {
+		t.Errorf("leader killer never fired; the storm finished before any crash")
+	}
+	if rep.Acked == 0 {
+		t.Error("no creates acked")
+	}
+	settleGoroutines(t, before)
+}
+
 // TestRetryExhaustionIsTypedNotAHang is the negative half of the
 // acceptance criteria: when a daemon dies and never comes back, a
 // bounded retry policy must surface *client.RetryError promptly —

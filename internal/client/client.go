@@ -131,13 +131,22 @@ func (v CounterValues) Sub(o CounterValues) CounterValues {
 	}
 }
 
-// FS is a connection to a PVFS deployment (one manager, N I/O daemons).
+// FS is a connection to a PVFS deployment: a metadata plane (a single
+// manager, or replicated masters fronting hash-partitioned metadata
+// shards — DESIGN.md §13) and N I/O daemons.
 type FS struct {
 	mgrAddr string
 	mgr     *pvfsnet.Conn
 	pool    *pvfsnet.Pool
 	stats   Counters
 	retry   atomic.Pointer[RetryPolicy]
+
+	// smap caches the epoch-stamped shard map; nil until the first
+	// metadata call fetches it. legacy marks a pre-shard-map server
+	// (it answered the map query with a verdict error): all metadata
+	// then flows over the classic manager connection.
+	smap   atomic.Pointer[wire.ShardMap]
+	legacy atomic.Bool
 }
 
 // Connect dials the manager.
@@ -395,6 +404,112 @@ func (fs *FS) mgrCall(ctx context.Context, t wire.MsgType, handle uint64, body [
 	return fs.mgr.CallContext(ctx, wire.Message{Header: wire.Header{Type: t, Handle: handle}, Body: body})
 }
 
+// shardMap returns the deployment's shard map, fetching and caching it
+// on first use. A nil, nil return means the server predates the shard
+// map query (legacy single-manager mode).
+func (fs *FS) shardMap(ctx context.Context) (*wire.ShardMap, error) {
+	if m := fs.smap.Load(); m != nil {
+		return m, nil
+	}
+	if fs.legacy.Load() {
+		return nil, nil
+	}
+	resp, err := fs.iodCall(ctx, fs.mgrAddr, wire.Message{Header: wire.Header{Type: wire.TShardMap}})
+	if err != nil {
+		var se *wire.StatusError
+		if errors.As(err, &se) && !se.Status.Retryable() {
+			// A verdict (Invalid on old servers): no shard map here,
+			// route everything over the classic manager connection.
+			resp.Release()
+			fs.legacy.Store(true)
+			return nil, nil
+		}
+		return nil, err
+	}
+	m := new(wire.ShardMap)
+	uerr := m.Unmarshal(resp.Body)
+	resp.Release()
+	if uerr != nil {
+		return nil, uerr
+	}
+	fs.installMap(m)
+	return fs.smap.Load(), nil
+}
+
+// installMap adopts a shard map observed on the wire, keeping the
+// freshest epoch under concurrent installs.
+func (fs *FS) installMap(m *wire.ShardMap) {
+	for {
+		cur := fs.smap.Load()
+		if cur != nil && cur.Epoch >= m.Epoch {
+			return
+		}
+		if fs.smap.CompareAndSwap(cur, m) {
+			return
+		}
+	}
+}
+
+// metaCall routes one metadata request to the shard pick selects,
+// wrapped in the epoch-stamped TMetaForward envelope. StatusWrongEpoch
+// answers are absorbed here: the response body carries the shard's
+// current map, which is installed and the request re-routed — user
+// code never sees the epoch protocol. Legacy servers get the plain
+// manager grammar over the manager connection.
+func (fs *FS) metaCall(ctx context.Context, t wire.MsgType, handle uint64, body []byte, pick func(*wire.ShardMap) int) (wire.Message, error) {
+	m, err := fs.shardMap(ctx)
+	if err != nil {
+		return wire.Message{}, err
+	}
+	if m == nil {
+		return fs.mgrCall(ctx, t, handle, body)
+	}
+	fs.stats.MgrRequests.Add(1)
+	const maxReroutes = 5
+	for attempt := 0; ; attempt++ {
+		env := wire.MetaEnvelope{Epoch: m.Epoch, Inner: t, Body: body}
+		resp, err := fs.iodCall(ctx, m.Shards[pick(m)], wire.Message{
+			Header: wire.Header{Type: wire.TMetaForward, Handle: handle},
+			Body:   env.Marshal(),
+		})
+		if err != nil {
+			var se *wire.StatusError
+			if errors.As(err, &se) && se.Status == wire.StatusWrongEpoch && attempt < maxReroutes {
+				// The shard knows a different epoch and sent its map
+				// along; adopt it and re-route.
+				nm := new(wire.ShardMap)
+				uerr := nm.Unmarshal(resp.Body)
+				resp.Release()
+				if uerr != nil {
+					return wire.Message{}, uerr
+				}
+				fs.installMap(nm)
+				if cur := fs.smap.Load(); cur != nil {
+					m = cur
+				} else {
+					m = nm
+				}
+				continue
+			}
+		}
+		return resp, err
+	}
+}
+
+// metaByName routes a name-addressed metadata request.
+func (fs *FS) metaByName(ctx context.Context, t wire.MsgType, name string, body []byte) (wire.Message, error) {
+	return fs.metaCall(ctx, t, 0, body, func(m *wire.ShardMap) int {
+		return m.ShardForName(name)
+	})
+}
+
+// metaByHandle routes a handle-addressed metadata request.
+func (fs *FS) metaByHandle(ctx context.Context, t wire.MsgType, handle uint64, body []byte) (wire.Message, error) {
+	return fs.metaCall(ctx, t, handle, body, func(m *wire.ShardMap) int {
+		return m.ShardForHandle(handle)
+	})
+}
+
 // Create creates a file with the given striping (zero values select
 // manager defaults) and opens it.
 func (fs *FS) Create(name string, cfg striping.Config) (*File, error) {
@@ -405,7 +520,7 @@ func (fs *FS) Create(name string, cfg striping.Config) (*File, error) {
 // the manager aborts when ctx ends.
 func (fs *FS) CreateContext(ctx context.Context, name string, cfg striping.Config) (*File, error) {
 	req := wire.CreateReq{Name: name, Striping: cfg}
-	resp, err := fs.mgrCall(ctx, wire.TCreate, 0, req.Marshal())
+	resp, err := fs.metaByName(ctx, wire.TCreate, name, req.Marshal())
 	if err != nil {
 		return nil, fmt.Errorf("create %q: %w", name, err)
 	}
@@ -421,7 +536,7 @@ func (fs *FS) Open(name string) (*File, error) {
 // OpenContext is Open under a context.
 func (fs *FS) OpenContext(ctx context.Context, name string) (*File, error) {
 	req := wire.NameReq{Name: name}
-	resp, err := fs.mgrCall(ctx, wire.TOpen, 0, req.Marshal())
+	resp, err := fs.metaByName(ctx, wire.TOpen, name, req.Marshal())
 	if err != nil {
 		return nil, fmt.Errorf("open %q: %w", name, err)
 	}
@@ -464,7 +579,7 @@ func (fs *FS) Remove(name string) error {
 		resp.Release()
 	}
 	req := wire.NameReq{Name: name}
-	resp, err := fs.mgrCall(ctx, wire.TRemove, 0, req.Marshal())
+	resp, err := fs.metaByName(ctx, wire.TRemove, name, req.Marshal())
 	if err != nil {
 		return err
 	}
@@ -472,18 +587,104 @@ func (fs *FS) Remove(name string) error {
 	return nil
 }
 
-// List returns all file names known to the manager.
+// List returns all file names known to the metadata plane. Under a
+// sharded deployment every shard lists its own partition and the
+// results are merged; the combined listing is sorted like the classic
+// manager's.
 func (fs *FS) List() ([]string, error) {
-	resp, err := fs.mgrCall(context.Background(), wire.TListDir, 0, nil)
+	ctx := context.Background()
+	m, err := fs.shardMap(ctx)
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Release()
-	var ld wire.ListDirResp
-	if err := ld.Unmarshal(resp.Body); err != nil {
-		return nil, err
+	if m == nil {
+		resp, err := fs.mgrCall(ctx, wire.TListDir, 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Release()
+		var ld wire.ListDirResp
+		if err := ld.Unmarshal(resp.Body); err != nil {
+			return nil, err
+		}
+		return ld.Names, nil
 	}
-	return ld.Names, nil
+	var names []string
+	for shard := range m.Shards {
+		shard := shard
+		resp, err := fs.metaCall(ctx, wire.TListDir, 0, nil, func(*wire.ShardMap) int { return shard })
+		if err != nil {
+			return nil, err
+		}
+		var ld wire.ListDirResp
+		uerr := ld.Unmarshal(resp.Body)
+		resp.Release()
+		if uerr != nil {
+			return nil, uerr
+		}
+		names = append(names, ld.Names...)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// StatHandle fetches a file's metadata by handle, routed to the shard
+// that owns the handle. fsck uses it to re-verify a suspected orphan
+// against the live namespace before deleting stripe data (a sharded
+// listing is not atomic across shards). Legacy servers answer
+// NotFound for handle-addressed stats.
+func (fs *FS) StatHandle(ctx context.Context, handle uint64) (wire.FileInfo, error) {
+	var nr wire.NameReq
+	resp, err := fs.metaByHandle(ctx, wire.TStat, handle, nr.Marshal())
+	if err != nil {
+		return wire.FileInfo{}, err
+	}
+	defer resp.Release()
+	var info wire.FileInfo
+	if err := info.Unmarshal(resp.Body); err != nil {
+		return wire.FileInfo{}, err
+	}
+	return info, nil
+}
+
+// MetaStats sums request accounting across the metadata plane: every
+// shard plus every master replica that answers. Dead replicas are
+// skipped (their counters are gone with them).
+func (fs *FS) MetaStats(ctx context.Context) (wire.ServerStats, error) {
+	var total wire.ServerStats
+	m, err := fs.shardMap(ctx)
+	if err != nil {
+		return total, err
+	}
+	query := wire.Message{Header: wire.Header{Type: wire.TServerStats}}
+	if m == nil {
+		resp, err := fs.mgr.CallContext(ctx, query)
+		if err != nil {
+			return total, err
+		}
+		uerr := total.Unmarshal(resp.Body)
+		resp.Release()
+		return total, uerr
+	}
+	addrs := append(append([]string(nil), m.Shards...), m.Masters...)
+	seen := make(map[string]bool, len(addrs))
+	for _, addr := range addrs {
+		if seen[addr] {
+			continue
+		}
+		seen[addr] = true
+		resp, err := fs.iodCall(ctx, addr, query)
+		if err != nil {
+			continue
+		}
+		var st wire.ServerStats
+		uerr := st.Unmarshal(resp.Body)
+		resp.Release()
+		if uerr == nil {
+			total.Add(st)
+		}
+	}
+	return total, nil
 }
 
 // ServerStats fetches request accounting from every I/O daemon serving
@@ -617,7 +818,7 @@ func (f *File) CloseContext(ctx context.Context) error {
 			return err
 		}
 		req := wire.SetSizeReq{Handle: f.info.Handle, Size: hw}
-		resp, err := f.fs.mgrCall(ctx, wire.TSetSize, f.info.Handle, req.Marshal())
+		resp, err := f.fs.metaByHandle(ctx, wire.TSetSize, f.info.Handle, req.Marshal())
 		if err != nil {
 			return err
 		}

@@ -19,6 +19,7 @@ import (
 	"pvfs/internal/faultnet"
 	"pvfs/internal/iod"
 	"pvfs/internal/ioseg"
+	"pvfs/internal/meta"
 	"pvfs/internal/mgr"
 	"pvfs/internal/store"
 	"pvfs/internal/wire"
@@ -54,18 +55,28 @@ type Options struct {
 	// to measure ring submission and zero-copy streaming against the
 	// vectored baseline in one binary.
 	NoURing bool
+	// Meta, when non-nil, replaces the single manager with the
+	// replicated, sharded metadata plane (see MetaOptions).
+	Meta *MetaOptions
 	// Logger receives daemon diagnostics; nil silences them.
 	Logger *log.Logger
 }
 
 // Cluster is a running in-process deployment.
 type Cluster struct {
-	Mgr  *mgr.Server
+	Mgr  *mgr.Server // classic mode only; nil under Options.Meta
 	IODs []*iod.Server
 
 	opts Options
 	mems []*store.Mem // per-daemon memory stores, surviving KillIOD
-	mu   sync.Mutex   // guards IODs slots across Kill/Restart
+	mu   sync.Mutex   // guards IODs/masters/shards slots across Kill/Restart
+
+	// Replicated metadata plane (Options.Meta); see meta.go.
+	masterAddrs []string
+	shardAddrs  []string
+	masters     []*masterProc // nil slots are killed replicas
+	shards      []*shardProc
+	metaTiming  meta.Timing
 }
 
 // plainStore hides a store's vectored and batched interfaces
@@ -263,6 +274,13 @@ func Start(opts Options) (*Cluster, error) {
 		c.IODs = append(c.IODs, srv)
 		addrs = append(addrs, srv.Addr())
 	}
+	if opts.Meta != nil {
+		if err := c.startMeta(addrs); err != nil {
+			c.Close()
+			return nil, err
+		}
+		return c, nil
+	}
 	m, err := mgr.Listen("127.0.0.1:0", addrs, opts.Logger)
 	if err != nil {
 		c.Close()
@@ -316,8 +334,15 @@ func (c *Cluster) RestartIOD(i int) error {
 	return nil
 }
 
-// MgrAddr returns the manager's address.
-func (c *Cluster) MgrAddr() string { return c.Mgr.Addr() }
+// MgrAddr returns the metadata entry point clients connect to: the
+// single manager's address, or the first master replica's under
+// Options.Meta (the client learns the shard map from any replica).
+func (c *Cluster) MgrAddr() string {
+	if c.Mgr != nil {
+		return c.Mgr.Addr()
+	}
+	return c.masterAddrs[0]
+}
 
 // IODAddrs returns the I/O daemon addresses in stripe order.
 func (c *Cluster) IODAddrs() []string {
@@ -366,6 +391,7 @@ func (c *Cluster) Close() error {
 	if c.Mgr != nil {
 		first = c.Mgr.Close()
 	}
+	c.closeMeta()
 	c.mu.Lock()
 	iods := append([]*iod.Server(nil), c.IODs...)
 	c.mu.Unlock()

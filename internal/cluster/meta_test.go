@@ -1,0 +1,174 @@
+package cluster_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"pvfs/internal/cluster"
+	"pvfs/internal/striping"
+)
+
+// TestMetaClusterEndToEnd runs the full sharded metadata plane: a
+// client creates, writes, lists, and reads through replicated masters
+// and two shards without knowing the topology.
+func TestMetaClusterEndToEnd(t *testing.T) {
+	c, err := cluster.Start(cluster.Options{
+		NumIOD: 2,
+		Meta:   &cluster.MetaOptions{Masters: 3, Shards: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.WaitMetaLeader(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := c.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	fs.SetRetries(3)
+
+	want := []byte("noncontiguous I/O through PVFS")
+	var names []string
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("meta-e2e-%d", i)
+		names = append(names, name)
+		f, err := fs.Create(name, striping.Config{PCount: 2, StripeSize: 8})
+		if err != nil {
+			t.Fatalf("create %s: %v", name, err)
+		}
+		if _, err := f.WriteAt(want, 0); err != nil {
+			t.Fatalf("write %s: %v", name, err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatalf("close %s: %v", name, err)
+		}
+	}
+
+	listed, err := fs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listed) != len(names) {
+		t.Fatalf("list = %v, want %d names", listed, len(names))
+	}
+	for _, name := range names {
+		f, err := fs.Open(name)
+		if err != nil {
+			t.Fatalf("open %s: %v", name, err)
+		}
+		got := make([]byte, len(want))
+		if _, err := f.ReadAt(got, 0); err != nil {
+			t.Fatalf("read %s: %v", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("read %s: %q", name, got)
+		}
+		if f.RecordedSize() != int64(len(want)) {
+			t.Fatalf("%s recorded size = %d", name, f.RecordedSize())
+		}
+	}
+
+	// Metadata accounting flows through the plane.
+	st := c.MetaStats()
+	if st.MetaCreates != int64(len(names)) {
+		t.Fatalf("MetaCreates = %d, want %d", st.MetaCreates, len(names))
+	}
+	if st.MetaOpens == 0 {
+		t.Fatal("MetaOpens = 0")
+	}
+	if st.ElectionCount == 0 {
+		t.Fatal("ElectionCount = 0; no leader was ever elected?")
+	}
+}
+
+// TestMetaClusterLeaderFailover kills the leading master mid-session;
+// the client keeps working and nothing acked is lost.
+func TestMetaClusterLeaderFailover(t *testing.T) {
+	c, err := cluster.Start(cluster.Options{
+		NumIOD: 2,
+		Meta:   &cluster.MetaOptions{Masters: 3, Shards: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fs, err := c.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	fs.SetRetries(3)
+
+	if _, err := fs.Create("pre-failover", striping.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	lead, err := c.WaitMetaLeader(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.KillMaster(lead); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("post-failover", striping.Config{}); err != nil {
+		t.Fatalf("create after leader kill: %v", err)
+	}
+	if _, err := fs.Open("pre-failover"); err != nil {
+		t.Fatalf("pre-failover create lost: %v", err)
+	}
+	// The dead replica rejoins and can later be part of majority.
+	if err := c.RestartMaster(lead); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("post-restart", striping.Config{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMetaClusterEpochRefresh commits a config change (epoch bump) and
+// asserts a connected client rides the WrongEpoch refresh contract
+// transparently: no user-visible error, all ops keep working.
+func TestMetaClusterEpochRefresh(t *testing.T) {
+	c, err := cluster.Start(cluster.Options{
+		NumIOD: 2,
+		Meta:   &cluster.MetaOptions{Masters: 1, Shards: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fs, err := c.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	// Prime the client's shard map at epoch 1.
+	if _, err := fs.Create("before-bump", striping.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	nm, err := c.BumpEpoch(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nm.Epoch != 2 {
+		t.Fatalf("epoch = %d, want 2", nm.Epoch)
+	}
+	// The client still holds epoch 1; its next calls hit WrongEpoch,
+	// refresh, and retry — StatusWrongEpoch must never surface.
+	if _, err := fs.Create("after-bump", striping.Config{}); err != nil {
+		t.Fatalf("create across epoch bump: %v", err)
+	}
+	if _, err := fs.Open("before-bump"); err != nil {
+		t.Fatalf("open across epoch bump: %v", err)
+	}
+	names, err := fs.List()
+	if err != nil || len(names) != 2 {
+		t.Fatalf("list across epoch bump: %v %v", names, err)
+	}
+}

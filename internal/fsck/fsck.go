@@ -20,6 +20,7 @@ package fsck
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -320,29 +321,65 @@ func checkFile(r *Report, name string, f *client.File, views map[string]*serverV
 }
 
 // RemoveOrphans deletes the orphan stripes named in a report (the
-// repair path). It returns the number of stripe files removed.
-func RemoveOrphans(orphans map[string][]uint64) (int, error) {
-	return RemoveOrphansContext(context.Background(), orphans)
+// repair path). It returns the stripe files removed and the suspects
+// spared because the metadata plane still knows their handle.
+func RemoveOrphans(mgrAddr string, orphans map[string][]uint64) (int, int, error) {
+	return RemoveOrphansContext(context.Background(), mgrAddr, orphans)
 }
 
 // RemoveOrphansContext is RemoveOrphans under a context.
-func RemoveOrphansContext(ctx context.Context, orphans map[string][]uint64) (int, error) {
-	removed := 0
+//
+// Every suspected orphan is reconciled against the metadata plane
+// (stat-by-handle, routed through the shard map) immediately before
+// its stripes are deleted. The orphan list came from an earlier
+// Check, and a sharded listing is not atomic: a create that committed
+// on its shard after that shard's TListDir answered — or a client
+// that crashed between create and first write — looks orphaned in the
+// report while its handle is live metadata. Deleting such stripes
+// destroys a real file, so any handle the plane still resolves is
+// spared; only a definitive NotFound verdict permits removal (an
+// unreachable plane spares the suspect — repair must fail safe).
+func RemoveOrphansContext(ctx context.Context, mgrAddr string, orphans map[string][]uint64) (int, int, error) {
+	removed, spared := 0, 0
+	var fs *client.FS
+	if mgrAddr != "" {
+		var err error
+		fs, err = client.ConnectContext(ctx, mgrAddr)
+		if err != nil {
+			return 0, 0, fmt.Errorf("fsck: repair: manager %s: %w", mgrAddr, err)
+		}
+		defer fs.Close()
+	}
+	dead := func(h uint64) bool {
+		if fs == nil {
+			return true // no plane to consult (tests, offline repair)
+		}
+		_, err := fs.StatHandle(ctx, h)
+		if err == nil {
+			return false
+		}
+		var serr *wire.StatusError
+		return errors.As(err, &serr) && serr.Status == wire.StatusNotFound
+	}
 	for addr, handles := range orphans {
 		conn, err := pvfsnet.DialContext(ctx, addr)
 		if err != nil {
-			return removed, fmt.Errorf("fsck: repair %s: %w", addr, err)
+			return removed, spared, fmt.Errorf("fsck: repair %s: %w", addr, err)
 		}
 		for _, h := range handles {
+			if !dead(h) {
+				spared++
+				continue
+			}
 			resp, err := conn.CallContext(ctx, wire.Message{Header: wire.Header{Type: wire.TRemove, Handle: h}})
 			if err != nil {
 				conn.Close()
-				return removed, fmt.Errorf("fsck: removing handle %d at %s: %w", h, addr, err)
+				return removed, spared, fmt.Errorf("fsck: removing handle %d at %s: %w", h, addr, err)
 			}
 			resp.Release()
 			removed++
 		}
 		conn.Close()
 	}
-	return removed, nil
+	return removed, spared, nil
 }

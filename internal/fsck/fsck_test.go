@@ -1,6 +1,7 @@
 package fsck_test
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
@@ -129,12 +130,12 @@ func TestCheckFindsOrphansAndRepairs(t *testing.T) {
 	}
 
 	// Repair, then re-check clean.
-	removed, err := fsck.RemoveOrphans(r.Orphans)
+	removed, spared, err := fsck.RemoveOrphans(c.MgrAddr(), r.Orphans)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if removed != 4 {
-		t.Errorf("removed = %d stripe files, want 4", removed)
+	if removed != 4 || spared != 0 {
+		t.Errorf("removed = %d spared = %d, want 4 and 0", removed, spared)
 	}
 	r2, err := fsck.Check(c.MgrAddr(), c.IODAddrs())
 	if err != nil {
@@ -145,6 +146,71 @@ func TestCheckFindsOrphansAndRepairs(t *testing.T) {
 	}
 	if r2.Files != 1 {
 		t.Errorf("files after repair = %d, want 1", r2.Files)
+	}
+}
+
+// TestRemoveOrphansSparesLiveHandles is the repair-race regression: a
+// sharded listing is not atomic, so a report computed while a create
+// was landing (or while a crashed client's file awaited its first
+// write) can name a live handle as an orphan. Repair must reconcile
+// each suspect against the metadata plane and spare the live one.
+func TestRemoveOrphansSparesLiveHandles(t *testing.T) {
+	c, err := cluster.Start(cluster.Options{
+		NumIOD: 2,
+		Meta:   &cluster.MetaOptions{Masters: 1, Shards: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fs, err := c.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	want := []byte("survives a stale fsck report")
+	f, err := fs.Create("live.dat", striping.Config{PCount: 2, StripeSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(want, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Plant a genuine orphan stripe next to the live file's stripes.
+	const bogus = 999999
+	addr := c.IODAddrs()[0]
+	wreq := wire.WriteReq{Offset: 0, Data: []byte("junk")}
+	rawCall(t, addr, wire.Message{
+		Header: wire.Header{Type: wire.TWrite, Handle: bogus},
+		Body:   wreq.Marshal(),
+	})
+
+	// A stale report accuses both handles.
+	stale := map[string][]uint64{addr: {f.Handle(), bogus}}
+	removed, spared, err := fsck.RemoveOrphans(c.MgrAddr(), stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 || spared != 1 {
+		t.Fatalf("removed = %d spared = %d, want 1 and 1", removed, spared)
+	}
+
+	// The live file's bytes are intact.
+	g, err := fs.Open("live.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(want))
+	if _, err := g.ReadAt(got, 0); err != nil {
+		t.Fatalf("live file stripes were destroyed: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("live file corrupted: %q", got)
 	}
 }
 

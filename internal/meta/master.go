@@ -1,0 +1,1012 @@
+package meta
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"pvfs/internal/pvfsnet"
+	"pvfs/internal/wire"
+)
+
+// role is a replica's place in the current term.
+type role int
+
+const (
+	follower role = iota
+	candidate
+	leader
+)
+
+// NodeOptions configures one master replica.
+type NodeOptions struct {
+	// ID is this replica's index into Peers.
+	ID int
+	// Peers lists every master replica's address, ID order, self
+	// included. The list is fixed for the deployment.
+	Peers []string
+	// Bootstrap, when non-nil, seeds the replicated log with the
+	// initial shard map as entry 1 (term 0). Every replica of a fresh
+	// deployment must bootstrap with an identical map; a replica
+	// rejoining an existing deployment passes nil and receives the log
+	// (or a snapshot) from the current leader.
+	Bootstrap *wire.ShardMap
+	// Timing overrides protocol clocks (zero fields take defaults).
+	Timing Timing
+	// MaxLog bounds the in-memory log: once the applied prefix exceeds
+	// it, the prefix is folded into a snapshot and lagging replicas are
+	// caught up by snapshot install instead of entry replay. 0 selects
+	// a default; negative disables compaction.
+	MaxLog int
+	// Logger receives protocol events; nil silences them.
+	Logger *log.Logger
+}
+
+// defaultMaxLog is the compaction threshold when MaxLog is 0.
+const defaultMaxLog = 4096
+
+// applyResult is the committed verdict delivered to a proposal waiter.
+type applyResult struct {
+	status wire.Status
+	info   *wire.FileInfo // applied file metadata, creates only
+	err    error
+}
+
+// errLostEntry fails waiters whose entry was truncated by a new
+// leader's log: the proposal definitively did not commit.
+var errLostEntry = errors.New("meta: proposal superseded by new leader")
+
+// ErrNotLeader is returned by local propose/fetch on a non-leader.
+var ErrNotLeader = errors.New("meta: not the leader")
+
+// errClosed is returned once the node has shut down.
+var errClosed = errors.New("meta: node closed")
+
+// Node is one master replica: a member of the leader-elected group
+// that owns the shard map, striping placement, and the replicated
+// metadata log. It is transport-free — Handle serves the wire
+// protocol and callers attach it to a listener via pvfsnet.NewServer —
+// but dials its peers itself for votes and replication.
+type Node struct {
+	id     int
+	peers  []string
+	timing Timing
+	maxLog int
+	logger *log.Logger
+	pool   *pvfsnet.Pool
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	term      uint64
+	votedFor  int
+	role      role
+	leaderID  int
+	snapIndex uint64 // log entries <= snapIndex are folded into states
+	snapTerm  uint64
+	log       []wire.MetaEntry // log[i] holds index snapIndex+1+i
+	commit    uint64
+	applied   uint64
+	states    []*namespace // per-shard materialized state at `applied`
+	smap      *wire.ShardMap
+	waiters   map[uint64]chan applyResult
+	matchIdx  []uint64
+	nextIdx   []uint64
+	deadline  time.Time // election deadline (non-leaders)
+	lastBeat  time.Time // last heartbeat broadcast (leader)
+	elections int64
+	closed    bool
+
+	stopC  chan struct{}
+	notify []chan struct{} // per-peer replication kicks
+	wg     sync.WaitGroup
+}
+
+// NewNode starts a master replica: its clock loop and one replicator
+// per peer. The caller owns the listener: attach n.Handle via
+// pvfsnet.NewServer on the address Peers[ID].
+func NewNode(o NodeOptions) *Node {
+	t := o.Timing.withDefaults()
+	maxLog := o.MaxLog
+	if maxLog == 0 {
+		maxLog = defaultMaxLog
+	}
+	n := &Node{
+		id:       o.ID,
+		peers:    append([]string(nil), o.Peers...),
+		timing:   t,
+		maxLog:   maxLog,
+		logger:   o.Logger,
+		pool:     pvfsnet.NewPool(),
+		rng:      rand.New(rand.NewSource(time.Now().UnixNano() + int64(o.ID)<<32)),
+		votedFor: -1,
+		leaderID: -1,
+		waiters:  make(map[uint64]chan applyResult),
+		matchIdx: make([]uint64, len(o.Peers)),
+		nextIdx:  make([]uint64, len(o.Peers)),
+		stopC:    make(chan struct{}),
+	}
+	if o.Bootstrap != nil {
+		boot := o.Bootstrap.Clone()
+		n.log = append(n.log, wire.MetaEntry{
+			Index: 1, Term: 0,
+			Rec: wire.MetaRecord{Op: wire.TShardMap, Body: boot.Marshal()},
+		})
+	}
+	n.resetDeadlineLocked()
+	n.notify = make([]chan struct{}, len(n.peers))
+	for p := range n.peers {
+		if p == n.id {
+			continue
+		}
+		n.notify[p] = make(chan struct{}, 1)
+		n.wg.Add(1)
+		go n.replicate(p)
+	}
+	if len(n.peers) == 1 {
+		// A solo deployment (the mgr compatibility wrapper) needs no
+		// election: become leader immediately so the first create never
+		// waits out an election timeout.
+		n.mu.Lock()
+		n.term = 1
+		n.becomeLeaderLocked()
+		n.mu.Unlock()
+	}
+	n.wg.Add(1)
+	go n.clockLoop()
+	return n
+}
+
+// Close shuts the replica down; outstanding proposals fail.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	close(n.stopC)
+	for idx, ch := range n.waiters {
+		ch <- applyResult{err: errClosed}
+		delete(n.waiters, idx)
+	}
+	n.mu.Unlock()
+	n.pool.Close()
+	n.wg.Wait()
+	return nil
+}
+
+// --- basic introspection ---
+
+// ID returns the replica's index.
+func (n *Node) ID() int { return n.id }
+
+// Addr returns the replica's configured address.
+func (n *Node) Addr() string { return n.peers[n.id] }
+
+// IsLeader reports whether the replica currently leads.
+func (n *Node) IsLeader() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role == leader
+}
+
+// Term returns the current term.
+func (n *Node) Term() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.term
+}
+
+// Stats reports master-side accounting (leadership changes).
+func (n *Node) Stats() wire.ServerStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return wire.ServerStats{ElectionCount: n.elections}
+}
+
+// CurrentMap returns the committed shard map, or nil before the
+// bootstrap entry commits.
+func (n *Node) CurrentMap() *wire.ShardMap {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.smap == nil {
+		return nil
+	}
+	return n.smap.Clone()
+}
+
+// waitMap returns the committed shard map, riding out boot and the
+// first election: a fresh replica has no committed map until a leader
+// emerges and replicates the bootstrap entry (~one election timeout),
+// and failing the query instantly would force every client to carry
+// its own election-aware retry loop. Bounded by ProposeWait so a
+// partitioned minority replica still answers Unavailable promptly.
+func (n *Node) waitMap() *wire.ShardMap {
+	deadline := time.Now().Add(n.timing.ProposeWait)
+	for {
+		if m := n.CurrentMap(); m != nil && m.Epoch > 0 {
+			return m
+		}
+		if time.Now().After(deadline) {
+			return nil
+		}
+		t := time.NewTimer(n.timing.Heartbeat)
+		select {
+		case <-t.C:
+		case <-n.stopC:
+			t.Stop()
+			return nil
+		}
+	}
+}
+
+func (n *Node) lastIndexLocked() uint64 { return n.snapIndex + uint64(len(n.log)) }
+
+func (n *Node) termAtLocked(idx uint64) uint64 {
+	switch {
+	case idx == n.snapIndex:
+		return n.snapTerm
+	case idx > n.snapIndex && idx <= n.lastIndexLocked():
+		return n.log[idx-n.snapIndex-1].Term
+	default:
+		return 0
+	}
+}
+
+func (n *Node) entryAtLocked(idx uint64) *wire.MetaEntry {
+	return &n.log[idx-n.snapIndex-1]
+}
+
+func (n *Node) resetDeadlineLocked() {
+	lo, hi := n.timing.ElectionLo, n.timing.ElectionHi
+	n.deadline = time.Now().Add(lo + time.Duration(n.rng.Int63n(int64(hi-lo)+1)))
+}
+
+func (n *Node) leaderHintLocked() string {
+	if n.leaderID >= 0 && n.leaderID < len(n.peers) && n.leaderID != n.id {
+		return n.peers[n.leaderID]
+	}
+	return ""
+}
+
+// stepDownLocked adopts a higher term observed from a peer.
+func (n *Node) stepDownLocked(term uint64) {
+	if term > n.term {
+		n.term = term
+		n.votedFor = -1
+	}
+	if n.role != follower {
+		logf(n.logger, "meta[%d]: stepping down at term %d", n.id, n.term)
+	}
+	n.role = follower
+	n.resetDeadlineLocked()
+}
+
+// becomeLeaderLocked transitions candidate → leader for n.term.
+func (n *Node) becomeLeaderLocked() {
+	n.role = leader
+	n.leaderID = n.id
+	n.elections++
+	last := n.lastIndexLocked()
+	for p := range n.peers {
+		n.nextIdx[p] = last + 1
+		n.matchIdx[p] = 0
+	}
+	// A no-op entry of the new term lets prior-term entries commit
+	// immediately (the commit rule only counts current-term entries),
+	// so proposals stranded by the old leader's death settle without
+	// waiting for fresh traffic.
+	n.log = append(n.log, wire.MetaEntry{
+		Index: last + 1, Term: n.term,
+		Rec: wire.MetaRecord{Op: wire.TPing},
+	})
+	n.lastBeat = time.Now()
+	logf(n.logger, "meta[%d]: leading term %d (log %d)", n.id, n.term, last+1)
+	n.advanceCommitLocked()
+	n.kickAllLocked()
+}
+
+func (n *Node) kickAllLocked() {
+	for p, ch := range n.notify {
+		if p == n.id || ch == nil {
+			continue
+		}
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// --- clock: election timeouts and heartbeats ---
+
+func (n *Node) clockLoop() {
+	defer n.wg.Done()
+	tick := n.timing.Heartbeat / 3
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+		case <-n.stopC:
+			return
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			return
+		}
+		if n.role == leader {
+			if time.Since(n.lastBeat) >= n.timing.Heartbeat {
+				n.lastBeat = time.Now()
+				n.kickAllLocked()
+			}
+		} else if len(n.peers) > 1 && time.Now().After(n.deadline) {
+			n.startElectionLocked()
+		}
+		n.mu.Unlock()
+	}
+}
+
+func (n *Node) startElectionLocked() {
+	n.term++
+	n.votedFor = n.id
+	n.role = candidate
+	n.leaderID = -1
+	n.resetDeadlineLocked()
+	term := n.term
+	lastIdx := n.lastIndexLocked()
+	lastTerm := n.termAtLocked(lastIdx)
+	logf(n.logger, "meta[%d]: candidate for term %d (log %d/%d)", n.id, term, lastIdx, lastTerm)
+	n.wg.Add(1)
+	go n.runElection(term, lastIdx, lastTerm)
+}
+
+func (n *Node) runElection(term, lastIdx, lastTerm uint64) {
+	defer n.wg.Done()
+	req := wire.MetaVoteReq{Term: term, Candidate: uint32(n.id), LastIndex: lastIdx, LastTerm: lastTerm}
+	body := req.Marshal()
+	results := make(chan wire.MetaVoteResp, len(n.peers))
+	for p := range n.peers {
+		if p == n.id {
+			continue
+		}
+		addr := n.peers[p]
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), n.timing.CallTimeout)
+			defer cancel()
+			resp, err := n.callPeer(ctx, addr, wire.Message{
+				Header: wire.Header{Type: wire.TMetaVote}, Body: body,
+			})
+			if err != nil {
+				results <- wire.MetaVoteResp{}
+				return
+			}
+			var vr wire.MetaVoteResp
+			uerr := vr.Unmarshal(resp.Body)
+			resp.Release()
+			if uerr != nil {
+				vr = wire.MetaVoteResp{}
+			}
+			results <- vr
+		}()
+	}
+	votes := 1 // self
+	needed := len(n.peers)/2 + 1
+	for i := 0; i < len(n.peers)-1; i++ {
+		var vr wire.MetaVoteResp
+		select {
+		case vr = <-results:
+		case <-n.stopC:
+			return
+		}
+		n.mu.Lock()
+		if n.closed || n.term != term || n.role != candidate {
+			n.mu.Unlock()
+			return
+		}
+		if vr.Term > n.term {
+			n.stepDownLocked(vr.Term)
+			n.mu.Unlock()
+			return
+		}
+		if vr.Granted {
+			votes++
+			if votes >= needed {
+				n.becomeLeaderLocked()
+				n.mu.Unlock()
+				return
+			}
+		}
+		n.mu.Unlock()
+	}
+}
+
+// callPeer issues one RPC to a master peer, discarding the pooled
+// connection on transport failure so the next attempt redials.
+func (n *Node) callPeer(ctx context.Context, addr string, req wire.Message) (wire.Message, error) {
+	conn, err := n.pool.GetContext(ctx, addr)
+	if err != nil {
+		return wire.Message{}, err
+	}
+	resp, err := conn.CallContext(ctx, req)
+	if err != nil {
+		var serr *wire.StatusError
+		if !errors.As(err, &serr) {
+			n.pool.Discard(addr)
+			return wire.Message{}, err
+		}
+	}
+	return resp, nil
+}
+
+// --- replication (leader side) ---
+
+// maxAppendEntries caps entries per append frame; a far-behind
+// follower catches up over several rounds (or one snapshot).
+const maxAppendEntries = 512
+
+func (n *Node) replicate(p int) {
+	defer n.wg.Done()
+	addr := n.peers[p]
+	for {
+		select {
+		case <-n.notify[p]:
+		case <-n.stopC:
+			return
+		}
+		// Sync this follower until it is caught up, we lose leadership,
+		// or its transport fails (the next heartbeat kick retries).
+		for n.syncPeer(p, addr) {
+		}
+	}
+}
+
+// syncPeer ships one append (or snapshot) to a follower and processes
+// the response. It returns true when another round should follow
+// immediately (more entries pending or a consistency backoff).
+func (n *Node) syncPeer(p int, addr string) bool {
+	n.mu.Lock()
+	if n.closed || n.role != leader {
+		n.mu.Unlock()
+		return false
+	}
+	term := n.term
+	req := wire.MetaAppendReq{Term: term, Leader: uint32(n.id), Commit: n.commit}
+	var snapLast uint64
+	ni := n.nextIdx[p]
+	if ni <= n.snapIndex {
+		// The follower is behind the compacted prefix: ship the
+		// snapshot wholesale and resume entry replay above it.
+		snap := n.snapshotLocked()
+		snapLast = snap.LastIndex
+		req.Snap = snap.Marshal()
+	} else {
+		req.PrevIndex = ni - 1
+		req.PrevTerm = n.termAtLocked(ni - 1)
+		last := n.lastIndexLocked()
+		count := int(last - ni + 1)
+		if count > maxAppendEntries {
+			count = maxAppendEntries
+		}
+		if count > 0 {
+			req.Entries = make([]wire.MetaEntry, count)
+			copy(req.Entries, n.log[ni-n.snapIndex-1:])
+		}
+	}
+	n.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), n.timing.CallTimeout)
+	resp, err := n.callPeer(ctx, addr, wire.Message{
+		Header: wire.Header{Type: wire.TMetaAppend}, Body: req.Marshal(),
+	})
+	cancel()
+	if err != nil {
+		return false
+	}
+	var ar wire.MetaAppendResp
+	uerr := ar.Unmarshal(resp.Body)
+	resp.Release()
+	if uerr != nil {
+		return false
+	}
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed || n.role != leader || n.term != term {
+		return false
+	}
+	if ar.Term > n.term {
+		n.stepDownLocked(ar.Term)
+		return false
+	}
+	if !ar.Success {
+		// Consistency miss: the response's Match is the follower's own
+		// last consistent index, so back up in one round.
+		next := ar.Match + 1
+		if next < 1 {
+			next = 1
+		}
+		if next < n.nextIdx[p] {
+			n.nextIdx[p] = next
+		} else {
+			n.nextIdx[p]--
+			if n.nextIdx[p] < 1 {
+				n.nextIdx[p] = 1
+			}
+		}
+		return true
+	}
+	match := ar.Match
+	if req.Snap != nil && match < snapLast {
+		match = snapLast
+	}
+	if match > n.matchIdx[p] {
+		n.matchIdx[p] = match
+	}
+	n.nextIdx[p] = n.matchIdx[p] + 1
+	n.advanceCommitLocked()
+	return n.nextIdx[p] <= n.lastIndexLocked()
+}
+
+// advanceCommitLocked moves the commit index to the highest entry of
+// the current term replicated on a majority, then applies and fires
+// waiters. Only current-term entries are counted directly (the Raft
+// commit rule); earlier-term entries commit transitively.
+func (n *Node) advanceCommitLocked() {
+	if n.role != leader {
+		return
+	}
+	majority := len(n.peers)/2 + 1
+	for idx := n.lastIndexLocked(); idx > n.commit; idx-- {
+		if n.termAtLocked(idx) != n.term {
+			break // older terms cannot be counted; nothing above matched
+		}
+		votes := 1 // self
+		for p := range n.peers {
+			if p != n.id && n.matchIdx[p] >= idx {
+				votes++
+			}
+		}
+		if votes >= majority {
+			n.commit = idx
+			break
+		}
+	}
+	n.applyLocked()
+}
+
+// applyLocked folds committed entries into the materialized state,
+// answers proposal waiters, and compacts the log when it outgrows
+// MaxLog.
+func (n *Node) applyLocked() {
+	for n.applied < n.commit {
+		n.applied++
+		e := n.entryAtLocked(n.applied)
+		res := n.applyEntryLocked(e)
+		if ch, ok := n.waiters[n.applied]; ok {
+			delete(n.waiters, n.applied)
+			ch <- res
+		}
+	}
+	if n.maxLog > 0 && n.applied > n.snapIndex && len(n.log) > n.maxLog {
+		n.compactLocked()
+	}
+}
+
+func (n *Node) applyEntryLocked(e *wire.MetaEntry) applyResult {
+	rec := &e.Rec
+	switch rec.Op {
+	case wire.TShardMap:
+		var m wire.ShardMap
+		if err := m.Unmarshal(rec.Body); err != nil {
+			return applyResult{status: wire.StatusProtocol}
+		}
+		n.smap = &m
+		if len(n.states) != len(m.Shards) {
+			// First config (bootstrap or replay from empty): size the
+			// per-shard states. Shard count is fixed per deployment, so
+			// later config entries only bump the epoch.
+			states := make([]*namespace, len(m.Shards))
+			for i := range states {
+				if i < len(n.states) {
+					states[i] = n.states[i]
+				} else {
+					states[i] = newNamespace()
+				}
+			}
+			n.states = states
+		}
+		return applyResult{status: wire.StatusOK}
+	case wire.TPing:
+		return applyResult{status: wire.StatusOK}
+	default:
+		if int(rec.Shard) >= len(n.states) {
+			return applyResult{status: wire.StatusProtocol}
+		}
+		st, info := n.states[rec.Shard].apply(rec, len(n.states))
+		return applyResult{status: st, info: info}
+	}
+}
+
+// snapshotLocked exports the full applied state.
+func (n *Node) snapshotLocked() *wire.MetaSnapshot {
+	snap := &wire.MetaSnapshot{
+		LastIndex: n.applied,
+		LastTerm:  n.termAtLocked(n.applied),
+	}
+	if n.smap != nil {
+		snap.Map = *n.smap.Clone()
+	}
+	for i, ns := range n.states {
+		snap.Shards = append(snap.Shards, ns.state(uint32(i)))
+	}
+	return snap
+}
+
+// compactLocked folds the applied prefix into the snapshot base.
+func (n *Node) compactLocked() {
+	newBase := n.applied
+	n.snapTerm = n.termAtLocked(newBase)
+	n.log = append([]wire.MetaEntry(nil), n.log[newBase-n.snapIndex:]...)
+	n.snapIndex = newBase
+}
+
+// installSnapshotLocked replaces log and state wholesale (a follower
+// that fell behind the leader's compacted prefix).
+func (n *Node) installSnapshotLocked(snap *wire.MetaSnapshot) {
+	if snap.LastIndex <= n.commit {
+		return // we already have everything the snapshot covers
+	}
+	n.snapIndex = snap.LastIndex
+	n.snapTerm = snap.LastTerm
+	n.log = nil
+	n.commit = snap.LastIndex
+	n.applied = snap.LastIndex
+	m := snap.Map
+	n.smap = &m
+	n.states = make([]*namespace, len(m.Shards))
+	for i := range n.states {
+		n.states[i] = newNamespace()
+	}
+	for i := range snap.Shards {
+		s := &snap.Shards[i]
+		if int(s.Shard) < len(n.states) {
+			n.states[s.Shard].install(s)
+		}
+	}
+	// Any waiter below the snapshot horizon was resolved elsewhere;
+	// followers hold no waiters, but be safe on role transitions.
+	for idx, ch := range n.waiters {
+		if idx <= n.commit {
+			ch <- applyResult{err: errLostEntry}
+			delete(n.waiters, idx)
+		}
+	}
+}
+
+// --- proposals ---
+
+// Propose submits one mutation record for replication and waits for
+// its committed verdict: the applied status and (for creates) file
+// info. A StatusNotLeader status carries no verdict — the caller
+// should retry against hint (the leader's address, when known).
+func (n *Node) Propose(ctx context.Context, rec wire.MetaRecord) (wire.Status, *wire.FileInfo, string, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return 0, nil, "", errClosed
+	}
+	if n.role != leader {
+		hint := n.leaderHintLocked()
+		n.mu.Unlock()
+		return wire.StatusNotLeader, nil, hint, nil
+	}
+	idx := n.lastIndexLocked() + 1
+	n.log = append(n.log, wire.MetaEntry{Index: idx, Term: n.term, Rec: rec})
+	ch := make(chan applyResult, 1)
+	n.waiters[idx] = ch
+	n.advanceCommitLocked() // a solo group commits synchronously
+	n.kickAllLocked()
+	n.mu.Unlock()
+
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			return 0, nil, "", res.err
+		}
+		return res.status, res.info, "", nil
+	case <-ctx.Done():
+		// Prefer a verdict that raced in over the cancellation: only if
+		// the waiter is still registered is the outcome truly unknown.
+		n.mu.Lock()
+		if _, waiting := n.waiters[idx]; waiting {
+			delete(n.waiters, idx) // the entry may still commit later
+			n.mu.Unlock()
+			return 0, nil, "", ctx.Err()
+		}
+		n.mu.Unlock()
+		res := <-ch
+		if res.err != nil {
+			return 0, nil, "", res.err
+		}
+		return res.status, res.info, "", nil
+	case <-n.stopC:
+		return 0, nil, "", errClosed
+	}
+}
+
+// ProposeConfig replicates a shard-map change built by mutate (applied
+// to a copy of the current map with the epoch already bumped) and
+// returns the committed map.
+func (n *Node) ProposeConfig(ctx context.Context, mutate func(*wire.ShardMap)) (*wire.ShardMap, error) {
+	n.mu.Lock()
+	if n.smap == nil {
+		n.mu.Unlock()
+		return nil, errors.New("meta: no committed map yet")
+	}
+	next := n.smap.Clone()
+	n.mu.Unlock()
+	next.Epoch++
+	if mutate != nil {
+		mutate(next)
+	}
+	st, _, _, err := n.Propose(ctx, wire.MetaRecord{Op: wire.TShardMap, Body: next.Marshal()})
+	if err != nil {
+		return nil, err
+	}
+	if st != wire.StatusOK {
+		return nil, fmt.Errorf("meta: config proposal rejected: %v", st)
+	}
+	return next, nil
+}
+
+// FetchShard returns one partition's materialized committed state with
+// the current map; leader only (a lagging follower could hand a
+// restarting shard a state missing acked mutations).
+func (n *Node) FetchShard(ctx context.Context, shard uint32) (*wire.MetaSnapshot, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, errClosed
+	}
+	if n.role != leader {
+		return nil, ErrNotLeader
+	}
+	if n.smap == nil || int(shard) >= len(n.states) {
+		return nil, fmt.Errorf("meta: no state for shard %d", shard)
+	}
+	return &wire.MetaSnapshot{
+		LastIndex: n.applied,
+		LastTerm:  n.termAtLocked(n.applied),
+		Map:       *n.smap.Clone(),
+		Shards:    []wire.MetaShardState{n.states[shard].state(shard)},
+	}, nil
+}
+
+// FetchMap returns the committed shard map from any role (shards use
+// it for background refresh; epoch checking catches staleness).
+func (n *Node) FetchMap(ctx context.Context) (*wire.ShardMap, error) {
+	m := n.CurrentMap()
+	if m == nil || m.Epoch == 0 {
+		return nil, errors.New("meta: no committed map yet")
+	}
+	return m, nil
+}
+
+// --- wire handlers ---
+
+// Handle serves the master wire protocol; attach it to a listener via
+// pvfsnet.NewServer. It never retains req.Body: every decoded record
+// copies its bytes.
+func (n *Node) Handle(req wire.Message) wire.Message {
+	switch req.Type {
+	case wire.TMetaVote:
+		return n.handleVote(req)
+	case wire.TMetaAppend:
+		return n.handleAppend(req)
+	case wire.TMetaPropose:
+		return n.handlePropose(req)
+	case wire.TMetaFetch:
+		return n.handleFetch(req)
+	case wire.TShardMap:
+		m := n.waitMap()
+		if m == nil || m.Epoch == 0 {
+			return wire.Message{Header: wire.Header{Status: wire.StatusUnavailable}}
+		}
+		return wire.Message{Body: m.Marshal()}
+	case wire.TServerStats:
+		st := n.Stats()
+		return wire.Message{Body: st.Marshal()}
+	case wire.TPing:
+		return wire.Message{Header: wire.Header{Handle: req.Handle}}
+	default:
+		return wire.Message{Header: wire.Header{Status: wire.StatusInvalid}}
+	}
+}
+
+func (n *Node) handleVote(req wire.Message) wire.Message {
+	var vr wire.MetaVoteReq
+	if err := vr.Unmarshal(req.Body); err != nil {
+		return wire.Message{Header: wire.Header{Status: wire.StatusProtocol}}
+	}
+	n.mu.Lock()
+	if vr.Term > n.term {
+		n.stepDownLocked(vr.Term)
+	}
+	resp := wire.MetaVoteResp{Term: n.term}
+	if vr.Term == n.term && (n.votedFor == -1 || n.votedFor == int(vr.Candidate)) {
+		// Election restriction: only grant to candidates whose log is
+		// at least as fresh as ours — this is what carries majority-
+		// acked entries across leader failure.
+		lastIdx := n.lastIndexLocked()
+		lastTerm := n.termAtLocked(lastIdx)
+		if vr.LastTerm > lastTerm || (vr.LastTerm == lastTerm && vr.LastIndex >= lastIdx) {
+			resp.Granted = true
+			n.votedFor = int(vr.Candidate)
+			n.resetDeadlineLocked()
+		}
+	}
+	n.mu.Unlock()
+	return wire.Message{Body: resp.Marshal()}
+}
+
+func (n *Node) handleAppend(req wire.Message) wire.Message {
+	var ar wire.MetaAppendReq
+	if err := ar.Unmarshal(req.Body); err != nil {
+		return wire.Message{Header: wire.Header{Status: wire.StatusProtocol}}
+	}
+	n.mu.Lock()
+	resp := wire.MetaAppendResp{Term: n.term}
+	if ar.Term < n.term {
+		resp.Match = n.lastIndexLocked()
+		n.mu.Unlock()
+		return wire.Message{Body: resp.Marshal()}
+	}
+	if ar.Term > n.term || n.role != follower {
+		n.stepDownLocked(ar.Term)
+	}
+	resp.Term = n.term
+	n.leaderID = int(ar.Leader)
+	n.resetDeadlineLocked()
+
+	if len(ar.Snap) > 0 {
+		var snap wire.MetaSnapshot
+		if err := snap.Unmarshal(ar.Snap); err != nil {
+			n.mu.Unlock()
+			return wire.Message{Header: wire.Header{Status: wire.StatusProtocol}}
+		}
+		n.installSnapshotLocked(&snap)
+		resp.Success = true
+		resp.Match = n.commit
+		n.mu.Unlock()
+		return wire.Message{Body: resp.Marshal()}
+	}
+
+	// Consistency check: our log must contain (PrevIndex, PrevTerm).
+	prev := ar.PrevIndex
+	switch {
+	case prev > n.lastIndexLocked():
+		resp.Match = n.lastIndexLocked()
+		n.mu.Unlock()
+		return wire.Message{Body: resp.Marshal()}
+	case prev < n.snapIndex:
+		// Entries below our snapshot are committed and by definition
+		// consistent with any legitimate leader; skip them.
+		keep := ar.Entries[:0]
+		for i := range ar.Entries {
+			if ar.Entries[i].Index > n.snapIndex {
+				keep = append(keep, ar.Entries[i])
+			}
+		}
+		ar.Entries = keep
+	case n.termAtLocked(prev) != ar.PrevTerm:
+		// Conflicting history. Everything at or below commit is known
+		// good, so point the leader there.
+		resp.Match = n.commit
+		n.mu.Unlock()
+		return wire.Message{Body: resp.Marshal()}
+	}
+
+	// Append, truncating any conflicting suffix.
+	lastShipped := ar.PrevIndex
+	for i := range ar.Entries {
+		e := ar.Entries[i]
+		lastShipped = e.Index
+		if e.Index <= n.lastIndexLocked() {
+			if n.termAtLocked(e.Index) == e.Term {
+				continue // already have it
+			}
+			// Conflict: drop our suffix (it was never committed) and
+			// fail its waiters.
+			n.log = n.log[:e.Index-n.snapIndex-1]
+			for idx, ch := range n.waiters {
+				if idx >= e.Index {
+					ch <- applyResult{err: errLostEntry}
+					delete(n.waiters, idx)
+				}
+			}
+		}
+		n.log = append(n.log, e)
+	}
+	if ar.Commit > n.commit {
+		c := ar.Commit
+		if last := n.lastIndexLocked(); c > last {
+			c = last
+		}
+		n.commit = c
+		n.applyLocked()
+	}
+	resp.Success = true
+	resp.Match = lastShipped
+	n.mu.Unlock()
+	return wire.Message{Body: resp.Marshal()}
+}
+
+func (n *Node) handlePropose(req wire.Message) wire.Message {
+	var pr wire.MetaProposeReq
+	if err := pr.Unmarshal(req.Body); err != nil {
+		return wire.Message{Header: wire.Header{Status: wire.StatusProtocol}}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), n.timing.ProposeWait)
+	defer cancel()
+	st, info, hint, err := n.Propose(ctx, pr.Rec)
+	if err != nil {
+		// Commit did not resolve within the window (no majority, lost
+		// leadership mid-entry, shutdown): the outcome is unknown to
+		// us, and retry-after-rediscovery is the caller's move.
+		return wire.Message{Header: wire.Header{Status: wire.StatusUnavailable}}
+	}
+	if st == wire.StatusNotLeader {
+		hr := wire.MetaProposeResp{LeaderAddr: hint}
+		return wire.Message{Header: wire.Header{Status: wire.StatusNotLeader}, Body: hr.Marshal()}
+	}
+	resp := wire.Message{Header: wire.Header{Status: st}}
+	if info != nil {
+		resp.Handle = info.Handle
+		resp.Body = info.Marshal()
+	}
+	return resp
+}
+
+func (n *Node) handleFetch(req wire.Message) wire.Message {
+	var fr wire.MetaFetchReq
+	if err := fr.Unmarshal(req.Body); err != nil {
+		return wire.Message{Header: wire.Header{Status: wire.StatusProtocol}}
+	}
+	n.mu.Lock()
+	if n.role != leader {
+		hint := wire.MetaProposeResp{LeaderAddr: n.leaderHintLocked()}
+		n.mu.Unlock()
+		return wire.Message{Header: wire.Header{Status: wire.StatusNotLeader}, Body: hint.Marshal()}
+	}
+	if n.smap == nil {
+		n.mu.Unlock()
+		return wire.Message{Header: wire.Header{Status: wire.StatusUnavailable}}
+	}
+	var snap *wire.MetaSnapshot
+	if fr.Shard == wire.FetchFullSnapshot {
+		snap = n.snapshotLocked()
+	} else if int(fr.Shard) < len(n.states) {
+		snap = &wire.MetaSnapshot{
+			LastIndex: n.applied,
+			LastTerm:  n.termAtLocked(n.applied),
+			Map:       *n.smap.Clone(),
+			Shards:    []wire.MetaShardState{n.states[fr.Shard].state(fr.Shard)},
+		}
+	} else {
+		n.mu.Unlock()
+		return wire.Message{Header: wire.Header{Status: wire.StatusInvalid}}
+	}
+	n.mu.Unlock()
+	return wire.Message{Body: snap.Marshal()}
+}

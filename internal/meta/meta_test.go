@@ -1,0 +1,632 @@
+package meta
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"pvfs/internal/pvfsnet"
+	"pvfs/internal/striping"
+	"pvfs/internal/wire"
+)
+
+// testTiming keeps elections fast so failover tests finish quickly.
+func testTiming() Timing {
+	return Timing{
+		Heartbeat:   10 * time.Millisecond,
+		ElectionLo:  50 * time.Millisecond,
+		ElectionHi:  100 * time.Millisecond,
+		CallTimeout: 200 * time.Millisecond,
+		ProposeWait: 2 * time.Second,
+		RetryWindow: 10 * time.Second,
+		MapPoll:     50 * time.Millisecond,
+	}
+}
+
+func testIODs() []string {
+	return []string{"10.0.0.1:7001", "10.0.0.2:7001", "10.0.0.3:7001"}
+}
+
+func createRec(name string, seq uint64, shard, nshards int, iods []string) wire.MetaRecord {
+	cr := wire.MetaCreateRec{Name: name, Info: wire.FileInfo{
+		Handle:   wire.MetaHandle(seq, shard, nshards),
+		Striping: striping.Config{PCount: len(iods), StripeSize: striping.DefaultStripeSize},
+		IODAddrs: iods,
+	}}
+	return wire.MetaRecord{Shard: uint32(shard), Seq: seq, Op: wire.TCreate, Body: cr.Marshal()}
+}
+
+// --- namespace state machine ---
+
+func TestNamespaceApply(t *testing.T) {
+	ns := newNamespace()
+	iods := testIODs()
+
+	rec := createRec("a", 0, 0, 1, iods)
+	st, info := ns.apply(&rec, 1)
+	if st != wire.StatusOK || info == nil || info.Handle != 1 {
+		t.Fatalf("create: %v %+v", st, info)
+	}
+	// Replaying the identical record is an idempotent OK.
+	if st, _ := ns.apply(&rec, 1); st != wire.StatusOK {
+		t.Fatalf("replay: %v", st)
+	}
+	// Same name, different handle: first create wins.
+	rec2 := createRec("a", 5, 0, 1, iods)
+	if st, info := ns.apply(&rec2, 1); st != wire.StatusExists || info.Handle != 1 {
+		t.Fatalf("dup: %v %+v", st, info)
+	}
+	// Handle collision under a new name is rejected deterministically.
+	rec3 := createRec("b", 0, 0, 1, iods)
+	if st, _ := ns.apply(&rec3, 1); st != wire.StatusInvalid {
+		t.Fatalf("collision: %v", st)
+	}
+	// Sequence counter advances past applied handles.
+	if ns.nextSeq != 1 {
+		t.Fatalf("nextSeq = %d", ns.nextSeq)
+	}
+
+	// SetSize is a high-water mark.
+	grow := wire.SetSizeReq{Handle: 1, Size: 100}
+	recG := wire.MetaRecord{Op: wire.TSetSize, Body: grow.Marshal()}
+	if st, _ := ns.apply(&recG, 1); st != wire.StatusOK {
+		t.Fatalf("setsize: %v", st)
+	}
+	shrink := wire.SetSizeReq{Handle: 1, Size: 40}
+	recS := wire.MetaRecord{Op: wire.TSetSize, Body: shrink.Marshal()}
+	ns.apply(&recS, 1)
+	if got := ns.files["a"].Size; got != 100 {
+		t.Fatalf("size = %d, want high-water 100", got)
+	}
+
+	// Remove, then snapshot round trip.
+	nr := wire.NameReq{Name: "a"}
+	recR := wire.MetaRecord{Op: wire.TRemove, Body: nr.Marshal()}
+	if st, _ := ns.apply(&recR, 1); st != wire.StatusOK {
+		t.Fatalf("remove: %v", st)
+	}
+	if st, _ := ns.apply(&recR, 1); st != wire.StatusNotFound {
+		t.Fatalf("re-remove: %v", st)
+	}
+	state := ns.state(0)
+	ns2 := newNamespace()
+	ns2.install(&state)
+	if len(ns2.files) != 0 || ns2.nextSeq != ns.nextSeq {
+		t.Fatalf("install: %+v", ns2)
+	}
+}
+
+// --- solo node (the mgr wrapper's shape) ---
+
+func TestSoloNodePropose(t *testing.T) {
+	boot := &wire.ShardMap{Epoch: 1, Masters: []string{"solo"}, Shards: []string{"solo"}, IODs: testIODs()}
+	n := NewNode(NodeOptions{ID: 0, Peers: []string{"solo"}, Bootstrap: boot, Timing: testTiming()})
+	defer n.Close()
+
+	if !n.IsLeader() {
+		t.Fatal("solo node must lead immediately")
+	}
+	ctx := context.Background()
+	st, info, _, err := n.Propose(ctx, createRec("f", 0, 0, 1, testIODs()))
+	if err != nil || st != wire.StatusOK || info == nil || info.Handle != 1 {
+		t.Fatalf("propose: %v %v %+v", st, err, info)
+	}
+	snap, err := n.FetchShard(ctx, 0)
+	if err != nil || len(snap.Shards[0].Files) != 1 {
+		t.Fatalf("fetch: %v %+v", err, snap)
+	}
+	m, err := n.FetchMap(ctx)
+	if err != nil || m.Epoch != 1 {
+		t.Fatalf("map: %v %+v", err, m)
+	}
+	// Config change bumps the epoch through the log.
+	m2, err := n.ProposeConfig(ctx, nil)
+	if err != nil || m2.Epoch != 2 {
+		t.Fatalf("config: %v %+v", err, m2)
+	}
+	if cur := n.CurrentMap(); cur.Epoch != 2 {
+		t.Fatalf("applied epoch = %d", cur.Epoch)
+	}
+	// The config entry must not wipe namespace state.
+	snap, err = n.FetchShard(ctx, 0)
+	if err != nil || len(snap.Shards[0].Files) != 1 {
+		t.Fatalf("fetch after config: %v %+v", err, snap)
+	}
+}
+
+// --- replicated group harness ---
+
+type group struct {
+	t      *testing.T
+	timing Timing
+	addrs  []string
+	nodes  []*Node
+	srvs   []*pvfsnet.Server
+	boot   *wire.ShardMap
+}
+
+func startGroup(t *testing.T, nmasters int, boot func(addrs []string) *wire.ShardMap) *group {
+	t.Helper()
+	g := &group{t: t, timing: testTiming()}
+	lns := make([]net.Listener, nmasters)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		g.addrs = append(g.addrs, ln.Addr().String())
+	}
+	g.boot = boot(g.addrs)
+	g.nodes = make([]*Node, nmasters)
+	g.srvs = make([]*pvfsnet.Server, nmasters)
+	for i := range lns {
+		g.nodes[i] = NewNode(NodeOptions{
+			ID: i, Peers: g.addrs, Bootstrap: g.boot, Timing: g.timing,
+		})
+		g.srvs[i] = pvfsnet.NewServer(lns[i], g.nodes[i].Handle, nil)
+	}
+	t.Cleanup(g.closeAll)
+	return g
+}
+
+func (g *group) closeAll() {
+	for i := range g.nodes {
+		if g.nodes[i] != nil {
+			g.nodes[i].Close()
+			g.srvs[i].Close()
+			g.nodes[i] = nil
+		}
+	}
+}
+
+// kill stops node i (replica process death).
+func (g *group) kill(i int) {
+	g.t.Helper()
+	g.nodes[i].Close()
+	g.srvs[i].Close()
+	g.nodes[i] = nil
+}
+
+// restart brings node i back on its old address with an empty log; the
+// current leader catches it up by replay or snapshot.
+func (g *group) restart(i int, maxLog int) {
+	g.t.Helper()
+	var ln net.Listener
+	var err error
+	for attempt := 0; attempt < 50; attempt++ {
+		ln, err = net.Listen("tcp", g.addrs[i])
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		g.t.Fatalf("relisten %s: %v", g.addrs[i], err)
+	}
+	g.nodes[i] = NewNode(NodeOptions{
+		ID: i, Peers: g.addrs, Timing: g.timing, MaxLog: maxLog,
+	})
+	g.srvs[i] = pvfsnet.NewServer(ln, g.nodes[i].Handle, nil)
+}
+
+func (g *group) waitLeader() int {
+	g.t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for i, n := range g.nodes {
+			if n != nil && n.IsLeader() {
+				return i
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	g.t.Fatal("no leader elected")
+	return -1
+}
+
+func singleShardBoot(masters []string) *wire.ShardMap {
+	return &wire.ShardMap{Epoch: 1, Masters: masters, Shards: []string{"shard0"}, IODs: testIODs()}
+}
+
+// proposeAcked drives creates through the proposer the way a shard
+// does: ambiguous outcomes retry the same record (idempotent), handle
+// collisions take a fresh sequence. Returns the acked names.
+func proposeAcked(t *testing.T, p Proposer, prefix string, seq *uint64, count int) []string {
+	t.Helper()
+	var acked []string
+	for i := 0; i < count; i++ {
+		name := fmt.Sprintf("%s-%d", prefix, i)
+		for {
+			rec := createRec(name, *seq, 0, 1, testIODs())
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			st, _, err := p.Propose(ctx, rec)
+			cancel()
+			if err != nil {
+				continue // unknown outcome: same record again (idempotent)
+			}
+			if st == wire.StatusInvalid {
+				*seq++ // collision: burn a fresh handle
+				continue
+			}
+			if st != wire.StatusOK {
+				t.Fatalf("create %s: %v", name, st)
+			}
+			*seq++
+			acked = append(acked, name)
+			break
+		}
+	}
+	return acked
+}
+
+func TestGroupElectsAndReplicates(t *testing.T) {
+	g := startGroup(t, 3, singleShardBoot)
+	g.waitLeader()
+
+	p := NewGroupProposer(g.addrs, g.timing)
+	defer p.Close()
+
+	var seq uint64
+	acked := proposeAcked(t, p, "f", &seq, 5)
+
+	snap, err := p.FetchShard(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Shards[0].Files) != len(acked) {
+		t.Fatalf("replicated %d files, want %d", len(snap.Shards[0].Files), len(acked))
+	}
+	if m, err := p.FetchMap(context.Background()); err != nil || m.Epoch != 1 {
+		t.Fatalf("map: %v %+v", err, m)
+	}
+}
+
+func TestLeaderKillLosesNoAckedCreates(t *testing.T) {
+	g := startGroup(t, 3, singleShardBoot)
+	p := NewGroupProposer(g.addrs, g.timing)
+	defer p.Close()
+
+	var seq uint64
+	acked := proposeAcked(t, p, "pre", &seq, 10)
+
+	// Kill the leader mid-deployment; the survivors must elect and keep
+	// serving with every acked create intact.
+	dead := g.waitLeader()
+	g.kill(dead)
+
+	acked = append(acked, proposeAcked(t, p, "post", &seq, 10)...)
+
+	snap, err := p.FetchShard(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have := make(map[string]bool, len(snap.Shards[0].Files))
+	for _, f := range snap.Shards[0].Files {
+		have[f.Name] = true
+	}
+	for _, name := range acked {
+		if !have[name] {
+			t.Fatalf("acked create %q lost after leader failover", name)
+		}
+	}
+	if g.nodes[dead] != nil {
+		t.Fatal("test bug: leader not killed")
+	}
+}
+
+func TestRestartedReplicaCatchesUpAndCanLead(t *testing.T) {
+	g := startGroup(t, 3, singleShardBoot)
+	p := NewGroupProposer(g.addrs, g.timing)
+	defer p.Close()
+
+	var seq uint64
+	acked := proposeAcked(t, p, "a", &seq, 5)
+
+	// Take one follower down, keep mutating, bring it back empty.
+	lead := g.waitLeader()
+	down := (lead + 1) % 3
+	if down == lead {
+		down = (lead + 2) % 3
+	}
+	g.kill(down)
+	acked = append(acked, proposeAcked(t, p, "b", &seq, 5)...)
+	g.restart(down, 0)
+
+	// Let replication catch the rejoined replica up, then kill the
+	// OTHER two's leader; the group (which now needs the rejoined
+	// replica for majority) must still serve everything.
+	time.Sleep(300 * time.Millisecond)
+	lead = g.waitLeader()
+	if lead != down {
+		g.kill(lead)
+	}
+
+	acked = append(acked, proposeAcked(t, p, "c", &seq, 5)...)
+	snap, err := p.FetchShard(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have := make(map[string]bool)
+	for _, f := range snap.Shards[0].Files {
+		have[f.Name] = true
+	}
+	for _, name := range acked {
+		if !have[name] {
+			t.Fatalf("create %q missing after replica rejoin + failover", name)
+		}
+	}
+}
+
+func TestSnapshotCatchUp(t *testing.T) {
+	// A tiny MaxLog forces compaction, so the rejoining replica is
+	// behind the compacted prefix and must take a snapshot install.
+	g := startGroup(t, 3, singleShardBoot)
+	for _, n := range g.nodes {
+		n.mu.Lock()
+		n.maxLog = 8
+		n.mu.Unlock()
+	}
+	p := NewGroupProposer(g.addrs, g.timing)
+	defer p.Close()
+
+	var seq uint64
+	proposeAcked(t, p, "a", &seq, 3)
+	lead := g.waitLeader()
+	down := (lead + 1) % 3
+	g.kill(down)
+
+	acked := proposeAcked(t, p, "b", &seq, 40) // well past maxLog
+	g.restart(down, 8)
+	time.Sleep(500 * time.Millisecond)
+
+	// The rejoined replica must be load-bearing for majority now.
+	lead = g.waitLeader()
+	if lead != down {
+		g.kill(lead)
+	}
+	acked = append(acked, proposeAcked(t, p, "c", &seq, 3)...)
+
+	snap, err := p.FetchShard(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have := make(map[string]bool)
+	for _, f := range snap.Shards[0].Files {
+		have[f.Name] = true
+	}
+	for _, name := range acked {
+		if !have[name] {
+			t.Fatalf("create %q lost across snapshot catch-up", name)
+		}
+	}
+}
+
+// --- shards ---
+
+type plane struct {
+	g          *group
+	shards     []*Shard
+	shardSrvs  []*pvfsnet.Server
+	shardAddrs []string
+}
+
+// startPlane boots nmasters masters and nshards shards, fully wired.
+func startPlane(t *testing.T, nmasters, nshards int) *plane {
+	t.Helper()
+	lns := make([]net.Listener, nshards)
+	addrs := make([]string, nshards)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	g := startGroup(t, nmasters, func(masters []string) *wire.ShardMap {
+		return &wire.ShardMap{Epoch: 1, Masters: masters, Shards: addrs, IODs: testIODs()}
+	})
+	pl := &plane{g: g, shardAddrs: addrs}
+	for i := range lns {
+		s := NewShard(ShardOptions{Index: i, Masters: g.addrs, Timing: g.timing})
+		pl.shards = append(pl.shards, s)
+		pl.shardSrvs = append(pl.shardSrvs, pvfsnet.NewServer(lns[i], s.Handle, nil))
+	}
+	t.Cleanup(func() {
+		for i, s := range pl.shards {
+			s.Close()
+			pl.shardSrvs[i].Close()
+		}
+	})
+	return pl
+}
+
+func callShard(t *testing.T, c *pvfsnet.Conn, epoch uint64, inner wire.MsgType, body []byte, handle uint64) wire.Message {
+	t.Helper()
+	env := wire.MetaEnvelope{Epoch: epoch, Inner: inner, Body: body}
+	resp, err := c.Call(wire.Message{
+		Header: wire.Header{Type: wire.TMetaForward, Handle: handle},
+		Body:   env.Marshal(),
+	})
+	if err != nil {
+		var serr *wire.StatusError
+		if !asStatusErr(err, &serr) {
+			t.Fatalf("shard call: %v", err)
+		}
+	}
+	return resp
+}
+
+func asStatusErr(err error, target **wire.StatusError) bool {
+	se, ok := err.(*wire.StatusError)
+	if ok {
+		*target = se
+	}
+	return ok
+}
+
+func TestShardServesAndForwards(t *testing.T) {
+	pl := startPlane(t, 3, 2)
+	m := pl.g.boot
+
+	// Every request goes to shard 0; names owned by shard 1 must be
+	// forwarded transparently.
+	c, err := pvfsnet.Dial(pl.shardAddrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	names := []string{"f0", "f1", "f2", "f3", "f4", "f5"}
+	handles := make(map[string]uint64)
+	forwarded := 0
+	for _, name := range names {
+		if m.ShardForName(name) != 0 {
+			forwarded++
+		}
+		cr := wire.CreateReq{Name: name}
+		resp := callShard(t, c, 1, wire.TCreate, cr.Marshal(), 0)
+		if resp.Status != wire.StatusOK {
+			t.Fatalf("create %s: %v", name, resp.Status)
+		}
+		var info wire.FileInfo
+		if err := info.Unmarshal(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		if got := m.ShardForHandle(info.Handle); got != m.ShardForName(name) {
+			t.Fatalf("handle %d of %s encodes shard %d, want %d", info.Handle, name, got, m.ShardForName(name))
+		}
+		handles[name] = info.Handle
+	}
+	if forwarded == 0 {
+		t.Skip("hash sent every test name to shard 0; widen the name set")
+	}
+
+	// Open resolves through the same routing; duplicate create fails.
+	for _, name := range names {
+		nr := wire.NameReq{Name: name}
+		resp := callShard(t, c, 1, wire.TOpen, nr.Marshal(), 0)
+		if resp.Status != wire.StatusOK || resp.Handle != handles[name] {
+			t.Fatalf("open %s: %v handle %d want %d", name, resp.Status, resp.Handle, handles[name])
+		}
+	}
+	dup := wire.CreateReq{Name: names[0]}
+	if resp := callShard(t, c, 1, wire.TCreate, dup.Marshal(), 0); resp.Status != wire.StatusExists {
+		t.Fatalf("dup: %v", resp.Status)
+	}
+
+	// Forward accounting: shard 0 proxied at least the foreign names.
+	if st := pl.shards[0].Stats(); st.MetaForwards < int64(forwarded) {
+		t.Fatalf("MetaForwards = %d, want >= %d", st.MetaForwards, forwarded)
+	}
+
+	// Per-shard listDir covers exactly the shard's own names.
+	var listed []string
+	for i := range pl.shards {
+		ci, err := pvfsnet.Dial(pl.shardAddrs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp := callShard(t, ci, 1, wire.TListDir, nil, 0)
+		if resp.Status != wire.StatusOK {
+			t.Fatalf("listDir shard %d: %v", i, resp.Status)
+		}
+		var ld wire.ListDirResp
+		if err := ld.Unmarshal(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range ld.Names {
+			if m.ShardForName(n) != i {
+				t.Fatalf("shard %d lists foreign name %q", i, n)
+			}
+		}
+		listed = append(listed, ld.Names...)
+		ci.Close()
+	}
+	if len(listed) != len(names) {
+		t.Fatalf("union of shard listings has %d names, want %d", len(listed), len(names))
+	}
+
+	// SetSize by handle routes on the handle's shard; stat-by-handle
+	// observes the high-water mark.
+	h := handles[names[0]]
+	sr := wire.SetSizeReq{Handle: h, Size: 12345}
+	if resp := callShard(t, c, 1, wire.TSetSize, sr.Marshal(), 0); resp.Status != wire.StatusOK {
+		t.Fatalf("setsize: %v", resp.Status)
+	}
+	empty := wire.NameReq{}
+	resp := callShard(t, c, 1, wire.TStat, empty.Marshal(), h)
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("stat by handle: %v", resp.Status)
+	}
+	var got wire.FileInfo
+	if err := got.Unmarshal(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if got.Size != 12345 {
+		t.Fatalf("size = %d", got.Size)
+	}
+
+	// Remove through the wrong shard still lands.
+	nr := wire.NameReq{Name: names[1]}
+	if resp := callShard(t, c, 1, wire.TRemove, nr.Marshal(), 0); resp.Status != wire.StatusOK {
+		t.Fatalf("remove: %v", resp.Status)
+	}
+	if resp := callShard(t, c, 1, wire.TOpen, nr.Marshal(), 0); resp.Status != wire.StatusNotFound {
+		t.Fatalf("open removed: %v", resp.Status)
+	}
+}
+
+func TestShardWrongEpoch(t *testing.T) {
+	pl := startPlane(t, 1, 1)
+	c, err := pvfsnet.Dial(pl.shardAddrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// A mismatched epoch yields StatusWrongEpoch with the current map
+	// in the body — the client's refresh contract.
+	cr := wire.CreateReq{Name: "x"}
+	resp := callShard(t, c, 99, wire.TCreate, cr.Marshal(), 0)
+	if resp.Status != wire.StatusWrongEpoch {
+		t.Fatalf("status = %v, want WrongEpoch", resp.Status)
+	}
+	var m wire.ShardMap
+	if err := m.Unmarshal(resp.Body); err != nil || m.Epoch != 1 {
+		t.Fatalf("map body: %v %+v", err, m)
+	}
+	// The correct epoch from that body serves normally.
+	if resp := callShard(t, c, m.Epoch, wire.TCreate, cr.Marshal(), 0); resp.Status != wire.StatusOK {
+		t.Fatalf("create after refresh: %v", resp.Status)
+	}
+}
+
+func TestShardSurvivesMasterFailover(t *testing.T) {
+	pl := startPlane(t, 3, 1)
+	c, err := pvfsnet.Dial(pl.shardAddrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	mk := func(name string) wire.Status {
+		cr := wire.CreateReq{Name: name}
+		return callShard(t, c, 1, wire.TCreate, cr.Marshal(), 0).Status
+	}
+	if st := mk("before"); st != wire.StatusOK {
+		t.Fatalf("create before: %v", st)
+	}
+	pl.g.kill(pl.g.waitLeader())
+	// The shard's propose loop rides out the election transparently.
+	if st := mk("after"); st != wire.StatusOK {
+		t.Fatalf("create after failover: %v", st)
+	}
+	nr := wire.NameReq{Name: "before"}
+	if resp := callShard(t, c, 1, wire.TOpen, nr.Marshal(), 0); resp.Status != wire.StatusOK {
+		t.Fatalf("pre-failover create lost: %v", resp.Status)
+	}
+}

@@ -1,0 +1,278 @@
+package meta
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pvfs/internal/pvfsnet"
+	"pvfs/internal/wire"
+)
+
+// Proposer is a shard's path to the master group: submit a mutation
+// and wait for its committed verdict, or fetch partition state. The
+// mgr compatibility wrapper injects the in-process Node directly
+// (LocalProposer); standalone shards talk to the replica group over
+// the wire (GroupProposer), riding out elections by retrying against
+// whichever replica currently leads.
+type Proposer interface {
+	// Propose replicates rec and returns the applied verdict. The
+	// returned info is non-nil for committed creates. An error means
+	// the outcome is unknown (no leader reachable within the window).
+	Propose(ctx context.Context, rec wire.MetaRecord) (wire.Status, *wire.FileInfo, error)
+	// FetchShard returns one partition's committed state and the map.
+	FetchShard(ctx context.Context, shard uint32) (*wire.MetaSnapshot, error)
+	// FetchMap returns the committed shard map.
+	FetchMap(ctx context.Context) (*wire.ShardMap, error)
+	// Close releases transport resources.
+	Close() error
+}
+
+// LocalProposer adapts an in-process Node (the mgr wrapper's solo
+// master) to the Proposer interface with no transport round trip.
+type LocalProposer struct{ Node *Node }
+
+func (l LocalProposer) Propose(ctx context.Context, rec wire.MetaRecord) (wire.Status, *wire.FileInfo, error) {
+	st, info, _, err := l.Node.Propose(ctx, rec)
+	if err != nil {
+		return 0, nil, err
+	}
+	if st == wire.StatusNotLeader {
+		return 0, nil, ErrNotLeader
+	}
+	return st, info, nil
+}
+
+func (l LocalProposer) FetchShard(ctx context.Context, shard uint32) (*wire.MetaSnapshot, error) {
+	return l.Node.FetchShard(ctx, shard)
+}
+
+func (l LocalProposer) FetchMap(ctx context.Context) (*wire.ShardMap, error) {
+	return l.Node.FetchMap(ctx)
+}
+
+func (l LocalProposer) Close() error { return nil }
+
+// GroupProposer talks to the master replica group over pvfsnet,
+// tracking the leader across elections: NotLeader responses carry a
+// hint, transport failures rotate to the next replica, and every
+// retry round backs off briefly so a mid-election group isn't
+// hammered.
+type GroupProposer struct {
+	masters []string
+	timing  Timing
+	pool    *pvfsnet.Pool
+	stopC   chan struct{} // closed by Close; aborts in-flight retry loops
+	stopO   sync.Once
+
+	mu     sync.Mutex
+	leader string // last known leader address; "" when unknown
+}
+
+func (g *GroupProposer) loadLeader() string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.leader
+}
+
+func (g *GroupProposer) storeLeader(addr string) {
+	g.mu.Lock()
+	g.leader = addr
+	g.mu.Unlock()
+}
+
+// NewGroupProposer builds a proposer for the given master addresses.
+func NewGroupProposer(masters []string, t Timing) *GroupProposer {
+	return &GroupProposer{
+		masters: append([]string(nil), masters...),
+		timing:  t.withDefaults(),
+		pool:    pvfsnet.NewPool(),
+		stopC:   make(chan struct{}),
+	}
+}
+
+func (g *GroupProposer) Close() error {
+	g.stopO.Do(func() { close(g.stopC) })
+	return g.pool.Close()
+}
+
+// errProposerClosed terminates retry loops once Close has run, so a
+// shard tearing down does not drain its full retry window against a
+// dead pool.
+var errProposerClosed = errors.New("meta: proposer closed")
+
+// errNoVerdict marks one failed attempt inside the retry loop.
+var errNoVerdict = errors.New("meta: no verdict from master")
+
+// call issues one leader-routed RPC. It tries the last known leader
+// first, follows NotLeader hints, and rotates through the group on
+// transport failure. Returns the response on any verdict status.
+func (g *GroupProposer) call(ctx context.Context, req wire.Message) (wire.Message, error) {
+	var lastErr error = errNoVerdict
+	backoff := 2 * time.Millisecond
+	rotation := 0
+	for {
+		select {
+		case <-g.stopC:
+			return wire.Message{}, errProposerClosed
+		default:
+		}
+		if err := ctx.Err(); err != nil {
+			return wire.Message{}, fmt.Errorf("%w (last: %v)", err, lastErr)
+		}
+		addr := g.loadLeader()
+		if addr == "" {
+			addr = g.masters[rotation%len(g.masters)]
+			rotation++
+		}
+		attempt, cancel := context.WithTimeout(ctx, g.timing.CallTimeout)
+		resp, err := g.attempt(attempt, addr, req)
+		cancel()
+		if err == nil {
+			if resp.Status == wire.StatusNotLeader {
+				var hint wire.MetaProposeResp
+				if hint.Unmarshal(resp.Body) == nil && hint.LeaderAddr != "" {
+					g.storeLeader(hint.LeaderAddr)
+				} else {
+					g.storeLeader("")
+				}
+				resp.Release()
+				lastErr = errors.New("meta: replica is not the leader")
+			} else if resp.Status == wire.StatusUnavailable {
+				resp.Release()
+				g.storeLeader("")
+				lastErr = errors.New("meta: master unavailable")
+			} else {
+				g.storeLeader(addr)
+				return resp, nil
+			}
+		} else {
+			g.storeLeader("")
+			lastErr = err
+		}
+		// Back off briefly (election in progress, dead replica) without
+		// sleeping past the caller's deadline.
+		timer := time.NewTimer(backoff)
+		select {
+		case <-timer.C:
+		case <-g.stopC:
+			timer.Stop()
+			return wire.Message{}, errProposerClosed
+		case <-ctx.Done():
+			timer.Stop()
+			return wire.Message{}, fmt.Errorf("%w (last: %v)", ctx.Err(), lastErr)
+		}
+		if backoff < 50*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// attempt is one dial+call against one replica. A broken session is
+// discarded by identity (a timeout abandons the tag and keeps the
+// connection healthy, so it is not grounds for discard; and a
+// concurrent attempt may already have replaced the dead connection
+// with a fresh one that must not be closed from under it).
+func (g *GroupProposer) attempt(ctx context.Context, addr string, req wire.Message) (wire.Message, error) {
+	conn, err := g.pool.GetContext(ctx, addr)
+	if err != nil {
+		return wire.Message{}, err
+	}
+	resp, err := conn.CallContext(ctx, req)
+	if err != nil {
+		var serr *wire.StatusError
+		if errors.As(err, &serr) {
+			return resp, nil // a verdict status; the caller routes on it
+		}
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			g.pool.DiscardConn(addr, conn)
+		}
+		return wire.Message{}, err
+	}
+	return resp, nil
+}
+
+func (g *GroupProposer) Propose(ctx context.Context, rec wire.MetaRecord) (wire.Status, *wire.FileInfo, error) {
+	preq := wire.MetaProposeReq{Rec: rec}
+	wctx, cancel := context.WithTimeout(ctx, g.timing.RetryWindow)
+	defer cancel()
+	resp, err := g.call(wctx, wire.Message{
+		Header: wire.Header{Type: wire.TMetaPropose}, Body: preq.Marshal(),
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Release()
+	var info *wire.FileInfo
+	if len(resp.Body) > 0 {
+		info = new(wire.FileInfo)
+		if uerr := info.Unmarshal(resp.Body); uerr != nil {
+			return 0, nil, uerr
+		}
+	}
+	return resp.Status, info, nil
+}
+
+func (g *GroupProposer) FetchShard(ctx context.Context, shard uint32) (*wire.MetaSnapshot, error) {
+	freq := wire.MetaFetchReq{Shard: shard}
+	wctx, cancel := context.WithTimeout(ctx, g.timing.RetryWindow)
+	defer cancel()
+	resp, err := g.call(wctx, wire.Message{
+		Header: wire.Header{Type: wire.TMetaFetch}, Body: freq.Marshal(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Release()
+	if resp.Status != wire.StatusOK {
+		return nil, fmt.Errorf("meta: fetch shard %d: %v", shard, resp.Status)
+	}
+	snap := new(wire.MetaSnapshot)
+	if err := snap.Unmarshal(resp.Body); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// FetchMap queries any replica for its committed map (cheap refresh
+// path; does not require the leader).
+func (g *GroupProposer) FetchMap(ctx context.Context) (*wire.ShardMap, error) {
+	wctx, cancel := context.WithTimeout(ctx, g.timing.CallTimeout*time.Duration(len(g.masters)+1))
+	defer cancel()
+	var lastErr error
+	for _, addr := range g.masters {
+		if wctx.Err() != nil {
+			break
+		}
+		attempt, cancel := context.WithTimeout(wctx, g.timing.CallTimeout)
+		resp, err := g.attempt(attempt, addr, wire.Message{Header: wire.Header{Type: wire.TShardMap}})
+		cancel()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.Status != wire.StatusOK {
+			resp.Release()
+			lastErr = fmt.Errorf("meta: map query: %v", resp.Status)
+			continue
+		}
+		m := new(wire.ShardMap)
+		uerr := m.Unmarshal(resp.Body)
+		resp.Release()
+		if uerr != nil {
+			lastErr = uerr
+			continue
+		}
+		if m.Epoch == 0 {
+			lastErr = errors.New("meta: replica has no committed map")
+			continue
+		}
+		return m, nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("meta: no masters configured")
+	}
+	return nil, lastErr
+}

@@ -1,0 +1,701 @@
+package meta
+
+import (
+	"context"
+	"errors"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"pvfs/internal/pvfsnet"
+	"pvfs/internal/wire"
+)
+
+// ShardOptions configures one metadata shard.
+type ShardOptions struct {
+	// Index is this shard's partition number in the shard map.
+	Index int
+	// Masters lists the master replica addresses; used to build a
+	// GroupProposer when Proposer is nil.
+	Masters []string
+	// Proposer overrides the path to the master group (the mgr wrapper
+	// injects the in-process node). The Shard owns it and closes it.
+	Proposer Proposer
+	// Timing overrides protocol clocks (zero fields take defaults).
+	Timing Timing
+	// Logger receives shard events; nil silences them.
+	Logger *log.Logger
+}
+
+// Shard serves one partition of the file namespace with the classic
+// manager request grammar (plus the TMetaForward envelope). Reads
+// (open/stat/listDir) are answered from shard-local state; every
+// mutation is proposed to the master leader and acknowledged only
+// after majority commit, so an acked create survives any single
+// failure. The local namespace is a faithful cache of the committed
+// log restricted to this partition: it is installed from a master
+// snapshot at startup, updated with each proposal's committed verdict,
+// and re-synced from the master whenever a proposal's outcome was
+// ambiguous (the dirty flag).
+type Shard struct {
+	idx    int
+	timing Timing
+	logger *log.Logger
+	prop   Proposer
+	pool   *pvfsnet.Pool // forwarding path to sibling shards
+
+	mu      sync.Mutex
+	ns      *namespace
+	smap    *wire.ShardMap
+	ready   bool                     // snapshot installed; serving
+	dirty   bool                     // an ambiguous proposal may have committed: resync first
+	syncing *syncRound               // in-flight snapshot fetch; nil when idle
+	locks   map[string]chan struct{} // per-name mutation serialization
+	stats   wire.ServerStats
+	closed  bool
+
+	stopC chan struct{}
+	wg    sync.WaitGroup
+}
+
+// NewShard starts a shard. It is transport-free like Node: attach
+// s.Handle to a listener via pvfsnet.NewServer. The shard installs
+// its partition snapshot from the masters in the background and
+// answers StatusUnavailable (retry-safe) until it has.
+func NewShard(o ShardOptions) *Shard {
+	prop := o.Proposer
+	if prop == nil {
+		prop = NewGroupProposer(o.Masters, o.Timing)
+	}
+	s := &Shard{
+		idx:    o.Index,
+		timing: o.Timing.withDefaults(),
+		logger: o.Logger,
+		prop:   prop,
+		pool:   pvfsnet.NewPool(),
+		ns:     newNamespace(),
+		locks:  make(map[string]chan struct{}),
+		stopC:  make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.background()
+	return s
+}
+
+// Close shuts the shard down.
+func (s *Shard) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.stopC)
+	s.mu.Unlock()
+	s.pool.Close()
+	s.prop.Close()
+	s.wg.Wait()
+	return nil
+}
+
+// Index returns the shard's partition number.
+func (s *Shard) Index() int { return s.idx }
+
+// Stats returns the shard's request accounting.
+func (s *Shard) Stats() wire.ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// CurrentMap returns the shard's installed map (nil before sync).
+func (s *Shard) CurrentMap() *wire.ShardMap {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.smap == nil {
+		return nil
+	}
+	return s.smap.Clone()
+}
+
+// InstallMap adopts a newer shard map (pushed by operators or the
+// cluster harness after a config change commits).
+func (s *Shard) InstallMap(m *wire.ShardMap) {
+	s.mu.Lock()
+	if s.smap == nil || m.Epoch > s.smap.Epoch {
+		s.smap = m.Clone()
+	}
+	s.mu.Unlock()
+}
+
+// background performs the initial snapshot install, then keeps the
+// map fresh and repairs ambiguity (dirty) by re-syncing.
+func (s *Shard) background() {
+	defer s.wg.Done()
+	// Initial sync: retry until the masters elect a leader and answer.
+	backoff := 5 * time.Millisecond
+	for {
+		if s.syncState() {
+			break
+		}
+		timer := time.NewTimer(backoff)
+		select {
+		case <-timer.C:
+		case <-s.stopC:
+			timer.Stop()
+			return
+		}
+		if backoff < 200*time.Millisecond {
+			backoff *= 2
+		}
+	}
+	// Steady state: poll the map (cheap, any replica) and repair
+	// dirtiness promptly.
+	poll := time.NewTicker(s.timing.MapPoll)
+	defer poll.Stop()
+	dirtyCheck := time.NewTicker(s.timing.Heartbeat * 2)
+	defer dirtyCheck.Stop()
+	for {
+		select {
+		case <-s.stopC:
+			return
+		case <-dirtyCheck.C:
+			s.mu.Lock()
+			dirty := s.dirty
+			s.mu.Unlock()
+			if dirty {
+				s.syncState()
+			}
+		case <-poll.C:
+			ctx, cancel := context.WithTimeout(context.Background(), s.timing.CallTimeout*4)
+			m, err := s.prop.FetchMap(ctx)
+			cancel()
+			if err == nil {
+				s.InstallMap(m)
+			}
+		}
+	}
+}
+
+// syncRound is one single-flight snapshot fetch: the goroutine that
+// starts it publishes the outcome, everyone else arriving meanwhile
+// waits on done and shares it.
+type syncRound struct {
+	done chan struct{}
+	ok   bool
+}
+
+// syncState installs a fresh partition snapshot from the masters,
+// clearing the dirty flag. Reports success. Concurrent calls
+// single-flight: one FetchShard serves every waiter, so a burst of
+// not-yet-ready requests (clients retrying into a mid-election group)
+// cannot stampede the masters with parallel snapshot fetches.
+func (s *Shard) syncState() bool {
+	s.mu.Lock()
+	if r := s.syncing; r != nil {
+		s.mu.Unlock()
+		select {
+		case <-r.done:
+			return r.ok
+		case <-s.stopC:
+			return false
+		}
+	}
+	r := &syncRound{done: make(chan struct{})}
+	s.syncing = r
+	s.mu.Unlock()
+	r.ok = s.fetchAndInstall()
+	s.mu.Lock()
+	s.syncing = nil
+	s.mu.Unlock()
+	close(r.done)
+	return r.ok
+}
+
+// fetchAndInstall is the body of one sync round.
+func (s *Shard) fetchAndInstall() bool {
+	ctx, cancel := context.WithTimeout(context.Background(), s.timing.RetryWindow)
+	defer cancel()
+	go func() { // abort the fetch promptly when the shard shuts down
+		select {
+		case <-s.stopC:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	snap, err := s.prop.FetchShard(ctx, uint32(s.idx))
+	if err != nil {
+		logf(s.logger, "meta-shard[%d]: sync: %v", s.idx, err)
+		return false
+	}
+	s.mu.Lock()
+	if len(snap.Shards) == 1 && int(snap.Shards[0].Shard) == s.idx {
+		s.ns.install(&snap.Shards[0])
+	}
+	m := snap.Map
+	if s.smap == nil || m.Epoch > s.smap.Epoch {
+		s.smap = &m
+	}
+	s.ready = true
+	s.dirty = false
+	s.mu.Unlock()
+	logf(s.logger, "meta-shard[%d]: synced (%d files, epoch %d)", s.idx, len(snap.Shards[0].Files), m.Epoch)
+	return true
+}
+
+func fail(st wire.Status) wire.Message {
+	return wire.Message{Header: wire.Header{Status: st}}
+}
+
+// Handle serves the shard wire protocol. Handlers never retain
+// req.Body: decoded names are copied by the codec and forwarded
+// bodies are fully written before return.
+func (s *Shard) Handle(req wire.Message) wire.Message {
+	s.mu.Lock()
+	s.stats.Requests++
+	ready, dirty := s.ready, s.dirty
+	s.mu.Unlock()
+	if !ready || dirty {
+		// Not yet synced (or ambiguous state): safe answers only.
+		// StatusUnavailable is retry-safe, so clients ride this out.
+		if !s.syncState() {
+			if req.Type == wire.TPing {
+				return wire.Message{Header: wire.Header{Handle: req.Handle}}
+			}
+			return fail(wire.StatusUnavailable)
+		}
+	}
+	switch req.Type {
+	case wire.TMetaForward:
+		var env wire.MetaEnvelope
+		if err := env.Unmarshal(req.Body); err != nil {
+			return fail(wire.StatusProtocol)
+		}
+		return s.serveEnvelope(&env, req.Handle)
+	case wire.TShardMap:
+		if len(req.Body) > 0 {
+			var m wire.ShardMap
+			if err := m.Unmarshal(req.Body); err != nil {
+				return fail(wire.StatusProtocol)
+			}
+			s.InstallMap(&m)
+			return wire.Message{}
+		}
+		m := s.CurrentMap()
+		if m == nil {
+			return fail(wire.StatusUnavailable)
+		}
+		return wire.Message{Body: m.Marshal()}
+	case wire.TServerStats:
+		st := s.Stats()
+		return wire.Message{Body: st.Marshal()}
+	case wire.TPing:
+		return wire.Message{Header: wire.Header{Handle: req.Handle}}
+	default:
+		// Plain manager grammar (legacy clients, single-shard wrapper):
+		// no epoch to check; still forwarded if the name hashes away.
+		return s.serveInner(req.Type, req.Body, req.Handle, 0)
+	}
+}
+
+// serveEnvelope validates a stamped envelope's epoch against the
+// installed map, then executes the inner request. A client running
+// ahead of us triggers a resync before judging; a mismatch earns
+// StatusWrongEpoch with the current map in the body.
+func (s *Shard) serveEnvelope(env *wire.MetaEnvelope, handle uint64) wire.Message {
+	s.mu.Lock()
+	cur := uint64(0)
+	if s.smap != nil {
+		cur = s.smap.Epoch
+	}
+	s.mu.Unlock()
+	if env.Epoch > cur {
+		// The client has seen a newer map than ours: catch up first.
+		ctx, cancel := context.WithTimeout(context.Background(), s.timing.CallTimeout*4)
+		if m, err := s.prop.FetchMap(ctx); err == nil {
+			s.InstallMap(m)
+		}
+		cancel()
+		s.mu.Lock()
+		if s.smap != nil {
+			cur = s.smap.Epoch
+		}
+		s.mu.Unlock()
+	}
+	if env.Epoch != cur {
+		m := s.CurrentMap()
+		if m == nil {
+			return fail(wire.StatusUnavailable)
+		}
+		return wire.Message{
+			Header: wire.Header{Status: wire.StatusWrongEpoch},
+			Body:   m.Marshal(),
+		}
+	}
+	return s.serveInner(env.Inner, env.Body, handle, env.Hops)
+}
+
+// serveInner executes (or forwards) one manager-grammar request.
+func (s *Shard) serveInner(t wire.MsgType, body []byte, handle uint64, hops uint32) wire.Message {
+	switch t {
+	case wire.TCreate:
+		var cr wire.CreateReq
+		if err := cr.Unmarshal(body); err != nil {
+			return fail(wire.StatusProtocol)
+		}
+		if cr.Name == "" {
+			return fail(wire.StatusInvalid)
+		}
+		if resp, forwarded := s.routeName(cr.Name, t, body, hops); forwarded {
+			return resp
+		}
+		return s.create(&cr)
+	case wire.TOpen, wire.TStat:
+		var nr wire.NameReq
+		if err := nr.Unmarshal(body); err != nil {
+			return fail(wire.StatusProtocol)
+		}
+		if nr.Name == "" && handle != 0 {
+			// Stat-by-handle (fsck reconciliation): route on the handle.
+			if resp, forwarded := s.routeHandle(handle, t, body, hops); forwarded {
+				return resp
+			}
+			return s.statHandle(handle)
+		}
+		if resp, forwarded := s.routeName(nr.Name, t, body, hops); forwarded {
+			return resp
+		}
+		return s.open(nr.Name)
+	case wire.TRemove:
+		var nr wire.NameReq
+		if err := nr.Unmarshal(body); err != nil {
+			return fail(wire.StatusProtocol)
+		}
+		if resp, forwarded := s.routeName(nr.Name, t, body, hops); forwarded {
+			return resp
+		}
+		return s.remove(nr.Name)
+	case wire.TSetSize:
+		var sr wire.SetSizeReq
+		if err := sr.Unmarshal(body); err != nil {
+			return fail(wire.StatusProtocol)
+		}
+		if resp, forwarded := s.routeHandle(sr.Handle, t, body, hops); forwarded {
+			return resp
+		}
+		return s.setSize(&sr)
+	case wire.TListDir:
+		return s.listDir()
+	case wire.TPing:
+		return wire.Message{Header: wire.Header{Handle: handle}}
+	default:
+		return fail(wire.StatusInvalid)
+	}
+}
+
+// routeName forwards the request when the name hashes to a sibling
+// shard. The bool result reports "handled here" via forwarding.
+func (s *Shard) routeName(name string, t wire.MsgType, body []byte, hops uint32) (wire.Message, bool) {
+	s.mu.Lock()
+	m := s.smap
+	owner := s.idx
+	if m != nil {
+		owner = m.ShardForName(name)
+	}
+	s.mu.Unlock()
+	if owner == s.idx {
+		return wire.Message{}, false
+	}
+	return s.forward(owner, t, body, 0, hops), true
+}
+
+// routeHandle is routeName for handle-addressed requests.
+func (s *Shard) routeHandle(handle uint64, t wire.MsgType, body []byte, hops uint32) (wire.Message, bool) {
+	s.mu.Lock()
+	m := s.smap
+	owner := s.idx
+	if m != nil {
+		owner = m.ShardForHandle(handle)
+	}
+	s.mu.Unlock()
+	if owner == s.idx {
+		return wire.Message{}, false
+	}
+	return s.forward(owner, t, body, handle, hops), true
+}
+
+// forward proxies one request to the owning shard, one hop at most:
+// if maps disagree mid-transition a second hop would loop, so the
+// receiver of a hopped envelope that still isn't the owner answers
+// WrongEpoch and the client re-routes with a fresh map.
+func (s *Shard) forward(owner int, t wire.MsgType, body []byte, handle uint64, hops uint32) wire.Message {
+	s.mu.Lock()
+	var addr string
+	var epoch uint64
+	if s.smap != nil && owner < len(s.smap.Shards) {
+		addr = s.smap.Shards[owner]
+		epoch = s.smap.Epoch
+	}
+	s.stats.MetaForwards++
+	s.mu.Unlock()
+	if addr == "" {
+		return fail(wire.StatusUnavailable)
+	}
+	if hops > 0 {
+		m := s.CurrentMap()
+		if m == nil {
+			return fail(wire.StatusUnavailable)
+		}
+		return wire.Message{Header: wire.Header{Status: wire.StatusWrongEpoch}, Body: m.Marshal()}
+	}
+	env := wire.MetaEnvelope{Epoch: epoch, Hops: hops + 1, Inner: t, Body: body}
+	ctx, cancel := context.WithTimeout(context.Background(), s.timing.RetryWindow)
+	defer cancel()
+	conn, err := s.pool.GetContext(ctx, addr)
+	if err != nil {
+		return fail(wire.StatusUnavailable)
+	}
+	resp, err := conn.CallContext(ctx, wire.Message{
+		Header: wire.Header{Type: wire.TMetaForward, Handle: handle},
+		Body:   env.Marshal(),
+	})
+	if err != nil {
+		var serr *wire.StatusError
+		if !errors.As(err, &serr) {
+			// A timeout keeps the session healthy (the tag is abandoned);
+			// only a broken session is discarded, by identity, so a
+			// concurrent forward's fresh redial isn't closed underneath it.
+			if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+				s.pool.DiscardConn(addr, conn)
+			}
+			return fail(wire.StatusUnavailable)
+		}
+	}
+	// Hand the pooled response body to our own response frame; the
+	// transport recycles it after writing (Recycle contract).
+	return wire.Message{
+		Header:  wire.Header{Status: resp.Status, Handle: resp.Handle},
+		Body:    resp.Body,
+		Recycle: true,
+	}
+}
+
+// --- local execution ---
+
+// lockName serializes mutations per name so local apply order matches
+// commit order for any single name (cross-name operations commute).
+func (s *Shard) lockName(name string) func() {
+	for {
+		s.mu.Lock()
+		ch, held := s.locks[name]
+		if !held {
+			done := make(chan struct{})
+			s.locks[name] = done
+			s.mu.Unlock()
+			return func() {
+				s.mu.Lock()
+				delete(s.locks, name)
+				s.mu.Unlock()
+				close(done)
+			}
+		}
+		s.mu.Unlock()
+		select {
+		case <-ch:
+		case <-s.stopC:
+			// Shutting down: let the caller proceed and fail on propose.
+			return func() {}
+		}
+	}
+}
+
+func (s *Shard) create(cr *wire.CreateReq) wire.Message {
+	s.mu.Lock()
+	m := s.smap
+	if m == nil {
+		s.mu.Unlock()
+		return fail(wire.StatusUnavailable)
+	}
+	nshards := len(m.Shards)
+	iods := m.IODs
+	s.mu.Unlock()
+
+	cfg, st := resolveStriping(cr.Striping, len(iods))
+	if st != wire.StatusOK {
+		return fail(st)
+	}
+
+	unlock := s.lockName(cr.Name)
+	defer unlock()
+
+	s.mu.Lock()
+	if _, ok := s.ns.files[cr.Name]; ok {
+		s.mu.Unlock()
+		return fail(wire.StatusExists)
+	}
+	s.mu.Unlock()
+
+	// Up to three attempts ride out handle collisions (a lost sequence
+	// counter after resync); each attempt burns a fresh handle.
+	for attempt := 0; attempt < 3; attempt++ {
+		s.mu.Lock()
+		seq := s.ns.nextSeq
+		s.ns.nextSeq++
+		s.mu.Unlock()
+		info := wire.FileInfo{
+			Handle:   wire.MetaHandle(seq, s.idx, nshards),
+			Striping: cfg,
+			IODAddrs: rotatedAddrs(cfg, iods),
+		}
+		rec := wire.MetaCreateRec{Name: cr.Name, Info: info}
+		st, applied, err := s.propose(wire.MetaRecord{
+			Shard: uint32(s.idx), Seq: seq, Op: wire.TCreate, Body: rec.Marshal(),
+		})
+		if err != nil {
+			return fail(wire.StatusUnavailable)
+		}
+		switch st {
+		case wire.StatusOK:
+			s.mu.Lock()
+			use := info
+			if applied != nil {
+				use = *applied
+			}
+			if use.Handle != info.Handle {
+				// First-wins replay of an earlier identical create: our
+				// local state must mirror the committed one.
+				s.dirty = true
+			}
+			cp := use
+			s.ns.files[cr.Name] = &cp
+			s.ns.byHandle[cp.Handle] = cr.Name
+			s.stats.MetaCreates++
+			s.mu.Unlock()
+			return wire.Message{Header: wire.Header{Handle: use.Handle}, Body: use.Marshal()}
+		case wire.StatusInvalid:
+			// Handle collision at the master: our sequence counter was
+			// stale. Learn the committed state and retry with a fresh
+			// handle.
+			s.syncState()
+			continue
+		default:
+			return fail(st)
+		}
+	}
+	return fail(wire.StatusIOError)
+}
+
+func (s *Shard) open(name string) wire.Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info, ok := s.ns.files[name]
+	if !ok {
+		return fail(wire.StatusNotFound)
+	}
+	s.stats.MetaOpens++
+	return wire.Message{Header: wire.Header{Handle: info.Handle}, Body: info.Marshal()}
+}
+
+func (s *Shard) statHandle(handle uint64) wire.Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	name, ok := s.ns.byHandle[handle]
+	if !ok {
+		return fail(wire.StatusNotFound)
+	}
+	info := s.ns.files[name]
+	s.stats.MetaOpens++
+	return wire.Message{Header: wire.Header{Handle: info.Handle}, Body: info.Marshal()}
+}
+
+func (s *Shard) remove(name string) wire.Message {
+	unlock := s.lockName(name)
+	defer unlock()
+	s.mu.Lock()
+	info, ok := s.ns.files[name]
+	if !ok {
+		s.mu.Unlock()
+		return fail(wire.StatusNotFound)
+	}
+	handle := info.Handle
+	s.mu.Unlock()
+
+	nr := wire.NameReq{Name: name}
+	st, _, err := s.propose(wire.MetaRecord{
+		Shard: uint32(s.idx), Op: wire.TRemove, Body: nr.Marshal(),
+	})
+	if err != nil {
+		return fail(wire.StatusUnavailable)
+	}
+	if st == wire.StatusOK || st == wire.StatusNotFound {
+		s.mu.Lock()
+		if cur, ok := s.ns.files[name]; ok && cur.Handle == handle {
+			delete(s.ns.files, name)
+			delete(s.ns.byHandle, handle)
+		}
+		s.mu.Unlock()
+	}
+	if st != wire.StatusOK {
+		return fail(st)
+	}
+	return wire.Message{Header: wire.Header{Handle: handle}}
+}
+
+func (s *Shard) setSize(sr *wire.SetSizeReq) wire.Message {
+	s.mu.Lock()
+	name, ok := s.ns.byHandle[sr.Handle]
+	s.mu.Unlock()
+	if !ok {
+		return fail(wire.StatusNotFound)
+	}
+	unlock := s.lockName(name)
+	defer unlock()
+
+	st, _, err := s.propose(wire.MetaRecord{
+		Shard: uint32(s.idx), Op: wire.TSetSize, Body: sr.Marshal(),
+	})
+	if err != nil {
+		return fail(wire.StatusUnavailable)
+	}
+	if st != wire.StatusOK {
+		return fail(st)
+	}
+	s.mu.Lock()
+	if cur, ok := s.ns.byHandle[sr.Handle]; ok {
+		if info := s.ns.files[cur]; info.Size < sr.Size {
+			info.Size = sr.Size
+		}
+	}
+	s.mu.Unlock()
+	return wire.Message{Header: wire.Header{Handle: sr.Handle}}
+}
+
+func (s *Shard) listDir() wire.Message {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.ns.files))
+	for n := range s.ns.files {
+		names = append(names, n)
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+	resp := wire.ListDirResp{Names: names}
+	return wire.Message{Body: resp.Marshal()}
+}
+
+// propose submits one record, marking the shard dirty when the
+// outcome is unknown (it may have committed; the local cache must be
+// reconciled before it serves again).
+func (s *Shard) propose(rec wire.MetaRecord) (wire.Status, *wire.FileInfo, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.timing.RetryWindow)
+	defer cancel()
+	st, info, err := s.prop.Propose(ctx, rec)
+	if err != nil {
+		s.mu.Lock()
+		s.dirty = true
+		s.mu.Unlock()
+		logf(s.logger, "meta-shard[%d]: propose %v: %v", s.idx, rec.Op, err)
+		return 0, nil, err
+	}
+	return st, info, nil
+}

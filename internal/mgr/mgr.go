@@ -6,44 +6,52 @@
 // when a client opens a file, the manager returns the file handle,
 // striping configuration, and the addresses of the I/O daemons; all
 // data traffic then flows directly between client and I/O daemons.
+//
+// Since the metadata plane was rebuilt on internal/meta (DESIGN.md
+// §13), this package is a thin compatibility wrapper: one listener
+// fronting a solo master replica (meta.Node with itself as the only
+// peer, leading from construction) and one metadata shard (meta.Shard
+// proposing through the node in-process). The wire behavior of the
+// classic single manager is preserved exactly — same request grammar,
+// same validation, same 1, 2, 3, ... handle sequence — while larger
+// deployments run the same two roles as separate replicated masters
+// and hash-partitioned shards.
 package mgr
 
 import (
 	"log"
 	"net"
-	"sort"
-	"sync"
 
+	"pvfs/internal/meta"
 	"pvfs/internal/pvfsnet"
-	"pvfs/internal/striping"
 	"pvfs/internal/wire"
 )
 
-// meta is the manager's record for one file.
-type meta struct {
-	handle   uint64
-	size     int64
-	striping striping.Config
-}
-
-// Server is a running manager daemon.
+// Server is a running manager daemon: a solo metadata plane behind a
+// single listener.
 type Server struct {
-	iodAddrs []string
-	srv      *pvfsnet.Server
-
-	mu         sync.Mutex
-	files      map[string]*meta
-	nextHandle uint64
+	node  *meta.Node
+	shard *meta.Shard
+	srv   *pvfsnet.Server
 }
 
 // New starts a manager on ln that hands out the given I/O daemon
 // addresses (stripe order).
 func New(ln net.Listener, iodAddrs []string, logger *log.Logger) *Server {
-	s := &Server{
-		iodAddrs:   append([]string(nil), iodAddrs...),
-		files:      make(map[string]*meta),
-		nextHandle: 1,
+	addr := ln.Addr().String()
+	boot := &wire.ShardMap{
+		Epoch:   1,
+		Masters: []string{addr},
+		Shards:  []string{addr},
+		IODs:    append([]string(nil), iodAddrs...),
 	}
+	node := meta.NewNode(meta.NodeOptions{
+		ID: 0, Peers: []string{addr}, Bootstrap: boot, Logger: logger,
+	})
+	shard := meta.NewShard(meta.ShardOptions{
+		Index: 0, Proposer: meta.LocalProposer{Node: node}, Logger: logger,
+	})
+	s := &Server{node: node, shard: shard}
 	s.srv = pvfsnet.NewServer(ln, s.handle, logger)
 	return s
 }
@@ -64,146 +72,45 @@ func (s *Server) Addr() string { return s.srv.Addr() }
 // (pvfsnet.Faults) in recovery tests.
 func (s *Server) Net() *pvfsnet.Server { return s.srv }
 
-// Close stops the manager.
-func (s *Server) Close() error { return s.srv.Close() }
+// Node exposes the embedded solo master replica.
+func (s *Server) Node() *meta.Node { return s.node }
 
-func fail(st wire.Status) wire.Message {
-	return wire.Message{Header: wire.Header{Status: st}}
+// Shard exposes the embedded metadata shard.
+func (s *Server) Shard() *meta.Shard { return s.shard }
+
+// Stats returns the manager's combined metadata accounting.
+func (s *Server) Stats() wire.ServerStats {
+	st := s.shard.Stats()
+	st.Add(s.node.Stats())
+	return st
 }
 
+// Close stops the manager.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	s.shard.Close()
+	s.node.Close()
+	return err
+}
+
+// handle demultiplexes the single listener: consensus traffic goes to
+// the master replica, everything else (the classic manager grammar
+// plus the TMetaForward envelope) to the shard.
 func (s *Server) handle(req wire.Message) wire.Message {
 	switch req.Type {
-	case wire.TCreate:
-		return s.create(req)
-	case wire.TOpen, wire.TStat:
-		return s.open(req)
-	case wire.TRemove:
-		return s.remove(req)
-	case wire.TListDir:
-		return s.listDir(req)
-	case wire.TSetSize:
-		return s.setSize(req)
-	case wire.TPing:
-		return wire.Message{Header: wire.Header{Handle: req.Handle}}
-	default:
-		return fail(wire.StatusInvalid)
-	}
-}
-
-// rotatedAddrs returns the I/O daemon addresses in relative stripe
-// order for cfg: index i of the result serves relative server i.
-func (s *Server) rotatedAddrs(cfg striping.Config) []string {
-	n := len(s.iodAddrs)
-	out := make([]string, cfg.PCount)
-	for i := 0; i < cfg.PCount; i++ {
-		out[i] = s.iodAddrs[(cfg.Base+i)%n]
-	}
-	return out
-}
-
-func (s *Server) create(req wire.Message) wire.Message {
-	var body wire.CreateReq
-	if err := body.Unmarshal(req.Body); err != nil {
-		return fail(wire.StatusProtocol)
-	}
-	if body.Name == "" {
-		return fail(wire.StatusInvalid)
-	}
-	cfg := body.Striping
-	if cfg.PCount == 0 {
-		cfg.PCount = len(s.iodAddrs)
-	}
-	if cfg.StripeSize == 0 {
-		cfg.StripeSize = striping.DefaultStripeSize
-	}
-	if cfg.PCount > len(s.iodAddrs) || cfg.Base >= len(s.iodAddrs) {
-		return fail(wire.StatusInvalid)
-	}
-	if err := cfg.Validate(); err != nil {
-		return fail(wire.StatusInvalid)
-	}
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, exists := s.files[body.Name]; exists {
-		return fail(wire.StatusExists)
-	}
-	m := &meta{handle: s.nextHandle, striping: cfg}
-	s.nextHandle++
-	s.files[body.Name] = m
-	info := wire.FileInfo{
-		Handle:   m.handle,
-		Size:     0,
-		Striping: cfg,
-		IODAddrs: s.rotatedAddrs(cfg),
-	}
-	return wire.Message{Header: wire.Header{Handle: m.handle}, Body: info.Marshal()}
-}
-
-func (s *Server) open(req wire.Message) wire.Message {
-	var body wire.NameReq
-	if err := body.Unmarshal(req.Body); err != nil {
-		return fail(wire.StatusProtocol)
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	m, ok := s.files[body.Name]
-	if !ok {
-		return fail(wire.StatusNotFound)
-	}
-	info := wire.FileInfo{
-		Handle:   m.handle,
-		Size:     m.size,
-		Striping: m.striping,
-		IODAddrs: s.rotatedAddrs(m.striping),
-	}
-	return wire.Message{Header: wire.Header{Handle: m.handle}, Body: info.Marshal()}
-}
-
-func (s *Server) remove(req wire.Message) wire.Message {
-	var body wire.NameReq
-	if err := body.Unmarshal(req.Body); err != nil {
-		return fail(wire.StatusProtocol)
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	m, ok := s.files[body.Name]
-	if !ok {
-		return fail(wire.StatusNotFound)
-	}
-	delete(s.files, body.Name)
-	return wire.Message{Header: wire.Header{Handle: m.handle}}
-}
-
-func (s *Server) listDir(req wire.Message) wire.Message {
-	s.mu.Lock()
-	names := make([]string, 0, len(s.files))
-	for n := range s.files {
-		names = append(names, n)
-	}
-	s.mu.Unlock()
-	sort.Strings(names)
-	resp := wire.ListDirResp{Names: names}
-	return wire.Message{Body: resp.Marshal()}
-}
-
-// setSize records a logical size reported by a client. Sizes only grow
-// unless the file is truncated via remove/create; concurrent writers
-// race benignly to the max.
-func (s *Server) setSize(req wire.Message) wire.Message {
-	var body wire.SetSizeReq
-	if err := body.Unmarshal(req.Body); err != nil {
-		return fail(wire.StatusProtocol)
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, m := range s.files {
-		if m.handle == body.Handle {
-			if body.Size > m.size {
-				m.size = body.Size
-			}
-			return wire.Message{Header: wire.Header{Handle: body.Handle}}
+	case wire.TMetaVote, wire.TMetaAppend, wire.TMetaPropose, wire.TMetaFetch:
+		return s.node.Handle(req)
+	case wire.TShardMap:
+		// The node's copy is authoritative (committed); serve queries
+		// from it and let installs fall through to the shard.
+		if len(req.Body) == 0 {
+			return s.node.Handle(req)
 		}
+		return s.shard.Handle(req)
+	case wire.TServerStats:
+		st := s.Stats()
+		return wire.Message{Body: st.Marshal()}
+	default:
+		return s.shard.Handle(req)
 	}
-	return fail(wire.StatusNotFound)
 }

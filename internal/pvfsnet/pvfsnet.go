@@ -631,6 +631,24 @@ func (p *Pool) Discard(addr string) {
 	}
 }
 
+// DiscardConn is Discard restricted by identity: it closes and forgets
+// the pooled connection for addr only while that connection is still c.
+// Concurrent callers sharing one pooled connection all observe the same
+// session failure; the first discard removes the broken connection, and
+// identity matching keeps the rest from closing the freshly redialed
+// replacement another caller already obtained.
+func (p *Pool) DiscardConn(addr string, c *Conn) {
+	p.mu.Lock()
+	cur, ok := p.conns[addr]
+	if ok && cur == c {
+		delete(p.conns, addr)
+	}
+	p.mu.Unlock()
+	if ok && cur == c {
+		c.Close()
+	}
+}
+
 // Close closes every pooled connection.
 func (p *Pool) Close() error {
 	p.mu.Lock()

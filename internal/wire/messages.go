@@ -355,6 +355,12 @@ type ServerStats struct {
 	// numerator of the copies/op metric.
 	StoreSubmissions int64 // multi-span batches submitted (BatchIO)
 	StoreBytesCopied int64 // bytes moved through user-space copies
+	// Metadata-plane accounting (DESIGN.md §13), populated by the
+	// metadata shards and master replicas.
+	MetaCreates   int64 // creates applied by this shard
+	MetaOpens     int64 // opens/stats served from shard state
+	MetaForwards  int64 // envelopes proxied to the owning shard
+	ElectionCount int64 // leadership changes observed (masters)
 }
 
 func (m *ServerStats) Marshal() []byte {
@@ -376,6 +382,10 @@ func (m *ServerStats) Marshal() []byte {
 	e.i64(m.StoreBytesWritten)
 	e.i64(m.StoreSubmissions)
 	e.i64(m.StoreBytesCopied)
+	e.i64(m.MetaCreates)
+	e.i64(m.MetaOpens)
+	e.i64(m.MetaForwards)
+	e.i64(m.ElectionCount)
 	return e.buf
 }
 
@@ -398,6 +408,10 @@ func (m *ServerStats) Unmarshal(b []byte) error {
 	m.StoreBytesWritten = d.i64()
 	m.StoreSubmissions = d.i64()
 	m.StoreBytesCopied = d.i64()
+	m.MetaCreates = d.i64()
+	m.MetaOpens = d.i64()
+	m.MetaForwards = d.i64()
+	m.ElectionCount = d.i64()
 	return d.err
 }
 
@@ -460,4 +474,8 @@ func (m *ServerStats) Add(other ServerStats) {
 	m.StoreBytesWritten += other.StoreBytesWritten
 	m.StoreSubmissions += other.StoreSubmissions
 	m.StoreBytesCopied += other.StoreBytesCopied
+	m.MetaCreates += other.MetaCreates
+	m.MetaOpens += other.MetaOpens
+	m.MetaForwards += other.MetaForwards
+	m.ElectionCount += other.ElectionCount
 }

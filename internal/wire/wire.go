@@ -79,6 +79,20 @@ const (
 	// the request's handle down to durable storage (DESIGN.md §7). A
 	// daemon without a write-back cache answers OK immediately.
 	TSync
+	// Metadata-plane operations (DESIGN.md §13). TShardMap queries (empty
+	// body) or installs (ShardMap body) the epoch-stamped shard map.
+	// TMetaForward wraps a manager-grammar request in a MetaEnvelope so a
+	// shard can check the client's epoch and proxy to the owning shard.
+	// The remaining four are master-replica internal: leader election
+	// (TMetaVote), log replication and snapshot install (TMetaAppend),
+	// shard-originated mutation proposals (TMetaPropose), and shard
+	// state/snapshot fetch (TMetaFetch).
+	TShardMap
+	TMetaForward
+	TMetaVote
+	TMetaAppend
+	TMetaPropose
+	TMetaFetch
 
 	responseBit MsgType = 0x8000
 )
@@ -102,6 +116,9 @@ func (t MsgType) String() string {
 		TServerStats: "serverstats", TPing: "ping",
 		TListHandles: "listhandles", TReadDatatype: "readdatatype",
 		TWriteDatatype: "writedatatype", TSync: "sync",
+		TShardMap: "shardmap", TMetaForward: "metaforward",
+		TMetaVote: "metavote", TMetaAppend: "metaappend",
+		TMetaPropose: "metapropose", TMetaFetch: "metafetch",
 	}
 	n, ok := names[t.Base()]
 	if !ok {
@@ -132,6 +149,18 @@ const (
 	// PVFS data operations address absolute physical offsets and are
 	// idempotent (DESIGN.md §9).
 	StatusUnavailable
+	// StatusWrongEpoch rejects a metadata request stamped with a shard
+	// map epoch other than the shard's own; the response body carries the
+	// shard's current ShardMap so the client can refresh and re-route
+	// without another round trip (DESIGN.md §13). Like NotLeader it is a
+	// routing verdict, not a request verdict: the client library handles
+	// it internally and user code never sees it.
+	StatusWrongEpoch
+	// StatusNotLeader rejects a replication or proposal request sent to a
+	// master replica that is not the current leader. The response body
+	// may carry a leader address hint. Handled by the meta proposer's
+	// leader-tracking retry, never by the generic Retryable path.
+	StatusNotLeader
 )
 
 func (s Status) String() string {
@@ -152,6 +181,10 @@ func (s Status) String() string {
 		return "protocol error"
 	case StatusUnavailable:
 		return "temporarily unavailable"
+	case StatusWrongEpoch:
+		return "stale shard map epoch"
+	case StatusNotLeader:
+		return "not the leader"
 	default:
 		return fmt.Sprintf("status(%d)", uint32(s))
 	}
