@@ -89,6 +89,7 @@ func main() {
 	replica := flag.String("replica", "", "comma-separated master replica addresses, self included: run one master replica of the metadata plane")
 	join := flag.String("join", "", "comma-separated master replica addresses: run a metadata shard that joins that group")
 	shards := flag.String("shards", "", "comma-separated metadata shard addresses; with -replica, bootstraps a fresh deployment's shard map (omit when rejoining)")
+	dir := flag.String("dir", "", "with -replica, durable state directory (term, vote, log, snapshot); strongly recommended — a replica restarted without it forgets its promises")
 	quiet := flag.Bool("quiet", false, "suppress logging")
 	flag.Parse()
 
@@ -101,13 +102,19 @@ func main() {
 	case *replica != "" && *join != "":
 		fatalf("-replica and -join are mutually exclusive roles")
 	case *replica != "":
-		runMaster(*addr, *replica, *shards, *iods, logger)
+		runMaster(*addr, *replica, *shards, *iods, *dir, logger)
 	case *join != "":
 		if *shards != "" {
 			fatalf("-shards only applies to -replica bootstrap")
 		}
+		if *dir != "" {
+			fatalf("-dir only applies to -replica")
+		}
 		runShard(*addr, *join, logger)
 	default:
+		if *dir != "" {
+			fatalf("-dir only applies to -replica")
+		}
 		runClassic(*addr, *iods, logger)
 	}
 }
@@ -132,7 +139,7 @@ func runClassic(addr, iods string, logger *log.Logger) {
 }
 
 // runMaster runs one master replica.
-func runMaster(addr, replica, shards, iods string, logger *log.Logger) {
+func runMaster(addr, replica, shards, iods, dir string, logger *log.Logger) {
 	peers := splitAddrs(replica)
 	id := indexOf(addr, peers)
 	if id < 0 {
@@ -154,7 +161,10 @@ func runMaster(addr, replica, shards, iods string, logger *log.Logger) {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	node := meta.NewNode(meta.NodeOptions{ID: id, Peers: peers, Bootstrap: boot, Logger: logger})
+	node, err := meta.NewNode(meta.NodeOptions{ID: id, Peers: peers, Bootstrap: boot, Dir: dir, Logger: logger})
+	if err != nil {
+		fatalf("%v", err)
+	}
 	srv := pvfsnet.NewServer(ln, node.Handle, logger)
 	mode := "rejoining"
 	if boot != nil {

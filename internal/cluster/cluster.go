@@ -77,6 +77,8 @@ type Cluster struct {
 	masters     []*masterProc // nil slots are killed replicas
 	shards      []*shardProc
 	metaTiming  meta.Timing
+	masterDirs  []string // per-replica durable state dirs
+	metaTmpDir  string   // owned temp root for masterDirs; removed on Close
 }
 
 // plainStore hides a store's vectored and batched interfaces

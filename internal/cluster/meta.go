@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"os"
+	"path/filepath"
 	"time"
 
 	"pvfs/internal/meta"
@@ -72,11 +74,31 @@ func (c *Cluster) startMeta(iodAddrs []string) error {
 		IODs:    append([]string(nil), iodAddrs...),
 	}
 	c.metaTiming = mo.Timing
+	// Every replica gets a durable state dir so kill/restart cycles
+	// recover the persisted term, vote, and log (Raft's safety argument
+	// requires it — an amnesiac replica can vote away acked entries).
+	root := c.opts.DataDir
+	if root == "" {
+		tmp, err := os.MkdirTemp("", "pvfs-meta-")
+		if err != nil {
+			return err
+		}
+		c.metaTmpDir = tmp
+		root = tmp
+	}
+	c.masterDirs = make([]string, mo.Masters)
+	for i := range c.masterDirs {
+		c.masterDirs[i] = filepath.Join(root, fmt.Sprintf("master%d", i))
+	}
 	for i, ln := range mlns {
-		node := meta.NewNode(meta.NodeOptions{
-			ID: i, Peers: c.masterAddrs, Bootstrap: boot,
+		node, err := meta.NewNode(meta.NodeOptions{
+			ID: i, Peers: c.masterAddrs, Bootstrap: boot, Dir: c.masterDirs[i],
 			Timing: mo.Timing, Logger: c.opts.Logger,
 		})
+		if err != nil {
+			ln.Close()
+			return err
+		}
 		c.masters = append(c.masters, &masterProc{
 			node: node,
 			srv:  pvfsnet.NewServer(ln, node.Handle, c.opts.Logger),
@@ -111,6 +133,9 @@ func (c *Cluster) closeMeta() {
 			m.node.Close()
 			m.srv.Close()
 		}
+	}
+	if c.metaTmpDir != "" {
+		os.RemoveAll(c.metaTmpDir)
 	}
 }
 
@@ -166,9 +191,12 @@ func (c *Cluster) KillMaster(i int) error {
 	return m.srv.Close()
 }
 
-// RestartMaster brings replica i back on its original address with an
-// empty log; the current leader catches it up by entry replay or
-// snapshot install before it can matter for majority.
+// RestartMaster brings replica i back on its original address over
+// its durable state dir, recovering the term, vote, log, and snapshot
+// the killed incarnation had persisted — so the restarted replica
+// keeps its pre-crash promises (no double vote, no granting votes
+// against entries it helped commit). The leader replays or
+// snapshot-installs whatever committed while it was down.
 func (c *Cluster) RestartMaster(i int) error {
 	c.mu.Lock()
 	if c.masters[i] != nil {
@@ -190,10 +218,14 @@ func (c *Cluster) RestartMaster(i int) error {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	node := meta.NewNode(meta.NodeOptions{
-		ID: i, Peers: c.masterAddrs,
+	node, err := meta.NewNode(meta.NodeOptions{
+		ID: i, Peers: c.masterAddrs, Dir: c.masterDirs[i],
 		Timing: c.metaTiming, Logger: c.opts.Logger,
 	})
+	if err != nil {
+		ln.Close()
+		return fmt.Errorf("cluster: restarting master %d: %w", i, err)
+	}
 	mp := &masterProc{node: node, srv: pvfsnet.NewServer(ln, node.Handle, c.opts.Logger)}
 	c.mu.Lock()
 	c.masters[i] = mp

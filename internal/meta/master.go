@@ -42,6 +42,16 @@ type NodeOptions struct {
 	// caught up by snapshot install instead of entry replay. 0 selects
 	// a default; negative disables compaction.
 	MaxLog int
+	// Dir, when non-empty, persists the replica's Raft state — term,
+	// vote, log, snapshot — under it, fsynced before the replica
+	// answers a vote, acks an append, or acks a proposal, and recovers
+	// it on restart. This is what makes a replica's promises durable: a
+	// replica restarted amnesiac could double-vote in a term or grant
+	// its vote over an empty log to a candidate missing entries it
+	// helped commit, losing acked mutations. Empty keeps state in
+	// memory — acceptable only for the solo mgr wrapper (no elections)
+	// and tests that never restart replicas.
+	Dir string
 	// Logger receives protocol events; nil silences them.
 	Logger *log.Logger
 }
@@ -66,6 +76,9 @@ var ErrNotLeader = errors.New("meta: not the leader")
 // errClosed is returned once the node has shut down.
 var errClosed = errors.New("meta: node closed")
 
+// errNoShard rejects a fetch for a partition outside the shard map.
+var errNoShard = errors.New("meta: no state for that shard")
+
 // Node is one master replica: a member of the leader-elected group
 // that owns the shard map, striping placement, and the replicated
 // metadata log. It is transport-free — Handle serves the wire
@@ -78,8 +91,10 @@ type Node struct {
 	maxLog int
 	logger *log.Logger
 	pool   *pvfsnet.Pool
+	stable *stable // durable Raft state; nil keeps state in memory
 
 	mu        sync.Mutex
+	wounded   bool // a persist failed: stop making durable promises
 	rng       *rand.Rand
 	term      uint64
 	votedFor  int
@@ -107,8 +122,10 @@ type Node struct {
 
 // NewNode starts a master replica: its clock loop and one replicator
 // per peer. The caller owns the listener: attach n.Handle via
-// pvfsnet.NewServer on the address Peers[ID].
-func NewNode(o NodeOptions) *Node {
+// pvfsnet.NewServer on the address Peers[ID]. With Dir set, any state
+// a previous incarnation persisted there is recovered first and wins
+// over Bootstrap.
+func NewNode(o NodeOptions) (*Node, error) {
 	t := o.Timing.withDefaults()
 	maxLog := o.MaxLog
 	if maxLog == 0 {
@@ -129,12 +146,31 @@ func NewNode(o NodeOptions) *Node {
 		nextIdx:  make([]uint64, len(o.Peers)),
 		stopC:    make(chan struct{}),
 	}
-	if o.Bootstrap != nil {
+	if o.Dir != "" {
+		st, rec, err := openStable(o.Dir)
+		if err != nil {
+			n.pool.Close()
+			return nil, err
+		}
+		n.stable = st
+		n.term = rec.hard.Term
+		n.votedFor = int(rec.hard.VotedFor)
+		if rec.snap != nil {
+			n.restoreSnapshotLocked(rec.snap)
+		}
+		n.log = rec.entries
+		if len(n.log) > 0 {
+			logf(n.logger, "meta[%d]: recovered term %d, log %d..%d (snap %d)",
+				n.id, n.term, n.snapIndex+1, n.lastIndexLocked(), n.snapIndex)
+		}
+	}
+	if o.Bootstrap != nil && n.snapIndex == 0 && len(n.log) == 0 {
 		boot := o.Bootstrap.Clone()
 		n.log = append(n.log, wire.MetaEntry{
 			Index: 1, Term: 0,
 			Rec: wire.MetaRecord{Op: wire.TShardMap, Body: boot.Marshal()},
 		})
+		n.persistLogLocked(1, n.log)
 	}
 	n.resetDeadlineLocked()
 	n.notify = make([]chan struct{}, len(n.peers))
@@ -149,15 +185,87 @@ func NewNode(o NodeOptions) *Node {
 	if len(n.peers) == 1 {
 		// A solo deployment (the mgr compatibility wrapper) needs no
 		// election: become leader immediately so the first create never
-		// waits out an election timeout.
+		// waits out an election timeout. The term bump mirrors an
+		// election so a recovered log's entries stay in older terms.
 		n.mu.Lock()
-		n.term = 1
+		n.term++
+		n.votedFor = n.id
+		n.persistHardLocked()
 		n.becomeLeaderLocked()
 		n.mu.Unlock()
 	}
 	n.wg.Add(1)
 	go n.clockLoop()
-	return n
+	return n, nil
+}
+
+// restoreSnapshotLocked rebuilds log base and materialized state from
+// a snapshot (recovery and follower install share it). Snapshots are
+// committed state by construction.
+func (n *Node) restoreSnapshotLocked(snap *wire.MetaSnapshot) {
+	n.snapIndex = snap.LastIndex
+	n.snapTerm = snap.LastTerm
+	n.log = nil
+	n.commit = snap.LastIndex
+	n.applied = snap.LastIndex
+	m := snap.Map
+	n.smap = &m
+	n.states = make([]*namespace, len(m.Shards))
+	for i := range n.states {
+		n.states[i] = newNamespace()
+	}
+	for i := range snap.Shards {
+		s := &snap.Shards[i]
+		if int(s.Shard) < len(n.states) {
+			n.states[s.Shard].install(s)
+		}
+	}
+}
+
+// --- persistence ---
+
+// errPersist fails proposals once a stable-state write has failed: the
+// replica can no longer make durable promises.
+var errPersist = errors.New("meta: persistent state write failed")
+
+// persistHardLocked durably records term/votedFor. On failure the
+// replica wounds itself — it stops granting votes, acking appends,
+// and acking proposals — because an unpersisted promise could be
+// broken by a restart.
+func (n *Node) persistHardLocked() {
+	if n.stable == nil || n.wounded {
+		return
+	}
+	h := wire.MetaHardState{Term: n.term, VotedFor: int32(n.votedFor)}
+	if err := n.stable.saveHard(h); err != nil {
+		n.wounded = true
+		logf(n.logger, "meta[%d]: persist hard state: %v", n.id, err)
+	}
+}
+
+// persistLogLocked durably records one log mutation (truncate to
+// < from, then append entries).
+func (n *Node) persistLogLocked(from uint64, entries []wire.MetaEntry) {
+	if n.stable == nil || n.wounded {
+		return
+	}
+	if err := n.stable.appendLog(from, entries); err != nil {
+		n.wounded = true
+		logf(n.logger, "meta[%d]: persist log: %v", n.id, err)
+	}
+}
+
+// persistSnapshotLocked durably replaces the snapshot and resets the
+// WAL to the surviving log tail.
+func (n *Node) persistSnapshotLocked(snap *wire.MetaSnapshot) {
+	if n.stable == nil || n.wounded {
+		return
+	}
+	h := wire.MetaHardState{Term: n.term, VotedFor: int32(n.votedFor)}
+	if err := n.stable.saveSnapshot(snap, n.log, h); err != nil {
+		n.wounded = true
+		logf(n.logger, "meta[%d]: persist snapshot: %v", n.id, err)
+	}
 }
 
 // Close shuts the replica down; outstanding proposals fail.
@@ -176,6 +284,9 @@ func (n *Node) Close() error {
 	n.mu.Unlock()
 	n.pool.Close()
 	n.wg.Wait()
+	if n.stable != nil {
+		n.stable.close()
+	}
 	return nil
 }
 
@@ -278,6 +389,7 @@ func (n *Node) stepDownLocked(term uint64) {
 	if term > n.term {
 		n.term = term
 		n.votedFor = -1
+		n.persistHardLocked()
 	}
 	if n.role != follower {
 		logf(n.logger, "meta[%d]: stepping down at term %d", n.id, n.term)
@@ -304,6 +416,7 @@ func (n *Node) becomeLeaderLocked() {
 		Index: last + 1, Term: n.term,
 		Rec: wire.MetaRecord{Op: wire.TPing},
 	})
+	n.persistLogLocked(last+1, n.log[len(n.log)-1:])
 	n.lastBeat = time.Now()
 	logf(n.logger, "meta[%d]: leading term %d (log %d)", n.id, n.term, last+1)
 	n.advanceCommitLocked()
@@ -356,8 +469,15 @@ func (n *Node) clockLoop() {
 }
 
 func (n *Node) startElectionLocked() {
+	if n.wounded {
+		return // an unpersisted self-vote is a promise we cannot keep
+	}
 	n.term++
 	n.votedFor = n.id
+	n.persistHardLocked()
+	if n.wounded {
+		return
+	}
 	n.role = candidate
 	n.leaderID = -1
 	n.resetDeadlineLocked()
@@ -611,20 +731,23 @@ func (n *Node) applyEntryLocked(e *wire.MetaEntry) applyResult {
 		if err := m.Unmarshal(rec.Body); err != nil {
 			return applyResult{status: wire.StatusProtocol}
 		}
+		if len(n.states) > 0 && len(m.Shards) != len(n.states) {
+			// Shard count is fixed per deployment: handles encode their
+			// creation-time count, so a resizing config would break
+			// handle routing and orphan per-shard state. ProposeConfig
+			// rejects these up front; refuse deterministically here too
+			// in case one reaches the log anyway.
+			return applyResult{status: wire.StatusInvalid}
+		}
 		n.smap = &m
-		if len(n.states) != len(m.Shards) {
+		if len(n.states) == 0 {
 			// First config (bootstrap or replay from empty): size the
-			// per-shard states. Shard count is fixed per deployment, so
-			// later config entries only bump the epoch.
-			states := make([]*namespace, len(m.Shards))
-			for i := range states {
-				if i < len(n.states) {
-					states[i] = n.states[i]
-				} else {
-					states[i] = newNamespace()
-				}
+			// per-shard states. Later config entries only bump the epoch
+			// or swap addresses.
+			n.states = make([]*namespace, len(m.Shards))
+			for i := range n.states {
+				n.states[i] = newNamespace()
 			}
-			n.states = states
 		}
 		return applyResult{status: wire.StatusOK}
 	case wire.TPing:
@@ -659,6 +782,7 @@ func (n *Node) compactLocked() {
 	n.snapTerm = n.termAtLocked(newBase)
 	n.log = append([]wire.MetaEntry(nil), n.log[newBase-n.snapIndex:]...)
 	n.snapIndex = newBase
+	n.persistSnapshotLocked(n.snapshotLocked())
 }
 
 // installSnapshotLocked replaces log and state wholesale (a follower
@@ -667,23 +791,8 @@ func (n *Node) installSnapshotLocked(snap *wire.MetaSnapshot) {
 	if snap.LastIndex <= n.commit {
 		return // we already have everything the snapshot covers
 	}
-	n.snapIndex = snap.LastIndex
-	n.snapTerm = snap.LastTerm
-	n.log = nil
-	n.commit = snap.LastIndex
-	n.applied = snap.LastIndex
-	m := snap.Map
-	n.smap = &m
-	n.states = make([]*namespace, len(m.Shards))
-	for i := range n.states {
-		n.states[i] = newNamespace()
-	}
-	for i := range snap.Shards {
-		s := &snap.Shards[i]
-		if int(s.Shard) < len(n.states) {
-			n.states[s.Shard].install(s)
-		}
-	}
+	n.restoreSnapshotLocked(snap)
+	n.persistSnapshotLocked(snap)
 	// Any waiter below the snapshot horizon was resolved elsewhere;
 	// followers hold no waiters, but be safe on role transitions.
 	for idx, ch := range n.waiters {
@@ -697,22 +806,35 @@ func (n *Node) installSnapshotLocked(snap *wire.MetaSnapshot) {
 // --- proposals ---
 
 // Propose submits one mutation record for replication and waits for
-// its committed verdict: the applied status and (for creates) file
-// info. A StatusNotLeader status carries no verdict — the caller
-// should retry against hint (the leader's address, when known).
-func (n *Node) Propose(ctx context.Context, rec wire.MetaRecord) (wire.Status, *wire.FileInfo, string, error) {
+// its committed verdict: the applied status, (for creates) file info,
+// and the entry's committed log index — shards order snapshot
+// installs against it. A StatusNotLeader status carries no verdict —
+// the caller should retry against hint (the leader's address, when
+// known).
+func (n *Node) Propose(ctx context.Context, rec wire.MetaRecord) (wire.Status, *wire.FileInfo, uint64, string, error) {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
-		return 0, nil, "", errClosed
+		return 0, nil, 0, "", errClosed
+	}
+	if n.wounded {
+		n.mu.Unlock()
+		return 0, nil, 0, "", errPersist
 	}
 	if n.role != leader {
 		hint := n.leaderHintLocked()
 		n.mu.Unlock()
-		return wire.StatusNotLeader, nil, hint, nil
+		return wire.StatusNotLeader, nil, 0, hint, nil
 	}
 	idx := n.lastIndexLocked() + 1
-	n.log = append(n.log, wire.MetaEntry{Index: idx, Term: n.term, Rec: rec})
+	entry := wire.MetaEntry{Index: idx, Term: n.term, Rec: rec}
+	n.log = append(n.log, entry)
+	n.persistLogLocked(idx, n.log[len(n.log)-1:])
+	if n.wounded {
+		n.log = n.log[:len(n.log)-1]
+		n.mu.Unlock()
+		return 0, nil, 0, "", errPersist
+	}
 	ch := make(chan applyResult, 1)
 	n.waiters[idx] = ch
 	n.advanceCommitLocked() // a solo group commits synchronously
@@ -722,9 +844,9 @@ func (n *Node) Propose(ctx context.Context, rec wire.MetaRecord) (wire.Status, *
 	select {
 	case res := <-ch:
 		if res.err != nil {
-			return 0, nil, "", res.err
+			return 0, nil, 0, "", res.err
 		}
-		return res.status, res.info, "", nil
+		return res.status, res.info, idx, "", nil
 	case <-ctx.Done():
 		// Prefer a verdict that raced in over the cancellation: only if
 		// the waiter is still registered is the outcome truly unknown.
@@ -732,22 +854,25 @@ func (n *Node) Propose(ctx context.Context, rec wire.MetaRecord) (wire.Status, *
 		if _, waiting := n.waiters[idx]; waiting {
 			delete(n.waiters, idx) // the entry may still commit later
 			n.mu.Unlock()
-			return 0, nil, "", ctx.Err()
+			return 0, nil, 0, "", ctx.Err()
 		}
 		n.mu.Unlock()
 		res := <-ch
 		if res.err != nil {
-			return 0, nil, "", res.err
+			return 0, nil, 0, "", res.err
 		}
-		return res.status, res.info, "", nil
+		return res.status, res.info, idx, "", nil
 	case <-n.stopC:
-		return 0, nil, "", errClosed
+		return 0, nil, 0, "", errClosed
 	}
 }
 
 // ProposeConfig replicates a shard-map change built by mutate (applied
 // to a copy of the current map with the epoch already bumped) and
-// returns the committed map.
+// returns the committed map. A mutation that changes the shard count
+// is rejected outright: handles encode their creation-time shard
+// count, so resizing the partition space would break handle routing
+// and orphan per-shard namespace state.
 func (n *Node) ProposeConfig(ctx context.Context, mutate func(*wire.ShardMap)) (*wire.ShardMap, error) {
 	n.mu.Lock()
 	if n.smap == nil {
@@ -756,11 +881,16 @@ func (n *Node) ProposeConfig(ctx context.Context, mutate func(*wire.ShardMap)) (
 	}
 	next := n.smap.Clone()
 	n.mu.Unlock()
+	nshards := len(next.Shards)
 	next.Epoch++
 	if mutate != nil {
 		mutate(next)
 	}
-	st, _, _, err := n.Propose(ctx, wire.MetaRecord{Op: wire.TShardMap, Body: next.Marshal()})
+	if len(next.Shards) != nshards {
+		return nil, fmt.Errorf("meta: shard count is fixed per deployment (%d, proposed %d)",
+			nshards, len(next.Shards))
+	}
+	st, _, _, _, err := n.Propose(ctx, wire.MetaRecord{Op: wire.TShardMap, Body: next.Marshal()})
 	if err != nil {
 		return nil, err
 	}
@@ -770,20 +900,37 @@ func (n *Node) ProposeConfig(ctx context.Context, mutate func(*wire.ShardMap)) (
 	return next, nil
 }
 
-// FetchShard returns one partition's materialized committed state with
-// the current map; leader only (a lagging follower could hand a
-// restarting shard a state missing acked mutations).
-func (n *Node) FetchShard(ctx context.Context, shard uint32) (*wire.MetaSnapshot, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.closed {
-		return nil, errClosed
+// readBarrier confirms this replica still leads by committing a no-op
+// of its current term: the no-op can only commit if a majority still
+// follows this leader, and its commit implies every entry any prior
+// leader committed is in our applied state. Without it a partitioned
+// deposed leader that still believes it leads would serve recovery
+// snapshots missing majority-acked mutations.
+func (n *Node) readBarrier(ctx context.Context) error {
+	st, _, _, _, err := n.Propose(ctx, wire.MetaRecord{Op: wire.TPing})
+	if err != nil {
+		return err
 	}
-	if n.role != leader {
-		return nil, ErrNotLeader
+	if st == wire.StatusNotLeader {
+		return ErrNotLeader
 	}
-	if n.smap == nil || int(shard) >= len(n.states) {
-		return nil, fmt.Errorf("meta: no state for shard %d", shard)
+	if st != wire.StatusOK {
+		return fmt.Errorf("meta: read barrier: %v", st)
+	}
+	return nil
+}
+
+// fetchSnapshotLocked exports one partition's materialized state (or
+// the full snapshot for FetchFullSnapshot) with the current map.
+func (n *Node) fetchSnapshotLocked(shard uint32) (*wire.MetaSnapshot, error) {
+	if n.smap == nil {
+		return nil, fmt.Errorf("meta: no committed map yet")
+	}
+	if shard == wire.FetchFullSnapshot {
+		return n.snapshotLocked(), nil
+	}
+	if int(shard) >= len(n.states) {
+		return nil, errNoShard
 	}
 	return &wire.MetaSnapshot{
 		LastIndex: n.applied,
@@ -791,6 +938,32 @@ func (n *Node) FetchShard(ctx context.Context, shard uint32) (*wire.MetaSnapshot
 		Map:       *n.smap.Clone(),
 		Shards:    []wire.MetaShardState{n.states[shard].state(shard)},
 	}, nil
+}
+
+// FetchShard returns one partition's materialized committed state with
+// the current map; leader only, and only after a read barrier commit
+// confirms the leadership is current — a deposed leader's stale state
+// must never seed a restarting shard.
+func (n *Node) FetchShard(ctx context.Context, shard uint32) (*wire.MetaSnapshot, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, errClosed
+	}
+	if n.role != leader {
+		n.mu.Unlock()
+		return nil, ErrNotLeader
+	}
+	n.mu.Unlock()
+	if err := n.readBarrier(ctx); err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, errClosed
+	}
+	return n.fetchSnapshotLocked(shard)
 }
 
 // FetchMap returns the committed shard map from any role (shards use
@@ -844,15 +1017,19 @@ func (n *Node) handleVote(req wire.Message) wire.Message {
 		n.stepDownLocked(vr.Term)
 	}
 	resp := wire.MetaVoteResp{Term: n.term}
-	if vr.Term == n.term && (n.votedFor == -1 || n.votedFor == int(vr.Candidate)) {
+	if !n.wounded && vr.Term == n.term && (n.votedFor == -1 || n.votedFor == int(vr.Candidate)) {
 		// Election restriction: only grant to candidates whose log is
 		// at least as fresh as ours — this is what carries majority-
 		// acked entries across leader failure.
 		lastIdx := n.lastIndexLocked()
 		lastTerm := n.termAtLocked(lastIdx)
 		if vr.LastTerm > lastTerm || (vr.LastTerm == lastTerm && vr.LastIndex >= lastIdx) {
-			resp.Granted = true
 			n.votedFor = int(vr.Candidate)
+			// The vote is a durable promise: it must reach disk before
+			// the grant leaves, or a crash+restart could vote again in
+			// this term.
+			n.persistHardLocked()
+			resp.Granted = !n.wounded
 			n.resetDeadlineLocked()
 		}
 	}
@@ -878,6 +1055,13 @@ func (n *Node) handleAppend(req wire.Message) wire.Message {
 	resp.Term = n.term
 	n.leaderID = int(ar.Leader)
 	n.resetDeadlineLocked()
+	if n.wounded {
+		// Acking replication we cannot persist would let the leader
+		// count us toward commit and lose the entries on our restart.
+		resp.Match = n.commit
+		n.mu.Unlock()
+		return wire.Message{Body: resp.Marshal()}
+	}
 
 	if len(ar.Snap) > 0 {
 		var snap wire.MetaSnapshot
@@ -886,7 +1070,7 @@ func (n *Node) handleAppend(req wire.Message) wire.Message {
 			return wire.Message{Header: wire.Header{Status: wire.StatusProtocol}}
 		}
 		n.installSnapshotLocked(&snap)
-		resp.Success = true
+		resp.Success = !n.wounded
 		resp.Match = n.commit
 		n.mu.Unlock()
 		return wire.Message{Body: resp.Marshal()}
@@ -919,6 +1103,7 @@ func (n *Node) handleAppend(req wire.Message) wire.Message {
 
 	// Append, truncating any conflicting suffix.
 	lastShipped := ar.PrevIndex
+	firstChanged := uint64(0) // first index our log actually mutated at
 	for i := range ar.Entries {
 		e := ar.Entries[i]
 		lastShipped = e.Index
@@ -936,7 +1121,21 @@ func (n *Node) handleAppend(req wire.Message) wire.Message {
 				}
 			}
 		}
+		if firstChanged == 0 {
+			firstChanged = e.Index
+		}
 		n.log = append(n.log, e)
+	}
+	if firstChanged != 0 {
+		// Persist the mutation before acking: the leader will count
+		// this ack toward commit, so losing the entries on a restart
+		// would lose committed state.
+		n.persistLogLocked(firstChanged, n.log[firstChanged-n.snapIndex-1:])
+		if n.wounded {
+			resp.Match = n.commit
+			n.mu.Unlock()
+			return wire.Message{Body: resp.Marshal()}
+		}
 	}
 	if ar.Commit > n.commit {
 		c := ar.Commit
@@ -959,7 +1158,7 @@ func (n *Node) handlePropose(req wire.Message) wire.Message {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), n.timing.ProposeWait)
 	defer cancel()
-	st, info, hint, err := n.Propose(ctx, pr.Rec)
+	st, info, idx, hint, err := n.Propose(ctx, pr.Rec)
 	if err != nil {
 		// Commit did not resolve within the window (no majority, lost
 		// leadership mid-entry, shutdown): the outcome is unknown to
@@ -970,11 +1169,13 @@ func (n *Node) handlePropose(req wire.Message) wire.Message {
 		hr := wire.MetaProposeResp{LeaderAddr: hint}
 		return wire.Message{Header: wire.Header{Status: wire.StatusNotLeader}, Body: hr.Marshal()}
 	}
+	hr := wire.MetaProposeResp{Index: idx}
 	resp := wire.Message{Header: wire.Header{Status: st}}
 	if info != nil {
 		resp.Handle = info.Handle
-		resp.Body = info.Marshal()
+		hr.Info = info.Marshal()
 	}
+	resp.Body = hr.Marshal()
 	return resp
 }
 
@@ -989,24 +1190,31 @@ func (n *Node) handleFetch(req wire.Message) wire.Message {
 		n.mu.Unlock()
 		return wire.Message{Header: wire.Header{Status: wire.StatusNotLeader}, Body: hint.Marshal()}
 	}
-	if n.smap == nil {
+	n.mu.Unlock()
+	// Read barrier: a deposed leader partitioned from the majority
+	// must answer NotLeader/Unavailable here, never a stale snapshot —
+	// a restarting shard would install it and serve NotFound for files
+	// whose creates the real group acked.
+	ctx, cancel := context.WithTimeout(context.Background(), n.timing.ProposeWait)
+	err := n.readBarrier(ctx)
+	cancel()
+	if errors.Is(err, ErrNotLeader) {
+		n.mu.Lock()
+		hint := wire.MetaProposeResp{LeaderAddr: n.leaderHintLocked()}
 		n.mu.Unlock()
+		return wire.Message{Header: wire.Header{Status: wire.StatusNotLeader}, Body: hint.Marshal()}
+	}
+	if err != nil {
 		return wire.Message{Header: wire.Header{Status: wire.StatusUnavailable}}
 	}
-	var snap *wire.MetaSnapshot
-	if fr.Shard == wire.FetchFullSnapshot {
-		snap = n.snapshotLocked()
-	} else if int(fr.Shard) < len(n.states) {
-		snap = &wire.MetaSnapshot{
-			LastIndex: n.applied,
-			LastTerm:  n.termAtLocked(n.applied),
-			Map:       *n.smap.Clone(),
-			Shards:    []wire.MetaShardState{n.states[fr.Shard].state(fr.Shard)},
-		}
-	} else {
-		n.mu.Unlock()
+	n.mu.Lock()
+	snap, serr := n.fetchSnapshotLocked(fr.Shard)
+	n.mu.Unlock()
+	if errors.Is(serr, errNoShard) {
 		return wire.Message{Header: wire.Header{Status: wire.StatusInvalid}}
 	}
-	n.mu.Unlock()
+	if serr != nil {
+		return wire.Message{Header: wire.Header{Status: wire.StatusUnavailable}}
+	}
 	return wire.Message{Body: snap.Marshal()}
 }

@@ -19,9 +19,11 @@ import (
 // whichever replica currently leads.
 type Proposer interface {
 	// Propose replicates rec and returns the applied verdict. The
-	// returned info is non-nil for committed creates. An error means
-	// the outcome is unknown (no leader reachable within the window).
-	Propose(ctx context.Context, rec wire.MetaRecord) (wire.Status, *wire.FileInfo, error)
+	// returned info is non-nil for committed creates; the uint64 is
+	// the committed entry's log index (shards order snapshot installs
+	// against it). An error means the outcome is unknown (no leader
+	// reachable within the window).
+	Propose(ctx context.Context, rec wire.MetaRecord) (wire.Status, *wire.FileInfo, uint64, error)
 	// FetchShard returns one partition's committed state and the map.
 	FetchShard(ctx context.Context, shard uint32) (*wire.MetaSnapshot, error)
 	// FetchMap returns the committed shard map.
@@ -34,15 +36,15 @@ type Proposer interface {
 // master) to the Proposer interface with no transport round trip.
 type LocalProposer struct{ Node *Node }
 
-func (l LocalProposer) Propose(ctx context.Context, rec wire.MetaRecord) (wire.Status, *wire.FileInfo, error) {
-	st, info, _, err := l.Node.Propose(ctx, rec)
+func (l LocalProposer) Propose(ctx context.Context, rec wire.MetaRecord) (wire.Status, *wire.FileInfo, uint64, error) {
+	st, info, idx, _, err := l.Node.Propose(ctx, rec)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, 0, err
 	}
 	if st == wire.StatusNotLeader {
-		return 0, nil, ErrNotLeader
+		return 0, nil, 0, ErrNotLeader
 	}
-	return st, info, nil
+	return st, info, idx, nil
 }
 
 func (l LocalProposer) FetchShard(ctx context.Context, shard uint32) (*wire.MetaSnapshot, error) {
@@ -194,7 +196,7 @@ func (g *GroupProposer) attempt(ctx context.Context, addr string, req wire.Messa
 	return resp, nil
 }
 
-func (g *GroupProposer) Propose(ctx context.Context, rec wire.MetaRecord) (wire.Status, *wire.FileInfo, error) {
+func (g *GroupProposer) Propose(ctx context.Context, rec wire.MetaRecord) (wire.Status, *wire.FileInfo, uint64, error) {
 	preq := wire.MetaProposeReq{Rec: rec}
 	wctx, cancel := context.WithTimeout(ctx, g.timing.RetryWindow)
 	defer cancel()
@@ -202,17 +204,23 @@ func (g *GroupProposer) Propose(ctx context.Context, rec wire.MetaRecord) (wire.
 		Header: wire.Header{Type: wire.TMetaPropose}, Body: preq.Marshal(),
 	})
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, 0, err
 	}
 	defer resp.Release()
-	var info *wire.FileInfo
+	var pr wire.MetaProposeResp
 	if len(resp.Body) > 0 {
-		info = new(wire.FileInfo)
-		if uerr := info.Unmarshal(resp.Body); uerr != nil {
-			return 0, nil, uerr
+		if uerr := pr.Unmarshal(resp.Body); uerr != nil {
+			return 0, nil, 0, uerr
 		}
 	}
-	return resp.Status, info, nil
+	var info *wire.FileInfo
+	if len(pr.Info) > 0 {
+		info = new(wire.FileInfo)
+		if uerr := info.Unmarshal(pr.Info); uerr != nil {
+			return 0, nil, 0, uerr
+		}
+	}
+	return resp.Status, info, pr.Index, nil
 }
 
 func (g *GroupProposer) FetchShard(ctx context.Context, shard uint32) (*wire.MetaSnapshot, error) {

@@ -48,6 +48,7 @@ type Shard struct {
 	mu      sync.Mutex
 	ns      *namespace
 	smap    *wire.ShardMap
+	verIdx  uint64                   // highest master log index reflected in ns
 	ready   bool                     // snapshot installed; serving
 	dirty   bool                     // an ambiguous proposal may have committed: resync first
 	syncing *syncRound               // in-flight snapshot fetch; nil when idle
@@ -230,9 +231,21 @@ func (s *Shard) fetchAndInstall() bool {
 		return false
 	}
 	s.mu.Lock()
+	if snap.LastIndex < s.verIdx {
+		// The snapshot predates a committed write-back we already hold:
+		// installing it would silently erase an acked mutation from the
+		// serving cache. The master's applied index only grows (and is
+		// at least verIdx at the leader that committed our proposals),
+		// so the retry fetches a fresh-enough snapshot.
+		s.mu.Unlock()
+		logf(s.logger, "meta-shard[%d]: sync: stale snapshot (%d < %d), retrying",
+			s.idx, snap.LastIndex, s.verIdx)
+		return false
+	}
 	if len(snap.Shards) == 1 && int(snap.Shards[0].Shard) == s.idx {
 		s.ns.install(&snap.Shards[0])
 	}
+	s.verIdx = snap.LastIndex
 	m := snap.Map
 	if s.smap == nil || m.Epoch > s.smap.Epoch {
 		s.smap = &m
@@ -549,7 +562,7 @@ func (s *Shard) create(cr *wire.CreateReq) wire.Message {
 			IODAddrs: rotatedAddrs(cfg, iods),
 		}
 		rec := wire.MetaCreateRec{Name: cr.Name, Info: info}
-		st, applied, err := s.propose(wire.MetaRecord{
+		st, applied, idx, err := s.propose(wire.MetaRecord{
 			Shard: uint32(s.idx), Seq: seq, Op: wire.TCreate, Body: rec.Marshal(),
 		})
 		if err != nil {
@@ -570,6 +583,7 @@ func (s *Shard) create(cr *wire.CreateReq) wire.Message {
 			cp := use
 			s.ns.files[cr.Name] = &cp
 			s.ns.byHandle[cp.Handle] = cr.Name
+			s.markAppliedLocked(idx)
 			s.stats.MetaCreates++
 			s.mu.Unlock()
 			return wire.Message{Header: wire.Header{Handle: use.Handle}, Body: use.Marshal()}
@@ -622,7 +636,7 @@ func (s *Shard) remove(name string) wire.Message {
 	s.mu.Unlock()
 
 	nr := wire.NameReq{Name: name}
-	st, _, err := s.propose(wire.MetaRecord{
+	st, _, idx, err := s.propose(wire.MetaRecord{
 		Shard: uint32(s.idx), Op: wire.TRemove, Body: nr.Marshal(),
 	})
 	if err != nil {
@@ -634,12 +648,17 @@ func (s *Shard) remove(name string) wire.Message {
 			delete(s.ns.files, name)
 			delete(s.ns.byHandle, handle)
 		}
+		s.markAppliedLocked(idx)
 		s.mu.Unlock()
+		// NotFound here is a retry artifact, not an error: the file
+		// existed in the committed cache when we proposed (checked
+		// under the name lock, and only this shard mutates its
+		// partition), so an earlier attempt of this very remove — one
+		// whose response was lost to a leader failover — must have
+		// committed. The remove succeeded; answer as such.
+		return wire.Message{Header: wire.Header{Handle: handle}}
 	}
-	if st != wire.StatusOK {
-		return fail(st)
-	}
-	return wire.Message{Header: wire.Header{Handle: handle}}
+	return fail(st)
 }
 
 func (s *Shard) setSize(sr *wire.SetSizeReq) wire.Message {
@@ -652,7 +671,7 @@ func (s *Shard) setSize(sr *wire.SetSizeReq) wire.Message {
 	unlock := s.lockName(name)
 	defer unlock()
 
-	st, _, err := s.propose(wire.MetaRecord{
+	st, _, idx, err := s.propose(wire.MetaRecord{
 		Shard: uint32(s.idx), Op: wire.TSetSize, Body: sr.Marshal(),
 	})
 	if err != nil {
@@ -667,6 +686,7 @@ func (s *Shard) setSize(sr *wire.SetSizeReq) wire.Message {
 			info.Size = sr.Size
 		}
 	}
+	s.markAppliedLocked(idx)
 	s.mu.Unlock()
 	return wire.Message{Header: wire.Header{Handle: sr.Handle}}
 }
@@ -683,19 +703,30 @@ func (s *Shard) listDir() wire.Message {
 	return wire.Message{Body: resp.Marshal()}
 }
 
+// markAppliedLocked records that ns reflects the committed log up to
+// index (a proposal's committed verdict was written back). syncState
+// refuses snapshots older than this watermark, so a snapshot fetched
+// before the proposal committed can never erase its write-back.
+func (s *Shard) markAppliedLocked(idx uint64) {
+	if idx > s.verIdx {
+		s.verIdx = idx
+	}
+}
+
 // propose submits one record, marking the shard dirty when the
 // outcome is unknown (it may have committed; the local cache must be
-// reconciled before it serves again).
-func (s *Shard) propose(rec wire.MetaRecord) (wire.Status, *wire.FileInfo, error) {
+// reconciled before it serves again). On a committed verdict the
+// third result is the entry's log index.
+func (s *Shard) propose(rec wire.MetaRecord) (wire.Status, *wire.FileInfo, uint64, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), s.timing.RetryWindow)
 	defer cancel()
-	st, info, err := s.prop.Propose(ctx, rec)
+	st, info, idx, err := s.prop.Propose(ctx, rec)
 	if err != nil {
 		s.mu.Lock()
 		s.dirty = true
 		s.mu.Unlock()
 		logf(s.logger, "meta-shard[%d]: propose %v: %v", s.idx, rec.Op, err)
-		return 0, nil, err
+		return 0, nil, 0, err
 	}
-	return st, info, nil
+	return st, info, idx, nil
 }

@@ -1,0 +1,215 @@
+package meta
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pvfs/internal/wire"
+)
+
+// stable is a replica's durable Raft state (DESIGN.md §13): the hard
+// state (term, vote), the log suffix, and the last snapshot. Raft's
+// safety argument assumes all three survive a crash — a replica that
+// restarts amnesiac can double-vote in a term or grant its vote to a
+// candidate missing entries the pre-crash replica helped commit,
+// which loses acked mutations. Layout under dir:
+//
+//	snap — marshaled wire.MetaSnapshot, replaced by atomic rename
+//	wal  — framed records replayed over the snapshot at recovery:
+//	       u32 kind, u32 length, payload (MetaHardState or MetaLogRec)
+//
+// Every append is fsynced before the caller answers a vote, acks an
+// append, or acks a proposal. A torn tail (crash mid-append) stops
+// recovery at the last whole record, which is exactly the state the
+// replica had promised before the crash.
+type stable struct {
+	dir string
+	wal *os.File
+}
+
+const (
+	walHard = uint32(1)
+	walLog  = uint32(2)
+)
+
+// recovered is the state loaded from a stable dir at startup.
+type recovered struct {
+	hard    wire.MetaHardState
+	snap    *wire.MetaSnapshot
+	entries []wire.MetaEntry // contiguous log suffix above the snapshot
+}
+
+// openStable opens (creating if needed) a replica's state dir and
+// loads whatever a previous incarnation persisted.
+func openStable(dir string) (*stable, *recovered, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	rec := &recovered{hard: wire.MetaHardState{VotedFor: -1}}
+	if b, err := os.ReadFile(filepath.Join(dir, "snap")); err == nil {
+		snap := new(wire.MetaSnapshot)
+		if uerr := snap.Unmarshal(b); uerr != nil {
+			return nil, nil, fmt.Errorf("meta: corrupt snapshot in %s: %w", dir, uerr)
+		}
+		rec.snap = snap
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, err
+	}
+	walPath := filepath.Join(dir, "wal")
+	if b, err := os.ReadFile(walPath); err == nil {
+		replayWAL(b, rec)
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, err
+	}
+	// Keep only the contiguous suffix directly above the snapshot: a
+	// crash between snapshot rename and WAL reset leaves records the
+	// snapshot already covers.
+	base := uint64(0)
+	if rec.snap != nil {
+		base = rec.snap.LastIndex
+	}
+	keep := rec.entries[:0]
+	next := base + 1
+	for i := range rec.entries {
+		if rec.entries[i].Index <= base {
+			continue
+		}
+		if rec.entries[i].Index != next {
+			break
+		}
+		keep = append(keep, rec.entries[i])
+		next++
+	}
+	rec.entries = keep
+	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &stable{dir: dir, wal: f}, rec, nil
+}
+
+// replayWAL folds the record stream into rec, stopping at a torn tail.
+func replayWAL(b []byte, rec *recovered) {
+	var entries []wire.MetaEntry
+	for len(b) >= 8 {
+		kind := binary.LittleEndian.Uint32(b)
+		n := binary.LittleEndian.Uint32(b[4:])
+		if uint64(len(b)-8) < uint64(n) {
+			break // torn tail: the record never fully reached disk
+		}
+		payload := b[8 : 8+n]
+		b = b[8+n:]
+		switch kind {
+		case walHard:
+			var h wire.MetaHardState
+			if h.Unmarshal(payload) == nil {
+				rec.hard = h
+			}
+		case walLog:
+			var lr wire.MetaLogRec
+			if lr.Unmarshal(payload) != nil {
+				continue
+			}
+			for len(entries) > 0 && entries[len(entries)-1].Index >= lr.From {
+				entries = entries[:len(entries)-1]
+			}
+			entries = append(entries, lr.Entries...)
+		}
+	}
+	rec.entries = entries
+}
+
+// appendRecord frames, appends, and fsyncs one WAL record.
+func (s *stable) appendRecord(kind uint32, payload []byte) error {
+	buf := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(buf, kind)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(payload)))
+	copy(buf[8:], payload)
+	if _, err := s.wal.Write(buf); err != nil {
+		return err
+	}
+	return s.wal.Sync()
+}
+
+// saveHard durably records the term and vote.
+func (s *stable) saveHard(h wire.MetaHardState) error {
+	return s.appendRecord(walHard, h.Marshal())
+}
+
+// appendLog durably records one log mutation (truncate to < from,
+// append entries).
+func (s *stable) appendLog(from uint64, entries []wire.MetaEntry) error {
+	lr := wire.MetaLogRec{From: from, Entries: entries}
+	return s.appendRecord(walLog, lr.Marshal())
+}
+
+// saveSnapshot replaces the durable snapshot and resets the WAL to
+// the surviving suffix (hard state + the log tail above the
+// snapshot). Ordering is crash-safe: the snapshot lands first, and a
+// crash before the WAL reset only leaves stale records that recovery
+// filters against the snapshot's LastIndex.
+func (s *stable) saveSnapshot(snap *wire.MetaSnapshot, tail []wire.MetaEntry, hard wire.MetaHardState) error {
+	if err := writeFileSync(filepath.Join(s.dir, "snap"), snap.Marshal()); err != nil {
+		return err
+	}
+	walPath := filepath.Join(s.dir, "wal")
+	tmp := walPath + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	fresh := &stable{dir: s.dir, wal: f}
+	if err := fresh.saveHard(hard); err != nil {
+		f.Close()
+		return err
+	}
+	if len(tail) > 0 {
+		if err := fresh.appendLog(tail[0].Index, tail); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, walPath); err != nil {
+		return err
+	}
+	s.wal.Close()
+	nf, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	s.wal = nf
+	return nil
+}
+
+func (s *stable) close() {
+	if s.wal != nil {
+		s.wal.Close()
+	}
+}
+
+// writeFileSync writes b to path via fsynced temp file + rename.
+func writeFileSync(path string, b []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -36,8 +36,11 @@ type Server struct {
 }
 
 // New starts a manager on ln that hands out the given I/O daemon
-// addresses (stripe order).
-func New(ln net.Listener, iodAddrs []string, logger *log.Logger) *Server {
+// addresses (stripe order). The solo master keeps its state in memory
+// (the classic manager was never durable either); NewNode cannot fail
+// without a state dir, so the error is surfaced only for symmetry
+// with future durable wrappers.
+func New(ln net.Listener, iodAddrs []string, logger *log.Logger) (*Server, error) {
 	addr := ln.Addr().String()
 	boot := &wire.ShardMap{
 		Epoch:   1,
@@ -45,15 +48,18 @@ func New(ln net.Listener, iodAddrs []string, logger *log.Logger) *Server {
 		Shards:  []string{addr},
 		IODs:    append([]string(nil), iodAddrs...),
 	}
-	node := meta.NewNode(meta.NodeOptions{
+	node, err := meta.NewNode(meta.NodeOptions{
 		ID: 0, Peers: []string{addr}, Bootstrap: boot, Logger: logger,
 	})
+	if err != nil {
+		return nil, err
+	}
 	shard := meta.NewShard(meta.ShardOptions{
 		Index: 0, Proposer: meta.LocalProposer{Node: node}, Logger: logger,
 	})
 	s := &Server{node: node, shard: shard}
 	s.srv = pvfsnet.NewServer(ln, s.handle, logger)
-	return s
+	return s, nil
 }
 
 // Listen starts a manager on addr.
@@ -62,7 +68,12 @@ func Listen(addr string, iodAddrs []string, logger *log.Logger) (*Server, error)
 	if err != nil {
 		return nil, err
 	}
-	return New(ln, iodAddrs, logger), nil
+	s, err := New(ln, iodAddrs, logger)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	return s, nil
 }
 
 // Addr returns the manager's listen address.

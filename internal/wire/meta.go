@@ -259,6 +259,53 @@ func unmarshalEntries(d *decoder) []MetaEntry {
 	return entries
 }
 
+// MetaHardState is the replica state that must reach disk before a
+// vote or append is answered: the current term and the vote cast in
+// it. A replica that restarts without it could vote twice in one term
+// (two leaders) or re-grant with an amnesiac empty log (electing a
+// leader missing majority-acked entries).
+type MetaHardState struct {
+	Term     uint64
+	VotedFor int32 // replica ID, or -1 when no vote cast in Term
+}
+
+func (m *MetaHardState) Marshal() []byte {
+	e := encoder{}
+	e.u64(m.Term)
+	e.u32(uint32(m.VotedFor))
+	return e.buf
+}
+
+func (m *MetaHardState) Unmarshal(b []byte) error {
+	d := decoder{buf: b}
+	m.Term = d.u64()
+	m.VotedFor = int32(d.u32())
+	return d.err
+}
+
+// MetaLogRec is one persisted log mutation in a replica's write-ahead
+// file: drop every entry at index >= From, then append Entries (which
+// start at From). Replaying the record stream reconstructs the log
+// suffix above the last durable snapshot.
+type MetaLogRec struct {
+	From    uint64
+	Entries []MetaEntry
+}
+
+func (m *MetaLogRec) Marshal() []byte {
+	e := encoder{}
+	e.u64(m.From)
+	marshalEntries(&e, m.Entries)
+	return e.buf
+}
+
+func (m *MetaLogRec) Unmarshal(b []byte) error {
+	d := decoder{buf: b}
+	m.From = d.u64()
+	m.Entries = unmarshalEntries(&d)
+	return d.err
+}
+
 // MetaVoteReq asks a master replica for its vote in term Term. The
 // candidate's log position gates the grant: a replica refuses any
 // candidate whose log is less up to date than its own, which is what
@@ -404,24 +451,40 @@ func (m *MetaProposeReq) Marshal() []byte { return m.Rec.Marshal() }
 
 func (m *MetaProposeReq) Unmarshal(b []byte) error { return m.Rec.Unmarshal(b) }
 
-// MetaProposeResp carries the leader hint when the receiver is not
-// the leader (header status StatusNotLeader). For committed proposals
-// the outcome rides the response header status and the body holds the
-// applied FileInfo for creates.
+// MetaProposeResp answers a propose. For committed proposals the
+// verdict rides the response header status, Index is the committed
+// entry's log index (shards order snapshot installs against it so a
+// stale snapshot can never overwrite a newer committed write-back),
+// and Info holds the applied FileInfo for creates. A StatusNotLeader
+// response instead carries the leader hint in LeaderAddr.
 type MetaProposeResp struct {
 	LeaderAddr string
+	Index      uint64
+	Info       []byte // marshaled FileInfo; empty when none applies
 }
 
 func (m *MetaProposeResp) Marshal() []byte {
 	e := encoder{}
 	e.str(m.LeaderAddr)
+	e.u64(m.Index)
+	e.u32(uint32(len(m.Info)))
+	e.bytes(m.Info)
 	return e.buf
 }
 
 func (m *MetaProposeResp) Unmarshal(b []byte) error {
 	d := decoder{buf: b}
 	m.LeaderAddr = d.str()
-	return d.err
+	m.Index = d.u64()
+	n := d.u32()
+	if d.err != nil {
+		return d.err
+	}
+	if uint32(len(d.buf)) < n {
+		return ErrShortBody
+	}
+	m.Info = d.buf[:n] // aliases the frame; decoded before release
+	return nil
 }
 
 // MetaFileRec is one name → info pair inside a shard snapshot.
