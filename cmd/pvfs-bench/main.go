@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"pvfs/internal/client"
@@ -69,12 +70,25 @@ func main() {
 	shards := flag.Int("shards", 2, "metadata shard count (-meta)")
 	files := flag.Int("files", 200, "creates per client (-meta)")
 	failover := flag.Bool("failover", false, "crash-restart the master leader mid-create (-meta); throughput then includes the election pause")
+	namespace := flag.Int("namespace", 0, "with -meta: fill an N-file namespace (create-only long run) and report ops/s, heap bytes, and group-commit ratios; overrides -files")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to FILE (whole run, cluster included)")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *metaMode {
 		if err := runMetaBench(metaBenchOpts{
 			Shards: *shards, Clients: *clients, Files: *files,
-			IODs: 2, Failover: *failover, JSONOut: *jsonOut,
+			IODs: 2, Failover: *failover, Namespace: *namespace, JSONOut: *jsonOut,
 		}); err != nil {
 			fatal(err)
 		}

@@ -10,23 +10,28 @@ package main
 import (
 	"context"
 	"fmt"
+	"log"
+	"os"
+	"runtime"
 	"sync/atomic"
 	"time"
 
 	"pvfs/internal/client"
 	"pvfs/internal/cluster"
+	"pvfs/internal/meta"
 	"pvfs/internal/striping"
 	"pvfs/internal/wire"
 )
 
 type metaBenchOpts struct {
-	Shards   int
-	Masters  int
-	Clients  int
-	Files    int // creates per client
-	IODs     int
-	Failover bool
-	JSONOut  string
+	Shards    int
+	Masters   int
+	Clients   int
+	Files     int // creates per client
+	IODs      int
+	Failover  bool
+	Namespace int // >0: create-only namespace fill of this many files
+	JSONOut   string
 }
 
 // metaRow is one -meta run, mirrored into -json output (BENCH_5.json
@@ -48,6 +53,24 @@ type metaRow struct {
 	MetaOpens    int64   `json:"meta_opens"`
 	MetaForwards int64   `json:"meta_forwards"`
 	Elections    int64   `json:"elections"`
+
+	// Group-commit accounting (ISSUE 10). ProposalsPerAppend > 1 and
+	// WALSyncsPerEntry < 1 (normalized per replica; the solo baseline
+	// is ~1.0) are the coalescing acceptance gates; NoBatch marks the
+	// PVFS_NO_META_BATCH fallback rows.
+	NoBatch            bool    `json:"no_batch"`
+	Proposals          int64   `json:"meta_proposals"`
+	Batches            int64   `json:"meta_batches"`
+	AppendRounds       int64   `json:"meta_append_rounds"`
+	WALSyncs           int64   `json:"meta_wal_syncs"`
+	ProposalsPerAppend float64 `json:"proposals_per_append"`
+	WALSyncsPerEntry   float64 `json:"wal_syncs_per_entry"`
+
+	// Namespace-fill rows (-namespace): total files created and the
+	// process heap after the fill — the in-memory cost of holding the
+	// namespace (masters' logs+snapshots, shards' maps) at that scale.
+	NamespaceFiles int     `json:"namespace_files,omitempty"`
+	HeapAllocMB    float64 `json:"heap_alloc_mb,omitempty"`
 }
 
 // metaPhase runs one timed phase: every rank performs Files ops
@@ -103,9 +126,22 @@ func runMetaBench(o metaBenchOpts) error {
 	if o.Masters <= 0 {
 		o.Masters = 3
 	}
+	if o.Namespace > 0 {
+		// Namespace fill: create-only, total files split across clients.
+		o.Files = (o.Namespace + o.Clients - 1) / o.Clients
+		o.Failover = false
+	}
+	// PVFS_BENCH_LOG surfaces daemon diagnostics (election churn, shard
+	// resync failures) that are otherwise silenced; rows stay clean on
+	// stdout because the logger writes to stderr.
+	var logger *log.Logger
+	if os.Getenv("PVFS_BENCH_LOG") != "" {
+		logger = log.New(os.Stderr, "", log.Lmicroseconds)
+	}
 	c, err := cluster.Start(cluster.Options{
 		NumIOD: o.IODs,
 		Meta:   &cluster.MetaOptions{Masters: o.Masters, Shards: o.Shards},
+		Logger: logger,
 	})
 	if err != nil {
 		return err
@@ -197,6 +233,7 @@ func runMetaBench(o metaBenchOpts) error {
 	row := metaRow{
 		Mode: "meta", Shards: o.Shards, Masters: o.Masters,
 		Clients: o.Clients, Files: o.Files, Failover: o.Failover,
+		NoBatch: os.Getenv(meta.NoBatchEnv) != "",
 	}
 	t0 := time.Now()
 	if row.CreateOpsS, err = phase("create", func(fs *client.FS, rank, i int) error {
@@ -214,21 +251,34 @@ func runMetaBench(o metaBenchOpts) error {
 		}
 		kills = 1
 	}
-	if row.OpenOpsS, err = phase("open", func(fs *client.FS, rank, i int) error {
-		f, err := fs.Open(name(rank, i))
-		if err != nil {
+	if o.Namespace > 0 {
+		// Heap after the fill, with garbage discounted: what holding the
+		// namespace at this scale actually costs the plane in memory.
+		row.Mode = "meta-namespace"
+		row.NamespaceFiles = o.Clients * o.Files
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		row.HeapAllocMB = float64(ms.HeapAlloc) / (1 << 20)
+		fmt.Printf("# namespace: %d files, heap %.1f MiB (%.0f B/file)\n",
+			row.NamespaceFiles, row.HeapAllocMB, float64(ms.HeapAlloc)/float64(row.NamespaceFiles))
+	} else {
+		if row.OpenOpsS, err = phase("open", func(fs *client.FS, rank, i int) error {
+			f, err := fs.Open(name(rank, i))
+			if err != nil {
+				return err
+			}
+			handles[rank][i] = f.Handle()
+			return f.Close()
+		}, nil); err != nil {
 			return err
 		}
-		handles[rank][i] = f.Handle()
-		return f.Close()
-	}, nil); err != nil {
-		return err
-	}
-	if row.StatOpsS, err = phase("stat", func(fs *client.FS, rank, i int) error {
-		_, err := fs.StatHandle(context.Background(), handles[rank][i])
-		return err
-	}, nil); err != nil {
-		return err
+		if row.StatOpsS, err = phase("stat", func(fs *client.FS, rank, i int) error {
+			_, err := fs.StatHandle(context.Background(), handles[rank][i])
+			return err
+		}, nil); err != nil {
+			return err
+		}
 	}
 	row.Seconds = time.Since(t0).Seconds()
 	row.Kills = kills
@@ -242,8 +292,25 @@ func runMetaBench(o metaBenchOpts) error {
 	// counter restarts at zero, which would cancel the new election
 	// out of a before/after difference.
 	row.Elections = after.ElectionCount
+	row.Proposals = after.MetaProposals - before.MetaProposals
+	row.Batches = after.MetaBatches - before.MetaBatches
+	row.AppendRounds = after.MetaAppendRounds - before.MetaAppendRounds
+	row.WALSyncs = after.MetaWALSyncs - before.MetaWALSyncs
+	if row.AppendRounds > 0 {
+		row.ProposalsPerAppend = float64(row.Proposals) / float64(row.AppendRounds)
+	}
+	if row.Proposals > 0 {
+		// WALSyncs sums every replica's fsyncs, and each committed entry
+		// must reach every replica's WAL, so normalize per replica: the
+		// solo (no-batch) baseline is ~1.0 — one fsync per entry at the
+		// leader plus one single-entry append round at each follower.
+		row.WALSyncsPerEntry = float64(row.WALSyncs) / float64(row.Proposals*int64(o.Masters))
+	}
 	fmt.Printf("# meta counters: %d creates, %d opens/stats, %d forwards, %d elections, kills=%d\n",
 		row.MetaCreates, row.MetaOpens, row.MetaForwards, row.Elections, kills)
+	fmt.Printf("# group commit: %d proposals / %d batches / %d append rounds / %d WAL syncs (%.2f proposals/append, %.2f syncs/entry, nobatch=%v)\n",
+		row.Proposals, row.Batches, row.AppendRounds, row.WALSyncs,
+		row.ProposalsPerAppend, row.WALSyncsPerEntry, row.NoBatch)
 
 	if o.JSONOut != "" {
 		return appendJSON(o.JSONOut, []metaRow{row})

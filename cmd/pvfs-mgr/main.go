@@ -81,6 +81,10 @@ func printStats(role string, st wire.ServerStats) {
 	fmt.Printf("pvfs-mgr: %s shutting down; served %d requests\n", role, st.Requests)
 	fmt.Printf("pvfs-mgr: meta: %d creates, %d opens/stats, %d forwards, %d elections\n",
 		st.MetaCreates, st.MetaOpens, st.MetaForwards, st.ElectionCount)
+	if st.MetaProposals > 0 {
+		fmt.Printf("pvfs-mgr: meta: %d proposals in %d batches, %d append rounds, %d WAL syncs\n",
+			st.MetaProposals, st.MetaBatches, st.MetaAppendRounds, st.MetaWALSyncs)
+	}
 }
 
 func main() {

@@ -43,6 +43,18 @@ type MetaScenario struct {
 
 	// Kill arms the leader killer.
 	Kill bool
+
+	// BatchBoundary syncs the killer to group-commit flushes: each
+	// strike waits for the leader's batch counter to advance and kills
+	// immediately after, so the crash lands right at a batch boundary —
+	// the window where a batch is acked but its replication wave may
+	// still be in flight to some follower. Requires Kill.
+	BatchBoundary bool
+
+	// NoBatch forces group commit off on both planes (the
+	// PVFS_NO_META_BATCH fallback): every propose takes its own WAL
+	// fsync and replication round.
+	NoBatch bool
 }
 
 func (s *MetaScenario) normalize() {
@@ -78,19 +90,42 @@ func (r MetaReport) String() string {
 
 // leaderKiller crash-restarts whichever master currently leads; every
 // choice derives from rng, which the caller seeds deterministically.
+// With batchBoundary set, each strike is held until a group-commit
+// flush lands, so the crash hits right at a batch boundary.
 type leaderKiller struct {
-	c    *cluster.Cluster
-	rng  *rand.Rand
-	stop chan struct{}
-	wg   sync.WaitGroup
+	c             *cluster.Cluster
+	rng           *rand.Rand
+	batchBoundary bool
+	stop          chan struct{}
+	wg            sync.WaitGroup
 
 	mu    sync.Mutex
 	kills int
 	err   error
 }
 
-func startLeaderKiller(c *cluster.Cluster, seed int64) *leaderKiller {
-	k := &leaderKiller{c: c, rng: rand.New(rand.NewSource(seed)), stop: make(chan struct{})}
+// awaitBatch blocks until the plane's batch counter moves past base
+// (a flush just committed) or the window expires; either way the kill
+// proceeds. Counter resets from earlier kills only delay one strike.
+func (k *leaderKiller) awaitBatch(base int64) {
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if k.c.MetaStats().MetaBatches != base {
+			return
+		}
+		select {
+		case <-k.stop:
+			return
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func startLeaderKiller(c *cluster.Cluster, seed int64, batchBoundary bool) *leaderKiller {
+	k := &leaderKiller{
+		c: c, rng: rand.New(rand.NewSource(seed)),
+		batchBoundary: batchBoundary, stop: make(chan struct{}),
+	}
 	k.wg.Add(1)
 	go func() {
 		defer k.wg.Done()
@@ -99,6 +134,9 @@ func startLeaderKiller(c *cluster.Cluster, seed int64) *leaderKiller {
 			case <-k.stop:
 				return
 			case <-time.After(time.Duration(10+k.rng.Intn(30)) * time.Millisecond):
+			}
+			if k.batchBoundary {
+				k.awaitBatch(k.c.MetaStats().MetaBatches)
 			}
 			lead := k.c.MetaLeader()
 			if lead < 0 {
@@ -254,7 +292,7 @@ func RunMeta(seed int64, s MetaScenario) (MetaReport, error) {
 	rep := MetaReport{Seed: seed}
 
 	mo := func() *cluster.MetaOptions {
-		return &cluster.MetaOptions{Masters: s.Masters, Shards: s.Shards}
+		return &cluster.MetaOptions{Masters: s.Masters, Shards: s.Shards, NoBatch: s.NoBatch}
 	}
 	chaotic, err := cluster.Start(cluster.Options{NumIOD: s.NumIOD, Meta: mo()})
 	if err != nil {
@@ -271,7 +309,7 @@ func RunMeta(seed int64, s MetaScenario) (MetaReport, error) {
 	var retries atomic.Int64
 	var k *leaderKiller
 	if s.Kill {
-		k = startLeaderKiller(chaotic, seed+1)
+		k = startLeaderKiller(chaotic, seed+1, s.BatchBoundary)
 	}
 	chaosErr := metaStorm(chaotic, s, seed, &acked, &retries)
 	if k != nil {

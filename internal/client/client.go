@@ -23,6 +23,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sort"
 	"sync"
@@ -516,10 +517,23 @@ func (fs *FS) Create(name string, cfg striping.Config) (*File, error) {
 	return fs.CreateContext(context.Background(), name, cfg)
 }
 
+// createToken returns a fresh non-zero idempotency token for one
+// logical create call. Retries of the call re-send the same token, so
+// the metadata plane can tell "this client's earlier attempt
+// committed but the ack was lost" (re-acked OK) from "someone else
+// owns the name" (Exists).
+func createToken() uint64 {
+	for {
+		if t := rand.Uint64(); t != 0 {
+			return t
+		}
+	}
+}
+
 // CreateContext is Create under a context: the metadata round trip to
 // the manager aborts when ctx ends.
 func (fs *FS) CreateContext(ctx context.Context, name string, cfg striping.Config) (*File, error) {
-	req := wire.CreateReq{Name: name, Striping: cfg}
+	req := wire.CreateReq{Name: name, Striping: cfg, Token: createToken()}
 	resp, err := fs.metaByName(ctx, wire.TCreate, name, req.Marshal())
 	if err != nil {
 		return nil, fmt.Errorf("create %q: %w", name, err)

@@ -1,0 +1,457 @@
+package meta
+
+// Group commit (ISSUE 10): concurrent proposals at the leader
+// coalesce into one multi-entry WAL append with a single fsync and
+// one replication wave; the forced-solo fallback (PVFS_NO_META_BATCH)
+// must produce a byte-identical namespace; a WAL sync failure
+// mid-batch wounds the node without acking any batch entry. Plus the
+// GroupProposer failover fixes: fresh leader hints retry without
+// backoff, rotation resumes after the failed replica, and FetchMap
+// honors Close.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pvfs/internal/pvfsnet"
+	"pvfs/internal/wire"
+)
+
+// skipIfEnvNoBatch skips tests that pin batching behavior when the
+// whole run is forced solo (the CI fallback leg).
+func skipIfEnvNoBatch(t *testing.T) {
+	t.Helper()
+	if envNoBatch() {
+		t.Skipf("%s forces solo proposals; batching assertions do not apply", NoBatchEnv)
+	}
+}
+
+// soloDirNode boots a one-replica group over a durable state dir.
+func soloDirNode(t *testing.T, opts NodeOptions) *Node {
+	t.Helper()
+	opts.ID = 0
+	opts.Peers = []string{"solo"}
+	opts.Bootstrap = singleShardBoot(opts.Peers)
+	opts.Timing = testTiming()
+	if opts.Dir == "" {
+		opts.Dir = t.TempDir()
+	}
+	n, err := NewNode(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	if !n.IsLeader() {
+		t.Fatal("solo node must lead immediately")
+	}
+	return n
+}
+
+// TestProposeBatchSingleSync pins the group-commit headline: one
+// batch of N records costs exactly one WAL fsync and one flush.
+func TestProposeBatchSingleSync(t *testing.T) {
+	skipIfEnvNoBatch(t)
+	n := soloDirNode(t, NodeOptions{})
+	base := n.Stats()
+	recs := make([]wire.MetaRecord, 16)
+	for i := range recs {
+		recs[i] = createRec(fmt.Sprintf("gc-%d", i), uint64(i), 0, 1, testIODs())
+	}
+	verdicts, hint, err := n.ProposeBatch(context.Background(), recs)
+	if err != nil || hint != "" {
+		t.Fatalf("ProposeBatch: %v (hint %q)", err, hint)
+	}
+	if len(verdicts) != len(recs) {
+		t.Fatalf("got %d verdicts for %d records", len(verdicts), len(recs))
+	}
+	for i, v := range verdicts {
+		if v.Status != wire.StatusOK || v.Index == 0 {
+			t.Fatalf("verdict %d: %+v", i, v)
+		}
+		if i > 0 && v.Index != verdicts[i-1].Index+1 {
+			t.Fatalf("verdict indexes not contiguous: %d after %d", v.Index, verdicts[i-1].Index)
+		}
+	}
+	st := n.Stats()
+	if got := st.MetaProposals - base.MetaProposals; got != 16 {
+		t.Errorf("proposals advanced by %d, want 16", got)
+	}
+	if got := st.MetaBatches - base.MetaBatches; got != 1 {
+		t.Errorf("batches advanced by %d, want 1", got)
+	}
+	if got := st.MetaWALSyncs - base.MetaWALSyncs; got != 1 {
+		t.Errorf("WAL syncs advanced by %d, want 1 (one fsync per batch)", got)
+	}
+}
+
+// TestConcurrentProposalsGroupCommit drives concurrent ranks through
+// a GroupProposer against a replicated group: every create is acked,
+// and the leader coalesced them — fewer flushes than proposals.
+func TestConcurrentProposalsGroupCommit(t *testing.T) {
+	skipIfEnvNoBatch(t)
+	g := startGroup(t, 3, singleShardBoot)
+	lead := g.waitLeader()
+	p := NewGroupProposer(g.addrs, g.timing)
+	defer p.Close()
+
+	const ranks, files = 8, 8
+	var wg sync.WaitGroup
+	errs := make([]error, ranks)
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < files; i++ {
+				seq := uint64(r*files + i)
+				rec := createRec(fmt.Sprintf("cc-r%d-f%d", r, i), seq, 0, 1, testIODs())
+				st, _, idx, err := p.Propose(context.Background(), rec)
+				if err != nil {
+					errs[r] = fmt.Errorf("rank %d propose %d: %w", r, i, err)
+					return
+				}
+				if st != wire.StatusOK || idx == 0 {
+					errs[r] = fmt.Errorf("rank %d propose %d: status %v index %d", r, i, st, idx)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := g.nodes[lead].FetchShard(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(snap.Shards[0].Files); got != ranks*files {
+		t.Fatalf("namespace has %d files, want %d", got, ranks*files)
+	}
+	st := g.nodes[lead].Stats()
+	if st.MetaProposals < ranks*files {
+		t.Fatalf("leader saw %d proposals, want >= %d", st.MetaProposals, ranks*files)
+	}
+	if st.MetaBatches >= st.MetaProposals {
+		t.Errorf("no coalescing: %d batches for %d proposals", st.MetaBatches, st.MetaProposals)
+	}
+}
+
+// canonicalImage is a node's namespace in a deterministic byte form:
+// the shard states with files sorted by name (namespace iteration
+// order is map order, so raw snapshots of identical namespaces can
+// differ byte-wise) and the log position zeroed.
+func canonicalImage(t *testing.T, n *Node) []byte {
+	t.Helper()
+	snap, err := n.FetchShard(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.LastIndex, snap.LastTerm = 0, 0
+	for i := range snap.Shards {
+		files := snap.Shards[i].Files
+		sort.Slice(files, func(a, b int) bool { return files[a].Name < files[b].Name })
+	}
+	return snap.Marshal()
+}
+
+// TestBatchedAndSoloNamespacesIdentical applies the same record set
+// to a batching node (concurrently, so records really coalesce) and a
+// forced-solo node (sequentially): the resulting namespaces must be
+// byte-identical — group commit changes durability costs, never
+// state.
+func TestBatchedAndSoloNamespacesIdentical(t *testing.T) {
+	skipIfEnvNoBatch(t)
+	batched := soloDirNode(t, NodeOptions{})
+	solo := soloDirNode(t, NodeOptions{NoBatch: true})
+
+	const ranks, files = 4, 8
+	recs := make([]wire.MetaRecord, ranks*files)
+	for i := range recs {
+		recs[i] = createRec(fmt.Sprintf("id-%d", i), uint64(i), 0, 1, testIODs())
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, ranks)
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := r * files; i < (r+1)*files; i++ {
+				st, _, _, _, err := batched.Propose(context.Background(), recs[i])
+				if err != nil || st != wire.StatusOK {
+					errs[r] = fmt.Errorf("batched propose %d: %v %v", i, st, err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range recs {
+		st, _, _, _, err := solo.Propose(context.Background(), recs[i])
+		if err != nil || st != wire.StatusOK {
+			t.Fatalf("solo propose %d: %v %v", i, st, err)
+		}
+	}
+	bi, si := canonicalImage(t, batched), canonicalImage(t, solo)
+	if !bytes.Equal(bi, si) {
+		t.Fatalf("namespaces diverged: batched %d bytes, solo %d bytes", len(bi), len(si))
+	}
+	// The batched node must not have paid per-record durability.
+	bst, sst := batched.Stats(), solo.Stats()
+	if bst.MetaBatches >= bst.MetaProposals {
+		t.Errorf("batched node never coalesced: %d batches / %d proposals",
+			bst.MetaBatches, bst.MetaProposals)
+	}
+	if sst.MetaBatches != sst.MetaProposals {
+		t.Errorf("solo node batched: %d batches / %d proposals",
+			sst.MetaBatches, sst.MetaProposals)
+	}
+}
+
+// TestWALSyncFailureMidBatchWoundsNode pins the failure contract: if
+// the batch's one fsync fails, no entry of the batch is acked, the
+// batch is truncated from the log, and the node is wounded — it stops
+// making durable promises until restarted.
+func TestWALSyncFailureMidBatchWoundsNode(t *testing.T) {
+	n := soloDirNode(t, NodeOptions{})
+	ctx := context.Background()
+	st, _, idx, _, err := n.Propose(ctx, createRec("pre-wound", 0, 0, 1, testIODs()))
+	if err != nil || st != wire.StatusOK {
+		t.Fatalf("pre-wound propose: %v %v", st, err)
+	}
+	n.stable.failSync.Store(true)
+
+	const ranks = 8
+	var wg sync.WaitGroup
+	var acked atomic.Int32
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rec := createRec(fmt.Sprintf("doomed-%d", r), uint64(r+1), 0, 1, testIODs())
+			if _, _, _, _, err := n.Propose(ctx, rec); err == nil {
+				acked.Add(1)
+			}
+		}(r)
+	}
+	wg.Wait()
+	if got := acked.Load(); got != 0 {
+		t.Fatalf("%d proposals acked across a failed batch fsync", got)
+	}
+	n.mu.Lock()
+	wounded, last, durable := n.wounded, n.lastIndexLocked(), n.durable
+	n.mu.Unlock()
+	if !wounded {
+		t.Error("node not wounded after WAL sync failure")
+	}
+	if last != idx {
+		t.Errorf("log tail at %d, want %d: the failed batch must be truncated", last, idx)
+	}
+	if durable != idx {
+		t.Errorf("durable watermark %d, want %d", durable, idx)
+	}
+	// Wounded means wounded: later proposals fail fast.
+	if _, _, _, _, err := n.Propose(ctx, createRec("after", 99, 0, 1, testIODs())); !errors.Is(err, errPersist) {
+		t.Errorf("propose on wounded node: %v, want errPersist", err)
+	}
+}
+
+// fakeReplica is a scripted master endpoint that counts calls.
+type fakeReplica struct {
+	addr  string
+	calls atomic.Int32
+	srv   *pvfsnet.Server
+}
+
+func startFakeReplica(t *testing.T, handler func(wire.Message) wire.Message) *fakeReplica {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fakeReplica{addr: ln.Addr().String()}
+	f.srv = pvfsnet.NewServer(ln, func(req wire.Message) wire.Message {
+		f.calls.Add(1)
+		return handler(req)
+	}, nil)
+	t.Cleanup(func() { f.srv.Close() })
+	return f
+}
+
+func okVerdict(wire.Message) wire.Message {
+	pr := wire.MetaProposeResp{Index: 1}
+	return wire.Message{Header: wire.Header{Status: wire.StatusOK}, Body: pr.Marshal()}
+}
+
+// deadAddr returns an address that refuses connections.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestRotationResumesAfterFailedLeader pins the failover scan order:
+// when the cached leader dies, the proposer must try the replica
+// AFTER the failed address — not start over at masters[0], which
+// doubles failover latency whenever the dead leader sorts first.
+func TestRotationResumesAfterFailedLeader(t *testing.T) {
+	first := startFakeReplica(t, okVerdict)
+	next := startFakeReplica(t, okVerdict)
+	dead := deadAddr(t)
+	// Group order: [healthy, dead, healthy]; the cached leader is the
+	// dead middle replica.
+	g := NewGroupProposer([]string{first.addr, dead, next.addr}, testTiming())
+	defer g.Close()
+	g.DisableBatching()
+	g.storeLeader(dead)
+
+	st, _, _, err := g.Propose(context.Background(), createRec("r", 0, 0, 1, testIODs()))
+	if err != nil || st != wire.StatusOK {
+		t.Fatalf("propose: %v %v", st, err)
+	}
+	if got := next.calls.Load(); got == 0 {
+		t.Error("replica after the failed leader was never tried")
+	}
+	if got := first.calls.Load(); got != 0 {
+		t.Errorf("rotation restarted at masters[0] (%d calls), want resume after the failed replica", got)
+	}
+}
+
+// TestNoBackoffAfterFreshLeaderHint pins satellite 1: a NotLeader
+// verdict that names another replica is actionable immediately — the
+// proposer must follow the hint without sleeping out a backoff round.
+func TestNoBackoffAfterFreshLeaderHint(t *testing.T) {
+	leader := startFakeReplica(t, okVerdict)
+	follower := startFakeReplica(t, func(wire.Message) wire.Message {
+		hint := wire.MetaProposeResp{LeaderAddr: leader.addr}
+		return wire.Message{Header: wire.Header{Status: wire.StatusNotLeader}, Body: hint.Marshal()}
+	})
+	g := NewGroupProposer([]string{follower.addr, leader.addr}, testTiming())
+	defer g.Close()
+	g.DisableBatching()
+
+	st, _, _, err := g.Propose(context.Background(), createRec("h", 0, 0, 1, testIODs()))
+	if err != nil || st != wire.StatusOK {
+		t.Fatalf("propose: %v %v", st, err)
+	}
+	if got := leader.calls.Load(); got != 1 {
+		t.Errorf("leader saw %d calls, want 1", got)
+	}
+	if got := g.backoffs.Load(); got != 0 {
+		t.Errorf("proposer slept %d backoff rounds after a fresh leader hint, want 0", got)
+	}
+}
+
+// TestFetchMapHonorsClose pins satellite 3: a closed proposer's
+// FetchMap must fail fast with errProposerClosed instead of scanning
+// replicas against a closed pool.
+func TestFetchMapHonorsClose(t *testing.T) {
+	g := NewGroupProposer([]string{deadAddr(t)}, testTiming())
+	g.Close()
+	if _, err := g.FetchMap(context.Background()); !errors.Is(err, errProposerClosed) {
+		t.Fatalf("FetchMap after Close: %v, want errProposerClosed", err)
+	}
+}
+
+// TestCreateRetryIdempotent pins the ambiguous-retry contract: a
+// create whose ack was lost is re-sent verbatim (same token) and must
+// be re-acked OK with the originally committed handle — not answered
+// Exists — while a different caller's create of the same name (other
+// token, or no token) still collides.
+func TestCreateRetryIdempotent(t *testing.T) {
+	pl := startPlane(t, 3, 1)
+	c, err := pvfsnet.Dial(pl.shardAddrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	cr := wire.CreateReq{Name: "dup.dat", Token: 0xfeed}
+	resp := callShard(t, c, 1, wire.TCreate, cr.Marshal(), 0)
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("first create: %v", resp.Status)
+	}
+	var first wire.FileInfo
+	if err := first.Unmarshal(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+
+	// The "retry": the identical request again.
+	resp = callShard(t, c, 1, wire.TCreate, cr.Marshal(), 0)
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("retried create must re-ack OK, got %v", resp.Status)
+	}
+	var again wire.FileInfo
+	if err := again.Unmarshal(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if again.Handle != first.Handle {
+		t.Fatalf("retried create handle %d != original %d", again.Handle, first.Handle)
+	}
+
+	// A different token is a different logical create: collision.
+	other := wire.CreateReq{Name: "dup.dat", Token: 0xbeef}
+	if resp := callShard(t, c, 1, wire.TCreate, other.Marshal(), 0); resp.Status != wire.StatusExists {
+		t.Fatalf("other-token create of taken name: want Exists, got %v", resp.Status)
+	}
+	// No token (legacy caller) is never treated as a retry.
+	legacy := wire.CreateReq{Name: "dup.dat"}
+	if resp := callShard(t, c, 1, wire.TCreate, legacy.Marshal(), 0); resp.Status != wire.StatusExists {
+		t.Fatalf("tokenless create of taken name: want Exists, got %v", resp.Status)
+	}
+}
+
+// TestApplyCreateTokenFirstWins pins the same contract one layer
+// down, at the replicated state machine: a re-proposed create that
+// slipped past the shard's cache (fresh handle, same token) commits
+// as a first-wins OK against the original file.
+func TestApplyCreateTokenFirstWins(t *testing.T) {
+	ns := newNamespace()
+	iods := testIODs()
+	mk := func(seq, tok uint64) wire.MetaRecord {
+		cr := wire.MetaCreateRec{Name: "n", Info: wire.FileInfo{
+			Handle:    wire.MetaHandle(seq, 0, 1),
+			IODAddrs:  iods,
+			CreateTok: tok,
+		}}
+		return wire.MetaRecord{Seq: seq, Op: wire.TCreate, Body: cr.Marshal()}
+	}
+	rec := mk(0, 42)
+	st, info := ns.apply(&rec, 1)
+	if st != wire.StatusOK {
+		t.Fatalf("create: %v", st)
+	}
+	orig := info.Handle
+
+	retry := mk(1, 42) // fresh handle, same token: the shard re-proposed
+	st, info = ns.apply(&retry, 1)
+	if st != wire.StatusOK || info.Handle != orig {
+		t.Fatalf("token retry: want OK handle %d, got %v handle %d", orig, st, info.Handle)
+	}
+	if _, taken := ns.byHandle[wire.MetaHandle(1, 0, 1)]; taken {
+		t.Fatal("losing retry must not register its unused handle")
+	}
+
+	clash := mk(2, 99) // different token: a genuine name collision
+	if st, _ := ns.apply(&clash, 1); st != wire.StatusExists {
+		t.Fatalf("different-token create: want Exists, got %v", st)
+	}
+}

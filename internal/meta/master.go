@@ -6,12 +6,23 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"runtime"
 	"sync"
 	"time"
 
 	"pvfs/internal/pvfsnet"
 	"pvfs/internal/wire"
 )
+
+// NoBatchEnv, when set non-empty in the environment, forces the
+// metadata plane back to solo proposals: every mutation pays its own
+// WAL fsync and replication round, exactly the pre-group-commit
+// behavior. The fallback is byte-compatible on the wire and kept
+// alive by a dedicated chaos leg in CI.
+const NoBatchEnv = "PVFS_NO_META_BATCH"
+
+func envNoBatch() bool { return os.Getenv(NoBatchEnv) != "" }
 
 // role is a replica's place in the current term.
 type role int
@@ -42,6 +53,10 @@ type NodeOptions struct {
 	// caught up by snapshot install instead of entry replay. 0 selects
 	// a default; negative disables compaction.
 	MaxLog int
+	// NoBatch disables group commit: every proposal is appended,
+	// fsynced, and replicated on its own, the pre-batching behavior.
+	// The PVFS_NO_META_BATCH environment variable forces it globally.
+	NoBatch bool
 	// Dir, when non-empty, persists the replica's Raft state — term,
 	// vote, log, snapshot — under it, fsynced before the replica
 	// answers a vote, acks an append, or acks a proposal, and recovers
@@ -63,7 +78,18 @@ const defaultMaxLog = 4096
 type applyResult struct {
 	status wire.Status
 	info   *wire.FileInfo // applied file metadata, creates only
+	idx    uint64         // committed log index (zero on error)
+	hint   string         // leader hint, NotLeader verdicts only
 	err    error
+}
+
+// pendingProposal is one Propose call queued for the next group-commit
+// batch. The committer assigns idx when it folds the proposal into a
+// batch; until then the proposal can still be withdrawn (ctx cancel).
+type pendingProposal struct {
+	rec wire.MetaRecord
+	ch  chan applyResult // buffered(1); receives exactly one verdict
+	idx uint64           // assigned log index; 0 while queued (under mu)
 }
 
 // errLostEntry fails waiters whose entry was truncated by a new
@@ -89,12 +115,28 @@ type Node struct {
 	peers  []string
 	timing Timing
 	maxLog int
-	logger *log.Logger
-	pool   *pvfsnet.Pool
-	stable *stable // durable Raft state; nil keeps state in memory
+	// adaptiveLog marks the default (MaxLog == 0) compaction policy:
+	// the threshold grows with the namespace so the O(files) snapshot
+	// serialization amortizes — a fixed 4096-entry trigger would cost
+	// O(files²/4096) total marshaling over a large fill.
+	adaptiveLog bool
+	logger      *log.Logger
+	pool        *pvfsnet.Pool
+	stable      *stable // durable Raft state; nil keeps state in memory
+	noBatch     bool    // solo proposals: one fsync + one round per entry
+
+	// walMu serializes writes to stable so the WAL's record order
+	// always matches the in-memory log's mutation order (recovery's
+	// contiguous-suffix filter silently drops out-of-order records).
+	// Lock order is mu → walMu; the committer acquires walMu while
+	// still holding mu, then releases mu for the batch fsync — so the
+	// disk wait leaves mu free for votes, appends, and heartbeats, yet
+	// any later log mutation queues behind the in-flight batch.
+	walMu sync.Mutex
 
 	mu        sync.Mutex
-	wounded   bool // a persist failed: stop making durable promises
+	wounded   bool   // a persist failed: stop making durable promises
+	durable   uint64 // highest log index fsynced locally (== last index in-memory)
 	rng       *rand.Rand
 	term      uint64
 	votedFor  int
@@ -115,9 +157,17 @@ type Node struct {
 	elections int64
 	closed    bool
 
-	stopC  chan struct{}
-	notify []chan struct{} // per-peer replication kicks
-	wg     sync.WaitGroup
+	// Group-commit state (under mu) and accounting.
+	pending      []*pendingProposal // proposals queued for the next batch
+	proposals    int64              // mutation entries appended via propose
+	batches      int64              // group-commit flushes
+	appendRounds int64              // append RPCs shipped carrying entries
+
+	propC    chan struct{} // committer wakeup, cap 1
+	compactC chan struct{} // compactor wakeup, cap 1
+	stopC    chan struct{}
+	notify   []chan struct{} // per-peer replication kicks
+	wg       sync.WaitGroup
 }
 
 // NewNode starts a master replica: its clock loop and one replicator
@@ -132,19 +182,23 @@ func NewNode(o NodeOptions) (*Node, error) {
 		maxLog = defaultMaxLog
 	}
 	n := &Node{
-		id:       o.ID,
-		peers:    append([]string(nil), o.Peers...),
-		timing:   t,
-		maxLog:   maxLog,
-		logger:   o.Logger,
-		pool:     pvfsnet.NewPool(),
-		rng:      rand.New(rand.NewSource(time.Now().UnixNano() + int64(o.ID)<<32)),
-		votedFor: -1,
-		leaderID: -1,
-		waiters:  make(map[uint64]chan applyResult),
-		matchIdx: make([]uint64, len(o.Peers)),
-		nextIdx:  make([]uint64, len(o.Peers)),
-		stopC:    make(chan struct{}),
+		id:          o.ID,
+		peers:       append([]string(nil), o.Peers...),
+		timing:      t,
+		maxLog:      maxLog,
+		adaptiveLog: o.MaxLog == 0,
+		logger:      o.Logger,
+		pool:        pvfsnet.NewPool(),
+		noBatch:     o.NoBatch || envNoBatch(),
+		rng:         rand.New(rand.NewSource(time.Now().UnixNano() + int64(o.ID)<<32)),
+		votedFor:    -1,
+		leaderID:    -1,
+		waiters:     make(map[uint64]chan applyResult),
+		matchIdx:    make([]uint64, len(o.Peers)),
+		nextIdx:     make([]uint64, len(o.Peers)),
+		propC:       make(chan struct{}, 1),
+		compactC:    make(chan struct{}, 1),
+		stopC:       make(chan struct{}),
 	}
 	if o.Dir != "" {
 		st, rec, err := openStable(o.Dir)
@@ -164,6 +218,10 @@ func NewNode(o NodeOptions) (*Node, error) {
 				n.id, n.term, n.snapIndex+1, n.lastIndexLocked(), n.snapIndex)
 		}
 	}
+	// Whatever was recovered came off disk, so it is durable by
+	// definition; with no stable dir the log is trivially "durable"
+	// (there is no promise a restart could break).
+	n.durable = n.lastIndexLocked()
 	if o.Bootstrap != nil && n.snapIndex == 0 && len(n.log) == 0 {
 		boot := o.Bootstrap.Clone()
 		n.log = append(n.log, wire.MetaEntry{
@@ -196,6 +254,10 @@ func NewNode(o NodeOptions) (*Node, error) {
 	}
 	n.wg.Add(1)
 	go n.clockLoop()
+	n.wg.Add(1)
+	go n.commitLoop()
+	n.wg.Add(1)
+	go n.compactLoop()
 	return n, nil
 }
 
@@ -208,6 +270,7 @@ func (n *Node) restoreSnapshotLocked(snap *wire.MetaSnapshot) {
 	n.log = nil
 	n.commit = snap.LastIndex
 	n.applied = snap.LastIndex
+	n.durable = snap.LastIndex
 	m := snap.Map
 	n.smap = &m
 	n.states = make([]*namespace, len(m.Shards))
@@ -237,35 +300,59 @@ func (n *Node) persistHardLocked() {
 		return
 	}
 	h := wire.MetaHardState{Term: n.term, VotedFor: int32(n.votedFor)}
-	if err := n.stable.saveHard(h); err != nil {
+	n.walMu.Lock()
+	err := n.stable.saveHard(h)
+	n.walMu.Unlock()
+	if err != nil {
 		n.wounded = true
 		logf(n.logger, "meta[%d]: persist hard state: %v", n.id, err)
 	}
 }
 
 // persistLogLocked durably records one log mutation (truncate to
-// < from, then append entries).
+// < from, then append entries). On success the whole in-memory log is
+// durable: stable failures are sticky (a failed batch wound's the
+// node), so a successful later write implies no earlier gap.
 func (n *Node) persistLogLocked(from uint64, entries []wire.MetaEntry) {
-	if n.stable == nil || n.wounded {
+	if n.stable == nil {
+		n.durable = n.lastIndexLocked()
 		return
 	}
-	if err := n.stable.appendLog(from, entries); err != nil {
+	if n.wounded {
+		return
+	}
+	n.walMu.Lock()
+	err := n.stable.appendLog(from, entries)
+	n.walMu.Unlock()
+	if err != nil {
 		n.wounded = true
 		logf(n.logger, "meta[%d]: persist log: %v", n.id, err)
+		return
 	}
+	n.durable = n.lastIndexLocked()
 }
 
 // persistSnapshotLocked durably replaces the snapshot and resets the
 // WAL to the surviving log tail.
 func (n *Node) persistSnapshotLocked(snap *wire.MetaSnapshot) {
-	if n.stable == nil || n.wounded {
+	if n.stable == nil {
+		n.durable = n.lastIndexLocked()
+		return
+	}
+	if n.wounded {
 		return
 	}
 	h := wire.MetaHardState{Term: n.term, VotedFor: int32(n.votedFor)}
-	if err := n.stable.saveSnapshot(snap, n.log, h); err != nil {
+	n.walMu.Lock()
+	err := n.stable.saveSnapshot(snap, n.log, h)
+	n.walMu.Unlock()
+	if err != nil {
 		n.wounded = true
 		logf(n.logger, "meta[%d]: persist snapshot: %v", n.id, err)
+		return
 	}
+	// The WAL reset rewrote the whole surviving tail.
+	n.durable = n.lastIndexLocked()
 }
 
 // Close shuts the replica down; outstanding proposals fail.
@@ -281,6 +368,10 @@ func (n *Node) Close() error {
 		ch <- applyResult{err: errClosed}
 		delete(n.waiters, idx)
 	}
+	for _, p := range n.pending {
+		p.ch <- applyResult{err: errClosed}
+	}
+	n.pending = nil
 	n.mu.Unlock()
 	n.pool.Close()
 	n.wg.Wait()
@@ -312,11 +403,22 @@ func (n *Node) Term() uint64 {
 	return n.term
 }
 
-// Stats reports master-side accounting (leadership changes).
+// Stats reports master-side accounting: leadership changes plus the
+// group-commit efficiency counters (proposals per batch and per append
+// round, WAL fsyncs).
 func (n *Node) Stats() wire.ServerStats {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return wire.ServerStats{ElectionCount: n.elections}
+	st := wire.ServerStats{
+		ElectionCount:    n.elections,
+		MetaProposals:    n.proposals,
+		MetaBatches:      n.batches,
+		MetaAppendRounds: n.appendRounds,
+	}
+	if n.stable != nil {
+		st.MetaWALSyncs = n.stable.syncs.Load()
+	}
+	return st
 }
 
 // CurrentMap returns the committed shard map, or nil before the
@@ -604,26 +706,51 @@ func (n *Node) syncPeer(p int, addr string) bool {
 	req := wire.MetaAppendReq{Term: term, Leader: uint32(n.id), Commit: n.commit}
 	var snapLast uint64
 	ni := n.nextIdx[p]
+	if last := n.lastIndexLocked(); ni > last+1 {
+		// The log shrank under this cursor: a wounded-mid-batch truncate
+		// can erase entries a follower already acked (pre-durable
+		// shipping). Resume from the new end — the follower's surplus
+		// suffix is resolved by the next election, not by us.
+		ni = last + 1
+	}
+	var installRefs *snapRefs
 	if ni <= n.snapIndex {
 		// The follower is behind the compacted prefix: ship the
-		// snapshot wholesale and resume entry replay above it.
-		snap := n.snapshotLocked()
-		snapLast = snap.LastIndex
-		req.Snap = snap.Marshal()
+		// snapshot wholesale and resume entry replay above it. Capture
+		// it as shared references here; the O(namespace) serialization
+		// happens after mu is released.
+		r := n.snapshotRefsLocked()
+		installRefs = &r
+		snapLast = r.lastIndex
 	} else {
 		req.PrevIndex = ni - 1
 		req.PrevTerm = n.termAtLocked(ni - 1)
+		// Entries ship as soon as they are in the in-memory log — before
+		// the leader's own WAL fsync lands. That overlap is safe: each
+		// follower fsyncs before acking, the leader's own commit vote is
+		// gated on n.durable, and advanceCommit counts only durable
+		// copies — so a majority is durable by definition at commit. It
+		// also means two followers can commit an entry the leader never
+		// managed to fsync; wounded-mid-batch truncation is guarded by
+		// the commit index so an entry acked that way is never erased.
 		last := n.lastIndexLocked()
-		count := int(last - ni + 1)
+		count := 0
+		if last >= ni {
+			count = int(last - ni + 1)
+		}
 		if count > maxAppendEntries {
 			count = maxAppendEntries
 		}
 		if count > 0 {
 			req.Entries = make([]wire.MetaEntry, count)
 			copy(req.Entries, n.log[ni-n.snapIndex-1:])
+			n.appendRounds++
 		}
 	}
 	n.mu.Unlock()
+	if installRefs != nil {
+		req.Snap = installRefs.snapshot().Marshal()
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), n.timing.CallTimeout)
 	resp, err := n.callPeer(ctx, addr, wire.Message{
@@ -691,7 +818,13 @@ func (n *Node) advanceCommitLocked() {
 		if n.termAtLocked(idx) != n.term {
 			break // older terms cannot be counted; nothing above matched
 		}
-		votes := 1 // self
+		// The leader's own vote counts only once the entry is fsynced
+		// locally: a batch mid-flight (or wounded mid-batch and about to
+		// be truncated) is not a durable promise yet.
+		votes := 0
+		if n.durable >= idx {
+			votes++
+		}
 		for p := range n.peers {
 			if p != n.id && n.matchIdx[p] >= idx {
 				votes++
@@ -713,13 +846,23 @@ func (n *Node) applyLocked() {
 		n.applied++
 		e := n.entryAtLocked(n.applied)
 		res := n.applyEntryLocked(e)
+		res.idx = n.applied
 		if ch, ok := n.waiters[n.applied]; ok {
 			delete(n.waiters, n.applied)
 			ch <- res
 		}
 	}
-	if n.maxLog > 0 && n.applied > n.snapIndex && len(n.log) > n.maxLog {
-		n.compactLocked()
+	if n.maxLog > 0 && n.applied > n.snapIndex && len(n.log) > n.compactThresholdLocked() {
+		// Wake the background compactor rather than folding inline:
+		// serializing and fsyncing the whole namespace under mu would
+		// stall every vote, append and proposal for the duration —
+		// long enough at large namespaces that clients time out and
+		// retry, which turns one acked create into a spurious
+		// "exists" on the retry.
+		select {
+		case n.compactC <- struct{}{}:
+		default:
+		}
 	}
 }
 
@@ -761,28 +904,154 @@ func (n *Node) applyEntryLocked(e *wire.MetaEntry) applyResult {
 	}
 }
 
-// snapshotLocked exports the full applied state.
-func (n *Node) snapshotLocked() *wire.MetaSnapshot {
-	snap := &wire.MetaSnapshot{
-		LastIndex: n.applied,
-		LastTerm:  n.termAtLocked(n.applied),
+// snapRefs is a capture of the applied state as shared references:
+// the *FileInfo values are immutable once inserted (apply
+// clones-and-swaps on mutation), so the holder may read and marshal
+// them after mu is released. Taking it costs O(entries) pointer
+// copies, not O(bytes) — the difference between a blink and a
+// multi-second stall under mu at million-file namespaces.
+type snapRefs struct {
+	lastIndex uint64
+	lastTerm  uint64
+	smap      *wire.ShardMap
+	shards    []uint32
+	files     []map[string]*wire.FileInfo
+	nextSeq   []uint64
+}
+
+// addShardLocked appends one partition's refs to the capture.
+func (r *snapRefs) addShardLocked(shard uint32, ns *namespace) {
+	m := make(map[string]*wire.FileInfo, len(ns.files))
+	for k, v := range ns.files {
+		m[k] = v
 	}
+	r.shards = append(r.shards, shard)
+	r.files = append(r.files, m)
+	r.nextSeq = append(r.nextSeq, ns.nextSeq)
+}
+
+// snapshotRefsLocked captures the full applied state for an off-lock
+// serialization (the background compactor, follower installs, shard
+// recovery fetches).
+func (n *Node) snapshotRefsLocked() snapRefs {
+	r := snapRefs{lastIndex: n.applied, lastTerm: n.termAtLocked(n.applied)}
 	if n.smap != nil {
-		snap.Map = *n.smap.Clone()
+		r.smap = n.smap.Clone()
 	}
 	for i, ns := range n.states {
-		snap.Shards = append(snap.Shards, ns.state(uint32(i)))
+		r.addShardLocked(uint32(i), ns)
+	}
+	return r
+}
+
+// snapshot materializes the capture; safe without any node lock.
+func (r snapRefs) snapshot() *wire.MetaSnapshot {
+	snap := &wire.MetaSnapshot{LastIndex: r.lastIndex, LastTerm: r.lastTerm}
+	if r.smap != nil {
+		snap.Map = *r.smap
+	}
+	for i, m := range r.files {
+		st := wire.MetaShardState{Shard: r.shards[i], NextSeq: r.nextSeq[i]}
+		for name, info := range m {
+			st.Files = append(st.Files, wire.MetaFileRec{Name: name, Info: *info})
+		}
+		snap.Shards = append(snap.Shards, st)
 	}
 	return snap
 }
 
-// compactLocked folds the applied prefix into the snapshot base.
-func (n *Node) compactLocked() {
+// compactThresholdLocked returns the log length that wakes the
+// compactor. With an explicit MaxLog it is exactly that. Under the
+// default policy it scales with the namespace: folding the log costs
+// O(files) (serialize + write + fsync the whole state), so a fixed
+// trigger pays that every maxLog commits — O(files²/maxLog) total
+// over a big fill, and each individual fold eventually outlasts
+// client timeouts. Scaling the trigger to files/8 keeps total
+// compaction work at O(files·log files) while bounding the WAL tail
+// a recovery must replay to ~12% of the namespace.
+func (n *Node) compactThresholdLocked() int {
+	t := n.maxLog
+	if n.adaptiveLog {
+		files := 0
+		for _, ns := range n.states {
+			files += len(ns.files)
+		}
+		if files/8 > t {
+			t = files / 8
+		}
+	}
+	return t
+}
+
+// compactLoop runs log compaction off every hot path. applyLocked
+// nudges compactC when the log outgrows the threshold.
+func (n *Node) compactLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.compactC:
+		case <-n.stopC:
+			return
+		}
+		n.compactOnce()
+	}
+}
+
+// compactOnce folds the applied prefix into the snapshot base. The
+// expensive half — marshaling and fsyncing the whole namespace — runs
+// with no node locks held, so proposals, votes and appends proceed
+// against the old WAL meanwhile. Only the bookkeeping at either end
+// takes mu, and only the bounded WAL reset rides the mu→walMu
+// handoff.
+func (n *Node) compactOnce() {
+	n.mu.Lock()
+	if n.closed || n.wounded || n.applied <= n.snapIndex ||
+		len(n.log) <= n.compactThresholdLocked() {
+		n.mu.Unlock()
+		return
+	}
+	refs := n.snapshotRefsLocked()
 	newBase := n.applied
 	n.snapTerm = n.termAtLocked(newBase)
 	n.log = append([]wire.MetaEntry(nil), n.log[newBase-n.snapIndex:]...)
 	n.snapIndex = newBase
-	n.persistSnapshotLocked(n.snapshotLocked())
+	if n.stable == nil {
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
+
+	if err := n.stable.writeSnap(refs.snapshot()); err != nil {
+		n.mu.Lock()
+		n.wounded = true
+		logf(n.logger, "meta[%d]: persist snapshot: %v", n.id, err)
+		n.mu.Unlock()
+		return
+	}
+
+	n.mu.Lock()
+	if n.closed || n.wounded || n.snapIndex != newBase {
+		// A snapshot install superseded this fold while the file was
+		// being written (writeSnap skipped the stale image); the
+		// installer already reset the WAL to match its own snapshot.
+		n.mu.Unlock()
+		return
+	}
+	tail := append([]wire.MetaEntry(nil), n.log...)
+	hard := wire.MetaHardState{Term: n.term, VotedFor: int32(n.votedFor)}
+	n.walMu.Lock()
+	n.mu.Unlock()
+	err := n.stable.resetWAL(tail, hard)
+	n.walMu.Unlock()
+	n.mu.Lock()
+	if err != nil {
+		n.wounded = true
+		logf(n.logger, "meta[%d]: persist snapshot: %v", n.id, err)
+	}
+	// n.durable needs no update: every entry in the rewritten tail
+	// was already in the old WAL (its writer held the handoff before
+	// this one), so nothing became durable that wasn't.
+	n.mu.Unlock()
 }
 
 // installSnapshotLocked replaces log and state wholesale (a follower
@@ -811,6 +1080,13 @@ func (n *Node) installSnapshotLocked(snap *wire.MetaSnapshot) {
 // installs against it. A StatusNotLeader status carries no verdict —
 // the caller should retry against hint (the leader's address, when
 // known).
+//
+// Concurrent proposals group-commit: the committer folds everything
+// queued into one batch — one multi-entry WAL append with a single
+// fsync (performed off the mu critical section) and one replication
+// wave — and every waiter is answered from the same advanceCommit
+// pass. With NoBatch set the entry is appended, fsynced, and
+// replicated synchronously, the pre-batching behavior.
 func (n *Node) Propose(ctx context.Context, rec wire.MetaRecord) (wire.Status, *wire.FileInfo, uint64, string, error) {
 	n.mu.Lock()
 	if n.closed {
@@ -826,45 +1102,302 @@ func (n *Node) Propose(ctx context.Context, rec wire.MetaRecord) (wire.Status, *
 		n.mu.Unlock()
 		return wire.StatusNotLeader, nil, 0, hint, nil
 	}
-	idx := n.lastIndexLocked() + 1
-	entry := wire.MetaEntry{Index: idx, Term: n.term, Rec: rec}
-	n.log = append(n.log, entry)
-	n.persistLogLocked(idx, n.log[len(n.log)-1:])
-	if n.wounded {
-		n.log = n.log[:len(n.log)-1]
+	p := &pendingProposal{rec: rec, ch: make(chan applyResult, 1)}
+	if n.noBatch {
+		idx := n.lastIndexLocked() + 1
+		entry := wire.MetaEntry{Index: idx, Term: n.term, Rec: rec}
+		n.log = append(n.log, entry)
+		n.persistLogLocked(idx, n.log[len(n.log)-1:])
+		if n.wounded {
+			n.log = n.log[:len(n.log)-1]
+			n.mu.Unlock()
+			return 0, nil, 0, "", errPersist
+		}
+		p.idx = idx
+		n.waiters[idx] = p.ch
+		n.proposals++
+		n.batches++
+		n.advanceCommitLocked() // a solo group commits synchronously
+		n.kickAllLocked()
 		n.mu.Unlock()
-		return 0, nil, 0, "", errPersist
+	} else {
+		n.pending = append(n.pending, p)
+		n.mu.Unlock()
+		select {
+		case n.propC <- struct{}{}:
+		default:
+		}
 	}
-	ch := make(chan applyResult, 1)
-	n.waiters[idx] = ch
-	n.advanceCommitLocked() // a solo group commits synchronously
-	n.kickAllLocked()
-	n.mu.Unlock()
+	return n.waitProposal(ctx, p)
+}
 
-	select {
-	case res := <-ch:
+// waitProposal blocks until p's verdict, the context's end, or
+// shutdown.
+func (n *Node) waitProposal(ctx context.Context, p *pendingProposal) (wire.Status, *wire.FileInfo, uint64, string, error) {
+	unpack := func(res applyResult) (wire.Status, *wire.FileInfo, uint64, string, error) {
 		if res.err != nil {
 			return 0, nil, 0, "", res.err
 		}
-		return res.status, res.info, idx, "", nil
+		return res.status, res.info, res.idx, res.hint, nil
+	}
+	select {
+	case res := <-p.ch:
+		return unpack(res)
 	case <-ctx.Done():
 		// Prefer a verdict that raced in over the cancellation: only if
-		// the waiter is still registered is the outcome truly unknown.
+		// the proposal is still queued, or its waiter still registered,
+		// is the outcome truly unknown.
 		n.mu.Lock()
-		if _, waiting := n.waiters[idx]; waiting {
-			delete(n.waiters, idx) // the entry may still commit later
-			n.mu.Unlock()
-			return 0, nil, 0, "", ctx.Err()
+		for i, q := range n.pending {
+			if q == p {
+				n.pending = append(n.pending[:i], n.pending[i+1:]...)
+				n.mu.Unlock()
+				return 0, nil, 0, "", ctx.Err()
+			}
+		}
+		if p.idx != 0 {
+			if ch, ok := n.waiters[p.idx]; ok && ch == p.ch {
+				delete(n.waiters, p.idx) // the entry may still commit later
+				n.mu.Unlock()
+				return 0, nil, 0, "", ctx.Err()
+			}
 		}
 		n.mu.Unlock()
-		res := <-ch
-		if res.err != nil {
-			return 0, nil, 0, "", res.err
-		}
-		return res.status, res.info, idx, "", nil
+		return unpack(<-p.ch)
 	case <-n.stopC:
 		return 0, nil, 0, "", errClosed
 	}
+}
+
+// commitLoop is the group committer: it drains every proposal queued
+// while the previous batch was on disk into one log append with a
+// single WAL fsync, performed outside the mu critical section so
+// votes, appends, and heartbeats never wait on the disk.
+//
+// Coalescing comes from two sources. First, backpressure: while one
+// batch's fsync holds walMu (mu released), every proposal that
+// arrives queues behind it and is drained into the next flush — the
+// slower the disk, the larger the batches. Second, a yield linger:
+// before flushing, the committer cedes the processor until the queue
+// stops growing, so proposal handlers that are already runnable land
+// in this fsync instead of the next. The linger is Gosched, never a
+// timer — Go rounds sub-millisecond sleeps up, which was measured to
+// tax every proposal's latency far more than the fsync it saves,
+// while Gosched returns immediately once no other goroutine wants
+// the processor.
+func (n *Node) commitLoop() {
+	defer n.wg.Done()
+	const (
+		lingerIdleYields = 8   // consecutive no-growth yields that end the linger
+		lingerMaxYields  = 512 // hard bound under sustained arrival
+	)
+	for {
+		select {
+		case <-n.propC:
+		case <-n.stopC:
+			return
+		}
+		n.mu.Lock()
+		prev := len(n.pending)
+		n.mu.Unlock()
+		if prev > 0 {
+			idle := 0
+			for spins := 0; spins < lingerMaxYields && idle < lingerIdleYields; spins++ {
+				runtime.Gosched()
+				n.mu.Lock()
+				cur := len(n.pending)
+				n.mu.Unlock()
+				if cur != prev {
+					prev = cur
+					idle = 0
+				} else {
+					idle++
+				}
+			}
+		}
+		n.flushBatches()
+	}
+}
+
+// flushBatches appends queued proposals batch by batch until the queue
+// is empty (proposals arriving during a batch's fsync form the next
+// batch — classic group commit).
+func (n *Node) flushBatches() {
+	n.mu.Lock()
+	for len(n.pending) > 0 && !n.closed {
+		batch := n.pending
+		n.pending = nil
+		if n.wounded {
+			n.mu.Unlock()
+			for _, p := range batch {
+				p.ch <- applyResult{err: errPersist}
+			}
+			n.mu.Lock()
+			continue
+		}
+		if n.role != leader {
+			hint := n.leaderHintLocked()
+			n.mu.Unlock()
+			for _, p := range batch {
+				p.ch <- applyResult{status: wire.StatusNotLeader, hint: hint}
+			}
+			n.mu.Lock()
+			continue
+		}
+		term := n.term
+		first := n.lastIndexLocked() + 1
+		for i, p := range batch {
+			p.idx = first + uint64(i)
+			n.log = append(n.log, wire.MetaEntry{Index: p.idx, Term: term, Rec: p.rec})
+			n.waiters[p.idx] = p.ch
+		}
+		last := first + uint64(len(batch)) - 1
+		n.proposals += int64(len(batch))
+		n.batches++
+		if n.stable == nil {
+			n.durable = n.lastIndexLocked()
+			n.advanceCommitLocked()
+			n.kickAllLocked()
+			continue
+		}
+		// Wake the replicators before the fsync starts: followers append
+		// and fsync the batch in parallel with the leader's own disk
+		// wait, so the round costs max(leader sync, follower round trip)
+		// instead of their sum. Follower acks may even commit the batch
+		// (two durable followers are a majority) while the leader's sync
+		// is still in flight — applyLocked then answers the waiters and
+		// the post-fsync bookkeeping below finds them already gone.
+		n.kickAllLocked()
+		// ONE fsync for the whole batch, off the critical section. walMu
+		// is acquired before mu is released so no later log mutation can
+		// reach the WAL ahead of this batch: WAL record order must match
+		// log order, or recovery's contiguous-suffix filter would
+		// silently drop entries.
+		entries := make([]wire.MetaEntry, len(batch))
+		copy(entries, n.log[first-n.snapIndex-1:])
+		n.walMu.Lock()
+		n.mu.Unlock()
+		err := n.stable.appendLog(first, entries)
+		n.walMu.Unlock()
+		n.mu.Lock()
+		if err != nil {
+			// Wounded mid-batch. The batch may already be on followers
+			// (entries ship pre-durable), so drop it only while it is
+			// provably uncommitted — the guard below refuses once any of
+			// it reached the commit index via a follower majority. Unacked
+			// waiters get errPersist, an unknown outcome: a follower
+			// holding the suffix may still win the next election and
+			// commit it, which is why records are idempotent and retried
+			// whole.
+			n.wounded = true
+			logf(n.logger, "meta[%d]: persist batch %d..%d: %v", n.id, first, last, err)
+			if n.commit < first && first > n.snapIndex &&
+				n.lastIndexLocked() >= last && n.termAtLocked(first) == term {
+				n.log = n.log[:first-n.snapIndex-1]
+			}
+			for _, p := range batch {
+				if ch, ok := n.waiters[p.idx]; ok && ch == p.ch {
+					delete(n.waiters, p.idx)
+					ch <- applyResult{err: errPersist}
+				}
+			}
+			continue
+		}
+		// The batch is durable — unless a higher term truncated it while
+		// the fsync was in flight (then its owner updated durable).
+		if n.lastIndexLocked() >= last && n.termAtLocked(last) == term && last > n.durable {
+			n.durable = last
+		}
+		if n.role == leader && n.term == term {
+			n.advanceCommitLocked()
+			n.kickAllLocked()
+		}
+	}
+	n.mu.Unlock()
+}
+
+// ProposeBatch submits several records as one group-commit batch and
+// waits for every verdict, in order. On a non-leader the hint is
+// returned with ErrNotLeader; any unknown-outcome record fails the
+// whole call (records are idempotent, so the caller retries the whole
+// batch).
+func (n *Node) ProposeBatch(ctx context.Context, recs []wire.MetaRecord) ([]wire.MetaProposeVerdict, string, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, "", errClosed
+	}
+	if n.wounded {
+		n.mu.Unlock()
+		return nil, "", errPersist
+	}
+	if n.role != leader {
+		hint := n.leaderHintLocked()
+		n.mu.Unlock()
+		return nil, hint, ErrNotLeader
+	}
+	if n.noBatch {
+		// Forced-solo fallback: each record takes its own synchronous
+		// propose round, preserving pre-batching behavior end to end.
+		n.mu.Unlock()
+		verdicts := make([]wire.MetaProposeVerdict, 0, len(recs))
+		for _, rec := range recs {
+			st, info, idx, hint, err := n.Propose(ctx, rec)
+			if err != nil {
+				return nil, "", err
+			}
+			if st == wire.StatusNotLeader {
+				return nil, hint, ErrNotLeader
+			}
+			v := wire.MetaProposeVerdict{Status: st, Index: idx}
+			if info != nil {
+				v.Info = info.Marshal()
+			}
+			verdicts = append(verdicts, v)
+		}
+		return verdicts, "", nil
+	}
+	ps := make([]*pendingProposal, len(recs))
+	for i := range recs {
+		ps[i] = &pendingProposal{rec: recs[i], ch: make(chan applyResult, 1)}
+		n.pending = append(n.pending, ps[i])
+	}
+	n.mu.Unlock()
+	select {
+	case n.propC <- struct{}{}:
+	default:
+	}
+	verdicts := make([]wire.MetaProposeVerdict, len(recs))
+	var hint string
+	var firstErr error
+	notLeader := false
+	for i, p := range ps {
+		st, info, idx, h, err := n.waitProposal(ctx, p)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if st == wire.StatusNotLeader {
+			notLeader = true
+			if h != "" {
+				hint = h
+			}
+			continue
+		}
+		verdicts[i] = wire.MetaProposeVerdict{Status: st, Index: idx}
+		if info != nil {
+			verdicts[i].Info = info.Marshal()
+		}
+	}
+	if firstErr != nil {
+		return nil, "", firstErr
+	}
+	if notLeader {
+		return nil, hint, ErrNotLeader
+	}
+	return verdicts, "", nil
 }
 
 // ProposeConfig replicates a shard-map change built by mutate (applied
@@ -920,24 +1453,28 @@ func (n *Node) readBarrier(ctx context.Context) error {
 	return nil
 }
 
-// fetchSnapshotLocked exports one partition's materialized state (or
-// the full snapshot for FetchFullSnapshot) with the current map.
-func (n *Node) fetchSnapshotLocked(shard uint32) (*wire.MetaSnapshot, error) {
+// fetchRefsLocked captures one partition's materialized state (or the
+// full state for FetchFullSnapshot) with the current map, as shared
+// references: at million-file namespaces the O(bytes) serialization
+// must happen outside mu or every proposal stalls behind a recovering
+// shard's fetch.
+func (n *Node) fetchRefsLocked(shard uint32) (snapRefs, error) {
 	if n.smap == nil {
-		return nil, fmt.Errorf("meta: no committed map yet")
+		return snapRefs{}, fmt.Errorf("meta: no committed map yet")
 	}
 	if shard == wire.FetchFullSnapshot {
-		return n.snapshotLocked(), nil
+		return n.snapshotRefsLocked(), nil
 	}
 	if int(shard) >= len(n.states) {
-		return nil, errNoShard
+		return snapRefs{}, errNoShard
 	}
-	return &wire.MetaSnapshot{
-		LastIndex: n.applied,
-		LastTerm:  n.termAtLocked(n.applied),
-		Map:       *n.smap.Clone(),
-		Shards:    []wire.MetaShardState{n.states[shard].state(shard)},
-	}, nil
+	r := snapRefs{
+		lastIndex: n.applied,
+		lastTerm:  n.termAtLocked(n.applied),
+		smap:      n.smap.Clone(),
+	}
+	r.addShardLocked(shard, n.states[shard])
+	return r, nil
 }
 
 // FetchShard returns one partition's materialized committed state with
@@ -959,11 +1496,16 @@ func (n *Node) FetchShard(ctx context.Context, shard uint32) (*wire.MetaSnapshot
 		return nil, err
 	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if n.closed {
+		n.mu.Unlock()
 		return nil, errClosed
 	}
-	return n.fetchSnapshotLocked(shard)
+	refs, err := n.fetchRefsLocked(shard)
+	n.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return refs.snapshot(), nil
 }
 
 // FetchMap returns the committed shard map from any role (shards use
@@ -989,6 +1531,8 @@ func (n *Node) Handle(req wire.Message) wire.Message {
 		return n.handleAppend(req)
 	case wire.TMetaPropose:
 		return n.handlePropose(req)
+	case wire.TMetaProposeBatch:
+		return n.handleProposeBatch(req)
 	case wire.TMetaFetch:
 		return n.handleFetch(req)
 	case wire.TShardMap:
@@ -1179,6 +1723,31 @@ func (n *Node) handlePropose(req wire.Message) wire.Message {
 	return resp
 }
 
+func (n *Node) handleProposeBatch(req wire.Message) wire.Message {
+	var br wire.MetaProposeBatchReq
+	if err := br.Unmarshal(req.Body); err != nil {
+		return wire.Message{Header: wire.Header{Status: wire.StatusProtocol}}
+	}
+	if len(br.Recs) == 0 {
+		return wire.Message{Header: wire.Header{Status: wire.StatusInvalid}}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), n.timing.ProposeWait)
+	defer cancel()
+	verdicts, hint, err := n.ProposeBatch(ctx, br.Recs)
+	if errors.Is(err, ErrNotLeader) {
+		hr := wire.MetaProposeBatchResp{LeaderAddr: hint}
+		return wire.Message{Header: wire.Header{Status: wire.StatusNotLeader}, Body: hr.Marshal()}
+	}
+	if err != nil {
+		// Some record's outcome is unknown (no majority within the
+		// window, shutdown mid-batch): the records are idempotent, so the
+		// caller retries the whole batch after rediscovery.
+		return wire.Message{Header: wire.Header{Status: wire.StatusUnavailable}}
+	}
+	hr := wire.MetaProposeBatchResp{Verdicts: verdicts}
+	return wire.Message{Body: hr.Marshal()}
+}
+
 func (n *Node) handleFetch(req wire.Message) wire.Message {
 	var fr wire.MetaFetchReq
 	if err := fr.Unmarshal(req.Body); err != nil {
@@ -1208,7 +1777,7 @@ func (n *Node) handleFetch(req wire.Message) wire.Message {
 		return wire.Message{Header: wire.Header{Status: wire.StatusUnavailable}}
 	}
 	n.mu.Lock()
-	snap, serr := n.fetchSnapshotLocked(fr.Shard)
+	refs, serr := n.fetchRefsLocked(fr.Shard)
 	n.mu.Unlock()
 	if errors.Is(serr, errNoShard) {
 		return wire.Message{Header: wire.Header{Status: wire.StatusInvalid}}
@@ -1216,5 +1785,5 @@ func (n *Node) handleFetch(req wire.Message) wire.Message {
 	if serr != nil {
 		return wire.Message{Header: wire.Header{Status: wire.StatusUnavailable}}
 	}
-	return wire.Message{Body: snap.Marshal()}
+	return wire.Message{Body: refs.snapshot().Marshal()}
 }

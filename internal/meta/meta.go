@@ -114,6 +114,13 @@ func (ns *namespace) apply(rec *wire.MetaRecord, nshards int) (wire.Status, *wir
 			if existing.Handle == cr.Info.Handle {
 				return wire.StatusOK, existing // replayed/duplicated record
 			}
+			if cr.Info.CreateTok != 0 && existing.CreateTok == cr.Info.CreateTok {
+				// Same logical create, re-proposed with a fresh handle:
+				// the first attempt committed but its ack was lost and
+				// the shard's cache hadn't caught up when the client
+				// retried. First one wins; ack the committed file.
+				return wire.StatusOK, existing
+			}
 			return wire.StatusExists, existing
 		}
 		if _, taken := ns.byHandle[cr.Info.Handle]; taken {
@@ -153,8 +160,13 @@ func (ns *namespace) apply(rec *wire.MetaRecord, nshards int) (wire.Status, *wir
 		}
 		// Size records are a high-water mark: racing closers may report
 		// in any order, and the largest write wins (manager contract).
-		if sr.Size > ns.files[name].Size {
-			ns.files[name].Size = sr.Size
+		// Clone-and-swap rather than mutate: *FileInfo values stay
+		// immutable once inserted, so a snapshot captured as shared
+		// references (compactOnce) can serialize them without the lock.
+		if info := ns.files[name]; sr.Size > info.Size {
+			cp := *info
+			cp.Size = sr.Size
+			ns.files[name] = &cp
 		}
 		return wire.StatusOK, ns.files[name]
 	case wire.TPing:

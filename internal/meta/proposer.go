@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pvfs/internal/pvfsnet"
@@ -59,9 +60,15 @@ func (l LocalProposer) Close() error { return nil }
 
 // GroupProposer talks to the master replica group over pvfsnet,
 // tracking the leader across elections: NotLeader responses carry a
-// hint, transport failures rotate to the next replica, and every
-// retry round backs off briefly so a mid-election group isn't
-// hammered.
+// hint, transport failures rotate to the next replica, and a retry
+// round with no fresh leader hint backs off briefly so a mid-election
+// group isn't hammered.
+//
+// Concurrent Propose calls group-commit: a dispatcher coalesces
+// queued records into one TMetaProposeBatch round (up to
+// groupMaxBatch entries), and keeps up to groupMaxInflight batches
+// pipelined over the tagged transport — proposals queued while a
+// batch is on the wire form the next, larger batch.
 type GroupProposer struct {
 	masters []string
 	timing  Timing
@@ -69,8 +76,37 @@ type GroupProposer struct {
 	stopC   chan struct{} // closed by Close; aborts in-flight retry loops
 	stopO   sync.Once
 
+	noBatch  bool          // solo proposes, pre-batching wire behavior
+	flushC   chan struct{} // cap 1: wakes the dispatcher
+	dispOnce sync.Once     // dispatcher starts on first batched Propose
+	wg       sync.WaitGroup
+
+	backoffs atomic.Int64 // retry sleeps taken (white-box: a fresh
+	// leader hint must retry immediately, not sleep out the backoff)
+
+	qmu   sync.Mutex
+	queue []*groupPending
+
 	mu     sync.Mutex
 	leader string // last known leader address; "" when unknown
+}
+
+const (
+	groupMaxBatch    = 128 // records per TMetaProposeBatch round
+	groupMaxInflight = 4   // batches pipelined over the transport
+)
+
+// groupPending is one queued Propose awaiting its batch verdict.
+type groupPending struct {
+	rec wire.MetaRecord
+	ch  chan groupVerdict // buffered(1); receives exactly one verdict
+}
+
+type groupVerdict struct {
+	status wire.Status
+	info   *wire.FileInfo
+	idx    uint64
+	err    error
 }
 
 func (g *GroupProposer) loadLeader() string {
@@ -86,17 +122,25 @@ func (g *GroupProposer) storeLeader(addr string) {
 }
 
 // NewGroupProposer builds a proposer for the given master addresses.
+// Batching honors the PVFS_NO_META_BATCH environment knob.
 func NewGroupProposer(masters []string, t Timing) *GroupProposer {
 	return &GroupProposer{
 		masters: append([]string(nil), masters...),
 		timing:  t.withDefaults(),
 		pool:    pvfsnet.NewPool(),
 		stopC:   make(chan struct{}),
+		noBatch: envNoBatch(),
+		flushC:  make(chan struct{}, 1),
 	}
 }
 
+// DisableBatching forces the solo propose path (one TMetaPropose
+// round per record). Call before the first Propose.
+func (g *GroupProposer) DisableBatching() { g.noBatch = true }
+
 func (g *GroupProposer) Close() error {
 	g.stopO.Do(func() { close(g.stopC) })
+	g.wg.Wait()
 	return g.pool.Close()
 }
 
@@ -108,10 +152,26 @@ var errProposerClosed = errors.New("meta: proposer closed")
 // errNoVerdict marks one failed attempt inside the retry loop.
 var errNoVerdict = errors.New("meta: no verdict from master")
 
+// rotationAfter returns the rotation cursor naming the replica right
+// after addr, so a failed cached leader resumes the scan at its
+// successor instead of hammering masters[0] again.
+func (g *GroupProposer) rotationAfter(addr string) int {
+	for i, m := range g.masters {
+		if m == addr {
+			return i + 1
+		}
+	}
+	return 0 // a hint outside the configured set; scan from the top
+}
+
 // call issues one leader-routed RPC. It tries the last known leader
 // first, follows NotLeader hints, and rotates through the group on
-// transport failure. Returns the response on any verdict status.
-func (g *GroupProposer) call(ctx context.Context, req wire.Message) (wire.Message, error) {
+// transport failure — resuming after the replica that just failed.
+// Returns the response on any verdict status. attemptTimeout bounds a
+// single dial+call: propose-sized requests pass CallTimeout, while
+// snapshot fetches pass a window-scaled bound because their response
+// grows with the namespace and must not be mistaken for a dead peer.
+func (g *GroupProposer) call(ctx context.Context, req wire.Message, attemptTimeout time.Duration) (wire.Message, error) {
 	var lastErr error = errNoVerdict
 	backoff := 2 * time.Millisecond
 	rotation := 0
@@ -129,22 +189,29 @@ func (g *GroupProposer) call(ctx context.Context, req wire.Message) (wire.Messag
 			addr = g.masters[rotation%len(g.masters)]
 			rotation++
 		}
-		attempt, cancel := context.WithTimeout(ctx, g.timing.CallTimeout)
+		attempt, cancel := context.WithTimeout(ctx, attemptTimeout)
 		resp, err := g.attempt(attempt, addr, req)
 		cancel()
+		freshHint := false
 		if err == nil {
 			if resp.Status == wire.StatusNotLeader {
 				var hint wire.MetaProposeResp
 				if hint.Unmarshal(resp.Body) == nil && hint.LeaderAddr != "" {
 					g.storeLeader(hint.LeaderAddr)
+					// A hint naming another replica is actionable now:
+					// sleeping out the backoff before following it only
+					// stretches failover.
+					freshHint = hint.LeaderAddr != addr
 				} else {
 					g.storeLeader("")
+					rotation = g.rotationAfter(addr)
 				}
 				resp.Release()
 				lastErr = errors.New("meta: replica is not the leader")
 			} else if resp.Status == wire.StatusUnavailable {
 				resp.Release()
 				g.storeLeader("")
+				rotation = g.rotationAfter(addr)
 				lastErr = errors.New("meta: master unavailable")
 			} else {
 				g.storeLeader(addr)
@@ -152,10 +219,15 @@ func (g *GroupProposer) call(ctx context.Context, req wire.Message) (wire.Messag
 			}
 		} else {
 			g.storeLeader("")
+			rotation = g.rotationAfter(addr)
 			lastErr = err
+		}
+		if freshHint {
+			continue
 		}
 		// Back off briefly (election in progress, dead replica) without
 		// sleeping past the caller's deadline.
+		g.backoffs.Add(1)
 		timer := time.NewTimer(backoff)
 		select {
 		case <-timer.C:
@@ -197,12 +269,53 @@ func (g *GroupProposer) attempt(ctx context.Context, addr string, req wire.Messa
 }
 
 func (g *GroupProposer) Propose(ctx context.Context, rec wire.MetaRecord) (wire.Status, *wire.FileInfo, uint64, error) {
+	if g.noBatch {
+		return g.proposeSolo(ctx, rec)
+	}
+	g.dispOnce.Do(func() {
+		g.wg.Add(1)
+		go g.dispatchLoop()
+	})
+	p := &groupPending{rec: rec, ch: make(chan groupVerdict, 1)}
+	g.qmu.Lock()
+	g.queue = append(g.queue, p)
+	g.qmu.Unlock()
+	select {
+	case g.flushC <- struct{}{}:
+	default:
+	}
+	select {
+	case v := <-p.ch:
+		if v.err != nil {
+			return 0, nil, 0, v.err
+		}
+		return v.status, v.info, v.idx, nil
+	case <-ctx.Done():
+		// Still queued → withdraw cleanly; already on the wire → the
+		// outcome is unknown, which is what the error conveys.
+		g.qmu.Lock()
+		for i, q := range g.queue {
+			if q == p {
+				g.queue = append(g.queue[:i], g.queue[i+1:]...)
+				break
+			}
+		}
+		g.qmu.Unlock()
+		return 0, nil, 0, ctx.Err()
+	case <-g.stopC:
+		return 0, nil, 0, errProposerClosed
+	}
+}
+
+// proposeSolo is the pre-batching wire path: one TMetaPropose round
+// per record.
+func (g *GroupProposer) proposeSolo(ctx context.Context, rec wire.MetaRecord) (wire.Status, *wire.FileInfo, uint64, error) {
 	preq := wire.MetaProposeReq{Rec: rec}
 	wctx, cancel := context.WithTimeout(ctx, g.timing.RetryWindow)
 	defer cancel()
 	resp, err := g.call(wctx, wire.Message{
 		Header: wire.Header{Type: wire.TMetaPropose}, Body: preq.Marshal(),
-	})
+	}, g.timing.CallTimeout)
 	if err != nil {
 		return 0, nil, 0, err
 	}
@@ -223,13 +336,126 @@ func (g *GroupProposer) Propose(ctx context.Context, rec wire.MetaRecord) (wire.
 	return resp.Status, info, pr.Index, nil
 }
 
+// dispatchLoop drains the proposal queue into batch rounds, keeping
+// up to groupMaxInflight batches pipelined. Proposals arriving while
+// those are on the wire coalesce into the next batch.
+func (g *GroupProposer) dispatchLoop() {
+	defer g.wg.Done()
+	sem := make(chan struct{}, groupMaxInflight)
+	for {
+		select {
+		case <-g.flushC:
+		case <-g.stopC:
+			g.qmu.Lock()
+			q := g.queue
+			g.queue = nil
+			g.qmu.Unlock()
+			for _, p := range q {
+				p.ch <- groupVerdict{err: errProposerClosed}
+			}
+			return
+		}
+		for {
+			g.qmu.Lock()
+			if len(g.queue) == 0 {
+				g.qmu.Unlock()
+				break
+			}
+			n := len(g.queue)
+			if n > groupMaxBatch {
+				n = groupMaxBatch
+			}
+			batch := g.queue[:n:n]
+			g.queue = g.queue[n:]
+			g.qmu.Unlock()
+			select {
+			case sem <- struct{}{}:
+			case <-g.stopC:
+				for _, p := range batch {
+					p.ch <- groupVerdict{err: errProposerClosed}
+				}
+				continue
+			}
+			g.wg.Add(1)
+			go func(batch []*groupPending) {
+				defer g.wg.Done()
+				defer func() { <-sem }()
+				g.sendBatch(batch)
+			}(batch)
+		}
+	}
+}
+
+// sendBatch runs one leader-routed TMetaProposeBatch round and hands
+// each caller its verdict. Any round-level failure fails every entry:
+// records are idempotent, so callers simply retry.
+func (g *GroupProposer) sendBatch(batch []*groupPending) {
+	fail := func(err error) {
+		for _, p := range batch {
+			p.ch <- groupVerdict{err: err}
+		}
+	}
+	recs := make([]wire.MetaRecord, len(batch))
+	for i, p := range batch {
+		recs[i] = p.rec
+	}
+	breq := wire.MetaProposeBatchReq{Recs: recs}
+	ctx, cancel := context.WithTimeout(context.Background(), g.timing.RetryWindow)
+	defer cancel()
+	resp, err := g.call(ctx, wire.Message{
+		Header: wire.Header{Type: wire.TMetaProposeBatch}, Body: breq.Marshal(),
+	}, g.timing.CallTimeout)
+	if err != nil {
+		fail(err)
+		return
+	}
+	defer resp.Release()
+	if resp.Status != wire.StatusOK {
+		fail(fmt.Errorf("meta: batch propose: %v", resp.Status))
+		return
+	}
+	var br wire.MetaProposeBatchResp
+	if uerr := br.Unmarshal(resp.Body); uerr != nil {
+		fail(uerr)
+		return
+	}
+	if len(br.Verdicts) != len(batch) {
+		fail(fmt.Errorf("meta: batch propose: %d verdicts for %d records",
+			len(br.Verdicts), len(batch)))
+		return
+	}
+	for i, p := range batch {
+		v := br.Verdicts[i]
+		var info *wire.FileInfo
+		if len(v.Info) > 0 {
+			info = new(wire.FileInfo)
+			if uerr := info.Unmarshal(v.Info); uerr != nil {
+				p.ch <- groupVerdict{err: uerr}
+				continue
+			}
+		}
+		p.ch <- groupVerdict{status: v.Status, info: info, idx: v.Index}
+	}
+}
+
 func (g *GroupProposer) FetchShard(ctx context.Context, shard uint32) (*wire.MetaSnapshot, error) {
 	freq := wire.MetaFetchReq{Shard: shard}
 	wctx, cancel := context.WithTimeout(ctx, g.timing.RetryWindow)
 	defer cancel()
+	// A shard snapshot's size grows with the namespace: at a million
+	// files the marshal+transfer takes far longer than CallTimeout, and
+	// capping the attempt at the leader-discovery ping timeout turns
+	// every large fetch into a spurious deadline, starving resync until
+	// clients exhaust their retries. Bound one attempt at half the
+	// window instead — slow-but-alive replicas finish, and a genuinely
+	// hung one still leaves room to rotate to a peer.
+	fetchTimeout := g.timing.RetryWindow / 2
+	if fetchTimeout < g.timing.CallTimeout {
+		fetchTimeout = g.timing.CallTimeout
+	}
 	resp, err := g.call(wctx, wire.Message{
 		Header: wire.Header{Type: wire.TMetaFetch}, Body: freq.Marshal(),
-	})
+	}, fetchTimeout)
 	if err != nil {
 		return nil, err
 	}
@@ -251,6 +477,13 @@ func (g *GroupProposer) FetchMap(ctx context.Context) (*wire.ShardMap, error) {
 	defer cancel()
 	var lastErr error
 	for _, addr := range g.masters {
+		select {
+		case <-g.stopC:
+			// A closing shard must not drain the per-replica scan against
+			// a closed pool.
+			return nil, errProposerClosed
+		default:
+		}
 		if wctx.Err() != nil {
 			break
 		}

@@ -22,6 +22,9 @@ type ShardOptions struct {
 	// Proposer overrides the path to the master group (the mgr wrapper
 	// injects the in-process node). The Shard owns it and closes it.
 	Proposer Proposer
+	// NoBatch forces solo proposes on the built-in GroupProposer (the
+	// PVFS_NO_META_BATCH fallback); ignored when Proposer is set.
+	NoBatch bool
 	// Timing overrides protocol clocks (zero fields take defaults).
 	Timing Timing
 	// Logger receives shard events; nil silences them.
@@ -67,7 +70,11 @@ type Shard struct {
 func NewShard(o ShardOptions) *Shard {
 	prop := o.Proposer
 	if prop == nil {
-		prop = NewGroupProposer(o.Masters, o.Timing)
+		gp := NewGroupProposer(o.Masters, o.Timing)
+		if o.NoBatch {
+			gp.DisableBatching()
+		}
+		prop = gp
 	}
 	s := &Shard{
 		idx:    o.Index,
@@ -225,36 +232,51 @@ func (s *Shard) fetchAndInstall() bool {
 		case <-ctx.Done():
 		}
 	}()
-	snap, err := s.prop.FetchShard(ctx, uint32(s.idx))
-	if err != nil {
-		logf(s.logger, "meta-shard[%d]: sync: %v", s.idx, err)
-		return false
-	}
-	s.mu.Lock()
-	if snap.LastIndex < s.verIdx {
-		// The snapshot predates a committed write-back we already hold:
-		// installing it would silently erase an acked mutation from the
-		// serving cache. The master's applied index only grows (and is
-		// at least verIdx at the leader that committed our proposals),
-		// so the retry fetches a fresh-enough snapshot.
+	for {
+		snap, err := s.prop.FetchShard(ctx, uint32(s.idx))
+		if err != nil {
+			logf(s.logger, "meta-shard[%d]: sync: %v", s.idx, err)
+			return false
+		}
+		s.mu.Lock()
+		if snap.LastIndex < s.verIdx {
+			// The snapshot predates a committed write-back we already
+			// hold: installing it would silently erase an acked mutation
+			// from the serving cache. The master's applied index only
+			// grows (and is at least verIdx at the leader that committed
+			// our proposals), so a refetch converges — and it converges
+			// quickly, because the dirty flag blocks new proposals while
+			// the in-flight ones that keep bumping verIdx drain. Retry
+			// inside the round rather than failing it: a failed round
+			// answers Unavailable to every waiter, burning client retry
+			// budgets over a race that resolves in a heartbeat or two.
+			verIdx := s.verIdx
+			s.mu.Unlock()
+			logf(s.logger, "meta-shard[%d]: sync: stale snapshot (%d < %d), refetching",
+				s.idx, snap.LastIndex, verIdx)
+			select {
+			case <-ctx.Done():
+				return false
+			case <-s.stopC:
+				return false
+			case <-time.After(s.timing.Heartbeat):
+			}
+			continue
+		}
+		if len(snap.Shards) == 1 && int(snap.Shards[0].Shard) == s.idx {
+			s.ns.install(&snap.Shards[0])
+		}
+		s.verIdx = snap.LastIndex
+		m := snap.Map
+		if s.smap == nil || m.Epoch > s.smap.Epoch {
+			s.smap = &m
+		}
+		s.ready = true
+		s.dirty = false
 		s.mu.Unlock()
-		logf(s.logger, "meta-shard[%d]: sync: stale snapshot (%d < %d), retrying",
-			s.idx, snap.LastIndex, s.verIdx)
-		return false
+		logf(s.logger, "meta-shard[%d]: synced (%d files, epoch %d)", s.idx, len(snap.Shards[0].Files), m.Epoch)
+		return true
 	}
-	if len(snap.Shards) == 1 && int(snap.Shards[0].Shard) == s.idx {
-		s.ns.install(&snap.Shards[0])
-	}
-	s.verIdx = snap.LastIndex
-	m := snap.Map
-	if s.smap == nil || m.Epoch > s.smap.Epoch {
-		s.smap = &m
-	}
-	s.ready = true
-	s.dirty = false
-	s.mu.Unlock()
-	logf(s.logger, "meta-shard[%d]: synced (%d files, epoch %d)", s.idx, len(snap.Shards[0].Files), m.Epoch)
-	return true
 }
 
 func fail(st wire.Status) wire.Message {
@@ -543,7 +565,17 @@ func (s *Shard) create(cr *wire.CreateReq) wire.Message {
 	defer unlock()
 
 	s.mu.Lock()
-	if _, ok := s.ns.files[cr.Name]; ok {
+	if f, ok := s.ns.files[cr.Name]; ok {
+		if cr.Token != 0 && f.CreateTok == cr.Token {
+			// Retried create of the same logical call: the earlier
+			// attempt committed but its ack was lost (the proposal's
+			// outcome was ambiguous and the client saw Unavailable).
+			// Re-ack the committed file instead of answering Exists.
+			use := *f
+			s.stats.MetaCreates++
+			s.mu.Unlock()
+			return wire.Message{Header: wire.Header{Handle: use.Handle}, Body: use.Marshal()}
+		}
 		s.mu.Unlock()
 		return fail(wire.StatusExists)
 	}
@@ -557,9 +589,10 @@ func (s *Shard) create(cr *wire.CreateReq) wire.Message {
 		s.ns.nextSeq++
 		s.mu.Unlock()
 		info := wire.FileInfo{
-			Handle:   wire.MetaHandle(seq, s.idx, nshards),
-			Striping: cfg,
-			IODAddrs: rotatedAddrs(cfg, iods),
+			Handle:    wire.MetaHandle(seq, s.idx, nshards),
+			Striping:  cfg,
+			IODAddrs:  rotatedAddrs(cfg, iods),
+			CreateTok: cr.Token,
 		}
 		rec := wire.MetaCreateRec{Name: cr.Name, Info: info}
 		st, applied, idx, err := s.propose(wire.MetaRecord{

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 
 	"pvfs/internal/wire"
 )
@@ -28,6 +30,15 @@ import (
 type stable struct {
 	dir string
 	wal *os.File
+
+	snapMu  sync.Mutex    // serializes snap-file writers (background compactor vs install)
+	snapIdx atomic.Uint64 // LastIndex of the newest snap on disk; never moves backward
+
+	syncs    atomic.Int64 // fsyncs issued (group commit's denominator)
+	failSync atomic.Bool  // test hook: fail the next syncs (disk death)
+	dead     atomic.Bool  // sticky failure: a failed write/fsync may have
+	// dropped dirty pages, so no later "successful" sync can be trusted
+	// to cover the gap (the node is wounded and must be restarted).
 }
 
 const (
@@ -88,7 +99,9 @@ func openStable(dir string) (*stable, *recovered, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return &stable{dir: dir, wal: f}, rec, nil
+	s := &stable{dir: dir, wal: f}
+	s.snapIdx.Store(base)
+	return s, rec, nil
 }
 
 // replayWAL folds the record stream into rec, stopping at a torn tail.
@@ -122,16 +135,32 @@ func replayWAL(b []byte, rec *recovered) {
 	rec.entries = entries
 }
 
+// errSyncFault is the injected WAL failure (failSync test hook).
+var errSyncFault = errors.New("meta: injected WAL sync failure")
+
 // appendRecord frames, appends, and fsyncs one WAL record.
 func (s *stable) appendRecord(kind uint32, payload []byte) error {
+	if s.dead.Load() {
+		return errSyncFault
+	}
+	if s.failSync.Load() {
+		s.dead.Store(true)
+		return errSyncFault
+	}
 	buf := make([]byte, 8+len(payload))
 	binary.LittleEndian.PutUint32(buf, kind)
 	binary.LittleEndian.PutUint32(buf[4:], uint32(len(payload)))
 	copy(buf[8:], payload)
 	if _, err := s.wal.Write(buf); err != nil {
+		s.dead.Store(true)
 		return err
 	}
-	return s.wal.Sync()
+	s.syncs.Add(1)
+	if err := s.wal.Sync(); err != nil {
+		s.dead.Store(true)
+		return err
+	}
+	return nil
 }
 
 // saveHard durably records the term and vote.
@@ -152,8 +181,46 @@ func (s *stable) appendLog(from uint64, entries []wire.MetaEntry) error {
 // crash before the WAL reset only leaves stale records that recovery
 // filters against the snapshot's LastIndex.
 func (s *stable) saveSnapshot(snap *wire.MetaSnapshot, tail []wire.MetaEntry, hard wire.MetaHardState) error {
-	if err := writeFileSync(filepath.Join(s.dir, "snap"), snap.Marshal()); err != nil {
+	if err := s.writeSnap(snap); err != nil {
 		return err
+	}
+	return s.resetWAL(tail, hard)
+}
+
+// writeSnap durably writes the snapshot file alone — the expensive
+// half of a compaction (O(namespace) marshal + write + fsync). The
+// WAL is untouched, so callers need no WAL lock: recovery already
+// filters stale WAL records against the snapshot's LastIndex, which
+// is exactly the state a crash between the two halves leaves behind.
+// A writer that lost the race to a newer snapshot (a concurrent
+// install advanced the base while a background compaction marshaled)
+// skips the write — the snap file's index never moves backward, or
+// recovery would see a gap between its snapshot and the WAL tail.
+func (s *stable) writeSnap(snap *wire.MetaSnapshot) error {
+	if s.dead.Load() {
+		return errSyncFault
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if snap.LastIndex <= s.snapIdx.Load() {
+		return nil
+	}
+	if err := writeFileSync(filepath.Join(s.dir, "snap"), snap.Marshal()); err != nil {
+		s.dead.Store(true)
+		return err
+	}
+	s.syncs.Add(1)
+	s.snapIdx.Store(snap.LastIndex)
+	return nil
+}
+
+// resetWAL replaces the WAL with the hard state plus the log tail
+// above the durable snapshot — the cheap half of a compaction (the
+// tail is bounded by the compaction threshold). Callers serialize
+// against other WAL writers (the node's walMu).
+func (s *stable) resetWAL(tail []wire.MetaEntry, hard wire.MetaHardState) error {
+	if s.dead.Load() {
+		return errSyncFault
 	}
 	walPath := filepath.Join(s.dir, "wal")
 	tmp := walPath + ".tmp"
@@ -162,6 +229,7 @@ func (s *stable) saveSnapshot(snap *wire.MetaSnapshot, tail []wire.MetaEntry, ha
 		return err
 	}
 	fresh := &stable{dir: s.dir, wal: f}
+	fresh.failSync.Store(s.failSync.Load())
 	if err := fresh.saveHard(hard); err != nil {
 		f.Close()
 		return err
@@ -178,6 +246,7 @@ func (s *stable) saveSnapshot(snap *wire.MetaSnapshot, tail []wire.MetaEntry, ha
 	if err := os.Rename(tmp, walPath); err != nil {
 		return err
 	}
+	s.syncs.Add(fresh.syncs.Load())
 	s.wal.Close()
 	nf, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {

@@ -17,6 +17,12 @@ import (
 type CreateReq struct {
 	Name     string
 	Striping striping.Config
+	// Token is the client's idempotency token for this logical create
+	// (0: none). A create whose ack is lost — the proposal committed
+	// but the client saw a retryable failure — is re-sent verbatim;
+	// the token lets the metadata plane recognize the duplicate and
+	// re-ack the committed file instead of answering Exists.
+	Token uint64
 }
 
 func (m *CreateReq) Marshal() []byte {
@@ -25,6 +31,7 @@ func (m *CreateReq) Marshal() []byte {
 	e.u32(uint32(m.Striping.Base))
 	e.u32(uint32(m.Striping.PCount))
 	e.i64(m.Striping.StripeSize)
+	e.u64(m.Token)
 	return e.buf
 }
 
@@ -34,6 +41,7 @@ func (m *CreateReq) Unmarshal(b []byte) error {
 	m.Striping.Base = int(d.u32())
 	m.Striping.PCount = int(d.u32())
 	m.Striping.StripeSize = d.i64()
+	m.Token = d.u64()
 	return d.err
 }
 
@@ -44,6 +52,12 @@ type FileInfo struct {
 	Size     int64 // logical size as last recorded by the manager
 	Striping striping.Config
 	IODAddrs []string // network addresses of the I/O daemons, stripe order
+	// CreateTok is the idempotency token of the create that made the
+	// file (CreateReq.Token; 0: none). It rides in the replicated
+	// record, snapshots and resyncs, so any replica or shard can
+	// recognize a retried create of the same logical call and re-ack
+	// it instead of answering Exists.
+	CreateTok uint64
 }
 
 func (m *FileInfo) Marshal() []byte {
@@ -53,6 +67,7 @@ func (m *FileInfo) Marshal() []byte {
 	e.u32(uint32(m.Striping.Base))
 	e.u32(uint32(m.Striping.PCount))
 	e.i64(m.Striping.StripeSize)
+	e.u64(m.CreateTok)
 	e.u32(uint32(len(m.IODAddrs)))
 	for _, a := range m.IODAddrs {
 		e.str(a)
@@ -67,6 +82,7 @@ func (m *FileInfo) Unmarshal(b []byte) error {
 	m.Striping.Base = int(d.u32())
 	m.Striping.PCount = int(d.u32())
 	m.Striping.StripeSize = d.i64()
+	m.CreateTok = d.u64()
 	n := d.u32()
 	if d.err != nil {
 		return d.err
@@ -361,6 +377,14 @@ type ServerStats struct {
 	MetaOpens     int64 // opens/stats served from shard state
 	MetaForwards  int64 // envelopes proxied to the owning shard
 	ElectionCount int64 // leadership changes observed (masters)
+	// Group-commit accounting (DESIGN.md §13): how well concurrent
+	// proposals coalesce at the leader. proposals/batches is the mean
+	// batch size, proposals/append-rounds the replication amortization,
+	// and WAL syncs per proposal < 1 demonstrates fsync coalescing.
+	MetaProposals    int64 // mutation entries appended at the leader
+	MetaBatches      int64 // group-commit flushes (>= 1 proposal each)
+	MetaAppendRounds int64 // append RPCs shipped carrying entries
+	MetaWALSyncs     int64 // WAL fsyncs (log, hard state, snapshots)
 }
 
 func (m *ServerStats) Marshal() []byte {
@@ -386,6 +410,10 @@ func (m *ServerStats) Marshal() []byte {
 	e.i64(m.MetaOpens)
 	e.i64(m.MetaForwards)
 	e.i64(m.ElectionCount)
+	e.i64(m.MetaProposals)
+	e.i64(m.MetaBatches)
+	e.i64(m.MetaAppendRounds)
+	e.i64(m.MetaWALSyncs)
 	return e.buf
 }
 
@@ -412,6 +440,10 @@ func (m *ServerStats) Unmarshal(b []byte) error {
 	m.MetaOpens = d.i64()
 	m.MetaForwards = d.i64()
 	m.ElectionCount = d.i64()
+	m.MetaProposals = d.i64()
+	m.MetaBatches = d.i64()
+	m.MetaAppendRounds = d.i64()
+	m.MetaWALSyncs = d.i64()
 	return d.err
 }
 
@@ -478,4 +510,8 @@ func (m *ServerStats) Add(other ServerStats) {
 	m.MetaOpens += other.MetaOpens
 	m.MetaForwards += other.MetaForwards
 	m.ElectionCount += other.ElectionCount
+	m.MetaProposals += other.MetaProposals
+	m.MetaBatches += other.MetaBatches
+	m.MetaAppendRounds += other.MetaAppendRounds
+	m.MetaWALSyncs += other.MetaWALSyncs
 }

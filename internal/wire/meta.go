@@ -487,6 +487,102 @@ func (m *MetaProposeResp) Unmarshal(b []byte) error {
 	return nil
 }
 
+// MetaProposeBatchReq submits several mutation records in one round
+// trip. The leader appends them as one group-commit batch — a single
+// WAL fsync and one replication wave cover every record — and answers
+// only after all of them resolve, so batching never weakens the
+// durability contract of the solo propose path.
+type MetaProposeBatchReq struct {
+	Recs []MetaRecord
+}
+
+func (m *MetaProposeBatchReq) Marshal() []byte {
+	e := encoder{}
+	e.u32(uint32(len(m.Recs)))
+	for i := range m.Recs {
+		m.Recs[i].marshalTo(&e)
+	}
+	return e.buf
+}
+
+func (m *MetaProposeBatchReq) Unmarshal(b []byte) error {
+	d := decoder{buf: b}
+	n := d.u32()
+	if d.err != nil {
+		return d.err
+	}
+	if n > maxMetaList {
+		return fmt.Errorf("wire: absurd propose batch of %d records", n)
+	}
+	m.Recs = make([]MetaRecord, n)
+	for i := range m.Recs {
+		m.Recs[i].unmarshalFrom(&d)
+	}
+	return d.err
+}
+
+// MetaProposeVerdict is one record's committed outcome inside a batch
+// response: the applied status, the committed entry's log index, and
+// (for creates) the applied FileInfo.
+type MetaProposeVerdict struct {
+	Status Status
+	Index  uint64
+	Info   []byte // marshaled FileInfo; empty when none applies
+}
+
+// MetaProposeBatchResp answers a batch. A StatusOK header carries one
+// verdict per request record, in order. A StatusNotLeader header
+// instead carries the leader hint in LeaderAddr; StatusUnavailable
+// means at least one record's outcome is unknown and the caller must
+// retry the whole batch (records are idempotent, so replaying the
+// committed prefix is safe).
+type MetaProposeBatchResp struct {
+	LeaderAddr string
+	Verdicts   []MetaProposeVerdict
+}
+
+func (m *MetaProposeBatchResp) Marshal() []byte {
+	e := encoder{}
+	e.str(m.LeaderAddr)
+	e.u32(uint32(len(m.Verdicts)))
+	for i := range m.Verdicts {
+		v := &m.Verdicts[i]
+		e.u32(uint32(v.Status))
+		e.u64(v.Index)
+		e.u32(uint32(len(v.Info)))
+		e.bytes(v.Info)
+	}
+	return e.buf
+}
+
+func (m *MetaProposeBatchResp) Unmarshal(b []byte) error {
+	d := decoder{buf: b}
+	m.LeaderAddr = d.str()
+	n := d.u32()
+	if d.err != nil {
+		return d.err
+	}
+	if n > maxMetaList {
+		return fmt.Errorf("wire: absurd verdict count %d", n)
+	}
+	m.Verdicts = make([]MetaProposeVerdict, n)
+	for i := range m.Verdicts {
+		v := &m.Verdicts[i]
+		v.Status = Status(d.u32())
+		v.Index = d.u64()
+		ilen := d.u32()
+		if d.err != nil {
+			return d.err
+		}
+		if uint32(len(d.buf)) < ilen {
+			return ErrShortBody
+		}
+		v.Info = d.buf[:ilen] // aliases the frame; decoded before release
+		d.buf = d.buf[ilen:]
+	}
+	return d.err
+}
+
 // MetaFileRec is one name → info pair inside a shard snapshot.
 type MetaFileRec struct {
 	Name string

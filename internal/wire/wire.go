@@ -93,6 +93,10 @@ const (
 	TMetaAppend
 	TMetaPropose
 	TMetaFetch
+	// TMetaProposeBatch submits several mutation records in one round
+	// trip; the leader coalesces them into one group-commit batch (one
+	// WAL fsync, one replication wave) and answers per-record verdicts.
+	TMetaProposeBatch
 
 	responseBit MsgType = 0x8000
 )
@@ -119,6 +123,7 @@ func (t MsgType) String() string {
 		TShardMap: "shardmap", TMetaForward: "metaforward",
 		TMetaVote: "metavote", TMetaAppend: "metaappend",
 		TMetaPropose: "metapropose", TMetaFetch: "metafetch",
+		TMetaProposeBatch: "metaproposebatch",
 	}
 	n, ok := names[t.Base()]
 	if !ok {
